@@ -1,0 +1,88 @@
+// Command figures regenerates every figure, table and in-text claim of
+// the paper (and the framework experiments E1-E8). See EXPERIMENTS.md for
+// the experiment index and expected shapes.
+//
+// Usage:
+//
+//	figures [-id F1,T1,...|all] [-scale quick|full] [-csv dir] [-plot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hybridsched/internal/experiments"
+	"hybridsched/internal/report"
+)
+
+func main() {
+	var (
+		ids   = flag.String("id", "all", "comma-separated experiment IDs, or 'all'")
+		scale = flag.String("scale", "quick", "quick or full")
+		csv   = flag.String("csv", "", "also write each table as CSV into this directory")
+		plot  = flag.Bool("plot", false, "render ASCII log-log plots for series")
+	)
+	flag.Parse()
+
+	sc := experiments.Quick
+	switch *scale {
+	case "quick":
+	case "full":
+		sc = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var selected []string
+	if *ids == "all" {
+		for _, e := range experiments.Registry {
+			selected = append(selected, e.ID)
+		}
+	} else {
+		selected = strings.Split(*ids, ",")
+	}
+
+	for _, id := range selected {
+		id = strings.TrimSpace(id)
+		res, err := experiments.Run(id, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n######## %s — %s ########\n\n", res.ID, res.Title)
+		for ti, tab := range res.Tables {
+			tab.Render(os.Stdout)
+			fmt.Println()
+			if *csv != "" {
+				if err := writeCSV(*csv, fmt.Sprintf("%s_%d.csv", res.ID, ti), tab); err != nil {
+					fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *plot && len(res.Series) > 0 {
+			report.LogLogPlot(os.Stdout, res.Title, 64, 16, res.Series...)
+			fmt.Println()
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+	}
+}
+
+func writeCSV(dir, name string, tab *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tab.CSV(f)
+	return nil
+}

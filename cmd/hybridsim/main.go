@@ -1,0 +1,176 @@
+// Command hybridsim runs a single hybrid-switch simulation from
+// command-line flags and prints the full metric set — the "run one
+// configuration and look at it" tool.
+//
+// Example (the paper's running configuration, fast optics, hardware
+// scheduler):
+//
+//	hybridsim -ports 64 -rate 10Gbps -reconfig 1us -slot 10us \
+//	          -alg islip -timing hardware -load 0.6 -duration 10ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridsched/internal/fabric"
+	"hybridsched/internal/match"
+	"hybridsched/internal/report"
+	"hybridsched/internal/sched"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+func main() {
+	var (
+		ports    = flag.Int("ports", 16, "switch port count")
+		rate     = flag.String("rate", "10Gbps", "line rate per port")
+		linkd    = flag.String("link", "500ns", "host<->switch one-way delay")
+		slot     = flag.String("slot", "10us", "transmission slot per configuration")
+		reconfig = flag.String("reconfig", "1us", "OCS reconfiguration dead time")
+		alg      = flag.String("alg", "islip", fmt.Sprintf("matching algorithm %v", match.Names()))
+		timing   = flag.String("timing", "hardware", "scheduler timing: hardware or software")
+		buffer   = flag.String("buffer", "switch", "buffering regime: switch or host")
+		epsOn    = flag.Bool("eps", false, "enable the electrical packet switch")
+		load     = flag.Float64("load", 0.5, "offered load fraction per port")
+		pattern  = flag.String("pattern", "uniform", "traffic pattern: uniform, permutation, hotspot, zipf")
+		process  = flag.String("process", "poisson", "arrival process: poisson or onoff")
+		duration = flag.String("duration", "5ms", "traffic duration (simulated)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*ports, *rate, *linkd, *slot, *reconfig, *alg, *timing,
+		*buffer, *epsOn, *load, *pattern, *process, *duration, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "hybridsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ports int, rateS, linkS, slotS, reconfS, alg, timingS, bufferS string,
+	epsOn bool, load float64, patternS, processS, durS string, seed uint64) error {
+	lineRate, err := units.ParseBitRate(rateS)
+	if err != nil {
+		return err
+	}
+	linkDelay, err := units.ParseDuration(linkS)
+	if err != nil {
+		return err
+	}
+	slot, err := units.ParseDuration(slotS)
+	if err != nil {
+		return err
+	}
+	reconf, err := units.ParseDuration(reconfS)
+	if err != nil {
+		return err
+	}
+	dur, err := units.ParseDuration(durS)
+	if err != nil {
+		return err
+	}
+
+	var timing sched.TimingModel
+	switch timingS {
+	case "hardware":
+		timing = sched.DefaultHardware()
+	case "software":
+		timing = sched.DefaultSoftware()
+	default:
+		return fmt.Errorf("unknown timing %q", timingS)
+	}
+
+	cfg := fabric.Config{
+		Ports:        ports,
+		LineRate:     lineRate,
+		LinkDelay:    linkDelay,
+		Slot:         slot,
+		ReconfigTime: reconf,
+		Algorithm:    alg,
+		Seed:         seed,
+		Timing:       timing,
+		Pipelined:    timingS == "hardware",
+		EnableEPS:    epsOn,
+	}
+	switch bufferS {
+	case "switch":
+	case "host":
+		cfg.Buffer = fabric.BufferAtHost
+	default:
+		return fmt.Errorf("unknown buffer regime %q", bufferS)
+	}
+
+	var pat traffic.Pattern
+	switch patternS {
+	case "uniform":
+		pat = traffic.Uniform{}
+	case "permutation":
+		pat = traffic.NewPermutation(ports, seed)
+	case "hotspot":
+		pat = traffic.Hotspot{Frac: 0.7, Spots: 2}
+	case "zipf":
+		pat = traffic.NewZipf(ports, 1.2)
+	default:
+		return fmt.Errorf("unknown pattern %q", patternS)
+	}
+	var proc traffic.Process
+	switch processS {
+	case "poisson":
+		proc = traffic.Poisson
+	case "onoff":
+		proc = traffic.OnOff
+	default:
+		return fmt.Errorf("unknown process %q", processS)
+	}
+
+	s := sim.New()
+	f, err := fabric.New(s, cfg)
+	if err != nil {
+		return err
+	}
+	gen, err := traffic.New(traffic.Config{
+		Ports:    ports,
+		LineRate: lineRate,
+		Load:     load,
+		Pattern:  pat,
+		Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+		Process:  proc,
+		Until:    units.Time(dur),
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	f.Start()
+	gen.Start(s, f.Inject)
+	s.RunUntil(units.Time(dur))
+	s.RunUntil(units.Time(dur + dur/2))
+	f.Stop()
+	m := f.Metrics()
+
+	fmt.Printf("hybridsim: %d ports x %v, %s/%s scheduler, %v reconfig, %v slot, %s-buffered\n",
+		ports, lineRate, alg, timingS, reconf, slot, bufferS)
+	fmt.Printf("workload: %s %s load %.2f for %v (+drain)\n\n",
+		patternS, processS, load, dur)
+
+	tab := report.NewTable("results", "metric", "value")
+	tab.AddRow("injected packets", m.Injected)
+	tab.AddRow("delivered packets", m.Delivered)
+	tab.AddRow("delivered fraction", m.DeliveredFraction())
+	tab.AddRow("throughput (frac of capacity)", m.Throughput(ports, lineRate))
+	tab.AddRow("via OCS / via EPS (pkts)", fmt.Sprintf("%d / %d", m.OCS.PktsDelivered, m.EPS.PktsDelivered))
+	tab.AddRow("latency p50 / p99 / max",
+		fmt.Sprintf("%v / %v / %v", units.Duration(m.Latency.P50),
+			units.Duration(m.Latency.P99), units.Duration(m.Latency.Max)))
+	tab.AddRow("peak switch buffer", m.PeakSwitchBuffer)
+	tab.AddRow("peak host buffer", m.PeakHostBuffer)
+	tab.AddRow("drops voq/host/eps/truncated",
+		fmt.Sprintf("%d/%d/%d/%d", m.DropsVOQ, m.DropsHost, m.EPS.Drops, m.OCS.Truncated))
+	tab.AddRow("OCS reconfigurations", m.OCS.Configures)
+	tab.AddRow("OCS duty cycle", m.DutyCycle)
+	tab.AddRow("scheduler cycles (idle)", fmt.Sprintf("%d (%d)", m.Loop.Cycles, m.Loop.IdleCycles))
+	tab.AddRow("grant staleness p50", units.Duration(m.Loop.Staleness.P50))
+	tab.Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import "testing"
+
+func TestRunValidConfigurations(t *testing.T) {
+	cases := []struct {
+		name                             string
+		timing, buffer, pattern, process string
+	}{
+		{"hardware-switch", "hardware", "switch", "uniform", "poisson"},
+		{"software-host", "software", "host", "permutation", "onoff"},
+		{"hotspot", "hardware", "switch", "hotspot", "poisson"},
+		{"zipf", "hardware", "switch", "zipf", "onoff"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			err := run(8, "10Gbps", "500ns", "20us", "1us", "islip",
+				c.timing, c.buffer, false, 0.3, c.pattern, c.process, "1ms", 1)
+			if err != nil {
+				t.Fatalf("run failed: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	base := func() []string {
+		return []string{"10Gbps", "500ns", "20us", "1us", "islip",
+			"hardware", "switch", "uniform", "poisson", "1ms"}
+	}
+	_ = base
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"bad rate", func() error {
+			return run(8, "10Gbq", "500ns", "20us", "1us", "islip",
+				"hardware", "switch", false, 0.3, "uniform", "poisson", "1ms", 1)
+		}},
+		{"bad timing", func() error {
+			return run(8, "10Gbps", "500ns", "20us", "1us", "islip",
+				"quantum", "switch", false, 0.3, "uniform", "poisson", "1ms", 1)
+		}},
+		{"bad buffer", func() error {
+			return run(8, "10Gbps", "500ns", "20us", "1us", "islip",
+				"hardware", "cloud", false, 0.3, "uniform", "poisson", "1ms", 1)
+		}},
+		{"bad pattern", func() error {
+			return run(8, "10Gbps", "500ns", "20us", "1us", "islip",
+				"hardware", "switch", false, 0.3, "spiral", "poisson", "1ms", 1)
+		}},
+		{"bad process", func() error {
+			return run(8, "10Gbps", "500ns", "20us", "1us", "islip",
+				"hardware", "switch", false, 0.3, "uniform", "fractal", "1ms", 1)
+		}},
+		{"bad algorithm", func() error {
+			return run(8, "10Gbps", "500ns", "20us", "1us", "warp",
+				"hardware", "switch", false, 0.3, "uniform", "poisson", "1ms", 1)
+		}},
+		{"bad duration", func() error {
+			return run(8, "10Gbps", "500ns", "20us", "1us", "islip",
+				"hardware", "switch", false, 0.3, "uniform", "poisson", "soon", 1)
+		}},
+	}
+	for _, c := range cases {
+		if err := c.call(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

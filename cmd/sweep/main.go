@@ -1,0 +1,149 @@
+// Command sweep runs a one-dimensional parameter sweep and emits CSV on
+// stdout — the plotting workhorse behind the figures.
+//
+// Supported sweep variables:
+//
+//	-var load      sweeps offered load           (values like 0.1,0.3,...)
+//	-var reconfig  sweeps OCS reconfiguration    (values like 100ns,1us,...)
+//	-var ports     sweeps the port count         (values like 8,16,32)
+//	-var linkdelay sweeps host<->switch distance (values like 500ns,5us)
+//
+// Example — the Figure 1 simulated sweep at full scale:
+//
+//	sweep -var reconfig -values 100ns,1us,10us,100us,1ms -load 0.7 -buffer host
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hybridsched/internal/fabric"
+	"hybridsched/internal/report"
+	"hybridsched/internal/sched"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+func main() {
+	var (
+		sweepVar = flag.String("var", "load", "sweep variable: load, reconfig, ports, linkdelay")
+		values   = flag.String("values", "", "comma-separated values (required)")
+		ports    = flag.Int("ports", 16, "port count (unless swept)")
+		rateS    = flag.String("rate", "10Gbps", "line rate")
+		slotS    = flag.String("slot", "10us", "slot duration")
+		reconfS  = flag.String("reconfig", "1us", "reconfiguration time (unless swept)")
+		alg      = flag.String("alg", "islip", "matching algorithm")
+		timingS  = flag.String("timing", "hardware", "hardware or software")
+		bufferS  = flag.String("buffer", "switch", "switch or host")
+		load     = flag.Float64("load", 0.5, "offered load (unless swept)")
+		durS     = flag.String("duration", "5ms", "traffic duration")
+		seed     = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+	if *values == "" {
+		fmt.Fprintln(os.Stderr, "sweep: -values is required")
+		os.Exit(2)
+	}
+	if err := run(*sweepVar, strings.Split(*values, ","), *ports, *rateS, *slotS,
+		*reconfS, *alg, *timingS, *bufferS, *load, *durS, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(sweepVar string, values []string, ports int, rateS, slotS, reconfS,
+	alg, timingS, bufferS string, load float64, durS string, seed uint64) error {
+	rate, err := units.ParseBitRate(rateS)
+	if err != nil {
+		return err
+	}
+	slot, err := units.ParseDuration(slotS)
+	if err != nil {
+		return err
+	}
+	reconf, err := units.ParseDuration(reconfS)
+	if err != nil {
+		return err
+	}
+	dur, err := units.ParseDuration(durS)
+	if err != nil {
+		return err
+	}
+	var timing sched.TimingModel = sched.DefaultHardware()
+	if timingS == "software" {
+		timing = sched.DefaultSoftware()
+	}
+	buffer := fabric.BufferAtSwitch
+	if bufferS == "host" {
+		buffer = fabric.BufferAtHost
+	}
+
+	tab := report.NewTable("", sweepVar,
+		"delivered_frac", "throughput", "lat_p50_us", "lat_p99_us",
+		"peak_switch_buf_B", "peak_host_buf_B", "duty_cycle")
+	linkDelay := 500 * units.Nanosecond
+
+	for _, v := range values {
+		v = strings.TrimSpace(v)
+		p, ld, rc, lk := ports, load, reconf, linkDelay
+		switch sweepVar {
+		case "load":
+			ld, err = strconv.ParseFloat(v, 64)
+		case "reconfig":
+			rc, err = units.ParseDuration(v)
+		case "ports":
+			p, err = strconv.Atoi(v)
+		case "linkdelay":
+			lk, err = units.ParseDuration(v)
+		default:
+			return fmt.Errorf("unknown sweep variable %q", sweepVar)
+		}
+		if err != nil {
+			return fmt.Errorf("bad value %q: %w", v, err)
+		}
+		s := sim.New()
+		f, err := fabric.New(s, fabric.Config{
+			Ports:        p,
+			LineRate:     rate,
+			LinkDelay:    lk,
+			Slot:         slot,
+			ReconfigTime: rc,
+			Algorithm:    alg,
+			Seed:         seed,
+			Timing:       timing,
+			Pipelined:    timingS == "hardware",
+			Buffer:       buffer,
+		})
+		if err != nil {
+			return err
+		}
+		gen, err := traffic.New(traffic.Config{
+			Ports:    p,
+			LineRate: rate,
+			Load:     ld,
+			Pattern:  traffic.Uniform{},
+			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+			Until:    units.Time(dur),
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		f.Start()
+		gen.Start(s, f.Inject)
+		s.RunUntil(units.Time(dur))
+		s.RunUntil(units.Time(dur + dur/2))
+		f.Stop()
+		m := f.Metrics()
+		tab.AddRow(v, m.DeliveredFraction(), m.Throughput(p, rate),
+			units.Duration(m.Latency.P50).Microseconds(),
+			units.Duration(m.Latency.P99).Microseconds(),
+			m.PeakSwitchBuffer.Bytes(), m.PeakHostBuffer.Bytes(), m.DutyCycle)
+	}
+	tab.CSV(os.Stdout)
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func TestSweepVariables(t *testing.T) {
+	cases := []struct {
+		name   string
+		varr   string
+		values []string
+	}{
+		{"load", "load", []string{"0.3", "0.6"}},
+		{"reconfig", "reconfig", []string{"100ns", "1us"}},
+		{"ports", "ports", []string{"4", "8"}},
+		{"linkdelay", "linkdelay", []string{"500ns", "2us"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.varr, c.values, 8, "10Gbps", "20us", "1us",
+				"islip", "hardware", "switch", 0.4, "1ms", 1)
+			if err != nil {
+				t.Fatalf("sweep failed: %v", err)
+			}
+		})
+	}
+}
+
+func TestSweepRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"unknown variable", func() error {
+			return run("gravity", []string{"1"}, 8, "10Gbps", "20us", "1us",
+				"islip", "hardware", "switch", 0.4, "1ms", 1)
+		}},
+		{"bad value for load", func() error {
+			return run("load", []string{"heavy"}, 8, "10Gbps", "20us", "1us",
+				"islip", "hardware", "switch", 0.4, "1ms", 1)
+		}},
+		{"bad rate", func() error {
+			return run("load", []string{"0.5"}, 8, "lots", "20us", "1us",
+				"islip", "hardware", "switch", 0.4, "1ms", 1)
+		}},
+		{"bad duration", func() error {
+			return run("load", []string{"0.5"}, 8, "10Gbps", "20us", "1us",
+				"islip", "hardware", "switch", 0.4, "later", 1)
+		}},
+	}
+	for _, c := range cases {
+		if err := c.call(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// c-Through-style operation: the slow-scheduling regime of Figure 1.
+// Packets are buffered at the *hosts* (c-Through enlarged socket buffers
+// precisely because the ToR could not hold a reconfiguration's worth of
+// data), a software scheduler polls demand and computes an optimal
+// max-weight matching, and grants release host traffic onto
+// millisecond-class circuits.
+//
+// Contrast with the hardware/switch-buffered run of the same workload: the
+// point of the paper is the three-orders-of-magnitude gap in both latency
+// and buffering placement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hybridsched"
+	"hybridsched/internal/report"
+	"hybridsched/internal/sched"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+func run(regime string) (hybridsched.Metrics, error) {
+	ports := 16
+	cfg := hybridsched.FabricConfig{
+		Ports:     ports,
+		LineRate:  10 * units.Gbps,
+		LinkDelay: 2 * units.Microsecond, // rack-scale control distance
+		Algorithm: "hungarian",           // c-Through solves max-weight exactly
+	}
+	switch regime {
+	case "c-through (host-buffered, software, ms optics)":
+		cfg.Buffer = hybridsched.BufferAtHost
+		cfg.Timing = sched.DefaultSoftware()
+		cfg.Slot = 3 * units.Millisecond // amortize the ms-scale loop
+		cfg.ReconfigTime = units.Millisecond
+	case "hardware (switch-buffered, us optics)":
+		cfg.Buffer = hybridsched.BufferAtSwitch
+		cfg.Timing = sched.DefaultHardware()
+		cfg.Pipelined = true
+		cfg.Slot = 10 * units.Microsecond
+		cfg.ReconfigTime = units.Microsecond
+	}
+	return hybridsched.Scenario{
+		Fabric: cfg,
+		Traffic: hybridsched.TrafficConfig{
+			Ports:         ports,
+			LineRate:      10 * units.Gbps,
+			Load:          0.4,
+			Pattern:       traffic.Hotspot{Frac: 0.6, Spots: 3},
+			Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
+			Process:       traffic.OnOff,
+			BurstMeanPkts: 64,
+			Seed:          7,
+		},
+		Duration: 30 * units.Millisecond,
+		Drain:    1.0,
+	}.Run()
+}
+
+func main() {
+	tab := report.NewTable("c-Through regime vs hardware regime, identical workload",
+		"system", "delivered_frac", "p50_latency", "p99_latency",
+		"peak_host_buf", "peak_switch_buf", "sched_cycles")
+	for _, regime := range []string{
+		"c-through (host-buffered, software, ms optics)",
+		"hardware (switch-buffered, us optics)",
+	} {
+		m, err := run(regime)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab.AddRow(regime, m.DeliveredFraction(),
+			units.Duration(m.Latency.P50), units.Duration(m.Latency.P99),
+			m.PeakHostBuffer, m.PeakSwitchBuffer, m.Loop.Cycles)
+	}
+	tab.Render(os.Stdout)
+	fmt.Println("\nreading: same traffic, two worlds. The software loop buffers")
+	fmt.Println("megabytes at hosts and holds packets for milliseconds; the hardware")
+	fmt.Println("loop keeps kilobytes in the ToR and delivers in microseconds —")
+	fmt.Println("Figure 1's two regimes, measured.")
+}

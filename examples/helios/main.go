@@ -1,0 +1,94 @@
+// Helios-style hybrid: greedy largest-demand-first circuits plus an
+// under-provisioned EPS for the residue, evaluated against an EPS-only
+// baseline under skewed bursty traffic — the workload class the hybrid
+// architecture papers (Helios [2], c-Through [5]) were built for.
+//
+// The experiment shows the hybrid's goodput advantage growing with skew,
+// and that the advantage requires a demand-aware scheduler (compare the
+// tdma row).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hybridsched"
+	"hybridsched/internal/classify"
+	"hybridsched/internal/report"
+	"hybridsched/internal/sched"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+func run(name, algorithm string, epsOnly bool, skew float64) (hybridsched.Metrics, error) {
+	ports := 16
+	cfg := hybridsched.FabricConfig{
+		Ports:        ports,
+		LineRate:     10 * units.Gbps,
+		LinkDelay:    500 * units.Nanosecond,
+		Slot:         10 * units.Microsecond,
+		ReconfigTime: 1 * units.Microsecond,
+		Algorithm:    algorithm,
+		Timing:       sched.DefaultHardware(),
+		Pipelined:    true,
+		EnableEPS:    true,
+		// Aged residue (circuits never scheduled it) rides the EPS.
+		ResidualTimeout: 200 * units.Microsecond,
+	}
+	if epsOnly {
+		cfg.Rules = []classify.Rule{{
+			Priority: 1, Src: classify.Any, Dst: classify.Any, Class: classify.Any,
+			Action: classify.Action{Hint: classify.EPSOnly},
+		}}
+	}
+	var pattern traffic.Pattern = traffic.Uniform{}
+	if skew > 0 {
+		pattern = traffic.Hotspot{Frac: skew, Spots: 2}
+	}
+	return hybridsched.Scenario{
+		Fabric: cfg,
+		Traffic: hybridsched.TrafficConfig{
+			Ports:         ports,
+			LineRate:      10 * units.Gbps,
+			Load:          0.6,
+			Pattern:       pattern,
+			Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
+			Process:       traffic.OnOff,
+			BurstMeanPkts: 32,
+			Seed:          99,
+		},
+		Duration: 8 * units.Millisecond,
+	}.Run()
+}
+
+func main() {
+	tab := report.NewTable(
+		"Helios-style hybrid vs EPS-only (load 0.6, ON/OFF bursts, EPS at 1 Gbps/port)",
+		"skew", "system", "delivered_frac", "ocs_share", "p99_latency")
+	for _, skew := range []float64{0, 0.5, 0.9} {
+		for _, sys := range []struct {
+			name, alg string
+			epsOnly   bool
+		}{
+			{"eps-only", "greedy", true},
+			{"tdma-hybrid", "tdma", false},
+			{"helios-greedy", "greedy", false},
+		} {
+			m, err := run(sys.name, sys.alg, sys.epsOnly, skew)
+			if err != nil {
+				log.Fatal(err)
+			}
+			share := 0.0
+			if m.DeliveredBits > 0 {
+				share = float64(m.OCS.BitsDelivered) / float64(m.DeliveredBits)
+			}
+			tab.AddRow(skew, sys.name, m.DeliveredFraction(), share,
+				units.Duration(m.Latency.P99))
+		}
+	}
+	tab.Render(os.Stdout)
+	fmt.Println("\nreading: the greedy hybrid holds goodput as skew rises because the")
+	fmt.Println("largest-demand-first matching keeps circuits on the hot pairs; the")
+	fmt.Println("EPS-only switch is capped by its 10x-thinner electrical capacity.")
+}

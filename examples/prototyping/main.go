@@ -1,0 +1,190 @@
+// Prototyping: the paper's whole point is "a framework for rapid
+// prototyping and assessment of new hardware-based scheduling algorithms"
+// where "the users implement novel design in the scheduling logic module".
+// This example does exactly that against the platform contract:
+//
+//  1. implement a new matching algorithm (a longest-queue-first arbiter),
+//  2. register it with the scheduling-logic registry,
+//  3. bring up the emulated NetFPGA-style device through its register
+//     file, select the new algorithm by register write,
+//  4. drive traffic and read the counters back — then A/B it against
+//     iSLIP on the same workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/match"
+	"hybridsched/internal/packet"
+	"hybridsched/internal/platform"
+	"hybridsched/internal/report"
+	"hybridsched/internal/rng"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+// lqf is the user's novel scheduling logic: a longest-queue-first maximal
+// matching. Each output picks the input with the deepest VOQ; conflicts
+// resolve by depth. Simple, stateless, and plausible in hardware (parallel
+// max-trees, depth ~ 2 log n).
+type lqf struct{ n int }
+
+func (l *lqf) Name() string { return "lqf" }
+func (l *lqf) Reset()       {}
+
+func (l *lqf) Complexity(n int) match.Complexity {
+	return match.Complexity{HardwareDepth: 2 * log2(n), SoftwareOps: n * n}
+}
+
+func log2(n int) int {
+	k, v := 0, 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	if k == 0 {
+		return 1
+	}
+	return k
+}
+
+func (l *lqf) Schedule(d *demand.Matrix) match.Matching {
+	m := match.NewMatching(l.n)
+	inUsed := make([]bool, l.n)
+	// Outputs claim inputs in order of their deepest request; iterate a
+	// few rounds to make the matching maximal.
+	for round := 0; round < l.n; round++ {
+		progress := false
+		for j := 0; j < l.n; j++ {
+			taken := false
+			for i := 0; i < l.n; i++ {
+				if m[i] == j {
+					taken = true
+				}
+			}
+			if taken {
+				continue
+			}
+			bestI, bestV := -1, int64(0)
+			for i := 0; i < l.n; i++ {
+				if !inUsed[i] && d.At(i, j) > bestV {
+					bestI, bestV = i, d.At(i, j)
+				}
+			}
+			if bestI >= 0 {
+				m[bestI] = j
+				inUsed[bestI] = true
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return m
+}
+
+// register the user design in the scheduling-logic slot.
+func init() {
+	match.Register("lqf", func(n int, _ uint64) match.Algorithm { return &lqf{n: n} })
+}
+
+// bringUp programs a device for the given algorithm and runs a skewed
+// workload through it.
+func bringUp(algorithm string) (delivered, drops, cycles uint32, err error) {
+	s := sim.New()
+	dev := platform.NewDevice(s)
+
+	// Register-level bring-up, exactly as a driver would do it.
+	w := func(addr, v uint32) {
+		if err == nil {
+			err = dev.Write32(addr, v)
+		}
+	}
+	w(platform.RegPorts, 16)
+	w(platform.RegLineMbps, 10_000)
+	w(platform.RegSlotNs, 10_000)  // 10 us slots
+	w(platform.RegReconfNs, 1_000) // 1 us optics
+	idx := -1
+	for i, n := range platform.AlgorithmNames() {
+		if n == algorithm {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0, 0, 0, fmt.Errorf("algorithm %q not registered", algorithm)
+	}
+	w(platform.RegAlgorithm, uint32(idx))
+	w(platform.RegControl, platform.CtrlStart|platform.CtrlPipelined)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	gen, err := traffic.New(traffic.Config{
+		Ports:         16,
+		LineRate:      10 * units.Gbps,
+		Load:          0.6,
+		Pattern:       traffic.Hotspot{Frac: 0.6, Spots: 3},
+		Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
+		Process:       traffic.OnOff,
+		BurstMeanPkts: 32,
+		Until:         units.Time(8 * units.Millisecond),
+		Seed:          3,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	gen.Start(s, func(p *packet.Packet) {
+		if err := dev.Inject(p); err != nil {
+			log.Fatal(err)
+		}
+	})
+	s.RunUntil(units.Time(12 * units.Millisecond))
+	dev.Stop()
+
+	r := func(addr uint32) uint32 {
+		v, rerr := dev.Read32(addr)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		return v
+	}
+	return r(platform.RegDelivered), r(platform.RegDropped), r(platform.RegCycles), nil
+}
+
+func main() {
+	// Sanity-check the user algorithm standalone before deploying it.
+	r := rng.New(1)
+	probe := &lqf{n: 8}
+	d := demand.NewMatrix(8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i != j {
+				d.Set(i, j, int64(r.Intn(1000)))
+			}
+		}
+	}
+	m := probe.Schedule(d)
+	if err := m.Validate(); err != nil {
+		log.Fatalf("lqf produced an invalid matching: %v", err)
+	}
+	fmt.Printf("unit probe: lqf matched %d/8 ports on random demand, valid matching\n\n", m.Size())
+
+	tab := report.NewTable("A/B on the emulated platform (16 ports, skewed ON/OFF, load 0.6)",
+		"scheduling logic", "delivered", "dropped", "scheduler_cycles")
+	for _, alg := range []string{"lqf", "islip"} {
+		delivered, drops, cycles, err := bringUp(alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab.AddRow(alg, delivered, drops, cycles)
+	}
+	tab.Render(os.Stdout)
+	fmt.Println("\nreading: a new scheduler went from idea to measured A/B without")
+	fmt.Println("touching the infrastructure partitions — the framework contract the")
+	fmt.Println("paper proposes.")
+}

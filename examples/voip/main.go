@@ -1,0 +1,91 @@
+// VOIP/QoE: the paper's §2 warns that slow scheduling "can increase the
+// overall traffic latency and jitter of widely used applications (i.e.,
+// VOIP, multiuser gaming etc.) and decrease the user quality of
+// experience". This example measures exactly that: small
+// latency-sensitive flows sharing the switch with bulk traffic, under a
+// fast hardware scheduler and a slow software scheduler.
+//
+// The classifier pins the latency-sensitive class to the EPS (the hybrid
+// design's escape hatch) in both cases; the remaining gap is what the
+// bulk traffic's circuit scheduling does to everyone else — and what the
+// mice suffer when there is no EPS at all.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hybridsched"
+	"hybridsched/internal/report"
+	"hybridsched/internal/sched"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+func run(timing sched.TimingModel, pipelined bool, slot, reconfig units.Duration,
+	withEPS bool) (hybridsched.Metrics, error) {
+	ports := 16
+	return hybridsched.Scenario{
+		Fabric: hybridsched.FabricConfig{
+			Ports:        ports,
+			LineRate:     10 * units.Gbps,
+			LinkDelay:    500 * units.Nanosecond,
+			Slot:         slot,
+			ReconfigTime: reconfig,
+			Algorithm:    "islip",
+			Timing:       timing,
+			Pipelined:    pipelined,
+			EnableEPS:    withEPS, // installs the elephant-threshold rules
+		},
+		Traffic: hybridsched.TrafficConfig{
+			Ports:                ports,
+			LineRate:             10 * units.Gbps,
+			Load:                 0.5,
+			Pattern:              traffic.Uniform{},
+			Sizes:                traffic.TrimodalInternet{},
+			LatencySensitiveFrac: 0.15, // the VOIP/gaming share
+			Seed:                 13,
+		},
+		Duration: 10 * units.Millisecond,
+	}.Run()
+}
+
+func main() {
+	type variant struct {
+		name      string
+		timing    sched.TimingModel
+		pipelined bool
+		slot      units.Duration
+		reconfig  units.Duration
+		eps       bool
+	}
+	variants := []variant{
+		{"hardware + EPS", sched.DefaultHardware(), true,
+			10 * units.Microsecond, 200 * units.Nanosecond, true},
+		{"hardware, no EPS", sched.DefaultHardware(), true,
+			10 * units.Microsecond, 200 * units.Nanosecond, false},
+		{"software + EPS", sched.DefaultSoftware(), false,
+			300 * units.Microsecond, 100 * units.Microsecond, true},
+		{"software, no EPS", sched.DefaultSoftware(), false,
+			300 * units.Microsecond, 100 * units.Microsecond, false},
+	}
+	tab := report.NewTable("VOIP-class flow delay (15% latency-sensitive, load 0.5)",
+		"system", "mice_p50", "mice_p99", "jitter(p99-p50)", "bulk_p50")
+	for _, v := range variants {
+		m, err := run(v.timing, v.pipelined, v.slot, v.reconfig, v.eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab.AddRow(v.name,
+			units.Duration(m.LatencyMice.P50),
+			units.Duration(m.LatencyMice.P99),
+			units.Duration(m.LatencyMice.P99-m.LatencyMice.P50),
+			units.Duration(m.Latency.P50))
+	}
+	tab.Render(os.Stdout)
+	fmt.Println("\nreading: a one-way VOIP budget is ~150 ms end-to-end, but per-switch")
+	fmt.Println("budgets in the datacenter are tens of microseconds. The software")
+	fmt.Println("scheduler without an EPS blows the mice's delay and jitter by orders")
+	fmt.Println("of magnitude; the hardware scheduler keeps even bulk traffic inside it.")
+}

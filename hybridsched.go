@@ -1,0 +1,106 @@
+// Package hybridsched is a simulation framework for prototyping and
+// evaluating schedulers for hybrid electrical/optical data-center
+// switches, reproducing "Extreme data-rate scheduling for the Data Center"
+// (Manihatty-Bojan, Zilberman, Antichi, Moore — SIGCOMM 2015).
+//
+// The paper argues that millisecond-scale software schedulers cannot drive
+// fast optical circuit switches, and proposes a hardware framework split
+// into processing logic (classification + VOQs), scheduling logic
+// (pluggable algorithms) and switching logic (OCS + EPS). This module
+// builds that entire framework on a picosecond discrete-event simulator:
+//
+//   - internal/match    — the pluggable scheduling algorithms (iSLIP, PIM,
+//     wavefront, TDMA, greedy, Hungarian, BvN/max-min decompositions)
+//   - internal/sched    — the scheduling loop with hardware and software
+//     timing models (the ns-vs-ms comparison at the paper's core)
+//   - internal/fabric   — the assembled hybrid switch of Figure 2
+//   - internal/platform — the NetFPGA-style register/plug-in contract
+//
+// This root package is the high-level entry point: describe a Scenario
+// (fabric + workload + duration) and Run it to metrics. The examples/
+// directory shows the API on the paper's motivating workloads, and
+// bench_test.go regenerates every figure and claim (see EXPERIMENTS.md).
+package hybridsched
+
+import (
+	"fmt"
+
+	"hybridsched/internal/fabric"
+	"hybridsched/internal/match"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+// Re-exported types, so downstream code can drive scenarios without
+// importing internal packages directly.
+type (
+	// FabricConfig configures the hybrid switch (ports, rates, slot,
+	// reconfiguration time, algorithm, timing model, buffering regime).
+	FabricConfig = fabric.Config
+	// TrafficConfig configures the workload (load, pattern, sizes,
+	// process).
+	TrafficConfig = traffic.Config
+	// Metrics is the full result set of a run.
+	Metrics = fabric.Metrics
+	// Fabric is the assembled hybrid switch.
+	Fabric = fabric.Fabric
+)
+
+// Buffer placements (Figure 1 regimes).
+const (
+	BufferAtSwitch = fabric.BufferAtSwitch
+	BufferAtHost   = fabric.BufferAtHost
+)
+
+// Algorithms returns the names of all registered scheduling algorithms.
+func Algorithms() []string { return match.Names() }
+
+// Scenario is one complete experiment: a switch configuration, a workload,
+// and how long to run it.
+type Scenario struct {
+	Fabric  FabricConfig
+	Traffic TrafficConfig
+	// Duration is how long traffic is offered. The run continues for
+	// Duration*Drain after the workload stops so queues flush. Drain
+	// defaults to 0.5.
+	Duration units.Duration
+	Drain    float64
+}
+
+// Run builds and executes the scenario, returning the final metrics.
+func (sc Scenario) Run() (Metrics, error) {
+	m, _, err := sc.RunWithFabric()
+	return m, err
+}
+
+// RunWithFabric is Run, additionally returning the fabric for callers that
+// want to inspect component state (tables, estimators) post-run.
+func (sc Scenario) RunWithFabric() (Metrics, *Fabric, error) {
+	if sc.Duration <= 0 {
+		return Metrics{}, nil, fmt.Errorf("hybridsched: Duration must be positive")
+	}
+	drain := sc.Drain
+	if drain == 0 {
+		drain = 0.5
+	}
+	s := sim.New()
+	f, err := fabric.New(s, sc.Fabric)
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	tc := sc.Traffic
+	if tc.Until == 0 {
+		tc.Until = units.Time(sc.Duration)
+	}
+	gen, err := traffic.New(tc)
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	f.Start()
+	gen.Start(s, f.Inject)
+	s.RunUntil(units.Time(sc.Duration))
+	s.RunUntil(units.Time(float64(sc.Duration) * (1 + drain)))
+	f.Stop()
+	return f.Metrics(), f, nil
+}

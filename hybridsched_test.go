@@ -1,0 +1,96 @@
+package hybridsched
+
+import (
+	"testing"
+
+	"hybridsched/internal/sched"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+func demoScenario() Scenario {
+	return Scenario{
+		Fabric: FabricConfig{
+			Ports:        8,
+			LineRate:     10 * units.Gbps,
+			LinkDelay:    500 * units.Nanosecond,
+			Slot:         10 * units.Microsecond,
+			ReconfigTime: units.Microsecond,
+			Algorithm:    "islip",
+			Timing:       sched.DefaultHardware(),
+			Pipelined:    true,
+		},
+		Traffic: TrafficConfig{
+			Ports:    8,
+			LineRate: 10 * units.Gbps,
+			Load:     0.4,
+			Pattern:  traffic.Uniform{},
+			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+			Seed:     1,
+		},
+		Duration: 2 * units.Millisecond,
+	}
+}
+
+func TestScenarioRun(t *testing.T) {
+	m, err := demoScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if f := m.DeliveredFraction(); f < 0.9 {
+		t.Fatalf("delivered fraction %.3f too low", f)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	sc := demoScenario()
+	sc.Duration = 0
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("expected error for zero duration")
+	}
+	sc = demoScenario()
+	sc.Fabric.Ports = 0
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("expected error for bad fabric")
+	}
+	sc = demoScenario()
+	sc.Traffic.Load = 0
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("expected error for bad traffic")
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	m1, err := demoScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := demoScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Delivered != m2.Delivered || m1.DeliveredBits != m2.DeliveredBits ||
+		m1.Latency.P99 != m2.Latency.P99 || m1.OCS.Configures != m2.OCS.Configures {
+		t.Fatalf("scenario not reproducible:\n%+v\nvs\n%+v", m1, m2)
+	}
+}
+
+func TestRunWithFabricExposesComponents(t *testing.T) {
+	_, f, err := demoScenario().RunWithFabric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil || f.Table() == nil {
+		t.Fatal("fabric not exposed")
+	}
+}
+
+func TestAlgorithmsListed(t *testing.T) {
+	names := Algorithms()
+	if len(names) < 6 {
+		t.Fatalf("algorithms = %v", names)
+	}
+}

@@ -1,0 +1,147 @@
+// Package buffermodel provides the closed-form arithmetic behind Figure 1
+// and the paper's in-text buffering claims ("a 64x64 input-queued switch
+// (operating at a rate of 10 Gbps per port) with a millisecond switching
+// time results in approximately gigabytes of buffering memory requirement
+// ... a nanosecond switching time requires only kilobytes").
+//
+// The model is deliberately simple — it is the same back-of-envelope the
+// paper makes — and the simulation experiments cross-check it: during a
+// reconfiguration of length T no port can transmit, so every port
+// accumulates up to rate*T*load bits, and a sustained burst multiplies
+// that by the number of blocked slots a queue waits before being served.
+package buffermodel
+
+import (
+	"hybridsched/internal/units"
+)
+
+// Params describe the switching infrastructure of Figure 1.
+type Params struct {
+	Ports    int
+	PortRate units.BitRate
+	// SwitchingTime is the OCS reconfiguration dead-time.
+	SwitchingTime units.Duration
+	// Load is the offered load fraction during the buffering interval
+	// (Figure 1 is drawn for sustained bursts: load 1).
+	Load float64
+	// ServiceSlots is how many reconfiguration periods a queue waits
+	// before its turn comes (1 = served immediately after the next
+	// reconfiguration; n-1 = TDMA round over all peers).
+	ServiceSlots int
+}
+
+// Defaults64x10G returns the paper's example configuration: 64 ports at
+// 10 Gbps, sustained bursts, served after one reconfiguration.
+func Defaults64x10G(switching units.Duration) Params {
+	return Params{
+		Ports:         64,
+		PortRate:      10 * units.Gbps,
+		SwitchingTime: switching,
+		Load:          1.0,
+		ServiceSlots:  1,
+	}
+}
+
+// PerPortBuffer returns the buffering one port needs to absorb arrivals
+// during the scheduling/switching blackout.
+func (p Params) PerPortBuffer() units.Size {
+	if p.SwitchingTime <= 0 || p.Load <= 0 {
+		return 0
+	}
+	slots := p.ServiceSlots
+	if slots < 1 {
+		slots = 1
+	}
+	blackout := units.Duration(int64(p.SwitchingTime) * int64(slots))
+	bits := units.TransferSize(p.PortRate, blackout)
+	return units.Size(float64(bits) * p.Load)
+}
+
+// AggregateBuffer returns the switch-wide (or fleet-wide, in the host
+// regime) buffering requirement: every port accumulates simultaneously.
+func (p Params) AggregateBuffer() units.Size {
+	return units.Size(p.Ports) * p.PerPortBuffer()
+}
+
+// Placement says where Figure 1 puts the buffer for a given requirement,
+// given the memory a ToR switch can realistically dedicate.
+type Placement uint8
+
+// Placement values.
+const (
+	// SwitchBuffered: the requirement fits in ToR memory (fast
+	// scheduling, bottom of Figure 1).
+	SwitchBuffered Placement = iota
+	// HostBuffered: the requirement exceeds ToR memory, so packets must
+	// wait at hosts (slow scheduling, top of Figure 1).
+	HostBuffered
+)
+
+func (p Placement) String() string {
+	if p == HostBuffered {
+		return "host-buffered"
+	}
+	return "switch-buffered"
+}
+
+// TypicalToRMemory is the order of packet memory in a merchant-silicon ToR
+// of the paper's era (tens of MB; e.g. Trident II carried 12 MB).
+const TypicalToRMemory = 16 * units.Megabyte
+
+// PlacementFor returns where the buffer must live given available ToR
+// packet memory.
+func (p Params) PlacementFor(torMemory units.Size) Placement {
+	if p.AggregateBuffer() <= torMemory {
+		return SwitchBuffered
+	}
+	return HostBuffered
+}
+
+// Point is one sample of the Figure 1 curve.
+type Point struct {
+	SwitchingTime units.Duration
+	PerPort       units.Size
+	Aggregate     units.Size
+	Placement     Placement
+}
+
+// Sweep evaluates the model across switching times, producing the Figure 1
+// curve.
+func Sweep(base Params, times []units.Duration, torMemory units.Size) []Point {
+	out := make([]Point, 0, len(times))
+	for _, st := range times {
+		p := base
+		p.SwitchingTime = st
+		out = append(out, Point{
+			SwitchingTime: st,
+			PerPort:       p.PerPortBuffer(),
+			Aggregate:     p.AggregateBuffer(),
+			Placement:     p.PlacementFor(torMemory),
+		})
+	}
+	return out
+}
+
+// DefaultSweepTimes returns the log-spaced switching times of Figure 1:
+// 1 ns to 10 ms, decade steps with a 1-2-5 pattern.
+func DefaultSweepTimes() []units.Duration {
+	var out []units.Duration
+	for _, base := range []units.Duration{units.Nanosecond, units.Microsecond} {
+		for _, m := range []int64{1, 2, 5, 10, 20, 50, 100, 200, 500} {
+			out = append(out, units.Duration(m)*base)
+		}
+	}
+	for _, m := range []int64{1, 2, 5, 10} {
+		out = append(out, units.Duration(m)*units.Millisecond)
+	}
+	// Deduplicate the decade overlaps (e.g. 1000 ns vs 1 us).
+	seen := map[units.Duration]bool{}
+	uniq := out[:0]
+	for _, d := range out {
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	return uniq
+}

@@ -1,0 +1,134 @@
+package buffermodel
+
+import (
+	"testing"
+
+	"hybridsched/internal/units"
+)
+
+func TestPaperClaimMillisecondNeedsGigabytes(t *testing.T) {
+	// "a 64x64 input-queued switch (operating at a rate of 10 Gbps per
+	// port) with a millisecond switching time results in approximately
+	// gigabytes of buffering memory requirement" — with a TDMA-style
+	// round over peers (ServiceSlots up to n-1) the aggregate crosses
+	// 1 GB comfortably; even served-next it is ~80 MB and a handful of
+	// blocked slots reaches GBs.
+	p := Defaults64x10G(units.Millisecond)
+	perPort := p.PerPortBuffer()
+	// One port, one blackout: 10 Gbps * 1 ms = 1.25 MB.
+	if perPort != units.Size(10_000_000) {
+		t.Fatalf("per-port = %v bits, want 10Mb", int64(perPort))
+	}
+	agg := p.AggregateBuffer()
+	if agg.Bytes() < 50e6 {
+		t.Fatalf("aggregate %v too small", agg)
+	}
+	p.ServiceSlots = 16 // a realistic contention round
+	if p.AggregateBuffer().Bytes() < 1e9 {
+		t.Fatalf("with contention the requirement must reach GBs, got %v",
+			p.AggregateBuffer())
+	}
+}
+
+func TestPaperClaimNanosecondNeedsKilobytes(t *testing.T) {
+	// "a nanosecond switching time requires only kilobytes".
+	p := Defaults64x10G(units.Nanosecond)
+	p.ServiceSlots = 16
+	agg := p.AggregateBuffer()
+	if agg.Bytes() > 10e3 {
+		t.Fatalf("aggregate %v should be kilobytes", agg)
+	}
+	if agg <= 0 {
+		t.Fatal("must be positive")
+	}
+}
+
+func TestMonotoneInSwitchingTime(t *testing.T) {
+	prev := units.Size(-1)
+	for _, st := range DefaultSweepTimes() {
+		p := Defaults64x10G(st)
+		b := p.AggregateBuffer()
+		if b < prev {
+			t.Fatalf("buffer requirement not monotone at %v", st)
+		}
+		prev = b
+	}
+}
+
+func TestLoadScalesLinearly(t *testing.T) {
+	full := Defaults64x10G(units.Microsecond)
+	half := full
+	half.Load = 0.5
+	if half.PerPortBuffer()*2 != full.PerPortBuffer() {
+		t.Fatalf("load scaling broken: %v vs %v", half.PerPortBuffer(), full.PerPortBuffer())
+	}
+}
+
+func TestZeroAndNegativeInputs(t *testing.T) {
+	p := Defaults64x10G(0)
+	if p.PerPortBuffer() != 0 || p.AggregateBuffer() != 0 {
+		t.Fatal("zero switching time should need no buffer")
+	}
+	p = Defaults64x10G(units.Microsecond)
+	p.Load = 0
+	if p.PerPortBuffer() != 0 {
+		t.Fatal("zero load should need no buffer")
+	}
+	p = Defaults64x10G(units.Microsecond)
+	p.ServiceSlots = 0 // clamped to 1
+	if p.PerPortBuffer() == 0 {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestPlacementCrossover(t *testing.T) {
+	// With 16 MB of ToR memory, ns switching buffers at the switch and ms
+	// switching is forced to the hosts — the two regimes of Figure 1.
+	fast := Defaults64x10G(units.Nanosecond)
+	if got := fast.PlacementFor(TypicalToRMemory); got != SwitchBuffered {
+		t.Fatalf("ns switching: %v, want switch-buffered", got)
+	}
+	slow := Defaults64x10G(units.Millisecond)
+	if got := slow.PlacementFor(TypicalToRMemory); got != HostBuffered {
+		t.Fatalf("ms switching: %v, want host-buffered", got)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	pts := Sweep(Defaults64x10G(0), DefaultSweepTimes(), TypicalToRMemory)
+	if len(pts) < 20 {
+		t.Fatalf("sweep too coarse: %d points", len(pts))
+	}
+	// There must be exactly one regime crossover, and it must be ordered
+	// switch->host.
+	crossovers := 0
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Placement != pts[i-1].Placement {
+			crossovers++
+			if pts[i-1].Placement != SwitchBuffered {
+				t.Fatal("crossover in wrong direction")
+			}
+		}
+	}
+	if crossovers != 1 {
+		t.Fatalf("crossovers = %d, want 1", crossovers)
+	}
+}
+
+func TestSweepTimesUniqueSorted(t *testing.T) {
+	times := DefaultSweepTimes()
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("sweep times not strictly increasing at %d: %v", i, times[i])
+		}
+	}
+	if times[0] != units.Nanosecond || times[len(times)-1] != 10*units.Millisecond {
+		t.Fatalf("range wrong: %v .. %v", times[0], times[len(times)-1])
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if SwitchBuffered.String() != "switch-buffered" || HostBuffered.String() != "host-buffered" {
+		t.Fatal("strings wrong")
+	}
+}

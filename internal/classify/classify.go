@@ -1,0 +1,178 @@
+// Package classify implements the processing logic's configurable look-up
+// table: the paper's "packets are classified into flows based on
+// configurable look-up rules and placed into their respective Virtual
+// Output Queue".
+//
+// Rules match on (src, dst, class, size range) with wildcards and yield an
+// Action: which fabric the flow may use (EPS-only, OCS-eligible, or
+// auto/scheduler's choice), a drop bit, and a priority. Highest-priority
+// matching rule wins; ties break to the earliest-installed rule, which is
+// how TCAMs resolve same-priority overlap.
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridsched/internal/packet"
+	"hybridsched/internal/units"
+)
+
+// Any is the wildcard for port and class match fields.
+const Any = -1
+
+// PathHint tells the scheduler which fabric a flow may use.
+type PathHint uint8
+
+// PathHint values.
+const (
+	Auto    PathHint = iota // scheduler decides (default)
+	EPSOnly                 // must use the packet switch (e.g. latency-sensitive)
+	OCSOnly                 // must wait for a circuit (e.g. known bulk transfer)
+)
+
+func (h PathHint) String() string {
+	switch h {
+	case EPSOnly:
+		return "eps-only"
+	case OCSOnly:
+		return "ocs-only"
+	default:
+		return "auto"
+	}
+}
+
+// Action is the result of a classification.
+type Action struct {
+	Hint     PathHint
+	Drop     bool
+	Priority uint8 // larger = more urgent; used by the EPS output queues
+}
+
+// Rule is one look-up entry.
+type Rule struct {
+	ID       int // assigned by the table
+	Priority int // larger matches first
+	Src      int // port or Any
+	Dst      int // port or Any
+	Class    int // packet.Class or Any
+	MinSize  units.Size
+	MaxSize  units.Size // 0 means unbounded
+	Action   Action
+}
+
+// Matches reports whether the rule matches p.
+func (r *Rule) Matches(p *packet.Packet) bool {
+	if r.Src != Any && packet.Port(r.Src) != p.Src {
+		return false
+	}
+	if r.Dst != Any && packet.Port(r.Dst) != p.Dst {
+		return false
+	}
+	if r.Class != Any && packet.Class(r.Class) != p.Class {
+		return false
+	}
+	if p.Size < r.MinSize {
+		return false
+	}
+	if r.MaxSize > 0 && p.Size > r.MaxSize {
+		return false
+	}
+	return true
+}
+
+// Table is an ordered look-up table. The zero value is an empty table whose
+// default action is {Auto, no drop, priority 0}.
+type Table struct {
+	rules   []Rule // sorted: higher Priority first, then lower ID first
+	nextID  int
+	def     Action
+	lookups int64
+	misses  int64
+}
+
+// New returns an empty table with the given default action.
+func New(def Action) *Table { return &Table{def: def} }
+
+// SetDefault replaces the default (miss) action.
+func (t *Table) SetDefault(a Action) { t.def = a }
+
+// Add installs a rule and returns its assigned ID.
+func (t *Table) Add(r Rule) int {
+	r.ID = t.nextID
+	t.nextID++
+	t.rules = append(t.rules, r)
+	sort.SliceStable(t.rules, func(i, j int) bool {
+		if t.rules[i].Priority != t.rules[j].Priority {
+			return t.rules[i].Priority > t.rules[j].Priority
+		}
+		return t.rules[i].ID < t.rules[j].ID
+	})
+	return r.ID
+}
+
+// Remove deletes the rule with the given ID. It returns an error if no such
+// rule exists.
+func (t *Table) Remove(id int) error {
+	for i := range t.rules {
+		if t.rules[i].ID == id {
+			t.rules = append(t.rules[:i], t.rules[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("classify: no rule with id %d", id)
+}
+
+// Len returns the number of installed rules.
+func (t *Table) Len() int { return len(t.rules) }
+
+// Rules returns a copy of the installed rules in match order.
+func (t *Table) Rules() []Rule {
+	out := make([]Rule, len(t.rules))
+	copy(out, t.rules)
+	return out
+}
+
+// Classify returns the action for p: the highest-priority matching rule's
+// action, or the default action on a miss.
+func (t *Table) Classify(p *packet.Packet) Action {
+	t.lookups++
+	for i := range t.rules {
+		if t.rules[i].Matches(p) {
+			return t.rules[i].Action
+		}
+	}
+	t.misses++
+	return t.def
+}
+
+// Stats returns (lookups, misses) since creation.
+func (t *Table) Stats() (lookups, misses int64) { return t.lookups, t.misses }
+
+// ElephantThresholdRules returns the classic hybrid-switch configuration:
+// frames of minSize bits or larger are OCS-eligible bulk, smaller frames
+// and the latency-sensitive class stay on the EPS. This mirrors the
+// Helios/c-Through policy of offloading long bursts to circuits.
+func ElephantThresholdRules(minSize units.Size) []Rule {
+	return []Rule{
+		{
+			Priority: 100,
+			Src:      Any, Dst: Any,
+			Class:  int(packet.ClassLatencySensitive),
+			Action: Action{Hint: EPSOnly, Priority: 2},
+		},
+		{
+			Priority: 50,
+			Src:      Any, Dst: Any,
+			Class:   Any,
+			MinSize: minSize,
+			Action:  Action{Hint: Auto, Priority: 0},
+		},
+		{
+			Priority: 10,
+			Src:      Any, Dst: Any,
+			Class:  Any,
+			Action: Action{Hint: EPSOnly, Priority: 1},
+		},
+	}
+}

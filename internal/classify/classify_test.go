@@ -1,0 +1,192 @@
+package classify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridsched/internal/packet"
+	"hybridsched/internal/rng"
+	"hybridsched/internal/units"
+)
+
+func pkt(src, dst packet.Port, class packet.Class, size units.Size) *packet.Packet {
+	return &packet.Packet{Src: src, Dst: dst, Class: class, Size: size}
+}
+
+func TestDefaultOnEmptyTable(t *testing.T) {
+	tab := New(Action{Hint: EPSOnly, Priority: 7})
+	a := tab.Classify(pkt(0, 1, packet.ClassBestEffort, 64*units.Byte))
+	if a.Hint != EPSOnly || a.Priority != 7 {
+		t.Fatalf("got %+v", a)
+	}
+	lookups, misses := tab.Stats()
+	if lookups != 1 || misses != 1 {
+		t.Fatalf("stats = %d, %d", lookups, misses)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	tab := New(Action{})
+	tab.Add(Rule{Priority: 1, Src: Any, Dst: Any, Class: Any, Action: Action{Priority: 1}})
+	tab.Add(Rule{Priority: 9, Src: Any, Dst: Any, Class: Any, Action: Action{Priority: 9}})
+	a := tab.Classify(pkt(0, 1, 0, 64*units.Byte))
+	if a.Priority != 9 {
+		t.Fatalf("highest-priority rule should win, got %+v", a)
+	}
+}
+
+func TestTieBreaksToEarliestInstalled(t *testing.T) {
+	tab := New(Action{})
+	tab.Add(Rule{Priority: 5, Src: Any, Dst: Any, Class: Any, Action: Action{Priority: 1}})
+	tab.Add(Rule{Priority: 5, Src: Any, Dst: Any, Class: Any, Action: Action{Priority: 2}})
+	a := tab.Classify(pkt(0, 1, 0, 64*units.Byte))
+	if a.Priority != 1 {
+		t.Fatalf("earliest-installed rule should win ties, got %+v", a)
+	}
+}
+
+func TestFieldMatching(t *testing.T) {
+	tab := New(Action{})
+	tab.Add(Rule{Priority: 5, Src: 3, Dst: Any, Class: Any, Action: Action{Drop: true}})
+	if !tab.Classify(pkt(3, 1, 0, 64*units.Byte)).Drop {
+		t.Fatal("src match failed")
+	}
+	if tab.Classify(pkt(4, 1, 0, 64*units.Byte)).Drop {
+		t.Fatal("src mismatch matched")
+	}
+
+	tab2 := New(Action{})
+	tab2.Add(Rule{Priority: 5, Src: Any, Dst: 7, Class: Any, Action: Action{Drop: true}})
+	if !tab2.Classify(pkt(0, 7, 0, 64*units.Byte)).Drop {
+		t.Fatal("dst match failed")
+	}
+	if tab2.Classify(pkt(0, 8, 0, 64*units.Byte)).Drop {
+		t.Fatal("dst mismatch matched")
+	}
+
+	tab3 := New(Action{})
+	tab3.Add(Rule{Priority: 5, Src: Any, Dst: Any,
+		Class: int(packet.ClassBulk), Action: Action{Drop: true}})
+	if !tab3.Classify(pkt(0, 1, packet.ClassBulk, 64*units.Byte)).Drop {
+		t.Fatal("class match failed")
+	}
+	if tab3.Classify(pkt(0, 1, packet.ClassBestEffort, 64*units.Byte)).Drop {
+		t.Fatal("class mismatch matched")
+	}
+}
+
+func TestSizeRange(t *testing.T) {
+	tab := New(Action{})
+	tab.Add(Rule{Priority: 5, Src: Any, Dst: Any, Class: Any,
+		MinSize: 1000 * units.Byte, MaxSize: 2000 * units.Byte,
+		Action: Action{Drop: true}})
+	if tab.Classify(pkt(0, 1, 0, 999*units.Byte)).Drop {
+		t.Fatal("below MinSize matched")
+	}
+	if !tab.Classify(pkt(0, 1, 0, 1000*units.Byte)).Drop {
+		t.Fatal("at MinSize should match")
+	}
+	if !tab.Classify(pkt(0, 1, 0, 2000*units.Byte)).Drop {
+		t.Fatal("at MaxSize should match")
+	}
+	if tab.Classify(pkt(0, 1, 0, 2001*units.Byte)).Drop {
+		t.Fatal("above MaxSize matched")
+	}
+}
+
+func TestZeroMaxSizeIsUnbounded(t *testing.T) {
+	tab := New(Action{})
+	tab.Add(Rule{Priority: 5, Src: Any, Dst: Any, Class: Any,
+		MinSize: units.Byte, Action: Action{Drop: true}})
+	if !tab.Classify(pkt(0, 1, 0, packet.MaxFrame)).Drop {
+		t.Fatal("unbounded MaxSize should match jumbo frame")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tab := New(Action{})
+	id := tab.Add(Rule{Priority: 5, Src: Any, Dst: Any, Class: Any, Action: Action{Drop: true}})
+	if tab.Len() != 1 {
+		t.Fatal("add failed")
+	}
+	if err := tab.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 0 {
+		t.Fatal("remove failed")
+	}
+	if err := tab.Remove(id); err == nil {
+		t.Fatal("expected error removing absent rule")
+	}
+	if tab.Classify(pkt(0, 1, 0, 64*units.Byte)).Drop {
+		t.Fatal("removed rule still matching")
+	}
+}
+
+func TestRulesReturnsCopy(t *testing.T) {
+	tab := New(Action{})
+	tab.Add(Rule{Priority: 5, Src: Any, Dst: Any, Class: Any})
+	rules := tab.Rules()
+	rules[0].Priority = 999
+	if tab.Rules()[0].Priority == 999 {
+		t.Fatal("Rules exposed internal state")
+	}
+}
+
+func TestElephantThresholdRules(t *testing.T) {
+	tab := New(Action{})
+	for _, r := range ElephantThresholdRules(1500 * units.Byte) {
+		tab.Add(r)
+	}
+	// Latency-sensitive always EPS, regardless of size.
+	a := tab.Classify(pkt(0, 1, packet.ClassLatencySensitive, 9000*units.Byte))
+	if a.Hint != EPSOnly {
+		t.Fatalf("latency-sensitive jumbo got %v, want eps-only", a.Hint)
+	}
+	// Big best-effort frame is OCS-eligible (Auto).
+	a = tab.Classify(pkt(0, 1, packet.ClassBestEffort, 1500*units.Byte))
+	if a.Hint != Auto {
+		t.Fatalf("elephant got %v, want auto", a.Hint)
+	}
+	// Small frame pinned to EPS.
+	a = tab.Classify(pkt(0, 1, packet.ClassBestEffort, 64*units.Byte))
+	if a.Hint != EPSOnly {
+		t.Fatalf("mouse got %v, want eps-only", a.Hint)
+	}
+}
+
+// Property: classification is deterministic and total — every packet gets
+// exactly one action, and repeated classification agrees.
+func TestClassifyDeterministicProperty(t *testing.T) {
+	tab := New(Action{})
+	r := rng.New(4242)
+	for i := 0; i < 32; i++ {
+		rule := Rule{
+			Priority: r.Intn(10),
+			Src:      r.Intn(9) - 1, // -1..7
+			Dst:      r.Intn(9) - 1,
+			Class:    r.Intn(4) - 1,
+			Action:   Action{Priority: uint8(r.Intn(256)), Drop: r.Bool(0.2)},
+		}
+		if r.Bool(0.5) {
+			rule.MinSize = units.Size(r.Intn(3000)) * units.Byte
+		}
+		tab.Add(rule)
+	}
+	f := func(src, dst uint8, class uint8, sizeB uint16) bool {
+		p := pkt(packet.Port(src%8), packet.Port(dst%8),
+			packet.Class(class%3), units.Size(sizeB)*units.Byte)
+		a1 := tab.Classify(p)
+		a2 := tab.Classify(p)
+		return a1 == a2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathHintString(t *testing.T) {
+	if Auto.String() != "auto" || EPSOnly.String() != "eps-only" || OCSOnly.String() != "ocs-only" {
+		t.Fatal("PathHint strings wrong")
+	}
+}

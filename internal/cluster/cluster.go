@@ -1,0 +1,331 @@
+// Package cluster assembles the paper's §3 testbed vision: "a large
+// testbed can be assembled, using tens of processing elements, a
+// centralized scheduling entity and a commercial OCS". Racks of hosts
+// hang off ToR processing elements; intra-rack traffic is switched
+// electrically at the ToR; inter-rack traffic is aggregated into
+// rack-level VOQs and carried over a core optical circuit switch driven
+// by the scheduling loop.
+//
+// The package also realizes the paper's claim that "the proposed
+// architecture has the advantage of supporting both centralized and
+// distributed implementations": in Centralized mode the scheduler sees
+// the full rack-level demand matrix (magnitudes); in Distributed mode
+// each ToR sends only request bits — one bit per destination rack, the
+// control information a distributed request/grant implementation can
+// afford — and the matching algorithm works on that. Comparing the two
+// under skew quantifies what the extra control bandwidth buys.
+package cluster
+
+import (
+	"fmt"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/eps"
+	"hybridsched/internal/match"
+	"hybridsched/internal/packet"
+	"hybridsched/internal/sched"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/stats"
+	"hybridsched/internal/units"
+	"hybridsched/internal/voq"
+)
+
+// Mode selects the scheduling implementation.
+type Mode uint8
+
+// Mode values.
+const (
+	// Centralized: the scheduling entity sees exact rack-pair demand.
+	Centralized Mode = iota
+	// Distributed: ToRs report only request bits (demand presence).
+	Distributed
+)
+
+func (m Mode) String() string {
+	if m == Distributed {
+		return "distributed"
+	}
+	return "centralized"
+}
+
+// Config parameterizes the cluster.
+type Config struct {
+	Racks        int
+	HostsPerRack int
+	// HostRate is the host<->ToR link rate (also the ToR EPS drain rate
+	// per host port).
+	HostRate units.BitRate
+	// UplinkRate is the per-rack circuit rate through the core OCS.
+	UplinkRate units.BitRate
+	// CoreReconfig is the core OCS dead-time.
+	CoreReconfig units.Duration
+	// Slot is the core transmission window per configuration.
+	Slot units.Duration
+	// TransitDelay is the ToR->core->ToR propagation.
+	TransitDelay units.Duration
+	// Algorithm schedules the rack-level matrix.
+	Algorithm string
+	Seed      uint64
+	Timing    sched.TimingModel
+	Pipelined bool
+	Mode      Mode
+}
+
+func (c *Config) validate() error {
+	if c.Racks < 2 {
+		return fmt.Errorf("cluster: need at least 2 racks")
+	}
+	if c.HostsPerRack < 1 {
+		return fmt.Errorf("cluster: need at least 1 host per rack")
+	}
+	if c.HostRate <= 0 || c.UplinkRate <= 0 {
+		return fmt.Errorf("cluster: rates must be positive")
+	}
+	if c.Slot <= 0 {
+		return fmt.Errorf("cluster: Slot must be positive")
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = "greedy"
+	}
+	if c.Timing == nil {
+		return fmt.Errorf("cluster: Timing model is required")
+	}
+	return nil
+}
+
+// Cluster is the assembled testbed. Create with New.
+type Cluster struct {
+	sim *sim.Simulator
+	cfg Config
+
+	tors []*eps.Switch // per-rack electrical switch (intra + delivery)
+	// interVOQ[src][dst] aggregates inter-rack traffic at the source ToR.
+	interVOQ [][]*voq.Queue
+	loop     *sched.Loop
+
+	circuits   match.Matching // current core circuits (rack -> rack)
+	reconfig   bool
+	epoch      uint64
+	uplinkBusy []units.Time
+	configures stats.Counter
+	deadTime   units.Duration
+
+	injected       stats.Counter
+	deliveredIntra stats.Counter
+	deliveredInter stats.Counter
+	bitsInter      stats.Counter
+	truncated      stats.Counter
+	latIntra       stats.Histogram
+	latInter       stats.Histogram
+	peakInterBits  units.Size
+	curInterBits   units.Size
+}
+
+// New assembles a cluster.
+func New(s *sim.Simulator, cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	alg, err := match.New(cfg.Algorithm, cfg.Racks, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		sim:        s,
+		cfg:        cfg,
+		circuits:   match.NewMatching(cfg.Racks),
+		uplinkBusy: make([]units.Time, cfg.Racks),
+	}
+	total := cfg.Racks * cfg.HostsPerRack
+	c.tors = make([]*eps.Switch, cfg.Racks)
+	for r := range c.tors {
+		// Output queues are indexed by global host id for simplicity;
+		// each ToR only ever uses its own rack's slice of them.
+		c.tors[r] = eps.New(s, eps.Config{
+			Ports:         total,
+			PortRate:      cfg.HostRate,
+			FabricLatency: 500 * units.Nanosecond,
+		}, c.deliver)
+	}
+	c.interVOQ = make([][]*voq.Queue, cfg.Racks)
+	for i := range c.interVOQ {
+		c.interVOQ[i] = make([]*voq.Queue, cfg.Racks)
+		for j := range c.interVOQ[i] {
+			c.interVOQ[i][j] = voq.NewQueue(0, 0)
+		}
+	}
+	c.loop = sched.NewLoop(s, sched.LoopConfig{
+		Ports:     cfg.Racks,
+		Slot:      cfg.Slot,
+		Pipelined: cfg.Pipelined,
+	}, alg, cfg.Timing, sched.Hooks{
+		Snapshot:  c.snapshot,
+		Configure: c.configure,
+		Grant:     c.grant,
+	})
+	return c, nil
+}
+
+// Start begins core scheduling.
+func (c *Cluster) Start() { c.loop.Start() }
+
+// Stop halts core scheduling.
+func (c *Cluster) Stop() { c.loop.Stop() }
+
+// RackOf returns the rack a host belongs to.
+func (c *Cluster) RackOf(h packet.Port) int { return int(h) / c.cfg.HostsPerRack }
+
+// Hosts returns the total host count.
+func (c *Cluster) Hosts() int { return c.cfg.Racks * c.cfg.HostsPerRack }
+
+// Inject introduces a packet at its source host. Src/Dst are global host
+// ids.
+func (c *Cluster) Inject(p *packet.Packet) {
+	now := c.sim.Now()
+	if p.CreatedAt == 0 {
+		p.CreatedAt = now
+	}
+	c.injected.Inc()
+	src, dst := c.RackOf(p.Src), c.RackOf(p.Dst)
+	if src == dst {
+		// Intra-rack: switched electrically at the ToR.
+		c.tors[src].Send(p)
+		return
+	}
+	q := c.interVOQ[src][dst]
+	q.Enqueue(now, p)
+	c.curInterBits += p.Size
+	if c.curInterBits > c.peakInterBits {
+		c.peakInterBits = c.curInterBits
+	}
+}
+
+// snapshot builds the rack-level demand the scheduler sees.
+func (c *Cluster) snapshot(units.Time) *demand.Matrix {
+	m := demand.NewMatrix(c.cfg.Racks)
+	for i := range c.interVOQ {
+		for j := range c.interVOQ[i] {
+			bits := int64(c.interVOQ[i][j].Bits())
+			if bits == 0 {
+				continue
+			}
+			if c.cfg.Mode == Distributed {
+				// Request bit only: presence, not magnitude.
+				m.Set(i, j, 1)
+			} else {
+				m.Set(i, j, bits)
+			}
+		}
+	}
+	return m
+}
+
+// configure retears the core circuits with the OCS dead-time; in-flight
+// uplink serializations are truncated, as on a real circuit switch.
+func (c *Cluster) configure(m match.Matching, done func()) {
+	c.reconfig = true
+	c.epoch++
+	c.configures.Inc()
+	c.deadTime += c.cfg.CoreReconfig
+	target := m.Clone()
+	c.sim.Schedule(c.cfg.CoreReconfig, func() {
+		c.circuits = target
+		c.reconfig = false
+		done()
+	})
+}
+
+// grant drains each granted rack pair for the window.
+func (c *Cluster) grant(m match.Matching, window units.Duration) {
+	budget := units.TransferSize(c.cfg.UplinkRate, window)
+	for src, dst := range m {
+		if dst == match.Unmatched {
+			continue
+		}
+		c.drain(src, dst, budget)
+	}
+}
+
+func (c *Cluster) drain(src, dst int, budget units.Size) {
+	q := c.interVOQ[src][dst]
+	front := q.Front()
+	if front == nil || front.Size > budget || c.reconfig || c.circuits[src] != dst {
+		return
+	}
+	if free := c.uplinkBusy[src]; free > c.sim.Now() {
+		left := budget
+		c.sim.At(free, func() { c.drain(src, dst, left) })
+		return
+	}
+	now := c.sim.Now()
+	p := q.Dequeue(now)
+	c.curInterBits -= p.Size
+	txDone := now.Add(units.TransmitTime(p.Size, c.cfg.UplinkRate))
+	c.uplinkBusy[src] = txDone
+	epoch := c.epoch
+	left := budget - p.Size
+	c.sim.At(txDone.Add(c.cfg.TransitDelay), func() {
+		if c.epoch != epoch {
+			c.truncated.Inc()
+		} else {
+			// Arrived at the destination ToR; electrical hop to the host.
+			c.bitsInter.Add(int64(p.Size))
+			c.tors[c.RackOf(p.Dst)].Send(p)
+		}
+	})
+	c.sim.At(txDone, func() { c.drain(src, dst, left) })
+}
+
+// deliver is the ToR->host egress for both intra- and inter-rack paths.
+func (c *Cluster) deliver(p *packet.Packet, _ packet.Port) {
+	p.DeliveredAt = c.sim.Now()
+	lat := int64(p.Latency())
+	if c.RackOf(p.Src) == c.RackOf(p.Dst) {
+		c.deliveredIntra.Inc()
+		c.latIntra.Record(lat)
+	} else {
+		c.deliveredInter.Inc()
+		c.latInter.Record(lat)
+	}
+}
+
+// Metrics is a cluster-level snapshot.
+type Metrics struct {
+	Injected       int64
+	DeliveredIntra int64
+	DeliveredInter int64
+	InterBits      units.Size
+	Truncated      int64
+	LatencyIntra   stats.Summary
+	LatencyInter   stats.Summary
+	PeakInterVOQ   units.Size
+	CoreConfigures int64
+	CoreDutyCycle  float64
+	Loop           sched.LoopStats
+}
+
+// Metrics returns the current snapshot.
+func (c *Cluster) Metrics() Metrics {
+	elapsed := units.Duration(c.sim.Now())
+	duty := 0.0
+	if elapsed > 0 {
+		live := elapsed - c.deadTime
+		if live < 0 {
+			live = 0
+		}
+		duty = float64(live) / float64(elapsed)
+	}
+	return Metrics{
+		Injected:       c.injected.Value(),
+		DeliveredIntra: c.deliveredIntra.Value(),
+		DeliveredInter: c.deliveredInter.Value(),
+		InterBits:      units.Size(c.bitsInter.Value()),
+		Truncated:      c.truncated.Value(),
+		LatencyIntra:   c.latIntra.Summarize(),
+		LatencyInter:   c.latInter.Summarize(),
+		PeakInterVOQ:   c.peakInterBits,
+		CoreConfigures: c.configures.Value(),
+		CoreDutyCycle:  duty,
+		Loop:           c.loop.Stats(),
+	}
+}

@@ -1,0 +1,349 @@
+// Package demand implements demand-matrix representation and estimation —
+// the first stage of the paper's scheduling logic ("processes the incoming
+// requests, estimates the demand matrix, and runs the scheduling
+// algorithm").
+//
+// A Matrix holds per (input, output) demand in abstract int64 units
+// (the fabric uses bits). Estimators turn the stream of VOQ status
+// reports into a demand snapshot; the choice of estimator is one of the
+// ablations DESIGN.md calls out, because estimation lag is one of the
+// latency terms that make software schedulers slow.
+package demand
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hybridsched/internal/units"
+)
+
+// Matrix is an n x n demand matrix. Entries are non-negative.
+type Matrix struct {
+	n int
+	v []int64
+}
+
+// NewMatrix returns a zero n x n matrix. It panics if n <= 0.
+func NewMatrix(n int) *Matrix {
+	if n <= 0 {
+		panic("demand: matrix size must be positive")
+	}
+	return &Matrix{n: n, v: make([]int64, n*n)}
+}
+
+// N returns the matrix dimension.
+func (m *Matrix) N() int { return m.n }
+
+// At returns entry (i, j).
+func (m *Matrix) At(i, j int) int64 { return m.v[i*m.n+j] }
+
+// Set assigns entry (i, j). Negative values are clamped to zero.
+func (m *Matrix) Set(i, j int, x int64) {
+	if x < 0 {
+		x = 0
+	}
+	m.v[i*m.n+j] = x
+}
+
+// Add increments entry (i, j), clamping at zero.
+func (m *Matrix) Add(i, j int, d int64) { m.Set(i, j, m.At(i, j)+d) }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.n)
+	copy(out.v, m.v)
+	return out
+}
+
+// Reset zeroes all entries.
+func (m *Matrix) Reset() {
+	for i := range m.v {
+		m.v[i] = 0
+	}
+}
+
+// Total returns the sum of all entries.
+func (m *Matrix) Total() int64 {
+	var s int64
+	for _, x := range m.v {
+		s += x
+	}
+	return s
+}
+
+// RowSum returns the sum of row i.
+func (m *Matrix) RowSum(i int) int64 {
+	var s int64
+	for j := 0; j < m.n; j++ {
+		s += m.At(i, j)
+	}
+	return s
+}
+
+// ColSum returns the sum of column j.
+func (m *Matrix) ColSum(j int) int64 {
+	var s int64
+	for i := 0; i < m.n; i++ {
+		s += m.At(i, j)
+	}
+	return s
+}
+
+// MaxLineSum returns the largest row or column sum — the lower bound on the
+// time any schedule needs to serve the matrix (the "makespan bound").
+func (m *Matrix) MaxLineSum() int64 {
+	var best int64
+	for i := 0; i < m.n; i++ {
+		if r := m.RowSum(i); r > best {
+			best = r
+		}
+		if c := m.ColSum(i); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Max returns the largest entry.
+func (m *Matrix) Max() int64 {
+	var best int64
+	for _, x := range m.v {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+// Quantize converts the matrix to whole slots of slotUnits each, rounding
+// up (any residual demand still needs a slot).
+func (m *Matrix) Quantize(slotUnits int64) *Matrix {
+	if slotUnits <= 0 {
+		panic("demand: slotUnits must be positive")
+	}
+	out := NewMatrix(m.n)
+	for i := range m.v {
+		out.v[i] = (m.v[i] + slotUnits - 1) / slotUnits
+	}
+	return out
+}
+
+// Stuff returns a copy padded with dummy demand so that every row and
+// column sums to MaxLineSum. A stuffed matrix admits a decomposition into
+// perfect matchings (Birkhoff–von Neumann), which is what slot-based
+// circuit schedules consume. The padding is distributed greedily over
+// (row, col) pairs with slack.
+func (m *Matrix) Stuff() *Matrix {
+	out := m.Clone()
+	target := out.MaxLineSum()
+	rows := make([]int64, out.n)
+	cols := make([]int64, out.n)
+	for i := 0; i < out.n; i++ {
+		rows[i] = out.RowSum(i)
+		cols[i] = out.ColSum(i)
+	}
+	for i := 0; i < out.n; i++ {
+		for j := 0; j < out.n && rows[i] < target; j++ {
+			slack := target - rows[i]
+			if cslack := target - cols[j]; cslack < slack {
+				slack = cslack
+			}
+			if slack <= 0 {
+				continue
+			}
+			out.Add(i, j, slack)
+			rows[i] += slack
+			cols[j] += slack
+		}
+	}
+	return out
+}
+
+// String renders small matrices for debugging and golden tests.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Normalized returns the matrix scaled to doubly sub-stochastic floats
+// (every row and column sum <= 1) by dividing by MaxLineSum. Returns nil
+// for an all-zero matrix.
+func (m *Matrix) Normalized() [][]float64 {
+	max := m.MaxLineSum()
+	if max == 0 {
+		return nil
+	}
+	out := make([][]float64, m.n)
+	for i := range out {
+		out[i] = make([]float64, m.n)
+		for j := range out[i] {
+			out[i][j] = float64(m.At(i, j)) / float64(max)
+		}
+	}
+	return out
+}
+
+// Estimator converts observations into demand snapshots. Implementations
+// are driven two ways: Observe on every arrival (in, out, bits), and
+// SetOccupancy with direct queue-depth reports. Snapshot produces the
+// matrix the scheduler runs on.
+type Estimator interface {
+	// Observe records that bits of new demand from in to out arrived at
+	// time t.
+	Observe(t units.Time, in, out int, bits int64)
+	// SetOccupancy reports the current VOQ backlog for (in, out).
+	SetOccupancy(t units.Time, in, out int, bits int64)
+	// Snapshot returns the demand estimate as of time t. The returned
+	// matrix is owned by the caller.
+	Snapshot(t units.Time) *Matrix
+	// Name identifies the estimator in reports.
+	Name() string
+}
+
+// Occupancy estimates demand as the instantaneous VOQ backlog. This is
+// what a hardware scheduler reading queue-depth registers sees: zero lag,
+// but it only knows about packets that already arrived.
+type Occupancy struct {
+	m *Matrix
+}
+
+// NewOccupancy returns an occupancy estimator for an n-port switch.
+func NewOccupancy(n int) *Occupancy { return &Occupancy{m: NewMatrix(n)} }
+
+// Observe is a no-op: occupancy is maintained via SetOccupancy.
+func (o *Occupancy) Observe(units.Time, int, int, int64) {}
+
+// SetOccupancy records the backlog.
+func (o *Occupancy) SetOccupancy(_ units.Time, in, out int, bits int64) {
+	o.m.Set(in, out, bits)
+}
+
+// Snapshot returns the current backlog matrix.
+func (o *Occupancy) Snapshot(units.Time) *Matrix { return o.m.Clone() }
+
+// Name implements Estimator.
+func (o *Occupancy) Name() string { return "occupancy" }
+
+// Window estimates demand as the bits that arrived in the trailing window.
+// This is how software schedulers that poll flow counters (Helios's flow
+// demand estimation) see the network: accurate for steady flows, laggy for
+// bursts — the estimation-delay term of the paper's §2.
+type Window struct {
+	n      int
+	window units.Duration
+	events []windowEvent
+	occ    *Matrix
+}
+
+type windowEvent struct {
+	t       units.Time
+	in, out int
+	bits    int64
+}
+
+// NewWindow returns a trailing-window estimator. window must be positive.
+func NewWindow(n int, window units.Duration) *Window {
+	if window <= 0 {
+		panic("demand: window must be positive")
+	}
+	return &Window{n: n, window: window, occ: NewMatrix(n)}
+}
+
+// Observe appends an arrival.
+func (w *Window) Observe(t units.Time, in, out int, bits int64) {
+	w.events = append(w.events, windowEvent{t, in, out, bits})
+}
+
+// SetOccupancy is tracked so Snapshot can cap the estimate at the real
+// backlog (you cannot serve demand that has not arrived).
+func (w *Window) SetOccupancy(_ units.Time, in, out int, bits int64) {
+	w.occ.Set(in, out, bits)
+}
+
+// Snapshot sums arrivals within the trailing window.
+func (w *Window) Snapshot(t units.Time) *Matrix {
+	cut := t.Add(-w.window)
+	out := NewMatrix(w.n)
+	// Drop expired events in place.
+	kept := w.events[:0]
+	for _, e := range w.events {
+		if e.t.Before(cut) {
+			continue
+		}
+		kept = append(kept, e)
+		out.Add(e.in, e.out, e.bits)
+	}
+	w.events = kept
+	return out
+}
+
+// Name implements Estimator.
+func (w *Window) Name() string { return "window" }
+
+// EWMA estimates per-pair demand rate with exponential smoothing over
+// fixed-length buckets, scaled back to a per-window volume. Smoother than
+// Window under bursts, slower to converge after shifts.
+type EWMA struct {
+	n      int
+	alpha  float64
+	bucket units.Duration
+	cur    *Matrix
+	rate   []float64 // smoothed bits per bucket
+	last   units.Time
+}
+
+// NewEWMA returns an EWMA estimator with smoothing factor alpha in (0, 1]
+// over buckets of the given length.
+func NewEWMA(n int, alpha float64, bucket units.Duration) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("demand: alpha must be in (0,1]")
+	}
+	if bucket <= 0 {
+		panic("demand: bucket must be positive")
+	}
+	return &EWMA{n: n, alpha: alpha, bucket: bucket,
+		cur: NewMatrix(n), rate: make([]float64, n*n)}
+}
+
+// Observe accumulates arrivals into the current bucket, folding completed
+// buckets into the smoothed rate.
+func (e *EWMA) Observe(t units.Time, in, out int, bits int64) {
+	e.roll(t)
+	e.cur.Add(in, out, bits)
+}
+
+// SetOccupancy is a no-op for EWMA (it is a pure rate estimator).
+func (e *EWMA) SetOccupancy(units.Time, int, int, int64) {}
+
+func (e *EWMA) roll(t units.Time) {
+	for t.Sub(e.last) >= e.bucket {
+		for i := range e.rate {
+			e.rate[i] = e.alpha*float64(e.cur.v[i]) + (1-e.alpha)*e.rate[i]
+		}
+		e.cur.Reset()
+		e.last = e.last.Add(e.bucket)
+	}
+}
+
+// Snapshot returns the smoothed per-bucket volume.
+func (e *EWMA) Snapshot(t units.Time) *Matrix {
+	e.roll(t)
+	out := NewMatrix(e.n)
+	for i := range e.rate {
+		out.v[i] = int64(math.Round(e.rate[i]))
+	}
+	return out
+}
+
+// Name implements Estimator.
+func (e *EWMA) Name() string { return "ewma" }

@@ -1,0 +1,220 @@
+package demand
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridsched/internal/rng"
+	"hybridsched/internal/units"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3)
+	if m.N() != 3 || m.Total() != 0 {
+		t.Fatal("zero matrix wrong")
+	}
+	m.Set(0, 1, 10)
+	m.Add(0, 1, 5)
+	m.Set(2, 2, 7)
+	if m.At(0, 1) != 15 || m.At(2, 2) != 7 {
+		t.Fatalf("entries wrong: %v", m)
+	}
+	if m.Total() != 22 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	if m.RowSum(0) != 15 || m.ColSum(1) != 15 || m.ColSum(2) != 7 {
+		t.Fatal("line sums wrong")
+	}
+	if m.Max() != 15 {
+		t.Fatalf("max = %d", m.Max())
+	}
+	m.Add(0, 1, -100) // clamps at zero
+	if m.At(0, 1) != 0 {
+		t.Fatalf("negative clamp failed: %d", m.At(0, 1))
+	}
+}
+
+func TestMatrixCloneIndependent(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 5)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 5 {
+		t.Fatal("clone aliases parent")
+	}
+}
+
+func TestMatrixPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(0)
+}
+
+func TestMaxLineSum(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 0, 4)
+	m.Set(0, 1, 4) // row 0 sums to 8
+	m.Set(1, 1, 5) // col 1 sums to 9
+	if got := m.MaxLineSum(); got != 9 {
+		t.Fatalf("MaxLineSum = %d, want 9", got)
+	}
+}
+
+func TestQuantizeRoundsUp(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 10)
+	m.Set(0, 1, 11)
+	m.Set(1, 0, 0)
+	q := m.Quantize(10)
+	if q.At(0, 0) != 1 || q.At(0, 1) != 2 || q.At(1, 0) != 0 {
+		t.Fatalf("quantize wrong:\n%v", q)
+	}
+}
+
+func TestStuffMakesLinesEqual(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(6)
+		m := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, int64(r.Intn(100)))
+			}
+		}
+		target := m.MaxLineSum()
+		s := m.Stuff()
+		// Stuffing only adds demand.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if s.At(i, j) < m.At(i, j) {
+					return false
+				}
+			}
+		}
+		// Every line sums to the original max line sum.
+		for i := 0; i < n; i++ {
+			if s.RowSum(i) != target || s.ColSum(i) != target {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStuffZeroMatrix(t *testing.T) {
+	m := NewMatrix(4)
+	s := m.Stuff()
+	if s.Total() != 0 {
+		t.Fatal("stuffing a zero matrix should stay zero")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	m := NewMatrix(2)
+	if m.Normalized() != nil {
+		t.Fatal("zero matrix should normalize to nil")
+	}
+	m.Set(0, 0, 10)
+	m.Set(1, 1, 5)
+	f := m.Normalized()
+	if f[0][0] != 1.0 || f[1][1] != 0.5 {
+		t.Fatalf("normalized wrong: %v", f)
+	}
+}
+
+func TestOccupancyEstimator(t *testing.T) {
+	o := NewOccupancy(2)
+	o.SetOccupancy(0, 0, 1, 100)
+	o.SetOccupancy(0, 1, 0, 50)
+	o.Observe(0, 0, 1, 999) // no-op for occupancy
+	m := o.Snapshot(0)
+	if m.At(0, 1) != 100 || m.At(1, 0) != 50 {
+		t.Fatalf("snapshot wrong:\n%v", m)
+	}
+	// Snapshot returns a copy.
+	m.Set(0, 1, 0)
+	if o.Snapshot(0).At(0, 1) != 100 {
+		t.Fatal("snapshot aliased internal state")
+	}
+	// Occupancy is replace-not-add.
+	o.SetOccupancy(0, 0, 1, 70)
+	if o.Snapshot(0).At(0, 1) != 70 {
+		t.Fatal("occupancy should be absolute")
+	}
+	if o.Name() != "occupancy" {
+		t.Fatal("name")
+	}
+}
+
+func TestWindowEstimatorExpiry(t *testing.T) {
+	w := NewWindow(2, 10*units.Microsecond)
+	w.Observe(units.Time(0), 0, 1, 100)
+	w.Observe(units.Time(5*units.Microsecond), 0, 1, 200)
+	m := w.Snapshot(units.Time(8 * units.Microsecond))
+	if m.At(0, 1) != 300 {
+		t.Fatalf("both arrivals should be in window: %d", m.At(0, 1))
+	}
+	// At t=12us the t=0 arrival has expired.
+	m = w.Snapshot(units.Time(12 * units.Microsecond))
+	if m.At(0, 1) != 200 {
+		t.Fatalf("expired arrival retained: %d", m.At(0, 1))
+	}
+	// At t=30us everything has expired.
+	m = w.Snapshot(units.Time(30 * units.Microsecond))
+	if m.Total() != 0 {
+		t.Fatalf("window should be empty: %d", m.Total())
+	}
+	if w.Name() != "window" {
+		t.Fatal("name")
+	}
+}
+
+func TestWindowPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWindow(2, 0)
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(2, 0.5, units.Microsecond)
+	// Feed a steady 1000 bits/us for 50 buckets.
+	for i := 0; i < 50; i++ {
+		e.Observe(units.Time(units.Duration(i)*units.Microsecond), 0, 1, 1000)
+	}
+	m := e.Snapshot(units.Time(50 * units.Microsecond))
+	got := m.At(0, 1)
+	if got < 900 || got > 1100 {
+		t.Fatalf("EWMA should converge to ~1000, got %d", got)
+	}
+	// After traffic stops, the estimate decays.
+	m = e.Snapshot(units.Time(70 * units.Microsecond))
+	if m.At(0, 1) >= got {
+		t.Fatalf("EWMA should decay after arrivals stop: %d -> %d", got, m.At(0, 1))
+	}
+	if e.Name() != "ewma" {
+		t.Fatal("name")
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewEWMA(2, 0, units.Microsecond) },
+		func() { NewEWMA(2, 1.5, units.Microsecond) },
+		func() { NewEWMA(2, 0.5, 0) },
+	} {
+		func() {
+			defer func() { recover() }()
+			fn()
+			t.Error("expected panic")
+		}()
+	}
+}

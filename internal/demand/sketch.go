@@ -1,0 +1,129 @@
+package demand
+
+import (
+	"hybridsched/internal/units"
+)
+
+// Sketch is a count-min-sketch demand estimator — the estimator a
+// hardware scheduler actually synthesizes when n is large: instead of n^2
+// exact counters (64 ports -> 4096 multi-bit registers), d rows of w
+// counters are updated per arrival in O(d) and read per (i, j) pair at
+// snapshot time. The estimate overcounts (never undercounts) with error
+// bounded by total/w per row, which is harmless for matching weights but
+// measurably cheaper in area — the E8-style tradeoff between exactness
+// and hardware cost.
+//
+// A periodic halving decay keeps the sketch tracking current demand
+// instead of all-time volume.
+type Sketch struct {
+	n      int
+	rows   int
+	width  int
+	counts [][]int64
+	seeds  []uint64
+	decay  units.Duration
+	last   units.Time
+}
+
+// NewSketch returns a count-min estimator with the given geometry. Width
+// is rounded up to a power of two. decay halves all counters every decay
+// interval (0 disables decay).
+func NewSketch(n, rows, width int, decay units.Duration) *Sketch {
+	if n <= 0 || rows <= 0 || width <= 0 {
+		panic("demand: sketch needs positive geometry")
+	}
+	w := 1
+	for w < width {
+		w <<= 1
+	}
+	s := &Sketch{n: n, rows: rows, width: w, decay: decay}
+	s.counts = make([][]int64, rows)
+	s.seeds = make([]uint64, rows)
+	for r := range s.counts {
+		s.counts[r] = make([]int64, w)
+		// Distinct odd multipliers per row (splitmix64-flavored).
+		s.seeds[r] = 0x9e3779b97f4a7c15*uint64(r+1) | 1
+	}
+	return s
+}
+
+func (s *Sketch) slot(row, i, j int) int {
+	key := uint64(i)*uint64(s.n) + uint64(j)
+	return int(hashMix(key, s.seeds[row]) & uint64(s.width-1))
+}
+
+// Observe implements Estimator.
+func (s *Sketch) Observe(t units.Time, in, out int, bs int64) {
+	s.maybeDecay(t)
+	for r := 0; r < s.rows; r++ {
+		s.counts[r][s.slot(r, in, out)] += bs
+	}
+}
+
+// SetOccupancy is a no-op: the sketch is an arrival-rate structure.
+func (s *Sketch) SetOccupancy(units.Time, int, int, int64) {}
+
+func (s *Sketch) maybeDecay(t units.Time) {
+	if s.decay <= 0 {
+		return
+	}
+	for t.Sub(s.last) >= s.decay {
+		for r := range s.counts {
+			for i := range s.counts[r] {
+				s.counts[r][i] >>= 1
+			}
+		}
+		s.last = s.last.Add(s.decay)
+	}
+}
+
+// Estimate returns the count-min estimate for pair (in, out): the minimum
+// across rows, an upper bound on the true count.
+func (s *Sketch) Estimate(in, out int) int64 {
+	min := int64(-1)
+	for r := 0; r < s.rows; r++ {
+		v := s.counts[r][s.slot(r, in, out)]
+		if min < 0 || v < min {
+			min = v
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// Snapshot implements Estimator.
+func (s *Sketch) Snapshot(t units.Time) *Matrix {
+	s.maybeDecay(t)
+	m := NewMatrix(s.n)
+	for i := 0; i < s.n; i++ {
+		for j := 0; j < s.n; j++ {
+			m.Set(i, j, s.Estimate(i, j))
+		}
+	}
+	return m
+}
+
+// Name implements Estimator.
+func (s *Sketch) Name() string { return "sketch" }
+
+// CounterBits reports the hardware cost of the sketch in counter bits,
+// assuming width-aware sizing (each counter sized to hold the decay
+// interval's worth of line-rate bits). Exact per-pair counters for the
+// same switch would need n^2 counters of the same width — the comparison
+// the doc comment promises.
+func (s *Sketch) CounterBits(counterWidth int) int {
+	return s.rows * s.width * counterWidth
+}
+
+// ExactCounterBits is the cost of the exact n^2 counter file.
+func ExactCounterBits(n, counterWidth int) int { return n * n * counterWidth }
+
+// hashMix is the row hash, factored out for white-box tests of
+// distribution quality.
+func hashMix(key, seed uint64) uint64 {
+	h := key * seed
+	h ^= h >> 33
+	return h
+}

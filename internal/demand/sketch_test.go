@@ -1,0 +1,156 @@
+package demand
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridsched/internal/rng"
+	"hybridsched/internal/units"
+)
+
+func TestSketchNeverUndercounts(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(12)
+		s := NewSketch(n, 3, 64, 0)
+		truth := NewMatrix(n)
+		for k := 0; k < 500; k++ {
+			i, j := r.Intn(n), r.Intn(n)
+			b := int64(1 + r.Intn(10000))
+			s.Observe(0, i, j, b)
+			truth.Add(i, j, b)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if s.Estimate(i, j) < truth.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSketchExactWhenWide(t *testing.T) {
+	// With width >= n^2 (here 64 >= 16) and good hashing, collisions are
+	// rare; the heavy hitter must be estimated within a small factor.
+	n := 4
+	s := NewSketch(n, 4, 256, 0)
+	truth := NewMatrix(n)
+	r := rng.New(5)
+	for k := 0; k < 1000; k++ {
+		i, j := r.Intn(n), r.Intn(n)
+		s.Observe(0, i, j, 100)
+		truth.Add(i, j, 100)
+	}
+	total := truth.Total()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			over := s.Estimate(i, j) - truth.At(i, j)
+			if over > total/64 {
+				t.Fatalf("(%d,%d) overcount %d exceeds total/64=%d",
+					i, j, over, total/64)
+			}
+		}
+	}
+}
+
+func TestSketchIdentifiesHeavyHitter(t *testing.T) {
+	n := 16
+	s := NewSketch(n, 4, 64, 0) // deliberately narrow: 64 < 256 pairs
+	r := rng.New(11)
+	// Background noise on all pairs + one elephant.
+	for k := 0; k < 2000; k++ {
+		s.Observe(0, r.Intn(n), r.Intn(n), 10)
+	}
+	s.Observe(0, 3, 7, 1_000_000)
+	snap := s.Snapshot(0)
+	// The elephant must be the max entry despite collisions.
+	if snap.At(3, 7) != snap.Max() {
+		t.Fatalf("heavy hitter lost: (3,7)=%d max=%d", snap.At(3, 7), snap.Max())
+	}
+}
+
+func TestSketchDecay(t *testing.T) {
+	s := NewSketch(4, 2, 64, units.Millisecond)
+	s.Observe(0, 0, 1, 1000)
+	if got := s.Estimate(0, 1); got != 1000 {
+		t.Fatalf("pre-decay estimate %d", got)
+	}
+	// Two decay intervals halve twice.
+	m := s.Snapshot(units.Time(2 * units.Millisecond))
+	if got := m.At(0, 1); got != 250 {
+		t.Fatalf("post-decay estimate %d, want 250", got)
+	}
+}
+
+func TestSketchEstimatorInterface(t *testing.T) {
+	var est Estimator = NewSketch(4, 2, 64, 0)
+	est.Observe(0, 1, 2, 500)
+	est.SetOccupancy(0, 1, 2, 999) // no-op by contract
+	m := est.Snapshot(0)
+	if m.At(1, 2) < 500 {
+		t.Fatal("observe lost")
+	}
+	if est.Name() != "sketch" {
+		t.Fatal("name")
+	}
+}
+
+func TestSketchHardwareCost(t *testing.T) {
+	s := NewSketch(64, 4, 256, 0)
+	sketchBits := s.CounterBits(32)
+	exactBits := ExactCounterBits(64, 32)
+	if sketchBits >= exactBits {
+		t.Fatalf("sketch (%d bits) should be cheaper than exact (%d bits)",
+			sketchBits, exactBits)
+	}
+	// 4*256 = 1024 counters vs 4096: a 4x area saving.
+	if exactBits/sketchBits < 4 {
+		t.Fatalf("expected >=4x saving, got %dx", exactBits/sketchBits)
+	}
+}
+
+func TestSketchWidthRounding(t *testing.T) {
+	s := NewSketch(4, 2, 100, 0) // rounds to 128
+	if s.width != 128 {
+		t.Fatalf("width = %d, want 128", s.width)
+	}
+}
+
+func TestSketchValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSketch(0, 2, 64, 0) },
+		func() { NewSketch(4, 0, 64, 0) },
+		func() { NewSketch(4, 2, 0, 0) },
+	} {
+		func() {
+			defer func() { recover() }()
+			fn()
+			t.Error("expected panic")
+		}()
+	}
+}
+
+func TestHashMixSpreads(t *testing.T) {
+	// All 4096 pair keys must spread over 64 slots without any slot
+	// exceeding 4x the mean for every row seed we generate.
+	s := NewSketch(64, 4, 64, 0)
+	for r := 0; r < s.rows; r++ {
+		counts := make([]int, s.width)
+		for i := 0; i < 64; i++ {
+			for j := 0; j < 64; j++ {
+				counts[s.slot(r, i, j)]++
+			}
+		}
+		mean := 64 * 64 / s.width
+		for slot, c := range counts {
+			if c > 4*mean {
+				t.Fatalf("row %d slot %d has %d keys (mean %d)", r, slot, c, mean)
+			}
+		}
+	}
+}

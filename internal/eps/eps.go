@@ -1,0 +1,122 @@
+// Package eps models the electrical packet switch of the hybrid
+// architecture: a store-and-forward switch with per-output queues. In the
+// paper's design it carries "residual traffic" — the short and
+// latency-sensitive flows the circuit schedule does not cover — so it is
+// typically provisioned at a fraction of the optical line rate.
+package eps
+
+import (
+	"hybridsched/internal/packet"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/stats"
+	"hybridsched/internal/units"
+	"hybridsched/internal/voq"
+)
+
+// Config parameterizes the switch.
+type Config struct {
+	Ports         int
+	PortRate      units.BitRate  // drain rate per output port
+	FabricLatency units.Duration // ingress-to-output-queue latency
+	QueueLimit    units.Size     // per-output buffer (0 = unlimited)
+}
+
+// Switch is the packet switch. Create with New.
+type Switch struct {
+	sim     *sim.Simulator
+	cfg     Config
+	outQ    []*voq.Queue
+	sending []bool
+	deliver func(p *packet.Packet, out packet.Port)
+
+	bitsOut stats.Counter
+	pktsOut stats.Counter
+}
+
+// New creates an idle switch. deliver is invoked as packets leave output
+// ports.
+func New(s *sim.Simulator, cfg Config, deliver func(*packet.Packet, packet.Port)) *Switch {
+	if cfg.Ports <= 0 {
+		panic("eps: Ports must be positive")
+	}
+	if cfg.PortRate <= 0 {
+		panic("eps: PortRate must be positive")
+	}
+	if deliver == nil {
+		panic("eps: nil deliver callback")
+	}
+	sw := &Switch{
+		sim:     s,
+		cfg:     cfg,
+		outQ:    make([]*voq.Queue, cfg.Ports),
+		sending: make([]bool, cfg.Ports),
+		deliver: deliver,
+	}
+	for i := range sw.outQ {
+		sw.outQ[i] = voq.NewQueue(cfg.QueueLimit, 0)
+	}
+	return sw
+}
+
+// Send accepts p at the ingress. After the fabric latency it lands in the
+// output queue for p.Dst (tail-dropping if full) and drains at PortRate.
+// Send never blocks; loss is visible through Stats.
+func (s *Switch) Send(p *packet.Packet) {
+	out := int(p.Dst)
+	s.sim.Schedule(s.cfg.FabricLatency, func() {
+		if s.outQ[out].Enqueue(s.sim.Now(), p) {
+			s.drain(out)
+		}
+	})
+}
+
+// drain starts the output transmitter if it is idle.
+func (s *Switch) drain(out int) {
+	if s.sending[out] {
+		return
+	}
+	p := s.outQ[out].Dequeue(s.sim.Now())
+	if p == nil {
+		return
+	}
+	s.sending[out] = true
+	tx := units.TransmitTime(p.Size, s.cfg.PortRate)
+	s.sim.Schedule(tx, func() {
+		p.Via = packet.PathEPS
+		s.bitsOut.Add(int64(p.Size))
+		s.pktsOut.Inc()
+		s.deliver(p, packet.Port(out))
+		s.sending[out] = false
+		s.drain(out)
+	})
+}
+
+// Stats is a snapshot of switch counters.
+type Stats struct {
+	BitsDelivered units.Size
+	PktsDelivered int64
+	Drops         int64
+	DroppedBits   units.Size
+	PeakQueueBits units.Size // largest single output-queue high-water mark
+	QueuedBits    units.Size // current total backlog
+}
+
+// Stats returns a snapshot of counters.
+func (s *Switch) Stats() Stats {
+	st := Stats{
+		BitsDelivered: units.Size(s.bitsOut.Value()),
+		PktsDelivered: s.pktsOut.Value(),
+	}
+	for _, q := range s.outQ {
+		st.Drops += q.Drops()
+		st.DroppedBits += q.DroppedBits()
+		if q.PeakBits() > st.PeakQueueBits {
+			st.PeakQueueBits = q.PeakBits()
+		}
+		st.QueuedBits += q.Bits()
+	}
+	return st
+}
+
+// Backlog returns the queued bits at output port out.
+func (s *Switch) Backlog(out packet.Port) units.Size { return s.outQ[out].Bits() }

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridsched/internal/fabric"
+	"hybridsched/internal/match"
+	"hybridsched/internal/ocs"
+	"hybridsched/internal/packet"
+	"hybridsched/internal/report"
+	"hybridsched/internal/sched"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+func init() {
+	Registry = append(Registry,
+		struct {
+			ID    string
+			Run   func(Scale) (*Result, error)
+			Short string
+		}{"A1", A1GrantOrdering, "Ablation: grant before vs after OCS configuration completes"},
+		struct {
+			ID    string
+			Run   func(Scale) (*Result, error)
+			Short string
+		}{"A2", A2ISLIPIterations, "Ablation: iSLIP iteration count (1 vs log n vs n)"},
+	)
+}
+
+// A1GrantOrdering ablates the ordering rule the paper mandates: "the
+// scheduler sends the grant matrix to the switching logic to configure the
+// circuits in the OCS ... once the grant message is received by the
+// processing logic, it dequeues packets". We drive an OCS directly with
+// two policies — grant strictly after the configuration completes
+// (correct) and grant at configuration start (buggy) — and count what the
+// optics do to the data.
+func A1GrantOrdering(sc Scale) (*Result, error) {
+	res := &Result{ID: "A1", Title: "Ablation: grant ordering vs OCS configuration"}
+	const ports = 4
+	reconfig := 2 * units.Microsecond
+	slotPkts := 8
+	cycles := 50
+	if sc == Full {
+		cycles = 200
+	}
+
+	type outcome struct {
+		delivered, truncated, rejected int64
+	}
+	run := func(grantAfterConfigure bool) (outcome, error) {
+		s := sim.New()
+		var out outcome
+		sw := ocs.New(s, ocs.Config{
+			Ports:        ports,
+			PortRate:     10 * units.Gbps,
+			ReconfigTime: reconfig,
+		}, func(*packet.Packet, packet.Port) { out.delivered++ })
+
+		perm := match.Identity(ports)
+		for i := range perm {
+			perm[i] = (i + 1) % ports
+		}
+		var id uint64
+		tx := units.TransmitTime(1500*units.Byte, 10*units.Gbps)
+		// sendBurst pushes slotPkts frames back-to-back on every input.
+		// A synchronized sender (blind=false) stops on the first failure;
+		// an unsynchronized one (blind=true) keeps the laser firing at
+		// line rate regardless — frames launched into a dark fabric are
+		// simply lost.
+		sendBurst := func(m match.Matching, blind bool) {
+			for in := 0; in < ports; in++ {
+				in := in
+				var step func(k int)
+				step = func(k int) {
+					if k >= slotPkts {
+						return
+					}
+					id++
+					p := &packet.Packet{
+						ID: id, Src: packet.Port(in), Dst: packet.Port(m[in]),
+						Size: 1500 * units.Byte,
+					}
+					done, err := sw.Send(p)
+					if err != nil {
+						out.rejected++
+						if blind {
+							s.Schedule(tx, func() { step(k + 1) })
+						}
+						return
+					}
+					s.At(done, func() { step(k + 1) })
+				}
+				step(0)
+			}
+		}
+		var cycle func(k int)
+		cycle = func(k int) {
+			if k >= cycles {
+				return
+			}
+			// Alternate between two rotations so every cycle really
+			// reconfigures.
+			m := perm.Clone()
+			if k%2 == 1 {
+				for i := range m {
+					m[i] = (i + 2) % ports
+				}
+			}
+			next := func(blind bool) func() {
+				return func() {
+					sendBurst(m, blind)
+					// The next cycle begins one slot after grants, plus
+					// a 10 ns guard band so the slot boundary never
+					// races the final delivery — the same guard real
+					// slotted designs insert.
+					slotLen := units.Duration(slotPkts) * tx
+					s.Schedule(slotLen+10*units.Nanosecond, func() { cycle(k + 1) })
+				}
+			}
+			if grantAfterConfigure {
+				sw.Configure(m, next(false))
+			} else {
+				// BUGGY: grants released at configuration *start*; the
+				// processing logic transmits into a dark, then freshly
+				// cut, fabric.
+				sw.Configure(m, nil)
+				next(true)()
+			}
+		}
+		cycle(0)
+		s.Run()
+		st := sw.Stats()
+		out.truncated = st.Truncated
+		return out, nil
+	}
+
+	tab := report.NewTable(
+		fmt.Sprintf("%d-port OCS, %v reconfiguration, %d packets/input/slot, %d cycles",
+			ports, reconfig, slotPkts, cycles),
+		"ordering", "delivered", "rejected_at_send", "truncated_in_flight")
+	correct, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	buggy, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	tab.AddRow("configure-then-grant (paper)", correct.delivered, correct.rejected, correct.truncated)
+	tab.AddRow("grant-at-configure-start (ablated)", buggy.delivered, buggy.rejected, buggy.truncated)
+	res.Tables = append(res.Tables, tab)
+	res.note("the ablated ordering launches reconfig/tx frames per input per slot into a dark fabric (25%% loss here); the paper's configure-then-grant ordering loses none")
+	if correct.rejected != 0 || correct.truncated != 0 {
+		return nil, fmt.Errorf("experiments: correct ordering lost packets (rejected=%d truncated=%d)",
+			correct.rejected, correct.truncated)
+	}
+	return res, nil
+}
+
+// A2ISLIPIterations ablates the iSLIP iteration count on the cell-mode
+// crossbar: 1 iteration vs log2(n) vs n under bursty near-saturation
+// load, where convergence quality shows up as latency.
+func A2ISLIPIterations(sc Scale) (*Result, error) {
+	res := &Result{ID: "A2", Title: "Ablation: iSLIP iteration count"}
+	ports := 16
+	dur := 4 * units.Millisecond
+	if sc == Full {
+		ports = 32
+		dur = 16 * units.Millisecond
+	}
+	slot := units.TransmitTime(1500*units.Byte, 10*units.Gbps)
+	tab := report.NewTable(
+		fmt.Sprintf("%d-port cell-mode crossbar, bursty load 0.9", ports),
+		"variant", "iterations", "delivered_frac", "mean_lat", "p99_lat")
+	for _, v := range []struct {
+		name, alg string
+		iters     int
+	}{
+		{"islip-1", "islip1", 1},
+		{"islip-log n", "islip", log2ceilInt(ports)},
+		{"islip-n", "islipn", ports},
+	} {
+		m, err := runScenario(fabricCellMode(ports, slot, v.alg), traffic.Config{
+			Ports:         ports,
+			LineRate:      10 * units.Gbps,
+			Load:          0.9,
+			Pattern:       traffic.Uniform{},
+			Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
+			Process:       traffic.OnOff,
+			BurstMeanPkts: 16,
+			Seed:          61,
+		}, dur)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(v.name, v.iters, m.DeliveredFraction(),
+			units.Duration(m.Latency.Mean), units.Duration(m.Latency.P99))
+	}
+	res.Tables = append(res.Tables, tab)
+	res.note("one iteration already sustains throughput; extra iterations trim tail latency with diminishing returns after log n — matching McKeown's original result")
+	return res, nil
+}
+
+func log2ceilInt(n int) int {
+	k, v := 0, 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	if k == 0 {
+		return 1
+	}
+	return k
+}
+
+func fabricCellMode(ports int, slot units.Duration, alg string) fabric.Config {
+	return fabric.Config{
+		Ports:        ports,
+		LineRate:     10 * units.Gbps,
+		LinkDelay:    100 * units.Nanosecond,
+		Slot:         slot,
+		ReconfigTime: 0,
+		Algorithm:    alg,
+		Timing: sched.Hardware{ClockPeriod: units.Nanosecond,
+			PipelineDepth: 1, RequestWire: units.Nanosecond, GrantWire: units.Nanosecond},
+		Pipelined: true,
+	}
+}

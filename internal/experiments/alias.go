@@ -1,0 +1,6 @@
+package experiments
+
+import "hybridsched/internal/stats"
+
+// seriesAlias keeps test helpers decoupled from the stats import path.
+type seriesAlias = stats.Series

@@ -1,0 +1,543 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hybridsched/internal/classify"
+	"hybridsched/internal/demand"
+	"hybridsched/internal/fabric"
+	"hybridsched/internal/match"
+	"hybridsched/internal/packet"
+	"hybridsched/internal/report"
+	"hybridsched/internal/rng"
+	"hybridsched/internal/sched"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/stats"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+// newAlgorithm instantiates a registered matching algorithm with a fixed
+// seed.
+func newAlgorithm(name string, n int) (match.Algorithm, error) {
+	return match.New(name, n, 1)
+}
+
+// algorithmSubset is the stable list of built-in algorithms experiments
+// iterate (user-registered plug-ins are excluded so results stay
+// comparable).
+func algorithmSubset() []string {
+	return []string{"tdma", "islip1", "islip", "pim", "wavefront", "greedy", "hungarian"}
+}
+
+// ---------------------------------------------------------------------------
+// E2 — small-flow latency and jitter under fast vs slow scheduling.
+
+// E2MiceLatency runs the same mice+elephants workload under a hardware and
+// a software scheduler and reports the latency-sensitive flows' delay
+// distribution — the paper's VOIP/gaming QoE argument. All traffic rides
+// the scheduled fabric here (no EPS escape hatch), because the claim is
+// about what scheduling speed does to interactive flows; examples/voip
+// additionally shows how much an EPS buys back.
+func E2MiceLatency(sc Scale) (*Result, error) {
+	res := &Result{ID: "E2", Title: "Small-flow latency/jitter: fast vs slow scheduling"}
+	ports := 8
+	dur := 4 * units.Millisecond
+	if sc == Full {
+		ports = 16
+		dur = 20 * units.Millisecond
+	}
+	tab := report.NewTable("20% latency-sensitive traffic, load 0.5, all traffic scheduled",
+		"scheduler", "mice_p50", "mice_p99", "mice_jitter(p99-p50)", "all_p50", "delivered_frac")
+	type variant struct {
+		name      string
+		timing    sched.TimingModel
+		pipelined bool
+		slot      units.Duration
+		reconfig  units.Duration
+	}
+	var miceP99 []int64
+	for _, v := range []variant{
+		{"hardware (fast optics)", sched.DefaultHardware(), true,
+			10 * units.Microsecond, 200 * units.Nanosecond},
+		{"software (slow optics)", sched.DefaultSoftware(), false,
+			300 * units.Microsecond, 100 * units.Microsecond},
+	} {
+		m, err := runScenario(fabric.Config{
+			Ports:        ports,
+			LineRate:     10 * units.Gbps,
+			LinkDelay:    500 * units.Nanosecond,
+			Slot:         v.slot,
+			ReconfigTime: v.reconfig,
+			Algorithm:    "islip",
+			Timing:       v.timing,
+			Pipelined:    v.pipelined,
+		}, traffic.Config{
+			Ports:                ports,
+			LineRate:             10 * units.Gbps,
+			Load:                 0.5,
+			Pattern:              traffic.Uniform{},
+			Sizes:                traffic.Fixed{Size: 1500 * units.Byte},
+			LatencySensitiveFrac: 0.2,
+			Seed:                 17,
+		}, dur)
+		if err != nil {
+			return nil, err
+		}
+		jitter := units.Duration(m.LatencyMice.P99 - m.LatencyMice.P50)
+		tab.AddRow(v.name,
+			units.Duration(m.LatencyMice.P50), units.Duration(m.LatencyMice.P99),
+			jitter, units.Duration(m.Latency.P50), m.DeliveredFraction())
+		res.note("%s: mice p99 %v", v.name, units.Duration(m.LatencyMice.P99))
+		miceP99 = append(miceP99, m.LatencyMice.P99)
+	}
+	res.Tables = append(res.Tables, tab)
+	if len(miceP99) == 2 && miceP99[0] > 0 {
+		res.note("slow/fast mice p99 ratio: %.0fx", float64(miceP99[1])/float64(miceP99[0]))
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// E3 — hybrid throughput vs skew.
+
+// E3HybridVsSkew sweeps hotspot concentration and compares an EPS-only
+// switch, a demand-oblivious TDMA hybrid and a demand-aware greedy hybrid.
+func E3HybridVsSkew(sc Scale) (*Result, error) {
+	res := &Result{ID: "E3", Title: "Hybrid throughput vs traffic skew"}
+	ports := 8
+	dur := 4 * units.Millisecond
+	if sc == Full {
+		ports = 16
+		dur = 16 * units.Millisecond
+	}
+	fracs := []float64{0, 0.5, 0.9}
+	if sc == Full {
+		fracs = []float64{0, 0.25, 0.5, 0.75, 0.9}
+	}
+	tab := report.NewTable("ON/OFF load 0.6; EPS provisioned at LineRate/10",
+		"hotspot_frac", "system", "delivered_frac", "ocs_share", "mean_lat")
+	systems := []struct {
+		name string
+		cfg  func() fabric.Config
+	}{
+		{"eps-only", func() fabric.Config {
+			return fabric.Config{
+				Ports: ports, LineRate: 10 * units.Gbps,
+				LinkDelay: 500 * units.Nanosecond,
+				Slot:      10 * units.Microsecond, ReconfigTime: units.Microsecond,
+				Algorithm: "greedy", Timing: sched.DefaultHardware(), Pipelined: true,
+				EnableEPS: true,
+				// Force everything onto the EPS.
+				Rules: []classify.Rule{{
+					Priority: 1, Src: classify.Any, Dst: classify.Any, Class: classify.Any,
+					Action: classify.Action{Hint: classify.EPSOnly},
+				}},
+			}
+		}},
+		{"tdma-hybrid", func() fabric.Config {
+			return fabric.Config{
+				Ports: ports, LineRate: 10 * units.Gbps,
+				LinkDelay: 500 * units.Nanosecond,
+				Slot:      10 * units.Microsecond, ReconfigTime: units.Microsecond,
+				Algorithm: "tdma", Timing: sched.DefaultHardware(), Pipelined: true,
+				EnableEPS: true, ResidualTimeout: 200 * units.Microsecond,
+			}
+		}},
+		{"greedy-hybrid", func() fabric.Config {
+			return fabric.Config{
+				Ports: ports, LineRate: 10 * units.Gbps,
+				LinkDelay: 500 * units.Nanosecond,
+				Slot:      10 * units.Microsecond, ReconfigTime: units.Microsecond,
+				Algorithm: "greedy", Timing: sched.DefaultHardware(), Pipelined: true,
+				EnableEPS: true, ResidualTimeout: 200 * units.Microsecond,
+			}
+		}},
+	}
+	series := map[string]*stats.Series{}
+	for _, sys := range systems {
+		series[sys.name] = &stats.Series{Name: sys.name}
+	}
+	for _, frac := range fracs {
+		var pattern traffic.Pattern = traffic.Uniform{}
+		if frac > 0 {
+			pattern = traffic.Hotspot{Frac: frac, Spots: 2}
+		}
+		for _, sys := range systems {
+			m, err := runScenario(sys.cfg(), traffic.Config{
+				Ports:         ports,
+				LineRate:      10 * units.Gbps,
+				Load:          0.6,
+				Pattern:       pattern,
+				Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
+				Process:       traffic.OnOff,
+				BurstMeanPkts: 32,
+				Seed:          23,
+			}, dur)
+			if err != nil {
+				return nil, err
+			}
+			ocsShare := 0.0
+			if m.DeliveredBits > 0 {
+				ocsShare = float64(m.OCS.BitsDelivered) / float64(m.DeliveredBits)
+			}
+			tab.AddRow(frac, sys.name, m.DeliveredFraction(), ocsShare,
+				units.Duration(m.Latency.Mean))
+			series[sys.name].Append(frac, m.DeliveredFraction())
+		}
+	}
+	res.Tables = append(res.Tables, tab)
+	for _, sys := range systems {
+		res.Series = append(res.Series, series[sys.name])
+	}
+	res.note("demand-aware circuits (greedy) hold goodput as skew rises; EPS-only saturates its 1/10 capacity; TDMA wastes slots on cold pairs")
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// E4 — algorithm scaling (measured wall clock and model cycles).
+
+// E4AlgorithmScaling measures real Schedule() wall time on saturated
+// random demand across port counts and sets it against the hardware-depth
+// model.
+func E4AlgorithmScaling(sc Scale) (*Result, error) {
+	res := &Result{ID: "E4", Title: "Matching algorithm cost scaling"}
+	portCounts := []int{8, 16, 32, 64}
+	if sc == Full {
+		portCounts = append(portCounts, 128)
+	}
+	reps := 20
+	if sc == Full {
+		reps = 100
+	}
+	tab := report.NewTable("saturated random demand; wall time is this host's CPU",
+		"algorithm", "ports", "wall_us_per_schedule", "hw_depth", "sw_ops")
+	r := rng.New(777)
+	for _, name := range algorithmSubset() {
+		for _, n := range portCounts {
+			algo, err := newAlgorithm(name, n)
+			if err != nil {
+				return nil, err
+			}
+			d := demand.NewMatrix(n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i != j {
+						d.Set(i, j, int64(1+r.Intn(10000)))
+					}
+				}
+			}
+			start := time.Now()
+			for k := 0; k < reps; k++ {
+				algo.Schedule(d)
+			}
+			wall := time.Since(start).Seconds() / float64(reps) * 1e6
+			c := algo.Complexity(n)
+			tab.AddRow(name, n, wall, c.HardwareDepth, c.SoftwareOps)
+		}
+	}
+	res.Tables = append(res.Tables, tab)
+	res.note("hungarian's n^3 growth vs the iterative arbiters' n^2 is why exact matching is a software-only luxury")
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// E5 — duty cycle vs reconfiguration/slot ratio.
+
+// E5DutyCycle compares the analytic duty cycle slot/(slot+reconfig) with
+// the simulated OCS duty cycle and goodput.
+func E5DutyCycle(sc Scale) (*Result, error) {
+	res := &Result{ID: "E5", Title: "OCS duty cycle vs reconfiguration/slot ratio"}
+	ports := 8
+	dur := 4 * units.Millisecond
+	if sc == Full {
+		dur = 16 * units.Millisecond
+	}
+	slot := 20 * units.Microsecond
+	ratios := []float64{0.01, 0.1, 0.5, 1, 2}
+	tab := report.NewTable(fmt.Sprintf("slot fixed at %v, permutation traffic load 0.8", slot),
+		"reconfig/slot", "reconfig", "analytic_duty", "sim_duty", "delivered_frac")
+	curve := &stats.Series{Name: "delivered-vs-ratio"}
+	for _, ratio := range ratios {
+		reconfig := units.Duration(float64(slot) * ratio)
+		m, err := runScenario(fabric.Config{
+			Ports:        ports,
+			LineRate:     10 * units.Gbps,
+			LinkDelay:    500 * units.Nanosecond,
+			Slot:         slot,
+			ReconfigTime: reconfig,
+			Algorithm:    "greedy",
+			Timing:       sched.DefaultHardware(),
+			Pipelined:    true,
+		}, traffic.Config{
+			Ports:    ports,
+			LineRate: 10 * units.Gbps,
+			Load:     0.8,
+			Pattern:  traffic.NewPermutation(ports, 5),
+			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+			Seed:     31,
+		}, dur)
+		if err != nil {
+			return nil, err
+		}
+		analytic := float64(slot) / (float64(slot) + float64(reconfig))
+		tab.AddRow(ratio, reconfig, analytic, m.DutyCycle, m.DeliveredFraction())
+		curve.Append(ratio, m.DeliveredFraction())
+	}
+	res.Tables = append(res.Tables, tab)
+	res.Series = append(res.Series, curve)
+	res.note("when reconfiguration approaches the slot length the circuit spends as long dark as lit: goodput collapses — why ns optics need ns schedulers")
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// E6 — synchronization distance in the host-buffered regime.
+
+// E6SyncSlack sweeps the host<->switch link delay under host buffering:
+// every grant pays 2x the link delay before data reaches the circuit, so
+// goodput decays as synchronization distance grows relative to the slot.
+func E6SyncSlack(sc Scale) (*Result, error) {
+	res := &Result{ID: "E6", Title: "Host-switch synchronization distance vs goodput (host-buffered)"}
+	ports := 8
+	dur := 8 * units.Millisecond
+	if sc == Full {
+		dur = 24 * units.Millisecond
+	}
+	slot := 50 * units.Microsecond
+	delays := []units.Duration{
+		500 * units.Nanosecond,
+		5 * units.Microsecond,
+		12500 * units.Nanosecond,
+		25 * units.Microsecond,
+	}
+	tab := report.NewTable(fmt.Sprintf("host-buffered, slot %v, reconfig 5us, load 0.5", slot),
+		"link_delay", "2xdelay/slot", "delivered_frac", "missed_circuit", "lat_p50", "host_peak")
+	curve := &stats.Series{Name: "missed-vs-sync-distance"}
+	for _, d := range delays {
+		m, err := runScenario(fabric.Config{
+			Ports:        ports,
+			LineRate:     10 * units.Gbps,
+			LinkDelay:    d,
+			Slot:         slot,
+			ReconfigTime: 5 * units.Microsecond,
+			Algorithm:    "islip",
+			Timing:       sched.DefaultHardware(),
+			Buffer:       fabric.BufferAtHost,
+		}, traffic.Config{
+			Ports:    ports,
+			LineRate: 10 * units.Gbps,
+			Load:     0.5,
+			Pattern:  traffic.Uniform{},
+			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+			Seed:     37,
+		}, dur)
+		if err != nil {
+			return nil, err
+		}
+		frac := float64(2*d) / float64(slot)
+		tab.AddRow(d, frac, m.DeliveredFraction(), m.MissedCircuit,
+			units.Duration(m.Latency.P50), m.PeakHostBuffer)
+		curve.Append(frac, float64(m.MissedCircuit)+1)
+	}
+	res.Tables = append(res.Tables, tab)
+	res.Series = append(res.Series, curve)
+	res.note("as 2x link delay approaches the slot, host-released packets increasingly arrive after their circuit has moved on (missed_circuit explodes) and buffering/latency grow — the tight-synchronization burden of §2")
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// E7 — crossbar arbiter quality: throughput vs offered load.
+
+// E7CrossbarSchedulers reduces the fabric to a pure input-queued crossbar
+// (zero reconfiguration time) and sweeps offered load for each arbiter.
+func E7CrossbarSchedulers(sc Scale) (*Result, error) {
+	res := &Result{ID: "E7", Title: "Crossbar arbiter throughput vs offered load"}
+	ports := 8
+	dur := 4 * units.Millisecond
+	if sc == Full {
+		ports = 16
+		dur = 16 * units.Millisecond
+	}
+	loads := []float64{0.4, 0.7, 0.95}
+	if sc == Full {
+		loads = []float64{0.3, 0.5, 0.7, 0.8, 0.9, 0.95}
+	}
+	algs := []string{"tdma", "islip1", "islip", "pim", "wavefront"}
+	// Cell-mode crossbar: the slot is exactly one frame time, so each
+	// matched pair moves one packet per slot — the classical input-queued
+	// switch model iSLIP was designed for.
+	tab := report.NewTable("uniform Poisson traffic, zero reconfiguration, slot = 1 frame (cell mode)",
+		"algorithm", "load", "delivered_frac", "mean_lat", "p99_lat")
+	slot := units.TransmitTime(1500*units.Byte, 10*units.Gbps)
+	run := func(a string, load float64, pattern traffic.Pattern, seed uint64) (fabric.Metrics, error) {
+		return runScenario(fabric.Config{
+			Ports:        ports,
+			LineRate:     10 * units.Gbps,
+			LinkDelay:    100 * units.Nanosecond,
+			Slot:         slot,
+			ReconfigTime: 0,
+			Algorithm:    a,
+			Timing: sched.Hardware{ClockPeriod: units.Nanosecond,
+				PipelineDepth: 1, RequestWire: units.Nanosecond, GrantWire: units.Nanosecond},
+			Pipelined: true,
+		}, traffic.Config{
+			Ports:    ports,
+			LineRate: 10 * units.Gbps,
+			Load:     load,
+			Pattern:  pattern,
+			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+			Seed:     seed,
+		}, dur)
+	}
+	for _, load := range loads {
+		for _, a := range algs {
+			m, err := run(a, load, traffic.Uniform{}, 41)
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRow(a, load, m.DeliveredFraction(),
+				units.Duration(m.Latency.Mean), units.Duration(m.Latency.P99))
+		}
+	}
+	res.Tables = append(res.Tables, tab)
+
+	// Uniform traffic is TDMA's best case (its rotation IS the traffic
+	// matrix). The discriminating workload is a permutation: demand-aware
+	// arbiters serve it every slot; the oblivious rotation only hits the
+	// right pairing 1/(n-1) of the time.
+	permTab := report.NewTable("permutation traffic, load 0.9 (demand-awareness test)",
+		"algorithm", "delivered_frac", "mean_lat")
+	series := map[string]*stats.Series{}
+	for _, a := range algs {
+		m, err := run(a, 0.9, traffic.NewPermutation(ports, 5), 43)
+		if err != nil {
+			return nil, err
+		}
+		permTab.AddRow(a, m.DeliveredFraction(), units.Duration(m.Latency.Mean))
+		s := &stats.Series{Name: a}
+		s.Append(0.9, m.DeliveredFraction())
+		series[a] = s
+	}
+	res.Tables = append(res.Tables, permTab)
+	for _, a := range algs {
+		res.Series = append(res.Series, series[a])
+	}
+	res.note("uniform load: all arbiters sustain it, differing in latency; permutation load: demand-aware arbiters deliver ~100%%, oblivious TDMA ~1/(n-1) — the baseline the framework exists to beat")
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// E8 — demand estimation accuracy.
+
+// E8DemandEstimation feeds identical ON/OFF arrivals to each estimator and
+// scores the estimate against the traffic actually arriving in the next
+// interval (what the schedule it produces will face).
+func E8DemandEstimation(sc Scale) (*Result, error) {
+	res := &Result{ID: "E8", Title: "Demand estimation accuracy vs estimator"}
+	ports := 8
+	dur := 8 * units.Millisecond
+	if sc == Full {
+		dur = 32 * units.Millisecond
+	}
+	interval := 100 * units.Microsecond
+
+	type estFactory struct {
+		name string
+		mk   func() demand.Estimator
+		// scale converts the estimator's snapshot volume to an expected
+		// per-interval volume (a window of 10 intervals predicts 1/10 of
+		// its sum for the next interval).
+		scale float64
+	}
+	factories := []estFactory{
+		{"window-100us", func() demand.Estimator { return demand.NewWindow(ports, 100*units.Microsecond) }, 1},
+		{"window-1ms", func() demand.Estimator { return demand.NewWindow(ports, units.Millisecond) }, 0.1},
+		{"ewma-0.2", func() demand.Estimator { return demand.NewEWMA(ports, 0.2, interval) }, 1},
+		{"ewma-0.8", func() demand.Estimator { return demand.NewEWMA(ports, 0.8, interval) }, 1},
+	}
+	tab := report.NewTable("ON/OFF traffic, load 0.6; error vs next-interval arrivals",
+		"estimator", "mean_rel_error", "intervals")
+	for _, f := range factories {
+		est := f.mk()
+		// Replay the same traffic into the estimator and collect actual
+		// per-interval arrival matrices.
+		gen, err := traffic.New(traffic.Config{
+			Ports:    ports,
+			LineRate: 10 * units.Gbps,
+			Load:     0.6,
+			Pattern:  traffic.Hotspot{Frac: 0.5, Spots: 2},
+			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+			Process:  traffic.OnOff,
+			// Long bursts (~300us at line rate) so that an estimator
+			// with a fresh view can actually predict the next interval;
+			// the freshness of the view is what is being scored.
+			BurstMeanPkts: 256,
+			Until:         units.Time(dur),
+			Seed:          53,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := sim.New()
+		var actual []*demand.Matrix
+		var snapshots []*demand.Matrix
+		cur := demand.NewMatrix(ports)
+		gen.Start(s, func(p *packet.Packet) {
+			est.Observe(s.Now(), int(p.Src), int(p.Dst), int64(p.Size))
+			cur.Add(int(p.Src), int(p.Dst), int64(p.Size))
+		})
+		nTicks := int(int64(dur) / int64(interval))
+		for k := 1; k <= nTicks; k++ {
+			s.At(units.Time(int64(interval)*int64(k)), func() {
+				snapshots = append(snapshots, est.Snapshot(s.Now()))
+				actual = append(actual, cur)
+				cur = demand.NewMatrix(ports)
+			})
+		}
+		s.Run()
+		// Score snapshot k against arrivals in interval k+1 (what the
+		// schedule computed from snapshot k would serve).
+		var errSum float64
+		var count int
+		for k := 0; k+1 < len(snapshots); k++ {
+			e := relErrorScaled(snapshots[k], actual[k+1], f.scale)
+			if !math.IsNaN(e) {
+				errSum += e
+				count++
+			}
+		}
+		if count == 0 {
+			return nil, fmt.Errorf("experiments: no scored intervals for %s", f.name)
+		}
+		tab.AddRow(f.name, errSum/float64(count), count)
+	}
+	res.Tables = append(res.Tables, tab)
+	res.note("shorter windows track ON/OFF bursts better; heavy smoothing lags — the estimation-freshness term of scheduler latency")
+	return res, nil
+}
+
+// relError returns ||est-actual||_1 / ||actual||_1 normalized per matrix,
+// NaN when the actual interval is empty.
+func relError(est, actual *demand.Matrix) float64 {
+	return relErrorScaled(est, actual, 1)
+}
+
+// relErrorScaled is relError with the estimate multiplied by scale first.
+func relErrorScaled(est, actual *demand.Matrix, scale float64) float64 {
+	var num, den float64
+	n := actual.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a := float64(actual.At(i, j))
+			e := float64(est.At(i, j)) * scale
+			num += math.Abs(e - a)
+			den += a
+		}
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/units"
+)
+
+// TestAllExperimentsRunQuick executes every registered experiment at Quick
+// scale — the end-to-end integration test of the whole framework.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range Registry {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(Quick)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result id %q, want %q", res.ID, e.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range res.Tables {
+				if tab.Rows() == 0 {
+					t.Fatalf("%s produced an empty table", e.ID)
+				}
+				var b strings.Builder
+				tab.Render(&b)
+				if b.Len() == 0 {
+					t.Fatalf("%s table renders empty", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("NOPE", Quick); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	res, err := Run("T1", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "T1" || len(res.Notes) == 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestFigure1ShapeHolds asserts the headline reproduction: the analytic
+// aggregate curve spans KB (ns) to GB (ms) and the simulated ToR peak is
+// monotone in the reconfiguration time.
+func TestFigure1ShapeHolds(t *testing.T) {
+	res, err := Figure1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg *statsSeries
+	for _, s := range res.Series {
+		if s.Name == "aggregate-bytes" {
+			agg = s
+		}
+	}
+	if agg == nil {
+		t.Fatal("aggregate series missing")
+	}
+	first := agg.Y[0]
+	last := agg.Y[len(agg.Y)-1]
+	if first > 20e3 {
+		t.Fatalf("ns endpoint %v bytes; want kilobytes", first)
+	}
+	if last < 1e9 {
+		t.Fatalf("ms endpoint %v bytes; want gigabytes", last)
+	}
+	// Simulated switch peak monotone non-decreasing.
+	var sw *statsSeries
+	for _, s := range res.Series {
+		if s.Name == "sim-switch-peak-bytes" {
+			sw = s
+		}
+	}
+	if sw == nil {
+		t.Fatal("sim series missing")
+	}
+	for i := 1; i < len(sw.Y); i++ {
+		if sw.Y[i] < sw.Y[i-1]*0.8 { // allow small noise
+			t.Fatalf("simulated peak not monotone: %v", sw.Y)
+		}
+	}
+}
+
+// statsSeries aliases the stats series type without importing it twice.
+type statsSeries = seriesAlias
+
+func TestE5DutyCollapse(t *testing.T) {
+	res, err := E5DutyCycle(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var curve *statsSeries
+	for _, s := range res.Series {
+		if s.Name == "delivered-vs-ratio" {
+			curve = s
+		}
+	}
+	if curve == nil || len(curve.Y) < 3 {
+		t.Fatal("curve missing")
+	}
+	// Goodput at ratio 0.01 must beat goodput at ratio 2 substantially.
+	if curve.Y[0] < curve.Y[len(curve.Y)-1]*1.3 {
+		t.Fatalf("duty-cycle collapse not visible: %v", curve.Y)
+	}
+}
+
+func TestE7ISLIPBeatsTDMA(t *testing.T) {
+	res, err := E7CrossbarSchedulers(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]*statsSeries{}
+	for _, s := range res.Series {
+		series[s.Name] = s
+	}
+	islip, tdma := series["islip"], series["tdma"]
+	if islip == nil || tdma == nil {
+		t.Fatal("series missing")
+	}
+	// At the highest load point, iSLIP must deliver a strictly larger
+	// fraction than oblivious TDMA.
+	li, lt := islip.Y[len(islip.Y)-1], tdma.Y[len(tdma.Y)-1]
+	if li <= lt {
+		t.Fatalf("islip %.3f <= tdma %.3f at high load", li, lt)
+	}
+}
+
+func TestRelError(t *testing.T) {
+	a := demand.NewMatrix(2)
+	b := demand.NewMatrix(2)
+	if !math.IsNaN(relError(a, b)) {
+		t.Fatal("empty actual should be NaN")
+	}
+	b.Set(0, 1, 100)
+	if got := relError(a, b); got != 1.0 {
+		t.Fatalf("all-missing estimate should be error 1.0, got %v", got)
+	}
+	a.Set(0, 1, 100)
+	if got := relError(a, b); got != 0 {
+		t.Fatalf("perfect estimate should be 0, got %v", got)
+	}
+	a.Set(0, 1, 150)
+	if got := relError(a, b); got != 0.5 {
+		t.Fatalf("50%% over should be 0.5, got %v", got)
+	}
+}
+
+func TestNoteFormatting(t *testing.T) {
+	r := &Result{}
+	r.note("x=%d", 7)
+	if len(r.Notes) != 1 || r.Notes[0] != "x=7" {
+		t.Fatalf("notes = %v", r.Notes)
+	}
+}
+
+func TestUnitsSanityForE6(t *testing.T) {
+	// The E6 sweep's "12500ns" entry is 12.5us — a quarter of the 50us
+	// slot after doubling. Guard the arithmetic used in the table.
+	d := 12500 * units.Nanosecond
+	slot := 50 * units.Microsecond
+	if frac := float64(2*d) / float64(slot); frac != 0.5 {
+		t.Fatalf("frac = %v", frac)
+	}
+}

@@ -1,0 +1,99 @@
+// Package host models end hosts for the paper's *slow scheduling* regime
+// (Figure 1, top): when the switch cannot buffer a reconfiguration's worth
+// of traffic, "packets stored in the host can be passed to the switch only
+// at appropriate times, upon a grant from the scheduler". Hosts keep
+// per-destination queues, release packets only against grants, and pay the
+// host<->switch link latency both for requests and for released data — the
+// synchronization burden §2 describes.
+package host
+
+import (
+	"hybridsched/internal/packet"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/units"
+	"hybridsched/internal/voq"
+)
+
+// Config parameterizes the host bank.
+type Config struct {
+	Ports      int
+	NICRate    units.BitRate  // host uplink serialization rate
+	LinkDelay  units.Duration // one-way host<->switch propagation
+	QueueLimit units.Size     // per-destination queue limit (0 = unlimited)
+}
+
+// Bank models all hosts attached to one switch: host i holds a queue per
+// destination j.
+type Bank struct {
+	sim     *sim.Simulator
+	cfg     Config
+	queues  *voq.Bank
+	nicBusy []units.Time
+}
+
+// New returns an idle host bank. notify (optional) fires on queue
+// empty/non-empty transitions — the host-side scheduling requests.
+func New(s *sim.Simulator, cfg Config, notify voq.Notify) *Bank {
+	if cfg.Ports <= 0 {
+		panic("host: Ports must be positive")
+	}
+	if cfg.NICRate <= 0 {
+		panic("host: NICRate must be positive")
+	}
+	return &Bank{
+		sim:     s,
+		cfg:     cfg,
+		queues:  voq.NewBank(cfg.Ports, cfg.QueueLimit, notify),
+		nicBusy: make([]units.Time, cfg.Ports),
+	}
+}
+
+// Enqueue buffers p at its source host. It returns false on tail-drop.
+func (b *Bank) Enqueue(t units.Time, p *packet.Packet) bool {
+	return b.queues.Enqueue(t, p)
+}
+
+// Backlog returns queued bits from host in to destination out.
+func (b *Bank) Backlog(in, out packet.Port) units.Size {
+	return b.queues.Queue(in, out).Bits()
+}
+
+// TotalBits returns the aggregate host-side backlog.
+func (b *Bank) TotalBits() units.Size { return b.queues.TotalBits() }
+
+// PeakBits returns the aggregate host-buffering high-water mark — the
+// Figure 1 "host buffering" measurement.
+func (b *Bank) PeakBits() units.Size { return b.queues.PeakBits() }
+
+// Drops returns tail-dropped packets across all host queues.
+func (b *Bank) Drops() int64 { return b.queues.Drops() }
+
+// Queues exposes the underlying bank for demand estimation.
+func (b *Bank) Queues() *voq.Bank { return b.queues }
+
+// Release dequeues up to budget bits from host in's queue to out and
+// transmits them over the host uplink: each packet serializes at NICRate
+// (the NIC is shared across destinations, so releases on one host are
+// serialized) and arrives at the switch one LinkDelay later via arrive.
+// It returns the number of bits released.
+//
+// Release is called when the grant reaches the host; the caller is
+// responsible for having delayed it by the grant propagation time.
+func (b *Bank) Release(in, out packet.Port, budget units.Size, arrive func(p *packet.Packet)) units.Size {
+	now := b.sim.Now()
+	pkts := b.queues.DequeueUpTo(now, in, out, budget)
+	var released units.Size
+	start := b.nicBusy[in]
+	if start < now {
+		start = now
+	}
+	for _, p := range pkts {
+		tx := units.TransmitTime(p.Size, b.cfg.NICRate)
+		start = start.Add(tx)
+		released += p.Size
+		p := p
+		b.sim.At(start.Add(b.cfg.LinkDelay), func() { arrive(p) })
+	}
+	b.nicBusy[in] = start
+	return released
+}

@@ -1,0 +1,130 @@
+package host
+
+import (
+	"testing"
+
+	"hybridsched/internal/packet"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/units"
+)
+
+func testBank(t *testing.T) (*sim.Simulator, *Bank) {
+	t.Helper()
+	s := sim.New()
+	b := New(s, Config{
+		Ports:     4,
+		NICRate:   10 * units.Gbps,
+		LinkDelay: units.Microsecond,
+	}, nil)
+	return s, b
+}
+
+func TestEnqueueAndBacklog(t *testing.T) {
+	_, b := testBank(t)
+	p := &packet.Packet{Src: 1, Dst: 2, Size: 1500 * units.Byte}
+	if !b.Enqueue(0, p) {
+		t.Fatal("enqueue failed")
+	}
+	if b.Backlog(1, 2) != 1500*units.Byte {
+		t.Fatalf("backlog = %v", b.Backlog(1, 2))
+	}
+	if b.TotalBits() != 1500*units.Byte || b.PeakBits() != 1500*units.Byte {
+		t.Fatal("aggregate accounting wrong")
+	}
+}
+
+func TestReleasePacingAndDelay(t *testing.T) {
+	s, b := testBank(t)
+	for i := 0; i < 3; i++ {
+		b.Enqueue(0, &packet.Packet{ID: uint64(i), Src: 0, Dst: 1, Size: 1500 * units.Byte})
+	}
+	var arrivals []units.Time
+	var ids []uint64
+	released := b.Release(0, 1, 10*1500*units.Byte, func(p *packet.Packet) {
+		arrivals = append(arrivals, s.Now())
+		ids = append(ids, p.ID)
+	})
+	if released != 3*1500*units.Byte {
+		t.Fatalf("released %v", released)
+	}
+	s.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	// 1500B at 10Gbps = 1.2us tx; arrivals at 1.2+1, 2.4+1, 3.6+1 us.
+	tx := 1200 * units.Nanosecond
+	for i, a := range arrivals {
+		want := units.Time(units.Duration(i+1)*tx + units.Microsecond)
+		if a != want {
+			t.Fatalf("arrival %d at %v, want %v", i, a, want)
+		}
+		if ids[i] != uint64(i) {
+			t.Fatal("order broken")
+		}
+	}
+	if b.Backlog(0, 1) != 0 {
+		t.Fatal("queue should be drained")
+	}
+}
+
+func TestReleaseRespectsBudget(t *testing.T) {
+	s, b := testBank(t)
+	for i := 0; i < 5; i++ {
+		b.Enqueue(0, &packet.Packet{Src: 0, Dst: 1, Size: 1500 * units.Byte})
+	}
+	released := b.Release(0, 1, 2*1500*units.Byte, func(*packet.Packet) {})
+	if released != 2*1500*units.Byte {
+		t.Fatalf("released %v, want 2 packets", released)
+	}
+	if b.Backlog(0, 1) != 3*1500*units.Byte {
+		t.Fatalf("backlog = %v", b.Backlog(0, 1))
+	}
+	s.Run()
+}
+
+func TestNICSharedAcrossDestinations(t *testing.T) {
+	s, b := testBank(t)
+	b.Enqueue(0, &packet.Packet{Src: 0, Dst: 1, Size: 1500 * units.Byte})
+	b.Enqueue(0, &packet.Packet{Src: 0, Dst: 2, Size: 1500 * units.Byte})
+	var arrivals []units.Time
+	b.Release(0, 1, units.Gigabyte, func(*packet.Packet) { arrivals = append(arrivals, s.Now()) })
+	b.Release(0, 2, units.Gigabyte, func(*packet.Packet) { arrivals = append(arrivals, s.Now()) })
+	s.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	// Second release must queue behind the first on the shared NIC:
+	// arrivals 1.2us apart, not simultaneous.
+	if arrivals[1].Sub(arrivals[0]) != 1200*units.Nanosecond {
+		t.Fatalf("NIC pacing broken: %v vs %v", arrivals[0], arrivals[1])
+	}
+}
+
+func TestQueueLimitDrops(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{
+		Ports: 2, NICRate: 10 * units.Gbps,
+		QueueLimit: 2000 * units.Byte,
+	}, nil)
+	b.Enqueue(0, &packet.Packet{Src: 0, Dst: 1, Size: 1500 * units.Byte})
+	if b.Enqueue(0, &packet.Packet{Src: 0, Dst: 1, Size: 1500 * units.Byte}) {
+		t.Fatal("should tail-drop")
+	}
+	if b.Drops() != 1 {
+		t.Fatalf("drops = %d", b.Drops())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := sim.New()
+	for _, cfg := range []Config{
+		{Ports: 0, NICRate: units.Gbps},
+		{Ports: 2, NICRate: 0},
+	} {
+		func() {
+			defer func() { recover() }()
+			New(s, cfg, nil)
+			t.Errorf("expected panic for %+v", cfg)
+		}()
+	}
+}

@@ -1,0 +1,195 @@
+package match
+
+import (
+	"sort"
+
+	"hybridsched/internal/demand"
+)
+
+// Slot is one entry of a circuit schedule: hold Match for long enough to
+// serve Weight demand units on every matched pair.
+type Slot struct {
+	Match  Matching
+	Weight int64
+}
+
+// ScheduleCost returns the total demand units a schedule occupies,
+// including a fixed reconfiguration overhead (in the same units) per slot.
+// This is the quantity duty-cycle analysis compares against the matrix's
+// MaxLineSum lower bound.
+func ScheduleCost(slots []Slot, overhead int64) int64 {
+	var total int64
+	for _, s := range slots {
+		total += s.Weight + overhead
+	}
+	return total
+}
+
+// DecomposeBvN performs a Birkhoff–von Neumann decomposition: the matrix is
+// stuffed so every line sums to MaxLineSum, then repeatedly a perfect
+// matching on the positive support is extracted with weight equal to its
+// minimum entry. The resulting schedule serves the entire matrix in
+// exactly MaxLineSum demand units — optimal when reconfiguration is free,
+// but it may use up to n^2-2n+2 slots, each paying the OCS dead-time.
+func DecomposeBvN(d *demand.Matrix) []Slot {
+	work := d.Stuff()
+	var slots []Slot
+	for work.Total() > 0 {
+		m, ok := kuhnPerfect(work, 1)
+		if !ok {
+			// Cannot happen for a stuffed matrix (Birkhoff's theorem);
+			// guard against a bug rather than spinning forever.
+			panic("match: stuffed matrix lost perfect matching")
+		}
+		w := minAlong(work, m)
+		subtract(work, m, w)
+		slots = append(slots, Slot{Match: m, Weight: w})
+	}
+	return slots
+}
+
+// DecomposeMaxMin is the reconfiguration-aware decomposition in the spirit
+// of Solstice: each step extracts the perfect matching whose minimum entry
+// is as large as possible (found by binary search over thresholds), so few
+// fat slots carry most of the demand. Extraction stops when the best
+// matching serves less than minWorth per pair — demand not worth an OCS
+// reconfiguration — and the residual is returned for the EPS to carry,
+// exactly the paper's "residual traffic can be sent through the EPS".
+func DecomposeMaxMin(d *demand.Matrix, minWorth int64) (slots []Slot, residual *demand.Matrix) {
+	work := d.Stuff()
+	served := demand.NewMatrix(d.N())
+	for work.Total() > 0 {
+		thr := bestThreshold(work)
+		if thr <= 0 {
+			break
+		}
+		m, ok := kuhnPerfect(work, thr)
+		if !ok {
+			panic("match: threshold search returned infeasible threshold")
+		}
+		w := minAlong(work, m)
+		if minWorth > 0 && w < minWorth {
+			break
+		}
+		subtract(work, m, w)
+		for i, j := range m {
+			if j != Unmatched {
+				served.Add(i, j, w)
+			}
+		}
+		slots = append(slots, Slot{Match: m, Weight: w})
+	}
+	residual = demand.NewMatrix(d.N())
+	for i := 0; i < d.N(); i++ {
+		for j := 0; j < d.N(); j++ {
+			if rem := d.At(i, j) - served.At(i, j); rem > 0 {
+				residual.Set(i, j, rem)
+			}
+		}
+	}
+	return slots, residual
+}
+
+// bestThreshold returns the largest t such that the edges {(i,j) :
+// work(i,j) >= t} admit a perfect matching, or 0 if none does.
+func bestThreshold(work *demand.Matrix) int64 {
+	n := work.N()
+	vals := make([]int64, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := work.At(i, j); v > 0 {
+				vals = append(vals, v)
+			}
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	vals = dedup(vals)
+	lo, hi := 0, len(vals)-1
+	best := int64(0)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if _, ok := kuhnPerfect(work, vals[mid]); ok {
+			best = vals[mid]
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best
+}
+
+func dedup(v []int64) []int64 {
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != v[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// kuhnPerfect finds a perfect matching using only edges with weight >= thr
+// via Kuhn's augmenting-path algorithm. It reports ok=false if no perfect
+// matching exists.
+func kuhnPerfect(d *demand.Matrix, thr int64) (Matching, bool) {
+	n := d.N()
+	matchCol := make([]int, n) // column -> row
+	for j := range matchCol {
+		matchCol[j] = Unmatched
+	}
+	visited := make([]bool, n)
+	var try func(i int) bool
+	try = func(i int) bool {
+		for j := 0; j < n; j++ {
+			if visited[j] || d.At(i, j) < thr || d.At(i, j) <= 0 {
+				continue
+			}
+			visited[j] = true
+			if matchCol[j] == Unmatched || try(matchCol[j]) {
+				matchCol[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		for j := range visited {
+			visited[j] = false
+		}
+		if !try(i) {
+			return nil, false
+		}
+	}
+	m := NewMatching(n)
+	for j, i := range matchCol {
+		m[i] = j
+	}
+	return m, true
+}
+
+func minAlong(d *demand.Matrix, m Matching) int64 {
+	var w int64 = -1
+	for i, j := range m {
+		if j == Unmatched {
+			continue
+		}
+		if v := d.At(i, j); w < 0 || v < w {
+			w = v
+		}
+	}
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+func subtract(d *demand.Matrix, m Matching, w int64) {
+	for i, j := range m {
+		if j != Unmatched {
+			d.Add(i, j, -w)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package match
+
+import (
+	"hybridsched/internal/demand"
+)
+
+// FrameScheduler adapts a frame decomposition (Birkhoff–von Neumann or
+// max-min/Solstice-style) to the per-slot Algorithm interface: when its
+// slot queue is empty it decomposes the current demand snapshot into a
+// frame of matchings and then plays them back one Schedule call at a time.
+// This is how slow-switching optics are actually driven — compute a whole
+// frame, amortize the scheduler over it — in contrast to the per-slot
+// arbiters.
+//
+// Weights are ignored during playback (the fabric's slot length fixes the
+// per-matching service); heavier matchings are emitted proportionally more
+// often by repeating them ceil(weight/quantum) times, preserving the
+// decomposition's service ratios.
+type FrameScheduler struct {
+	n       int
+	maxmin  bool
+	quantum int64 // demand units per emitted slot
+	queue   []Matching
+	frames  int64
+}
+
+// NewBvNFrame returns a frame scheduler using the full BvN decomposition.
+func NewBvNFrame(n int) *FrameScheduler {
+	return &FrameScheduler{n: n}
+}
+
+// NewMaxMinFrame returns a frame scheduler using the reconfiguration-aware
+// max-min decomposition.
+func NewMaxMinFrame(n int) *FrameScheduler {
+	return &FrameScheduler{n: n, maxmin: true}
+}
+
+// Name implements Algorithm.
+func (f *FrameScheduler) Name() string {
+	if f.maxmin {
+		return "maxmin-frame"
+	}
+	return "bvn-frame"
+}
+
+// Reset implements Algorithm.
+func (f *FrameScheduler) Reset() {
+	f.queue = nil
+	f.frames = 0
+}
+
+// Frames returns how many decompositions have been computed.
+func (f *FrameScheduler) Frames() int64 { return f.frames }
+
+// Complexity implements Algorithm: a decomposition costs up to n^2
+// matchings of O(n*E) augmenting search; amortized per emitted slot it is
+// comparable to a couple of Kuhn passes. The hardware depth reflects one
+// augmenting sweep per slot (frame computation overlaps playback in a
+// pipelined implementation).
+func (f *FrameScheduler) Complexity(n int) Complexity {
+	return Complexity{HardwareDepth: 4 * n, SoftwareOps: n * n * n}
+}
+
+// Schedule implements Algorithm.
+func (f *FrameScheduler) Schedule(d *demand.Matrix) Matching {
+	if len(f.queue) == 0 {
+		f.refill(d)
+	}
+	if len(f.queue) == 0 {
+		return NewMatching(f.n)
+	}
+	m := f.queue[0]
+	f.queue = f.queue[1:]
+	return m
+}
+
+func (f *FrameScheduler) refill(d *demand.Matrix) {
+	if d.Total() == 0 {
+		return
+	}
+	var slots []Slot
+	if f.maxmin {
+		// Demand below 1/16 of the max line sum is not worth its own
+		// reconfiguration; the fabric's residue path picks it up.
+		slots, _ = DecomposeMaxMin(d, d.MaxLineSum()/16)
+	} else {
+		slots = DecomposeBvN(d)
+	}
+	if len(slots) == 0 {
+		return
+	}
+	f.frames++
+	// Quantum: the smallest slot weight, so the lightest matching is
+	// emitted exactly once per frame. Cap playback length to keep frames
+	// responsive to demand shifts.
+	quantum := slots[0].Weight
+	for _, s := range slots {
+		if s.Weight < quantum {
+			quantum = s.Weight
+		}
+	}
+	if quantum <= 0 {
+		quantum = 1
+	}
+	const maxPlayback = 64
+	total := 0
+	for _, s := range slots {
+		reps := int((s.Weight + quantum - 1) / quantum)
+		if reps < 1 {
+			reps = 1
+		}
+		for r := 0; r < reps && total < maxPlayback; r++ {
+			f.queue = append(f.queue, s.Match)
+			total++
+		}
+	}
+	f.quantum = quantum
+}
+
+func init() {
+	Register("bvn", func(n int, _ uint64) Algorithm { return NewBvNFrame(n) })
+	Register("maxmin", func(n int, _ uint64) Algorithm { return NewMaxMinFrame(n) })
+}

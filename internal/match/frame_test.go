@@ -1,0 +1,138 @@
+package match
+
+import (
+	"testing"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/rng"
+)
+
+func TestFrameSchedulersRegistered(t *testing.T) {
+	for _, name := range []string{"bvn", "maxmin"} {
+		alg, err := New(name, 4, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if alg.Name() == "" {
+			t.Fatal("empty name")
+		}
+	}
+}
+
+func TestFrameSchedulerEmptyDemand(t *testing.T) {
+	f := NewBvNFrame(4)
+	m := f.Schedule(demand.NewMatrix(4))
+	if m.Size() != 0 {
+		t.Fatalf("empty demand should yield empty matching, got %v", m)
+	}
+	if f.Frames() != 0 {
+		t.Fatal("no frame should have been computed")
+	}
+}
+
+func TestFrameSchedulerPlaysBackDecomposition(t *testing.T) {
+	n := 4
+	f := NewBvNFrame(n)
+	d := demand.NewMatrix(n)
+	// A pure permutation: the decomposition is that single matching.
+	for i := 0; i < n; i++ {
+		d.Set(i, (i+1)%n, 100)
+	}
+	m := f.Schedule(d)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if m[i] != (i+1)%n {
+			t.Fatalf("slot should be the permutation, got %v", m)
+		}
+	}
+	if f.Frames() != 1 {
+		t.Fatalf("frames = %d", f.Frames())
+	}
+}
+
+func TestFrameSchedulerServiceProportions(t *testing.T) {
+	// Two disjoint permutations with 3:1 demand ratio must be emitted
+	// roughly 3:1 within a frame.
+	n := 2
+	f := NewBvNFrame(n)
+	d := demand.NewMatrix(n)
+	d.Set(0, 1, 300)
+	d.Set(1, 0, 300)
+	d.Set(0, 0, 100)
+	d.Set(1, 1, 100)
+	counts := map[int]int{}
+	for k := 0; k < 4; k++ { // one frame = 3+1 playback slots
+		m := f.Schedule(d)
+		counts[m[0]]++
+	}
+	if f.Frames() != 1 {
+		t.Fatalf("frames = %d (playback should cover 4 slots)", f.Frames())
+	}
+	if counts[1] != 3 || counts[0] != 1 {
+		t.Fatalf("service ratio wrong: %v (want 3:1)", counts)
+	}
+}
+
+func TestFrameSchedulerRecomputesWhenExhausted(t *testing.T) {
+	n := 2
+	f := NewMaxMinFrame(n)
+	d := demand.NewMatrix(n)
+	d.Set(0, 1, 50)
+	d.Set(1, 0, 50)
+	f.Schedule(d) // frame 1 computed (single matching, emitted once)
+	first := f.Frames()
+	// Demand changed: next refill must see it.
+	d2 := demand.NewMatrix(n)
+	d2.Set(0, 0, 80)
+	d2.Set(1, 1, 80)
+	m := f.Schedule(d2)
+	if f.Frames() != first+1 {
+		t.Fatalf("frames = %d, want %d", f.Frames(), first+1)
+	}
+	if m[0] != 0 || m[1] != 1 {
+		t.Fatalf("new frame should follow new demand, got %v", m)
+	}
+}
+
+func TestFrameSchedulerPlaybackBounded(t *testing.T) {
+	// A wildly skewed matrix must not enqueue an unbounded playback.
+	n := 4
+	f := NewBvNFrame(n)
+	d := demand.NewMatrix(n)
+	d.Set(0, 1, 1_000_000)
+	d.Set(1, 0, 1)
+	d.Set(2, 3, 1)
+	d.Set(3, 2, 1)
+	f.Schedule(d)
+	if len(f.queue) > 64 {
+		t.Fatalf("playback queue %d exceeds bound", len(f.queue))
+	}
+}
+
+func TestFrameSchedulerValidMatchingsProperty(t *testing.T) {
+	r := rng.New(1331)
+	for _, name := range []string{"bvn", "maxmin"} {
+		alg, _ := New(name, 6, 0)
+		d := randMatrix(r, 6, 0.5, 100)
+		for k := 0; k < 200; k++ {
+			m := alg.Schedule(d)
+			if err := m.Validate(); err != nil {
+				t.Fatalf("%s slot %d invalid: %v", name, k, err)
+			}
+		}
+	}
+}
+
+func TestFrameSchedulerReset(t *testing.T) {
+	f := NewBvNFrame(2)
+	d := demand.NewMatrix(2)
+	d.Set(0, 1, 10)
+	d.Set(1, 0, 10)
+	f.Schedule(d)
+	f.Reset()
+	if f.Frames() != 0 || len(f.queue) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

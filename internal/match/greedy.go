@@ -1,0 +1,83 @@
+package match
+
+import (
+	"sort"
+
+	"hybridsched/internal/demand"
+)
+
+// Greedy is the largest-demand-first maximal matching: sort all (i, j)
+// cells by demand descending and take every cell whose row and column are
+// still free. This is the matching heart of Helios-style hybrid
+// schedulers — serve the biggest elephants on circuits first. It is a
+// 1/2-approximation to the maximum-weight matching with far less work
+// than Hungarian.
+type Greedy struct {
+	n int
+	// edge scratch reused across calls to avoid per-slot allocation.
+	edges []greedyEdge
+}
+
+type greedyEdge struct {
+	w    int64
+	i, j int
+}
+
+// NewGreedy returns a greedy max-weight arbiter.
+func NewGreedy(n int) *Greedy {
+	if n <= 0 {
+		panic("match: greedy needs positive n")
+	}
+	return &Greedy{n: n, edges: make([]greedyEdge, 0, n*n)}
+}
+
+// Name implements Algorithm.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Reset implements Algorithm.
+func (g *Greedy) Reset() {}
+
+// Complexity implements Algorithm: a hardware implementation streams cells
+// through a systolic sorter (depth ~ n log n is generous; selection of n
+// winners dominates); software pays the full n^2 log n sort.
+func (g *Greedy) Complexity(n int) Complexity {
+	l := log2ceil(n * n)
+	return Complexity{HardwareDepth: n * log2ceil(n), SoftwareOps: n * n * l}
+}
+
+// Schedule implements Algorithm.
+func (g *Greedy) Schedule(d *demand.Matrix) Matching {
+	n := g.n
+	g.edges = g.edges[:0]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if w := d.At(i, j); w > 0 {
+				g.edges = append(g.edges, greedyEdge{w, i, j})
+			}
+		}
+	}
+	// Deterministic: ties break by (i, j).
+	sort.Slice(g.edges, func(a, b int) bool {
+		ea, eb := g.edges[a], g.edges[b]
+		if ea.w != eb.w {
+			return ea.w > eb.w
+		}
+		if ea.i != eb.i {
+			return ea.i < eb.i
+		}
+		return ea.j < eb.j
+	})
+	m := NewMatching(n)
+	colUsed := make([]bool, n)
+	for _, e := range g.edges {
+		if m[e.i] == Unmatched && !colUsed[e.j] {
+			m[e.i] = e.j
+			colUsed[e.j] = true
+		}
+	}
+	return m
+}
+
+func init() {
+	Register("greedy", func(n int, _ uint64) Algorithm { return NewGreedy(n) })
+}

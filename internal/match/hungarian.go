@@ -1,0 +1,134 @@
+package match
+
+import (
+	"math"
+
+	"hybridsched/internal/demand"
+)
+
+// Hungarian computes the exact maximum-weight matching with the O(n^3)
+// Hungarian (Kuhn–Munkres) algorithm. This is what c-Through-style
+// software schedulers run over measured demand to pick the optimal circuit
+// configuration — optimal, but far too slow per-slot for nanosecond
+// switching, which is the quantitative heart of the paper's argument.
+type Hungarian struct {
+	n int
+}
+
+// NewHungarian returns an exact max-weight arbiter.
+func NewHungarian(n int) *Hungarian {
+	if n <= 0 {
+		panic("match: hungarian needs positive n")
+	}
+	return &Hungarian{n: n}
+}
+
+// Name implements Algorithm.
+func (h *Hungarian) Name() string { return "hungarian" }
+
+// Reset implements Algorithm.
+func (h *Hungarian) Reset() {}
+
+// Complexity implements Algorithm: the augmenting structure is inherently
+// sequential, so even hardware pays ~n^2 depth; software pays n^3.
+func (h *Hungarian) Complexity(n int) Complexity {
+	return Complexity{HardwareDepth: n * n, SoftwareOps: n * n * n}
+}
+
+// Schedule implements Algorithm.
+func (h *Hungarian) Schedule(d *demand.Matrix) Matching {
+	n := h.n
+	maxW := d.Max()
+	if maxW == 0 {
+		return NewMatching(n)
+	}
+	// Convert max-weight to min-cost: cost = maxW - w. Zero-demand cells
+	// cost maxW (weight 0), so they never displace real demand; they are
+	// stripped from the assignment afterwards.
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+		for j := range cost[i] {
+			cost[i][j] = maxW - d.At(i, j)
+		}
+	}
+	assign := hungarianMin(cost)
+	m := NewMatching(n)
+	for i, j := range assign {
+		if d.At(i, j) > 0 {
+			m[i] = j
+		}
+	}
+	return m
+}
+
+// hungarianMin solves the n x n assignment problem, returning the
+// column assigned to each row so that total cost is minimized. Standard
+// potentials formulation (u, v potentials; p[j] = row matched to column j).
+func hungarianMin(cost [][]int64) []int {
+	n := len(cost)
+	const inf = math.MaxInt64 / 4
+	u := make([]int64, n+1)
+	v := make([]int64, n+1)
+	p := make([]int, n+1)   // column j is matched to row p[j]; 0 = free
+	way := make([]int, n+1) // predecessor column on the alternating path
+	minv := make([]int64, n+1)
+	used := make([]bool, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			var delta int64 = inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	ans := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			ans[p[j]-1] = j - 1
+		}
+	}
+	return ans
+}
+
+func init() {
+	Register("hungarian", func(n int, _ uint64) Algorithm { return NewHungarian(n) })
+}

@@ -1,0 +1,11 @@
+package match
+
+func init() {
+	// islipn runs n iterations — the "fully converged" upper bound used
+	// by the iteration-count ablation (A2). McKeown showed log2(n)
+	// iterations capture almost all of the benefit; registering the
+	// extreme makes that measurable here.
+	Register("islipn", func(n int, _ uint64) Algorithm {
+		return NewISLIP(n, n)
+	})
+}

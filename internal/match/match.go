@@ -1,0 +1,196 @@
+// Package match implements the scheduling algorithms that plug into the
+// scheduling logic — the slot of Figure 2 where "users implement novel
+// design". All algorithms consume a demand matrix and produce a matching
+// (crossbar configuration): which input port is connected to which output
+// port for the next slot.
+//
+// Two families are provided:
+//
+//   - Per-slot crossbar arbiters (TDMA, iSLIP, PIM, wavefront, greedy,
+//     Hungarian): compute one matching per invocation. These are the
+//     algorithms a hardware scheduler runs every slot.
+//   - Frame decompositions (Birkhoff–von Neumann, max-min/Solstice-style):
+//     compute a whole sequence of (matching, duration) slots amortizing
+//     the OCS reconfiguration penalty. These are what circuit schedulers
+//     for slow-switching optics run per frame.
+//
+// Each algorithm reports a Complexity used by the hardware and software
+// timing models in internal/sched to derive schedule-computation latency.
+package match
+
+import (
+	"fmt"
+	"sort"
+)
+
+import "hybridsched/internal/demand"
+
+// Unmatched marks an input port with no output assigned this slot.
+const Unmatched = -1
+
+// Matching maps input port -> output port (or Unmatched). A valid matching
+// assigns each output to at most one input.
+type Matching []int
+
+// NewMatching returns an all-unmatched matching for n ports.
+func NewMatching(n int) Matching {
+	m := make(Matching, n)
+	for i := range m {
+		m[i] = Unmatched
+	}
+	return m
+}
+
+// Identity returns the matching i -> i.
+func Identity(n int) Matching {
+	m := make(Matching, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// Validate returns an error if any output is assigned twice or out of
+// range.
+func (m Matching) Validate() error {
+	seen := make([]bool, len(m))
+	for in, out := range m {
+		if out == Unmatched {
+			continue
+		}
+		if out < 0 || out >= len(m) {
+			return fmt.Errorf("match: input %d assigned out-of-range output %d", in, out)
+		}
+		if seen[out] {
+			return fmt.Errorf("match: output %d assigned twice", out)
+		}
+		seen[out] = true
+	}
+	return nil
+}
+
+// Size returns the number of matched pairs.
+func (m Matching) Size() int {
+	n := 0
+	for _, out := range m {
+		if out != Unmatched {
+			n++
+		}
+	}
+	return n
+}
+
+// Weight returns the total demand served by the matching under d.
+func (m Matching) Weight(d *demand.Matrix) int64 {
+	var w int64
+	for in, out := range m {
+		if out != Unmatched {
+			w += d.At(in, out)
+		}
+	}
+	return w
+}
+
+// Clone returns a copy.
+func (m Matching) Clone() Matching {
+	out := make(Matching, len(m))
+	copy(out, m)
+	return out
+}
+
+// Equal reports whether two matchings are identical.
+func (m Matching) Equal(o Matching) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximal reports whether no unmatched (in, out) pair with positive
+// demand could be added — the defining property of maximal matchings that
+// iterative arbiters (iSLIP, PIM, WFA, greedy) converge to.
+func (m Matching) IsMaximal(d *demand.Matrix) bool {
+	outUsed := make([]bool, len(m))
+	for _, out := range m {
+		if out != Unmatched {
+			outUsed[out] = true
+		}
+	}
+	for in, out := range m {
+		if out != Unmatched {
+			continue
+		}
+		for j := 0; j < len(m); j++ {
+			if !outUsed[j] && d.At(in, j) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Complexity describes an algorithm's cost for the timing models.
+type Complexity struct {
+	// HardwareDepth is the serial depth in clocked steps when every
+	// per-port arbiter runs in parallel (what an FPGA implementation
+	// pipelines). Schedule latency = depth * clock period.
+	HardwareDepth int
+	// SoftwareOps approximates the scalar operation count a CPU
+	// implementation executes. Schedule latency = ops * per-op cost.
+	SoftwareOps int
+}
+
+// Algorithm computes crossbar matchings from demand. Implementations may
+// keep state across calls (round-robin pointers); Reset clears it.
+type Algorithm interface {
+	// Name identifies the algorithm in reports and the registry.
+	Name() string
+	// Schedule returns a matching serving d. Entries of d that are zero
+	// are non-requests; the matching only pairs ports with positive
+	// demand (TDMA, which is demand-oblivious, is the exception).
+	Schedule(d *demand.Matrix) Matching
+	// Complexity reports cost for an n-port instance.
+	Complexity(n int) Complexity
+	// Reset clears inter-slot state.
+	Reset()
+}
+
+// Factory constructs an algorithm for an n-port switch with a seed for
+// randomized algorithms.
+type Factory func(n int, seed uint64) Algorithm
+
+var registry = map[string]Factory{}
+
+// Register installs a factory under name. It panics on duplicates: the
+// registry is assembled at init time and a collision is a programming
+// error.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic("match: duplicate algorithm " + name)
+	}
+	registry[name] = f
+}
+
+// New instantiates a registered algorithm.
+func New(name string, n int, seed uint64) (Algorithm, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("match: unknown algorithm %q (have %v)", name, Names())
+	}
+	return f(n, seed), nil
+}
+
+// Names lists registered algorithms in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

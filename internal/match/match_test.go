@@ -1,0 +1,387 @@
+package match
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/rng"
+)
+
+func randMatrix(r *rng.Rand, n int, density float64, maxVal int) *demand.Matrix {
+	m := demand.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Bool(density) {
+				m.Set(i, j, int64(1+r.Intn(maxVal)))
+			}
+		}
+	}
+	return m
+}
+
+func TestMatchingValidate(t *testing.T) {
+	m := NewMatching(3)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("all-unmatched should validate: %v", err)
+	}
+	m[0], m[1] = 2, 2
+	if err := m.Validate(); err == nil {
+		t.Fatal("duplicate output should fail")
+	}
+	m[1] = 5
+	if err := m.Validate(); err == nil {
+		t.Fatal("out-of-range output should fail")
+	}
+}
+
+func TestMatchingHelpers(t *testing.T) {
+	id := Identity(4)
+	if id.Size() != 4 || id.Validate() != nil {
+		t.Fatal("identity broken")
+	}
+	d := demand.NewMatrix(4)
+	d.Set(0, 0, 5)
+	d.Set(1, 1, 3)
+	if w := id.Weight(d); w != 8 {
+		t.Fatalf("weight = %d", w)
+	}
+	c := id.Clone()
+	c[0] = Unmatched
+	if id[0] != 0 {
+		t.Fatal("clone aliases")
+	}
+	if !id.Equal(Identity(4)) || id.Equal(c) || id.Equal(Identity(3)) {
+		t.Fatal("Equal broken")
+	}
+}
+
+func TestIsMaximal(t *testing.T) {
+	d := demand.NewMatrix(2)
+	d.Set(0, 0, 1)
+	d.Set(1, 1, 1)
+	empty := NewMatching(2)
+	if empty.IsMaximal(d) {
+		t.Fatal("empty matching with available edges is not maximal")
+	}
+	if !Identity(2).IsMaximal(d) {
+		t.Fatal("identity is maximal here")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("expected at least 6 registered algorithms, got %v", names)
+	}
+	for _, name := range names {
+		alg, err := New(name, 8, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if alg.Name() == "" {
+			t.Fatalf("%q has empty Name()", name)
+		}
+		c := alg.Complexity(8)
+		if c.HardwareDepth <= 0 || c.SoftwareOps <= 0 {
+			t.Fatalf("%q has non-positive complexity %+v", name, c)
+		}
+	}
+	if _, err := New("no-such-algorithm", 8, 1); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Register("islip", nil)
+}
+
+// All registered per-slot algorithms must return valid matchings that only
+// pair ports with positive demand (TDMA excepted — it is demand-oblivious
+// by contract).
+func TestAllAlgorithmsProduceValidMatchings(t *testing.T) {
+	r := rng.New(1234)
+	for _, name := range Names() {
+		alg, err := New(name, 8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := randMatrix(r, 8, 0.4, 1000)
+			m := alg.Schedule(d)
+			if len(m) != 8 {
+				t.Fatalf("%s: wrong length %d", name, len(m))
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("%s: invalid matching: %v", name, err)
+			}
+			switch name {
+			case "tdma", "bvn", "maxmin", "test-user-sched":
+				// TDMA is demand-oblivious; the frame decompositions
+				// stuff the matrix, so their perfect matchings contain
+				// dummy (zero-demand) pairs by construction.
+				continue
+			}
+			for in, out := range m {
+				if out != Unmatched && d.At(in, out) <= 0 {
+					t.Fatalf("%s: matched zero-demand pair (%d,%d)", name, in, out)
+				}
+			}
+		}
+	}
+}
+
+// iSLIP, PIM, wavefront and greedy converge to maximal matchings: no
+// addable request may remain.
+func TestMaximalityOfIterativeArbiters(t *testing.T) {
+	r := rng.New(99)
+	for _, name := range []string{"islip", "pim", "wavefront", "greedy", "hungarian"} {
+		alg, err := New(name, 8, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := randMatrix(r, 8, 0.5, 100)
+			m := alg.Schedule(d)
+			if !m.IsMaximal(d) {
+				t.Fatalf("%s produced non-maximal matching on trial %d\n%v\n%v",
+					name, trial, d, m)
+			}
+		}
+	}
+}
+
+func TestISLIPFullLoadUniformIsPerfectAfterWarmup(t *testing.T) {
+	// Under persistent all-to-all backlog, iSLIP's pointers desynchronize
+	// after a warm-up and every subsequent slot is (near-)perfect — the
+	// mechanism behind its 100%-throughput property. Slot 0, with all
+	// pointers synchronized, matches only ~2 pairs per iteration; that is
+	// expected and is why the warm-up exists.
+	n := 16
+	alg := NewISLIP(n, log2ceil(n))
+	d := demand.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				d.Set(i, j, 100)
+			}
+		}
+	}
+	for slot := 0; slot < 10*n; slot++ {
+		alg.Schedule(d)
+	}
+	total, slots := 0, 50
+	for slot := 0; slot < slots; slot++ {
+		total += alg.Schedule(d).Size()
+	}
+	// Steady state must average at least 95% of a perfect matching.
+	if total < slots*n*95/100 {
+		t.Fatalf("steady-state matched %d/%d pairs; iSLIP failed to desynchronize",
+			total, slots*n)
+	}
+}
+
+func TestISLIPDesynchronizesPointers(t *testing.T) {
+	// With persistent identical demand, after a warmup each slot must
+	// serve n distinct pairs (pointer desynchronization). Check aggregate
+	// service is fair across inputs.
+	n := 4
+	alg := NewISLIP(n, 2)
+	d := demand.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				d.Set(i, j, 1)
+			}
+		}
+	}
+	served := make([]int, n)
+	for slot := 0; slot < 400; slot++ {
+		m := alg.Schedule(d)
+		for in, out := range m {
+			if out != Unmatched {
+				served[in]++
+			}
+		}
+	}
+	for i, s := range served {
+		if s < 300 {
+			t.Fatalf("input %d only served %d/400 slots; unfair", i, s)
+		}
+	}
+}
+
+func TestISLIPSingleRequest(t *testing.T) {
+	alg := NewISLIP(4, 2)
+	d := demand.NewMatrix(4)
+	d.Set(2, 3, 42)
+	m := alg.Schedule(d)
+	if m[2] != 3 || m.Size() != 1 {
+		t.Fatalf("m = %v", m)
+	}
+}
+
+func TestPIMDeterministicAfterReset(t *testing.T) {
+	r := rng.New(5)
+	d := randMatrix(r, 8, 0.5, 100)
+	a := NewPIM(8, 3, 77)
+	m1 := a.Schedule(d)
+	a.Reset()
+	m2 := a.Schedule(d)
+	if !m1.Equal(m2) {
+		t.Fatal("PIM not reproducible after Reset")
+	}
+}
+
+func TestWavefrontRotatesPriority(t *testing.T) {
+	// Two inputs contending for the same two outputs: over many slots the
+	// rotating offset must not starve either pairing.
+	alg := NewWavefront(2)
+	d := demand.NewMatrix(2)
+	d.Set(0, 0, 1)
+	d.Set(0, 1, 1)
+	d.Set(1, 0, 1)
+	d.Set(1, 1, 1)
+	counts := map[int]int{}
+	for slot := 0; slot < 100; slot++ {
+		m := alg.Schedule(d)
+		if m.Size() != 2 {
+			t.Fatalf("wavefront should find perfect matching, got %v", m)
+		}
+		counts[m[0]]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("wavefront starved a configuration: %v", counts)
+	}
+}
+
+func TestTDMACyclesThroughAllPermutations(t *testing.T) {
+	n := 5
+	alg := NewTDMA(n)
+	d := demand.NewMatrix(n) // ignored
+	for slot := 0; slot < n-1; slot++ {
+		m := alg.Schedule(d)
+		if m.Size() != n {
+			t.Fatal("TDMA must be perfect")
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for i, j := range m {
+			if i == j {
+				t.Fatalf("TDMA with SkipSelf matched i->i: %v", m)
+			}
+			_ = j
+		}
+	}
+	// Over n-1 slots, input 0 must see n-1 distinct outputs.
+	outs := map[int]bool{}
+	alg.Reset()
+	for slot := 0; slot < n-1; slot++ {
+		outs[alg.Schedule(d)[0]] = true
+	}
+	if len(outs) != n-1 {
+		t.Fatalf("input 0 saw %d distinct outputs, want %d", len(outs), n-1)
+	}
+}
+
+func TestGreedyPicksHeaviestEdge(t *testing.T) {
+	alg := NewGreedy(3)
+	d := demand.NewMatrix(3)
+	d.Set(0, 0, 5)
+	d.Set(0, 1, 100) // heaviest; must be taken
+	d.Set(1, 1, 50)  // conflicts with (0,1); loses
+	d.Set(1, 0, 10)
+	m := alg.Schedule(d)
+	if m[0] != 1 || m[1] != 0 {
+		t.Fatalf("greedy picked %v", m)
+	}
+}
+
+func TestHungarianBeatsGreedyWhenGreedyIsMyopic(t *testing.T) {
+	// Classic counterexample: greedy takes the single heavy edge and
+	// blocks two medium edges whose sum is larger.
+	d := demand.NewMatrix(2)
+	d.Set(0, 0, 10)
+	d.Set(0, 1, 6)
+	d.Set(1, 0, 6)
+	// greedy: (0,0)=10, then (1,1)=0 unavailable -> weight 10.
+	// optimal: (0,1)+(1,0) = 12.
+	g := NewGreedy(2).Schedule(d)
+	h := NewHungarian(2).Schedule(d)
+	if g.Weight(d) != 10 {
+		t.Fatalf("greedy weight = %d, want 10", g.Weight(d))
+	}
+	if h.Weight(d) != 12 {
+		t.Fatalf("hungarian weight = %d, want 12", h.Weight(d))
+	}
+}
+
+func TestHungarianIsOptimalOnSmallMatrices(t *testing.T) {
+	// Brute-force all permutations on 4x4 and compare.
+	r := rng.New(31337)
+	n := 4
+	alg := NewHungarian(n)
+	perms := permutations(n)
+	for trial := 0; trial < 200; trial++ {
+		d := randMatrix(r, n, 0.7, 1000)
+		got := alg.Schedule(d).Weight(d)
+		var best int64
+		for _, p := range perms {
+			var w int64
+			for i, j := range p {
+				w += d.At(i, j)
+			}
+			if w > best {
+				best = w
+			}
+		}
+		if got != best {
+			t.Fatalf("trial %d: hungarian=%d brute=%d\n%v", trial, got, best, d)
+		}
+	}
+}
+
+func permutations(n int) [][]int {
+	var out [][]int
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			cp := make([]int, n)
+			copy(cp, p)
+			out = append(out, cp)
+			return
+		}
+		for i := k; i < n; i++ {
+			p[k], p[i] = p[i], p[k]
+			rec(k + 1)
+			p[k], p[i] = p[i], p[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func TestGreedyIsHalfApproximation(t *testing.T) {
+	// Property: greedy weight >= optimal/2 (standard guarantee).
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(4)
+		d := randMatrix(r, n, 0.6, 100)
+		g := NewGreedy(n).Schedule(d).Weight(d)
+		h := NewHungarian(n).Schedule(d).Weight(d)
+		return 2*g >= h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package match
+
+import (
+	"fmt"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/rng"
+)
+
+// PIM is Parallel Iterative Matching (Anderson et al., the DEC AN2
+// scheduler): like iSLIP but outputs grant a uniformly random requester and
+// inputs accept a uniformly random grant. Converges to a maximal matching
+// in O(log n) iterations with high probability, but the random arbiters
+// cost more hardware than iSLIP's rotating priority and it is unfair under
+// asymmetric load — which is why iSLIP displaced it.
+type PIM struct {
+	n          int
+	iterations int
+	r          *rng.Rand
+	seed       uint64
+}
+
+// NewPIM returns a PIM arbiter with the given iteration count.
+func NewPIM(n, iterations int, seed uint64) *PIM {
+	if n <= 0 || iterations <= 0 {
+		panic("match: PIM needs positive n and iterations")
+	}
+	return &PIM{n: n, iterations: iterations, r: rng.New(seed), seed: seed}
+}
+
+// Name implements Algorithm.
+func (p *PIM) Name() string { return fmt.Sprintf("pim-%d", p.iterations) }
+
+// Reset implements Algorithm: restores the random stream so runs are
+// reproducible.
+func (p *PIM) Reset() { p.r = rng.New(p.seed) }
+
+// Complexity implements Algorithm: like iSLIP, 3 parallel phases per
+// iteration in hardware, n^2 work per iteration in software.
+func (p *PIM) Complexity(n int) Complexity {
+	return Complexity{HardwareDepth: 3 * p.iterations, SoftwareOps: p.iterations * n * n}
+}
+
+// Schedule implements Algorithm.
+func (p *PIM) Schedule(d *demand.Matrix) Matching {
+	n := p.n
+	inMatch := NewMatching(n)
+	outMatched := make([]bool, n)
+
+	cand := make([]int, 0, n)
+	for iter := 0; iter < p.iterations; iter++ {
+		// Grant: each unmatched output picks a random unmatched requester.
+		granted := make([]int, n)
+		for j := range granted {
+			granted[j] = Unmatched
+		}
+		for j := 0; j < n; j++ {
+			if outMatched[j] {
+				continue
+			}
+			cand = cand[:0]
+			for i := 0; i < n; i++ {
+				if inMatch[i] == Unmatched && d.At(i, j) > 0 {
+					cand = append(cand, i)
+				}
+			}
+			if len(cand) > 0 {
+				granted[j] = cand[p.r.Intn(len(cand))]
+			}
+		}
+		// Accept: each input picks a random grant.
+		anyAccept := false
+		for i := 0; i < n; i++ {
+			if inMatch[i] != Unmatched {
+				continue
+			}
+			cand = cand[:0]
+			for j := 0; j < n; j++ {
+				if granted[j] == i {
+					cand = append(cand, j)
+				}
+			}
+			if len(cand) == 0 {
+				continue
+			}
+			j := cand[p.r.Intn(len(cand))]
+			inMatch[i] = j
+			outMatched[j] = true
+			anyAccept = true
+		}
+		if !anyAccept {
+			break
+		}
+	}
+	return inMatch
+}
+
+func init() {
+	Register("pim", func(n int, seed uint64) Algorithm {
+		return NewPIM(n, log2ceil(n), seed)
+	})
+}

@@ -1,0 +1,57 @@
+package match
+
+import (
+	"hybridsched/internal/demand"
+)
+
+// TDMA is the demand-oblivious round-robin circuit schedule: slot k
+// connects input i to output (i + k) mod n. It is the trivial baseline —
+// zero scheduling latency and perfectly fair, but it wastes every slot
+// whose (i, j) pair has no traffic, so its throughput collapses under
+// skewed demand. The paper's framework exists precisely to prototype
+// schedulers that beat this.
+type TDMA struct {
+	n    int
+	slot int
+	// SkipSelf avoids the identity connection i->i (a host never sends
+	// to itself), rotating over n-1 useful permutations.
+	SkipSelf bool
+}
+
+// NewTDMA returns a TDMA rotator.
+func NewTDMA(n int) *TDMA {
+	if n <= 0 {
+		panic("match: TDMA needs positive n")
+	}
+	return &TDMA{n: n, SkipSelf: true}
+}
+
+// Name implements Algorithm.
+func (t *TDMA) Name() string { return "tdma" }
+
+// Reset implements Algorithm.
+func (t *TDMA) Reset() { t.slot = 0 }
+
+// Complexity implements Algorithm: a counter increment.
+func (t *TDMA) Complexity(n int) Complexity {
+	return Complexity{HardwareDepth: 1, SoftwareOps: n}
+}
+
+// Schedule implements Algorithm. The demand matrix is ignored by design.
+func (t *TDMA) Schedule(_ *demand.Matrix) Matching {
+	n := t.n
+	shift := t.slot % n
+	if t.SkipSelf && n > 1 {
+		shift = 1 + t.slot%(n-1)
+	}
+	m := make(Matching, n)
+	for i := 0; i < n; i++ {
+		m[i] = (i + shift) % n
+	}
+	t.slot++
+	return m
+}
+
+func init() {
+	Register("tdma", func(n int, _ uint64) Algorithm { return NewTDMA(n) })
+}

@@ -1,0 +1,71 @@
+package match
+
+import (
+	"hybridsched/internal/demand"
+)
+
+// Wavefront is the wavefront arbiter (Tamir & Chi): the crossbar is swept
+// along anti-diagonals, and a cell (i, j) joins the matching if it has a
+// request and neither its row nor its column has been taken by an earlier
+// wave. All cells on one anti-diagonal are independent, so hardware
+// evaluates each wave in a single step: 2n-1 steps total, no iteration
+// loop, no pointers — the classic "fast but simple" hardware arbiter.
+//
+// A rotating priority offset shifts which diagonal goes first so no port
+// pair is permanently favored.
+type Wavefront struct {
+	n      int
+	offset int
+}
+
+// NewWavefront returns a wavefront arbiter for n ports.
+func NewWavefront(n int) *Wavefront {
+	if n <= 0 {
+		panic("match: wavefront needs positive n")
+	}
+	return &Wavefront{n: n}
+}
+
+// Name implements Algorithm.
+func (w *Wavefront) Name() string { return "wavefront" }
+
+// Reset implements Algorithm.
+func (w *Wavefront) Reset() { w.offset = 0 }
+
+// Complexity implements Algorithm: 2n-1 diagonal waves in hardware, n^2
+// cell visits in software.
+func (w *Wavefront) Complexity(n int) Complexity {
+	return Complexity{HardwareDepth: 2*n - 1, SoftwareOps: n * n}
+}
+
+// Schedule implements Algorithm.
+func (w *Wavefront) Schedule(d *demand.Matrix) Matching {
+	n := w.n
+	m := NewMatching(n)
+	colUsed := make([]bool, n)
+	// Sweep anti-diagonals starting from a rotating offset.
+	for wave := 0; wave < 2*n-1; wave++ {
+		for i := 0; i < n; i++ {
+			j := (wave - i + w.offset) % n
+			if j < 0 {
+				j += n
+			}
+			// Only cells whose anti-diagonal index equals the wave are
+			// evaluated this step; iterating i covers them all.
+			if wave-i < 0 || wave-i >= n {
+				continue
+			}
+			if m[i] != Unmatched || colUsed[j] || d.At(i, j) <= 0 {
+				continue
+			}
+			m[i] = j
+			colUsed[j] = true
+		}
+	}
+	w.offset = (w.offset + 1) % n
+	return m
+}
+
+func init() {
+	Register("wavefront", func(n int, _ uint64) Algorithm { return NewWavefront(n) })
+}

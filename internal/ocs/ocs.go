@@ -1,0 +1,191 @@
+// Package ocs models the optical circuit switch of the paper's switching
+// logic: a crossbar of circuits with a reconfiguration dead-time during
+// which no packet can traverse the switch ("during the switching time ...
+// no packets can be sent through the switch and hence need to be
+// buffered"). The dead-time is the independent variable of Figure 1,
+// configurable from nanoseconds (PLZT switches, reference [1]) to
+// milliseconds (3D-MEMS, Helios/c-Through).
+package ocs
+
+import (
+	"errors"
+	"fmt"
+
+	"hybridsched/internal/match"
+	"hybridsched/internal/packet"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/stats"
+	"hybridsched/internal/units"
+)
+
+// Errors returned by Send.
+var (
+	ErrReconfiguring = errors.New("ocs: switch is reconfiguring")
+	ErrNoCircuit     = errors.New("ocs: no circuit from input to requested output")
+	ErrBusy          = errors.New("ocs: input port is still serializing")
+)
+
+// Config parameterizes the switch.
+type Config struct {
+	Ports        int
+	PortRate     units.BitRate  // circuit line rate
+	ReconfigTime units.Duration // dead time per reconfiguration
+	PropDelay    units.Duration // light propagation through the fabric
+}
+
+// Switch is the circuit switch. Create with New.
+type Switch struct {
+	sim      *sim.Simulator
+	cfg      Config
+	circuits match.Matching
+	busy     []units.Time // per-input serialization horizon
+	reconfig bool
+	deliver  func(p *packet.Packet, out packet.Port)
+
+	configures stats.Counter
+	deadTime   units.Duration
+	bitsOut    stats.Counter
+	pktsOut    stats.Counter
+	truncated  stats.Counter
+	epoch      uint64 // bumped on every Configure; detects mid-flight cuts
+}
+
+// New creates a switch with no circuits configured. deliver is invoked
+// when a packet emerges at an output port.
+func New(s *sim.Simulator, cfg Config, deliver func(*packet.Packet, packet.Port)) *Switch {
+	if cfg.Ports <= 0 {
+		panic("ocs: Ports must be positive")
+	}
+	if cfg.PortRate <= 0 {
+		panic("ocs: PortRate must be positive")
+	}
+	if cfg.ReconfigTime < 0 || cfg.PropDelay < 0 {
+		panic("ocs: negative latency")
+	}
+	if deliver == nil {
+		panic("ocs: nil deliver callback")
+	}
+	return &Switch{
+		sim:      s,
+		cfg:      cfg,
+		circuits: match.NewMatching(cfg.Ports),
+		busy:     make([]units.Time, cfg.Ports),
+		deliver:  deliver,
+	}
+}
+
+// Configure tears down all circuits, waits the reconfiguration dead-time,
+// then establishes m. done (optional) fires when the new circuits are
+// usable. Packets still serializing when Configure is called are truncated
+// by the tear-down and dropped — the physical consequence of configuring
+// the OCS without draining it first (the grant-ordering ablation).
+func (s *Switch) Configure(m match.Matching, done func()) {
+	if len(m) != s.cfg.Ports {
+		panic(fmt.Sprintf("ocs: matching size %d for %d-port switch", len(m), s.cfg.Ports))
+	}
+	if err := m.Validate(); err != nil {
+		panic("ocs: " + err.Error())
+	}
+	s.reconfig = true
+	s.epoch++
+	s.configures.Inc()
+	s.deadTime += s.cfg.ReconfigTime
+	target := m.Clone()
+	s.sim.Schedule(s.cfg.ReconfigTime, func() {
+		s.circuits = target
+		s.reconfig = false
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// CircuitOf returns the output currently wired to input in, or
+// match.Unmatched (also during reconfiguration).
+func (s *Switch) CircuitOf(in packet.Port) int {
+	if s.reconfig {
+		return match.Unmatched
+	}
+	return s.circuits[in]
+}
+
+// Reconfiguring reports whether the switch is in its dead-time.
+func (s *Switch) Reconfiguring() bool { return s.reconfig }
+
+// InputFreeAt returns the earliest time input in can begin serializing a
+// new packet.
+func (s *Switch) InputFreeAt(in packet.Port) units.Time {
+	if t := s.busy[in]; t > s.sim.Now() {
+		return t
+	}
+	return s.sim.Now()
+}
+
+// Send serializes p onto input port p.Src. The circuit p.Src -> p.Dst must
+// be configured, the switch must not be reconfiguring, and the input must
+// be idle. On success it returns the time serialization finishes (when the
+// input is free again); delivery at the output happens PropDelay later,
+// unless a reconfiguration cuts the circuit mid-flight, in which case the
+// packet is truncated and dropped.
+func (s *Switch) Send(p *packet.Packet) (units.Time, error) {
+	in := p.Src
+	if s.reconfig {
+		return 0, ErrReconfiguring
+	}
+	if s.circuits[in] != int(p.Dst) {
+		return 0, ErrNoCircuit
+	}
+	now := s.sim.Now()
+	if s.busy[in] > now {
+		return 0, ErrBusy
+	}
+	txDone := now.Add(units.TransmitTime(p.Size, s.cfg.PortRate))
+	s.busy[in] = txDone
+	epoch := s.epoch
+	out := p.Dst
+	s.sim.At(txDone.Add(s.cfg.PropDelay), func() {
+		if s.epoch != epoch {
+			// Circuit was torn down while the packet was in flight.
+			s.truncated.Inc()
+			return
+		}
+		p.Via = packet.PathOCS
+		s.bitsOut.Add(int64(p.Size))
+		s.pktsOut.Inc()
+		s.deliver(p, out)
+	})
+	return txDone, nil
+}
+
+// Stats is a snapshot of switch counters.
+type Stats struct {
+	Configures    int64
+	DeadTime      units.Duration
+	BitsDelivered units.Size
+	PktsDelivered int64
+	Truncated     int64
+}
+
+// Stats returns a snapshot of counters.
+func (s *Switch) Stats() Stats {
+	return Stats{
+		Configures:    s.configures.Value(),
+		DeadTime:      s.deadTime,
+		BitsDelivered: units.Size(s.bitsOut.Value()),
+		PktsDelivered: s.pktsOut.Value(),
+		Truncated:     s.truncated.Value(),
+	}
+}
+
+// DutyCycle returns the fraction of elapsed time not spent in
+// reconfiguration dead-time, the E5 metric.
+func (s *Switch) DutyCycle(elapsed units.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	live := elapsed - s.deadTime
+	if live < 0 {
+		live = 0
+	}
+	return float64(live) / float64(elapsed)
+}

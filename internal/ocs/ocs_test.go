@@ -1,0 +1,190 @@
+package ocs
+
+import (
+	"testing"
+
+	"hybridsched/internal/match"
+	"hybridsched/internal/packet"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/units"
+)
+
+func testSwitch(t *testing.T, reconfig units.Duration) (*sim.Simulator, *Switch, *[]*packet.Packet) {
+	t.Helper()
+	s := sim.New()
+	var delivered []*packet.Packet
+	sw := New(s, Config{
+		Ports:        4,
+		PortRate:     10 * units.Gbps,
+		ReconfigTime: reconfig,
+		PropDelay:    5 * units.Nanosecond,
+	}, func(p *packet.Packet, out packet.Port) {
+		if p.Dst != out {
+			t.Fatalf("packet for %d delivered at %d", p.Dst, out)
+		}
+		delivered = append(delivered, p)
+	})
+	return s, sw, &delivered
+}
+
+func TestSendWithoutCircuitFails(t *testing.T) {
+	_, sw, _ := testSwitch(t, units.Microsecond)
+	p := &packet.Packet{Src: 0, Dst: 1, Size: 1500 * units.Byte}
+	if _, err := sw.Send(p); err != ErrNoCircuit {
+		t.Fatalf("err = %v, want ErrNoCircuit", err)
+	}
+}
+
+func TestConfigureThenSendDelivers(t *testing.T) {
+	s, sw, delivered := testSwitch(t, units.Microsecond)
+	m := match.NewMatching(4)
+	m[0] = 1
+	var configured units.Time
+	sw.Configure(m, func() { configured = s.Now() })
+
+	p := &packet.Packet{ID: 7, Src: 0, Dst: 1, Size: 1500 * units.Byte}
+	s.Schedule(2*units.Microsecond, func() {
+		done, err := sw.Send(p)
+		if err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		// 1500B at 10Gbps = 1.2us serialization.
+		want := s.Now().Add(1200 * units.Nanosecond)
+		if done != want {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	})
+	s.Run()
+	if configured != units.Time(units.Microsecond) {
+		t.Fatalf("configured at %v, want 1us", configured)
+	}
+	if len(*delivered) != 1 {
+		t.Fatalf("delivered %d packets", len(*delivered))
+	}
+	got := (*delivered)[0]
+	if got.Via != packet.PathOCS {
+		t.Fatalf("via = %v", got.Via)
+	}
+	st := sw.Stats()
+	if st.PktsDelivered != 1 || st.BitsDelivered != 1500*units.Byte || st.Configures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSendDuringReconfigurationFails(t *testing.T) {
+	s, sw, _ := testSwitch(t, units.Microsecond)
+	m := match.Identity(4)
+	sw.Configure(m, nil)
+	p := &packet.Packet{Src: 0, Dst: 0, Size: 64 * units.Byte}
+	if _, err := sw.Send(p); err != ErrReconfiguring {
+		t.Fatalf("err = %v, want ErrReconfiguring", err)
+	}
+	if sw.CircuitOf(0) != match.Unmatched {
+		t.Fatal("CircuitOf must report unmatched during reconfig")
+	}
+	s.Run()
+	if sw.CircuitOf(0) != 0 {
+		t.Fatal("circuit not established after dead time")
+	}
+}
+
+func TestInputSerializationBusy(t *testing.T) {
+	s, sw, delivered := testSwitch(t, 0)
+	m := match.NewMatching(4)
+	m[0] = 2
+	sw.Configure(m, nil)
+	s.Run() // zero dead time still takes one event
+	p1 := &packet.Packet{ID: 1, Src: 0, Dst: 2, Size: 1500 * units.Byte}
+	p2 := &packet.Packet{ID: 2, Src: 0, Dst: 2, Size: 1500 * units.Byte}
+	done, err := sw.Send(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Send(p2); err != ErrBusy {
+		t.Fatalf("second send err = %v, want ErrBusy", err)
+	}
+	if sw.InputFreeAt(0) != done {
+		t.Fatalf("InputFreeAt = %v, want %v", sw.InputFreeAt(0), done)
+	}
+	s.Run()
+	if len(*delivered) != 1 {
+		t.Fatalf("delivered = %d", len(*delivered))
+	}
+}
+
+func TestReconfigurationTruncatesInFlight(t *testing.T) {
+	s, sw, delivered := testSwitch(t, 100*units.Nanosecond)
+	m := match.NewMatching(4)
+	m[0] = 1
+	sw.Configure(m, nil)
+	s.RunUntil(units.Time(100 * units.Nanosecond))
+
+	p := &packet.Packet{Src: 0, Dst: 1, Size: 1500 * units.Byte} // 1.2us tx
+	if _, err := sw.Send(p); err != nil {
+		t.Fatal(err)
+	}
+	// Reconfigure before serialization completes: the packet is cut.
+	s.Schedule(500*units.Nanosecond, func() {
+		sw.Configure(match.Identity(4), nil)
+	})
+	s.Run()
+	if len(*delivered) != 0 {
+		t.Fatal("truncated packet was delivered")
+	}
+	if st := sw.Stats(); st.Truncated != 1 {
+		t.Fatalf("truncated = %d, want 1", st.Truncated)
+	}
+}
+
+func TestDutyCycle(t *testing.T) {
+	s, sw, _ := testSwitch(t, units.Microsecond)
+	for i := 0; i < 5; i++ {
+		sw.Configure(match.Identity(4), nil)
+		s.Run()
+	}
+	// 5 reconfigs x 1us dead each over 10us elapsed = 50% duty.
+	got := sw.DutyCycle(10 * units.Microsecond)
+	if got != 0.5 {
+		t.Fatalf("duty = %v, want 0.5", got)
+	}
+	if sw.DutyCycle(0) != 0 {
+		t.Fatal("zero elapsed should be 0")
+	}
+	// Dead time exceeding elapsed clamps to 0.
+	if sw.DutyCycle(2*units.Microsecond) != 0 {
+		t.Fatal("overcommitted duty should clamp to 0")
+	}
+}
+
+func TestConfigureValidation(t *testing.T) {
+	_, sw, _ := testSwitch(t, 0)
+	bad := match.Matching{0, 0, match.Unmatched, match.Unmatched} // duplicate output
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid matching")
+		}
+	}()
+	sw.Configure(bad, nil)
+}
+
+func TestConfigureWrongSizePanics(t *testing.T) {
+	_, sw, _ := testSwitch(t, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong-size matching")
+		}
+	}()
+	sw.Configure(match.Identity(3), nil)
+}
+
+func TestConfigureSnapshotsMatching(t *testing.T) {
+	s, sw, _ := testSwitch(t, units.Microsecond)
+	m := match.NewMatching(4)
+	m[0] = 3
+	sw.Configure(m, nil)
+	m[0] = 1 // mutate caller's copy after the call
+	s.Run()
+	if sw.CircuitOf(0) != 3 {
+		t.Fatal("Configure must deep-copy the matching")
+	}
+}

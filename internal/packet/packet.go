@@ -1,0 +1,77 @@
+// Package packet defines the packet and flow model shared by every layer of
+// the hybrid switch: hosts, processing logic (classifier + VOQs), the EPS
+// and OCS data paths, and the statistics pipeline.
+package packet
+
+import (
+	"fmt"
+
+	"hybridsched/internal/units"
+)
+
+// Port identifies a switch port (equivalently, the host attached to it).
+type Port int
+
+// Class is the traffic class carried in the packet header, available to the
+// classifier's look-up rules (e.g. to pin latency-sensitive VOIP traffic to
+// the EPS path).
+type Class uint8
+
+// Standard classes used by the workloads.
+const (
+	ClassBestEffort Class = iota
+	ClassLatencySensitive
+	ClassBulk
+)
+
+// Path records which switching fabric carried the packet.
+type Path uint8
+
+// Path values.
+const (
+	PathNone Path = iota // not yet forwarded
+	PathEPS              // electrical packet switch
+	PathOCS              // optical circuit switch
+)
+
+func (p Path) String() string {
+	switch p {
+	case PathEPS:
+		return "EPS"
+	case PathOCS:
+		return "OCS"
+	default:
+		return "none"
+	}
+}
+
+// Packet is one frame traversing the fabric. Timestamps are filled in as
+// the packet moves: CreatedAt at the source, EnqueuedAt when it enters a
+// queue (host queue or VOQ), DeliveredAt when the destination receives it.
+type Packet struct {
+	ID          uint64
+	Flow        uint64 // flow identifier assigned by the source
+	Src, Dst    Port
+	Size        units.Size
+	Class       Class
+	CreatedAt   units.Time
+	EnqueuedAt  units.Time
+	DeliveredAt units.Time
+	Via         Path
+}
+
+// Latency returns the source-to-delivery latency. It is only meaningful
+// after delivery.
+func (p *Packet) Latency() units.Duration { return p.DeliveredAt.Sub(p.CreatedAt) }
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{id=%d flow=%d %d->%d %v class=%d via=%v}",
+		p.ID, p.Flow, p.Src, p.Dst, p.Size, p.Class, p.Via)
+}
+
+// MinFrame and MaxFrame bound legal Ethernet frame sizes; the generators
+// and fuzz tests clamp to these.
+const (
+	MinFrame = 64 * units.Byte
+	MaxFrame = 9000 * units.Byte // jumbo
+)

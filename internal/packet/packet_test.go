@@ -1,0 +1,57 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+
+	"hybridsched/internal/units"
+)
+
+func TestLatency(t *testing.T) {
+	p := &Packet{
+		CreatedAt:   units.Time(10 * units.Microsecond),
+		DeliveredAt: units.Time(35 * units.Microsecond),
+	}
+	if got := p.Latency(); got != 25*units.Microsecond {
+		t.Fatalf("latency = %v", got)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	cases := map[Path]string{
+		PathNone: "none",
+		PathEPS:  "EPS",
+		PathOCS:  "OCS",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{ID: 7, Flow: 3, Src: 1, Dst: 2, Size: 1500 * units.Byte,
+		Class: ClassBulk, Via: PathOCS}
+	s := p.String()
+	for _, want := range []string{"id=7", "flow=3", "1->2", "1.5KB", "OCS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFrameBounds(t *testing.T) {
+	if MinFrame != 64*units.Byte || MaxFrame != 9000*units.Byte {
+		t.Fatal("frame bounds changed; generators and tests depend on these")
+	}
+	if MinFrame >= MaxFrame {
+		t.Fatal("bounds inverted")
+	}
+}
+
+func TestClassConstantsDistinct(t *testing.T) {
+	if ClassBestEffort == ClassLatencySensitive || ClassLatencySensitive == ClassBulk {
+		t.Fatal("class constants collide")
+	}
+}

@@ -1,0 +1,235 @@
+// Package platform emulates the reconfigurable-hardware contract of the
+// paper's framework: the NetFPGA-SUME-style device on which "the
+// processing logic and switching logic are part of the infrastructure that
+// is constant (yet configurable), and the users implement novel design in
+// the scheduling logic module".
+//
+// The contract has two halves:
+//
+//   - A register file with an AXI-Lite-style 32-bit address map. Software
+//     configures port count, slot length, reconfiguration time, buffering
+//     regime and the scheduling algorithm by register writes, then sets
+//     the start bit; counters (cycles, grants, delivered packets, drops)
+//     read back live.
+//   - The scheduling-logic slot: any algorithm registered with
+//     internal/match (including user code registered at init time) is
+//     selectable by writing its index to RegAlgorithm — the simulation
+//     equivalent of dropping a new arbiter into the FPGA partition.
+//
+// examples/prototyping walks through bringing up a custom scheduler
+// against exactly this interface.
+package platform
+
+import (
+	"fmt"
+
+	"hybridsched/internal/fabric"
+	"hybridsched/internal/match"
+	"hybridsched/internal/packet"
+	"hybridsched/internal/sched"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/units"
+)
+
+// Register addresses (byte addresses, word-aligned).
+const (
+	RegID        uint32 = 0x00 // RO: device identifier
+	RegVersion   uint32 = 0x04 // RO: register-map version
+	RegPorts     uint32 = 0x08 // RW: port count
+	RegAlgorithm uint32 = 0x0C // RW: index into AlgorithmNames()
+	RegSlotNs    uint32 = 0x10 // RW: transmission slot, nanoseconds
+	RegReconfNs  uint32 = 0x14 // RW: OCS reconfiguration time, nanoseconds
+	RegLineMbps  uint32 = 0x18 // RW: line rate, Mbps
+	RegControl   uint32 = 0x1C // RW: bit0 start, bit1 pipelined, bit2 host-buffered, bit3 enable EPS
+	RegStatus    uint32 = 0x20 // RO: bit0 running
+	RegSeedLo    uint32 = 0x24 // RW: algorithm seed (low word)
+	RegSeedHi    uint32 = 0x28 // RW: algorithm seed (high word)
+
+	RegCycles    uint32 = 0x40 // RO: scheduler cycles completed
+	RegGrants    uint32 = 0x44 // RO: (input,output) grants issued
+	RegDelivered uint32 = 0x48 // RO: packets delivered
+	RegDropped   uint32 = 0x4C // RO: packets dropped (all causes)
+	RegOCSPkts   uint32 = 0x50 // RO: packets via OCS
+	RegEPSPkts   uint32 = 0x54 // RO: packets via EPS
+	RegConfigs   uint32 = 0x58 // RO: OCS reconfigurations
+)
+
+// Control-register bits.
+const (
+	CtrlStart        = 1 << 0
+	CtrlPipelined    = 1 << 1
+	CtrlHostBuffered = 1 << 2
+	CtrlEnableEPS    = 1 << 3
+)
+
+// DeviceID is the value of RegID ("5CED" — scheduler).
+const DeviceID uint32 = 0x5CED0001
+
+// Version is the register-map version.
+const Version uint32 = 0x00010000
+
+// AlgorithmNames returns the selectable scheduling-logic implementations
+// in RegAlgorithm index order.
+func AlgorithmNames() []string { return match.Names() }
+
+// Device is one emulated board. Create with NewDevice, program registers,
+// set CtrlStart, then drive the simulator and inject packets.
+type Device struct {
+	sim    *sim.Simulator
+	regs   map[uint32]uint32
+	fab    *fabric.Fabric
+	timing sched.TimingModel
+}
+
+// NewDevice returns a powered-on, unconfigured device with hardware
+// scheduler timing (this is, after all, the hardware framework). The
+// timing model can be swapped with SetTiming before start for A/B
+// experiments.
+func NewDevice(s *sim.Simulator) *Device {
+	d := &Device{
+		sim:    s,
+		regs:   map[uint32]uint32{},
+		timing: sched.DefaultHardware(),
+	}
+	// Reset defaults mirror the paper's running example.
+	d.regs[RegPorts] = 64
+	d.regs[RegAlgorithm] = 0
+	d.regs[RegSlotNs] = 10_000  // 10 us
+	d.regs[RegReconfNs] = 1_000 // 1 us
+	d.regs[RegLineMbps] = 10_000
+	return d
+}
+
+// SetTiming overrides the scheduler timing model (before start only).
+func (d *Device) SetTiming(t sched.TimingModel) error {
+	if d.Running() {
+		return fmt.Errorf("platform: cannot change timing while running")
+	}
+	d.timing = t
+	return nil
+}
+
+// Running reports whether the datapath has been started.
+func (d *Device) Running() bool { return d.fab != nil }
+
+// Fabric returns the running fabric, or nil before start.
+func (d *Device) Fabric() *fabric.Fabric { return d.fab }
+
+// Inject delivers a packet to the running datapath.
+func (d *Device) Inject(p *packet.Packet) error {
+	if d.fab == nil {
+		return fmt.Errorf("platform: device not started")
+	}
+	d.fab.Inject(p)
+	return nil
+}
+
+// Read32 reads a register.
+func (d *Device) Read32(addr uint32) (uint32, error) {
+	switch addr {
+	case RegID:
+		return DeviceID, nil
+	case RegVersion:
+		return Version, nil
+	case RegStatus:
+		if d.Running() {
+			return 1, nil
+		}
+		return 0, nil
+	case RegCycles, RegGrants, RegDelivered, RegDropped, RegOCSPkts, RegEPSPkts, RegConfigs:
+		return d.counter(addr), nil
+	}
+	if v, ok := d.regs[addr]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("platform: read of unmapped register 0x%02x", addr)
+}
+
+func (d *Device) counter(addr uint32) uint32 {
+	if d.fab == nil {
+		return 0
+	}
+	m := d.fab.Metrics()
+	var v int64
+	switch addr {
+	case RegCycles:
+		v = m.Loop.Cycles
+	case RegGrants:
+		v = m.Loop.GrantedPairs
+	case RegDelivered:
+		v = m.Delivered
+	case RegDropped:
+		v = m.DropsVOQ + m.DropsHost + m.DropsClassify + m.OCS.Truncated + m.EPS.Drops
+	case RegOCSPkts:
+		v = m.OCS.PktsDelivered
+	case RegEPSPkts:
+		v = m.EPS.PktsDelivered
+	case RegConfigs:
+		v = m.OCS.Configures
+	}
+	return uint32(v)
+}
+
+// Write32 writes a register. Configuration registers are locked while
+// running; writing CtrlStart builds and starts the datapath.
+func (d *Device) Write32(addr uint32, v uint32) error {
+	switch addr {
+	case RegID, RegVersion, RegStatus, RegCycles, RegGrants, RegDelivered,
+		RegDropped, RegOCSPkts, RegEPSPkts, RegConfigs:
+		return fmt.Errorf("platform: register 0x%02x is read-only", addr)
+	case RegControl:
+		d.regs[RegControl] = v
+		if v&CtrlStart != 0 && !d.Running() {
+			return d.start()
+		}
+		return nil
+	case RegPorts, RegAlgorithm, RegSlotNs, RegReconfNs, RegLineMbps, RegSeedLo, RegSeedHi:
+		if d.Running() {
+			return fmt.Errorf("platform: register 0x%02x locked while running", addr)
+		}
+		d.regs[addr] = v
+		return nil
+	}
+	return fmt.Errorf("platform: write to unmapped register 0x%02x", addr)
+}
+
+// start assembles the fabric from the register file.
+func (d *Device) start() error {
+	names := AlgorithmNames()
+	algIdx := int(d.regs[RegAlgorithm])
+	if algIdx < 0 || algIdx >= len(names) {
+		return fmt.Errorf("platform: algorithm index %d out of range (%d registered)",
+			algIdx, len(names))
+	}
+	ctrl := d.regs[RegControl]
+	cfg := fabric.Config{
+		Ports:        int(d.regs[RegPorts]),
+		LineRate:     units.BitRate(d.regs[RegLineMbps]) * units.Mbps,
+		Slot:         units.Duration(d.regs[RegSlotNs]) * units.Nanosecond,
+		ReconfigTime: units.Duration(d.regs[RegReconfNs]) * units.Nanosecond,
+		Algorithm:    names[algIdx],
+		Seed:         uint64(d.regs[RegSeedHi])<<32 | uint64(d.regs[RegSeedLo]),
+		Timing:       d.timing,
+		Pipelined:    ctrl&CtrlPipelined != 0,
+		EnableEPS:    ctrl&CtrlEnableEPS != 0,
+	}
+	if ctrl&CtrlHostBuffered != 0 {
+		cfg.Buffer = fabric.BufferAtHost
+	}
+	fab, err := fabric.New(d.sim, cfg)
+	if err != nil {
+		return fmt.Errorf("platform: %w", err)
+	}
+	d.fab = fab
+	fab.Start()
+	return nil
+}
+
+// Stop halts the scheduling loop. Counters remain readable; configuration
+// registers stay locked (like real hardware, reconfiguration requires a
+// fresh device).
+func (d *Device) Stop() {
+	if d.fab != nil {
+		d.fab.Stop()
+	}
+}

@@ -1,0 +1,207 @@
+package platform
+
+import (
+	"testing"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/match"
+	"hybridsched/internal/packet"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/units"
+)
+
+func TestIdentityRegisters(t *testing.T) {
+	d := NewDevice(sim.New())
+	id, err := d.Read32(RegID)
+	if err != nil || id != DeviceID {
+		t.Fatalf("RegID = %#x, %v", id, err)
+	}
+	ver, err := d.Read32(RegVersion)
+	if err != nil || ver != Version {
+		t.Fatalf("RegVersion = %#x, %v", ver, err)
+	}
+	status, _ := d.Read32(RegStatus)
+	if status != 0 {
+		t.Fatal("should not be running at reset")
+	}
+}
+
+func TestResetDefaults(t *testing.T) {
+	d := NewDevice(sim.New())
+	ports, _ := d.Read32(RegPorts)
+	if ports != 64 {
+		t.Fatalf("default ports = %d, want the paper's 64", ports)
+	}
+	rate, _ := d.Read32(RegLineMbps)
+	if rate != 10_000 {
+		t.Fatalf("default rate = %d Mbps, want the paper's 10G", rate)
+	}
+}
+
+func TestUnmappedAccess(t *testing.T) {
+	d := NewDevice(sim.New())
+	if _, err := d.Read32(0xFFF0); err == nil {
+		t.Fatal("expected error for unmapped read")
+	}
+	if err := d.Write32(0xFFF0, 1); err == nil {
+		t.Fatal("expected error for unmapped write")
+	}
+}
+
+func TestReadOnlyRegistersRejectWrites(t *testing.T) {
+	d := NewDevice(sim.New())
+	for _, reg := range []uint32{RegID, RegVersion, RegStatus, RegCycles, RegDelivered} {
+		if err := d.Write32(reg, 1); err == nil {
+			t.Fatalf("write to RO register 0x%02x succeeded", reg)
+		}
+	}
+}
+
+func TestStartAndCounters(t *testing.T) {
+	s := sim.New()
+	d := NewDevice(s)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.Write32(RegPorts, 4))
+	must(d.Write32(RegSlotNs, 5000))
+	must(d.Write32(RegReconfNs, 100))
+	// Select "greedy" by name lookup to be robust to registry growth.
+	idx := -1
+	for i, n := range AlgorithmNames() {
+		if n == "greedy" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("greedy not registered")
+	}
+	must(d.Write32(RegAlgorithm, uint32(idx)))
+	must(d.Write32(RegControl, CtrlStart|CtrlPipelined))
+
+	status, _ := d.Read32(RegStatus)
+	if status != 1 {
+		t.Fatal("device should be running")
+	}
+	// Config registers lock while running.
+	if err := d.Write32(RegPorts, 8); err == nil {
+		t.Fatal("config write while running should fail")
+	}
+
+	must(d.Inject(&packet.Packet{Src: 0, Dst: 1, Size: 1500 * units.Byte}))
+	s.RunUntil(units.Time(units.Millisecond))
+	d.Stop()
+
+	delivered, _ := d.Read32(RegDelivered)
+	if delivered != 1 {
+		t.Fatalf("RegDelivered = %d", delivered)
+	}
+	cycles, _ := d.Read32(RegCycles)
+	if cycles == 0 {
+		t.Fatal("RegCycles should advance")
+	}
+	ocsPkts, _ := d.Read32(RegOCSPkts)
+	if ocsPkts != 1 {
+		t.Fatalf("RegOCSPkts = %d", ocsPkts)
+	}
+	configs, _ := d.Read32(RegConfigs)
+	if configs == 0 {
+		t.Fatal("RegConfigs should count reconfigurations")
+	}
+}
+
+func TestStartRejectsBadAlgorithmIndex(t *testing.T) {
+	d := NewDevice(sim.New())
+	if err := d.Write32(RegAlgorithm, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write32(RegControl, CtrlStart); err == nil {
+		t.Fatal("expected start failure for bad algorithm index")
+	}
+}
+
+func TestInjectBeforeStartFails(t *testing.T) {
+	d := NewDevice(sim.New())
+	if err := d.Inject(&packet.Packet{Src: 0, Dst: 1, Size: 64 * units.Byte}); err == nil {
+		t.Fatal("inject before start should fail")
+	}
+}
+
+func TestSetTimingLockedWhileRunning(t *testing.T) {
+	s := sim.New()
+	d := NewDevice(s)
+	if err := d.Write32(RegPorts, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write32(RegControl, CtrlStart); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetTiming(nil); err == nil {
+		t.Fatal("SetTiming while running should fail")
+	}
+}
+
+// userScheduler is the "novel design in the scheduling logic" of the
+// prototyping story: registered at init, selectable by register write.
+type userScheduler struct{ n int }
+
+func (u *userScheduler) Name() string { return "test-user-sched" }
+func (u *userScheduler) Reset()       {}
+func (u *userScheduler) Complexity(n int) match.Complexity {
+	return match.Complexity{HardwareDepth: 1, SoftwareOps: n}
+}
+func (u *userScheduler) Schedule(d *demand.Matrix) match.Matching {
+	m := match.NewMatching(u.n)
+	// Serve only the single heaviest VOQ: deliberately primitive.
+	var bi, bj int
+	var best int64
+	for i := 0; i < u.n; i++ {
+		for j := 0; j < u.n; j++ {
+			if v := d.At(i, j); v > best {
+				best, bi, bj = v, i, j
+			}
+		}
+	}
+	if best > 0 {
+		m[bi] = bj
+	}
+	return m
+}
+
+func TestUserSchedulerPluggableViaRegistry(t *testing.T) {
+	match.Register("test-user-sched", func(n int, _ uint64) match.Algorithm {
+		return &userScheduler{n: n}
+	})
+	s := sim.New()
+	d := NewDevice(s)
+	if err := d.Write32(RegPorts, 4); err != nil {
+		t.Fatal(err)
+	}
+	idx := -1
+	for i, n := range AlgorithmNames() {
+		if n == "test-user-sched" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("user scheduler not visible on the platform")
+	}
+	if err := d.Write32(RegAlgorithm, uint32(idx)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write32(RegControl, CtrlStart); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Inject(&packet.Packet{Src: 2, Dst: 3, Size: 1500 * units.Byte}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(units.Time(units.Millisecond))
+	d.Stop()
+	delivered, _ := d.Read32(RegDelivered)
+	if delivered != 1 {
+		t.Fatalf("user scheduler delivered %d packets", delivered)
+	}
+}

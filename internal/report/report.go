@@ -1,0 +1,171 @@
+// Package report renders experiment output: fixed-width tables for
+// terminal reading, CSV for plotting, and coarse ASCII log-log plots so a
+// figure's shape is visible without leaving the terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"hybridsched/internal/stats"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000 || math.Abs(v) < 0.001:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+// CSV writes the table as comma-separated values (quoting cells containing
+// commas or quotes).
+func (t *Table) CSV(w io.Writer) {
+	writeCSVRow(w, t.headers)
+	for _, row := range t.rows {
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		fmt.Fprint(w, c)
+	}
+	fmt.Fprintln(w)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// LogLogPlot renders series as a coarse ASCII scatter on log-log axes —
+// enough to see the shape of Figure 1 in a terminal.
+func LogLogPlot(w io.Writer, title string, width, height int, series ...*stats.Series) {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX > maxX || minY > maxY {
+		fmt.Fprintf(w, "%s: no positive data\n", title)
+		return
+	}
+	lx0, lx1 := math.Log10(minX), math.Log10(maxX)
+	ly0, ly1 := math.Log10(minY), math.Log10(maxY)
+	if lx1 == lx0 {
+		lx1 = lx0 + 1
+	}
+	if ly1 == ly0 {
+		ly1 = ly0 + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*o+x#@"
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				continue
+			}
+			cx := int((math.Log10(s.X[i]) - lx0) / (lx1 - lx0) * float64(width-1))
+			cy := int((math.Log10(s.Y[i]) - ly0) / (ly1 - ly0) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+	fmt.Fprintf(w, "%s  (x: %.3g..%.3g, y: %.3g..%.3g, log-log)\n", title, minX, maxX, minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", row)
+	}
+	for si, s := range series {
+		fmt.Fprintf(w, "  %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+}

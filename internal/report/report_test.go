@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"hybridsched/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", 1)
+	tab.AddRow("beta-longer", 123456.0)
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta-longer") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and rows share the first column width.
+	if tab.Rows() != 2 {
+		t.Fatal("row count wrong")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tab := NewTable("", "v")
+	tab.AddRow(0.0)
+	tab.AddRow(0.5)
+	tab.AddRow(123456.789)
+	tab.AddRow(0.0000001)
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	for _, want := range []string{"0", "0.500", "1.23e+05", "1e-07"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(`has,comma`, `has"quote`)
+	var b strings.Builder
+	tab.CSV(&b)
+	out := b.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Fatalf("comma not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Fatalf("quote not doubled: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("header wrong: %s", out)
+	}
+}
+
+func TestLogLogPlot(t *testing.T) {
+	s := &stats.Series{Name: "curve"}
+	for x := 1.0; x <= 1e6; x *= 10 {
+		s.Append(x, x*x)
+	}
+	var b strings.Builder
+	LogLogPlot(&b, "fig", 40, 10, s)
+	out := b.String()
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "* = curve") {
+		t.Fatalf("plot malformed:\n%s", out)
+	}
+	if strings.Count(out, "*") < 5 {
+		t.Fatalf("too few points plotted:\n%s", out)
+	}
+}
+
+func TestLogLogPlotEmpty(t *testing.T) {
+	var b strings.Builder
+	LogLogPlot(&b, "empty", 40, 10, &stats.Series{Name: "none"})
+	if !strings.Contains(b.String(), "no positive data") {
+		t.Fatalf("empty plot handling wrong: %s", b.String())
+	}
+}
+
+func TestLogLogPlotClampsTinyDimensions(t *testing.T) {
+	s := &stats.Series{Name: "x"}
+	s.Append(1, 1)
+	s.Append(10, 10)
+	var b strings.Builder
+	LogLogPlot(&b, "t", 1, 1, s) // must clamp, not panic
+	if b.Len() == 0 {
+		t.Fatal("no output")
+	}
+}

@@ -1,0 +1,275 @@
+// Package rng provides a deterministic, seedable pseudo-random number
+// generator and the distributions the traffic generators need.
+//
+// The simulator must be exactly reproducible: the same seed always yields
+// the same event sequence, regardless of Go version or platform. We
+// therefore implement xoshiro256** (seeded through splitmix64) rather than
+// depending on math/rand's unspecified stream.
+package rng
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Rand is a deterministic PRNG. The zero value is NOT usable; construct
+// with New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, so that nearby
+// seeds produce uncorrelated streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	// All-zero state is invalid for xoshiro; splitmix64 cannot produce
+	// four zeros from any seed, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split derives an independent generator from r's stream. Use it to give
+// each traffic source its own stream while keeping global determinism.
+func (r *Rand) Split() *Rand { return New(r.Uint64()) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's unbiased bounded generation.
+	bound := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), bound)
+		}
+	}
+	return int(hi)
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	bound := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), bound)
+		}
+	}
+	return int64(hi)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	// Avoid log(0).
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Pareto returns a Pareto-distributed value with scale xm > 0 and shape
+// alpha > 0. Mean is alpha*xm/(alpha-1) for alpha > 1.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// LogNormal returns exp(N(mu, sigma^2)).
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Norm())
+}
+
+// Norm returns a standard normal variate (Box–Muller).
+func (r *Rand) Norm() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Derangement returns a random permutation of [0, n) with no fixed points
+// (p[i] != i for all i), suitable for src->dst traffic permutations where a
+// host never sends to itself. It panics if n < 2.
+func (r *Rand) Derangement(n int) []int {
+	if n < 2 {
+		panic("rng: Derangement needs n >= 2")
+	}
+	for {
+		p := r.Perm(n)
+		ok := true
+		for i, v := range p {
+			if v == i {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+}
+
+// Zipf draws from a Zipf distribution over [0, n) with exponent s >= 0
+// using inverse-CDF over precomputed weights. For repeated sampling build a
+// ZipfSampler instead.
+func (r *Rand) Zipf(n int, s float64) int {
+	z := NewZipfSampler(n, s)
+	return z.Sample(r)
+}
+
+// ZipfSampler samples ranks from a Zipf distribution with precomputed CDF.
+type ZipfSampler struct {
+	cdf []float64
+}
+
+// NewZipfSampler builds a sampler over ranks [0, n) with exponent s.
+func NewZipfSampler(n int, s float64) *ZipfSampler {
+	if n <= 0 {
+		panic("rng: ZipfSampler needs n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &ZipfSampler{cdf: cdf}
+}
+
+// Sample draws one rank.
+func (z *ZipfSampler) Sample(r *Rand) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// CDFPoint is one knot of an empirical CDF: P(X <= Value) = Cum.
+type CDFPoint struct {
+	Value float64
+	Cum   float64
+}
+
+// EmpiricalCDF samples from a piecewise-linear empirical distribution, the
+// standard way flow-size distributions from data-center measurement studies
+// are specified.
+type EmpiricalCDF struct {
+	points []CDFPoint
+}
+
+// NewEmpiricalCDF builds a sampler from knots sorted by Value with Cum
+// non-decreasing and ending at 1.0. It panics on malformed input since CDFs
+// are static program data.
+func NewEmpiricalCDF(points []CDFPoint) *EmpiricalCDF {
+	if len(points) < 2 {
+		panic("rng: EmpiricalCDF needs at least 2 points")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Value < points[i-1].Value || points[i].Cum < points[i-1].Cum {
+			panic("rng: EmpiricalCDF points must be sorted")
+		}
+	}
+	if points[len(points)-1].Cum != 1.0 {
+		panic("rng: EmpiricalCDF must end at Cum=1")
+	}
+	cp := make([]CDFPoint, len(points))
+	copy(cp, points)
+	return &EmpiricalCDF{points: cp}
+}
+
+// Sample draws one value by inverse transform with linear interpolation.
+func (e *EmpiricalCDF) Sample(r *Rand) float64 {
+	u := r.Float64()
+	pts := e.points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Cum >= u })
+	if i == 0 {
+		return pts[0].Value
+	}
+	if i >= len(pts) {
+		return pts[len(pts)-1].Value
+	}
+	lo, hi := pts[i-1], pts[i]
+	if hi.Cum == lo.Cum {
+		return hi.Value
+	}
+	frac := (u - lo.Cum) / (hi.Cum - lo.Cum)
+	return lo.Value + frac*(hi.Value-lo.Value)
+}
+
+// Mean returns the analytic mean of the piecewise-linear distribution.
+func (e *EmpiricalCDF) Mean() float64 {
+	mean := 0.0
+	pts := e.points
+	prev := CDFPoint{Value: pts[0].Value, Cum: 0}
+	for _, p := range pts {
+		mass := p.Cum - prev.Cum
+		mean += mass * (prev.Value + p.Value) / 2
+		prev = p
+	}
+	return mean
+}

@@ -1,0 +1,236 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical draws across different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("split children produced identical first draw")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnRangeAndUniformity(t *testing.T) {
+	r := New(5)
+	const n = 10
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d count %d far from expected %d", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(11)
+	const mean = 250.0
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Errorf("Exp sample mean %.2f, want ~%.2f", got, mean)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := New(13)
+	const xm, alpha = 1.0, 1.5
+	sum, n := 0.0, 200000
+	minSeen := math.Inf(1)
+	for i := 0; i < n; i++ {
+		v := r.Pareto(xm, alpha)
+		if v < xm {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+		if v < minSeen {
+			minSeen = v
+		}
+		sum += v
+	}
+	wantMean := alpha * xm / (alpha - 1)
+	got := sum / float64(n)
+	if math.Abs(got-wantMean)/wantMean > 0.1 {
+		t.Errorf("Pareto sample mean %.3f, want ~%.3f", got, wantMean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(17)
+	sum, sumSq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Norm variance %.4f, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + r.Intn(64)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDerangementHasNoFixedPoints(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 2 + r.Intn(63)
+		p := r.Derangement(n)
+		for i, v := range p {
+			if v == i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(23)
+	z := NewZipfSampler(100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("rank 0 (%d) should dominate rank 50 (%d)", counts[0], counts[50])
+	}
+	// s=0 should be uniform-ish.
+	u := NewZipfSampler(10, 0)
+	counts = make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[u.Sample(r)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("uniform zipf bucket %d = %d, want ~10000", i, c)
+		}
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	// A 50/50 mice-and-elephants mix.
+	cdf := NewEmpiricalCDF([]CDFPoint{
+		{Value: 100, Cum: 0},
+		{Value: 1000, Cum: 0.5},
+		{Value: 1e6, Cum: 1.0},
+	})
+	r := New(29)
+	mice, n := 0, 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := cdf.Sample(r)
+		if v < 100 || v > 1e6 {
+			t.Fatalf("sample out of support: %v", v)
+		}
+		if v <= 1000 {
+			mice++
+		}
+		sum += v
+	}
+	frac := float64(mice) / float64(n)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("mice fraction %.3f, want ~0.5", frac)
+	}
+	wantMean := cdf.Mean()
+	got := sum / float64(n)
+	if math.Abs(got-wantMean)/wantMean > 0.05 {
+		t.Errorf("sample mean %.0f, analytic mean %.0f", got, wantMean)
+	}
+}
+
+func TestEmpiricalCDFValidation(t *testing.T) {
+	for _, pts := range [][]CDFPoint{
+		{{Value: 1, Cum: 1}},                         // too few
+		{{Value: 2, Cum: 0}, {Value: 1, Cum: 1}},     // unsorted values
+		{{Value: 1, Cum: 0.5}, {Value: 2, Cum: 0.9}}, // does not end at 1
+	} {
+		func() {
+			defer func() { recover() }()
+			NewEmpiricalCDF(pts)
+			t.Errorf("expected panic for %v", pts)
+		}()
+	}
+}

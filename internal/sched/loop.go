@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"hybridsched/internal/demand"
+	"hybridsched/internal/match"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/stats"
+	"hybridsched/internal/units"
+)
+
+// Hooks connect the scheduling loop to the rest of the switch. All three
+// are required.
+type Hooks struct {
+	// Snapshot returns the demand estimate the schedule is computed from.
+	Snapshot func(t units.Time) *demand.Matrix
+	// Configure applies a matching to the switching logic and calls done
+	// once circuits are usable (after the OCS dead-time). The loop never
+	// issues grants before done — the paper's mandated ordering
+	// ("the scheduler sends the grant matrix to the switching logic to
+	// configure the circuits ... before providing a grant").
+	Configure func(m match.Matching, done func())
+	// Grant delivers the transmission grants to the processing logic
+	// with the transmission window they are valid for.
+	Grant func(m match.Matching, window units.Duration)
+}
+
+// LoopConfig parameterizes the scheduling loop.
+type LoopConfig struct {
+	Ports int
+	// Slot is the transmission window per configuration.
+	Slot units.Duration
+	// Pipelined overlaps the next schedule computation with the current
+	// transmission window — how a hardware pipeline behaves. When false
+	// the loop is strictly serial: estimate, compute, configure, transmit
+	// — how a software control loop behaves.
+	Pipelined bool
+}
+
+// LoopStats summarizes a loop's activity.
+type LoopStats struct {
+	Cycles     int64
+	IdleCycles int64 // cycles with an empty matching (nothing to grant)
+	// Staleness is grant-time minus snapshot-time: how old the demand
+	// information was when it took effect. The paper's synchronization
+	// and estimation-lag costs show up here.
+	Staleness stats.Summary
+	// GrantedPairs counts (input, output) grants issued.
+	GrantedPairs int64
+}
+
+// Loop drives the scheduling cycle. Create with NewLoop, then Start.
+type Loop struct {
+	sim    *sim.Simulator
+	cfg    LoopConfig
+	alg    match.Algorithm
+	timing TimingModel
+	hooks  Hooks
+
+	stopped   bool
+	cycles    stats.Counter
+	idle      stats.Counter
+	granted   stats.Counter
+	staleness stats.Histogram
+}
+
+// NewLoop validates and assembles a loop.
+func NewLoop(s *sim.Simulator, cfg LoopConfig, alg match.Algorithm, timing TimingModel, hooks Hooks) *Loop {
+	if cfg.Ports <= 0 {
+		panic("sched: Ports must be positive")
+	}
+	if cfg.Slot <= 0 {
+		panic("sched: Slot must be positive")
+	}
+	if alg == nil || timing == nil {
+		panic("sched: nil algorithm or timing model")
+	}
+	if hooks.Snapshot == nil || hooks.Configure == nil || hooks.Grant == nil {
+		panic("sched: all hooks are required")
+	}
+	return &Loop{sim: s, cfg: cfg, alg: alg, timing: timing, hooks: hooks}
+}
+
+// Start begins the scheduling cycle at the current simulation time.
+func (l *Loop) Start() { l.cycle() }
+
+// Stop halts the loop after the current stage completes.
+func (l *Loop) Stop() { l.stopped = true }
+
+// Stats returns a snapshot of loop metrics.
+func (l *Loop) Stats() LoopStats {
+	return LoopStats{
+		Cycles:       l.cycles.Value(),
+		IdleCycles:   l.idle.Value(),
+		Staleness:    l.staleness.Summarize(),
+		GrantedPairs: l.granted.Value(),
+	}
+}
+
+// ComputeLatency exposes the per-cycle schedule-computation latency for
+// reports.
+func (l *Loop) ComputeLatency() units.Duration {
+	return l.timing.ComputeLatency(l.alg.Complexity(l.cfg.Ports))
+}
+
+// cycle runs one serial scheduling round: snapshot -> compute -> configure
+// -> grant -> transmit -> next round.
+func (l *Loop) cycle() {
+	if l.stopped {
+		return
+	}
+	t0 := l.sim.Now()
+	snap := l.hooks.Snapshot(t0)
+	m := l.alg.Schedule(snap)
+	lat := l.ComputeLatency()
+	l.sim.Schedule(lat, func() { l.configureAndGrant(m, t0, l.nextSerial) })
+}
+
+func (l *Loop) nextSerial() {
+	l.sim.Schedule(l.cfg.Slot, l.cycle)
+}
+
+// configureAndGrant applies m, waits for circuits, grants, then invokes
+// next to schedule the following round.
+func (l *Loop) configureAndGrant(m match.Matching, t0 units.Time, next func()) {
+	if l.stopped {
+		return
+	}
+	if m.Size() == 0 {
+		// Nothing to schedule: skip the reconfiguration, burn one slot.
+		l.cycles.Inc()
+		l.idle.Inc()
+		next()
+		return
+	}
+	l.hooks.Configure(m, func() {
+		if l.stopped {
+			return
+		}
+		l.sim.Schedule(l.timing.GrantLatency(), func() {
+			if l.stopped {
+				return
+			}
+			l.cycles.Inc()
+			l.granted.Add(int64(m.Size()))
+			l.staleness.Record(int64(l.sim.Now().Sub(t0)))
+			l.hooks.Grant(m, l.cfg.Slot)
+			if l.cfg.Pipelined {
+				l.pipelineNext()
+			} else {
+				next()
+			}
+		})
+	})
+}
+
+// pipelineNext starts computing the next schedule immediately (overlapping
+// the current transmission window) and configures at whichever finishes
+// later: the window or the computation.
+func (l *Loop) pipelineNext() {
+	if l.stopped {
+		return
+	}
+	t0 := l.sim.Now()
+	snap := l.hooks.Snapshot(t0)
+	m := l.alg.Schedule(snap)
+	lat := l.ComputeLatency()
+	wait := l.cfg.Slot
+	if lat > wait {
+		wait = lat
+	}
+	l.sim.Schedule(wait, func() {
+		l.configureAndGrant(m, t0, l.pipelineNext)
+	})
+}

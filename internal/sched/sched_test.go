@@ -1,0 +1,287 @@
+package sched
+
+import (
+	"testing"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/match"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/units"
+)
+
+func TestHardwareVsSoftwareLatencyGap(t *testing.T) {
+	// The paper's core quantitative claim: software schedulers operate at
+	// milliseconds, hardware at nanoseconds-to-microseconds. Check both
+	// models land in their decade for a 64-port iSLIP schedule.
+	c := match.NewISLIP(64, 6).Complexity(64)
+	hw := DefaultHardware().ComputeLatency(c)
+	sw := DefaultSoftware().ComputeLatency(c)
+	if hw > 500*units.Nanosecond {
+		t.Fatalf("hardware latency %v should be sub-500ns", hw)
+	}
+	if sw < 500*units.Microsecond {
+		t.Fatalf("software latency %v should be >= 0.5ms", sw)
+	}
+	if ratio := float64(sw) / float64(hw); ratio < 1000 {
+		t.Fatalf("hardware/software gap %.0fx; paper claims >= 3 orders of magnitude", ratio)
+	}
+}
+
+func TestHardwareLatencyScalesWithDepth(t *testing.T) {
+	h := DefaultHardware()
+	shallow := h.ComputeLatency(match.Complexity{HardwareDepth: 1, SoftwareOps: 1})
+	deep := h.ComputeLatency(match.Complexity{HardwareDepth: 100, SoftwareOps: 1})
+	if deep <= shallow {
+		t.Fatal("latency must grow with depth")
+	}
+	want := units.Duration(99) * h.ClockPeriod
+	if deep-shallow != want {
+		t.Fatalf("delta = %v, want %v", deep-shallow, want)
+	}
+}
+
+func TestSoftwareLatencyComponents(t *testing.T) {
+	s := Software{
+		DemandCollection: 100 * units.Microsecond,
+		PerOp:            units.Nanosecond,
+		IOOverhead:       10 * units.Microsecond,
+		ControlRTT:       20 * units.Microsecond,
+	}
+	got := s.ComputeLatency(match.Complexity{SoftwareOps: 1000})
+	want := 100*units.Microsecond + 1000*units.Nanosecond + 10*units.Microsecond
+	if got != want {
+		t.Fatalf("latency = %v, want %v", got, want)
+	}
+	if s.RequestLatency() != 10*units.Microsecond || s.GrantLatency() != 10*units.Microsecond {
+		t.Fatal("request/grant latency should be half the RTT each")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if DefaultHardware().Name() != "hardware" || DefaultSoftware().Name() != "software" {
+		t.Fatal("names wrong")
+	}
+}
+
+// loopHarness wires a Loop to scripted demand and records the sequence of
+// configure/grant calls.
+type loopHarness struct {
+	s        *sim.Simulator
+	demand   *demand.Matrix
+	events   []string
+	grants   []match.Matching
+	reconfig units.Duration
+}
+
+func newLoopHarness(n int, reconfig units.Duration) *loopHarness {
+	return &loopHarness{s: sim.New(), demand: demand.NewMatrix(n), reconfig: reconfig}
+}
+
+func (h *loopHarness) hooks() Hooks {
+	return Hooks{
+		Snapshot: func(units.Time) *demand.Matrix {
+			h.events = append(h.events, "snapshot")
+			return h.demand.Clone()
+		},
+		Configure: func(m match.Matching, done func()) {
+			h.events = append(h.events, "configure")
+			h.s.Schedule(h.reconfig, done)
+		},
+		Grant: func(m match.Matching, window units.Duration) {
+			h.events = append(h.events, "grant")
+			h.grants = append(h.grants, m.Clone())
+		},
+	}
+}
+
+func TestLoopOrderingConfigureBeforeGrant(t *testing.T) {
+	h := newLoopHarness(4, units.Microsecond)
+	h.demand.Set(0, 1, 1000)
+	loop := NewLoop(h.s, LoopConfig{Ports: 4, Slot: 10 * units.Microsecond},
+		match.NewGreedy(4), DefaultHardware(), h.hooks())
+	loop.Start()
+	h.s.RunUntil(units.Time(100 * units.Microsecond))
+	loop.Stop()
+	if len(h.events) < 3 {
+		t.Fatalf("events = %v", h.events)
+	}
+	// Every grant must be directly preceded (in causal order) by a
+	// configure; the first three events are snapshot, configure, grant.
+	if h.events[0] != "snapshot" || h.events[1] != "configure" || h.events[2] != "grant" {
+		t.Fatalf("events = %v", h.events)
+	}
+	for i, e := range h.events {
+		if e == "grant" && h.events[i-1] != "configure" {
+			t.Fatalf("grant without preceding configure at %d: %v", i, h.events)
+		}
+	}
+}
+
+func TestLoopGrantTimingSerial(t *testing.T) {
+	// With hardware timing, grant k fires at
+	// k*(compute+reconfig+grantwire+slot) + compute+reconfig+grantwire.
+	h := newLoopHarness(4, units.Microsecond)
+	h.demand.Set(0, 1, 1000)
+	hw := DefaultHardware()
+	alg := match.NewGreedy(4)
+	var grantTimes []units.Time
+	hooks := h.hooks()
+	inner := hooks.Grant
+	hooks.Grant = func(m match.Matching, w units.Duration) {
+		grantTimes = append(grantTimes, h.s.Now())
+		inner(m, w)
+	}
+	slot := 10 * units.Microsecond
+	loop := NewLoop(h.s, LoopConfig{Ports: 4, Slot: slot}, alg, hw, hooks)
+	loop.Start()
+	h.s.RunUntil(units.Time(100 * units.Microsecond))
+	loop.Stop()
+
+	compute := hw.ComputeLatency(alg.Complexity(4))
+	lead := compute + units.Microsecond + hw.GrantWire
+	if len(grantTimes) < 2 {
+		t.Fatalf("too few grants: %v", grantTimes)
+	}
+	if grantTimes[0] != units.Time(lead) {
+		t.Fatalf("first grant at %v, want %v", grantTimes[0], lead)
+	}
+	period := grantTimes[1].Sub(grantTimes[0])
+	if period != slot+lead {
+		t.Fatalf("grant period %v, want %v", period, slot+lead)
+	}
+}
+
+func TestLoopSoftwareSchedulesFarFewerCycles(t *testing.T) {
+	// Same workload, same slot: the software loop's ms-scale compute
+	// means it completes far fewer cycles per unit time — the paper's
+	// "slow schedulers cause poor resource utilization" in one number.
+	run := func(timing TimingModel) int64 {
+		h := newLoopHarness(8, units.Microsecond)
+		for i := 0; i < 8; i++ {
+			h.demand.Set(i, (i+1)%8, 1000)
+		}
+		loop := NewLoop(h.s, LoopConfig{Ports: 8, Slot: 10 * units.Microsecond},
+			match.NewGreedy(8), timing, h.hooks())
+		loop.Start()
+		h.s.RunUntil(units.Time(20 * units.Millisecond))
+		loop.Stop()
+		return loop.Stats().Cycles
+	}
+	hw := run(DefaultHardware())
+	sw := run(DefaultSoftware())
+	if hw < 50*sw {
+		t.Fatalf("hardware cycles %d vs software %d; want >= 50x more", hw, sw)
+	}
+}
+
+func TestLoopIdlesOnZeroDemand(t *testing.T) {
+	h := newLoopHarness(4, units.Microsecond)
+	loop := NewLoop(h.s, LoopConfig{Ports: 4, Slot: 10 * units.Microsecond},
+		match.NewGreedy(4), DefaultHardware(), h.hooks())
+	loop.Start()
+	h.s.RunUntil(units.Time(100 * units.Microsecond))
+	loop.Stop()
+	st := loop.Stats()
+	if st.Cycles == 0 || st.IdleCycles != st.Cycles {
+		t.Fatalf("all cycles should be idle: %+v", st)
+	}
+	for _, e := range h.events {
+		if e == "configure" || e == "grant" {
+			t.Fatalf("idle loop must not configure or grant: %v", h.events)
+		}
+	}
+}
+
+func TestLoopStaleness(t *testing.T) {
+	h := newLoopHarness(4, units.Microsecond)
+	h.demand.Set(1, 2, 500)
+	sw := DefaultSoftware()
+	alg := match.NewGreedy(4)
+	loop := NewLoop(h.s, LoopConfig{Ports: 4, Slot: 100 * units.Microsecond}, alg, sw, h.hooks())
+	loop.Start()
+	h.s.RunUntil(units.Time(10 * units.Millisecond))
+	loop.Stop()
+	st := loop.Stats()
+	wantMin := sw.ComputeLatency(alg.Complexity(4)) + units.Microsecond + sw.GrantLatency()
+	if st.Staleness.Min < int64(wantMin) {
+		t.Fatalf("staleness min %v < expected %v",
+			units.Duration(st.Staleness.Min), wantMin)
+	}
+}
+
+func TestLoopPipelinedOverlapsCompute(t *testing.T) {
+	// With a compute latency shorter than the slot, the pipelined loop's
+	// steady-state period is slot + reconfig + grantwire: compute is free.
+	h := newLoopHarness(4, units.Microsecond)
+	h.demand.Set(0, 1, 1000)
+	hw := DefaultHardware()
+	var grantTimes []units.Time
+	hooks := h.hooks()
+	hooks.Grant = func(m match.Matching, w units.Duration) {
+		grantTimes = append(grantTimes, h.s.Now())
+	}
+	slot := 10 * units.Microsecond
+	loop := NewLoop(h.s, LoopConfig{Ports: 4, Slot: slot, Pipelined: true},
+		match.NewGreedy(4), hw, hooks)
+	loop.Start()
+	h.s.RunUntil(units.Time(200 * units.Microsecond))
+	loop.Stop()
+	if len(grantTimes) < 3 {
+		t.Fatalf("grants: %v", grantTimes)
+	}
+	period := grantTimes[2].Sub(grantTimes[1])
+	want := slot + units.Microsecond + hw.GrantWire
+	if period != want {
+		t.Fatalf("pipelined period %v, want %v", period, want)
+	}
+}
+
+func TestLoopStopHalts(t *testing.T) {
+	h := newLoopHarness(4, units.Microsecond)
+	h.demand.Set(0, 1, 1000)
+	loop := NewLoop(h.s, LoopConfig{Ports: 4, Slot: 10 * units.Microsecond},
+		match.NewGreedy(4), DefaultHardware(), h.hooks())
+	loop.Start()
+	h.s.RunUntil(units.Time(50 * units.Microsecond))
+	loop.Stop()
+	n := len(h.events)
+	h.s.RunUntil(units.Time(500 * units.Microsecond))
+	// At most one in-flight stage may complete after Stop.
+	if len(h.events) > n+2 {
+		t.Fatalf("loop kept running after Stop: %d -> %d events", n, len(h.events))
+	}
+}
+
+func TestLoopValidation(t *testing.T) {
+	s := sim.New()
+	hooks := Hooks{
+		Snapshot:  func(units.Time) *demand.Matrix { return demand.NewMatrix(4) },
+		Configure: func(match.Matching, func()) {},
+		Grant:     func(match.Matching, units.Duration) {},
+	}
+	cases := []func(){
+		func() {
+			NewLoop(s, LoopConfig{Ports: 0, Slot: units.Microsecond},
+				match.NewGreedy(4), DefaultHardware(), hooks)
+		},
+		func() {
+			NewLoop(s, LoopConfig{Ports: 4, Slot: 0},
+				match.NewGreedy(4), DefaultHardware(), hooks)
+		},
+		func() {
+			NewLoop(s, LoopConfig{Ports: 4, Slot: units.Microsecond},
+				nil, DefaultHardware(), hooks)
+		},
+		func() {
+			NewLoop(s, LoopConfig{Ports: 4, Slot: units.Microsecond},
+				match.NewGreedy(4), DefaultHardware(), Hooks{})
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() { recover() }()
+			fn()
+			t.Errorf("case %d: expected panic", i)
+		}()
+	}
+}

@@ -1,0 +1,121 @@
+// Package sched implements the paper's scheduling logic: the engine that
+// turns VOQ scheduling requests into a demand estimate, runs the pluggable
+// matching algorithm, configures the switching logic, and issues
+// transmission grants to the processing logic (the Figure 2 control loop).
+//
+// Its central modeling contribution is the pair of timing models. §2 of
+// the paper enumerates why software schedulers sit at milliseconds —
+// demand-estimation delay, schedule-computation time, I/O processing and
+// host↔switch propagation — while a hardware scheduler collapses all four
+// terms to nanoseconds. Each term is an explicit field here so experiments
+// can sweep them independently.
+package sched
+
+import (
+	"hybridsched/internal/match"
+	"hybridsched/internal/units"
+)
+
+// TimingModel converts algorithmic complexity into wall-clock scheduling
+// latency and exposes the request-path latency from processing logic to
+// the scheduler.
+type TimingModel interface {
+	// ComputeLatency is the time from demand snapshot to a computed
+	// schedule.
+	ComputeLatency(c match.Complexity) units.Duration
+	// RequestLatency is the one-way latency for a VOQ status report (or
+	// host request) to reach the scheduler.
+	RequestLatency() units.Duration
+	// GrantLatency is the one-way latency for a grant to reach the
+	// processing logic (or host).
+	GrantLatency() units.Duration
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Hardware models an on-chip scheduler in the style of the paper's
+// NetFPGA-SUME framework: per-port arbiters in parallel, one complexity
+// "step" per clock, a fixed pipeline in and out, and on-chip request/grant
+// wiring.
+type Hardware struct {
+	// ClockPeriod is the FPGA fabric clock. NetFPGA-SUME designs commonly
+	// close timing at 200 MHz; 5 ns is the default.
+	ClockPeriod units.Duration
+	// PipelineDepth is the fixed in/out pipeline (register stages) around
+	// the arbiter core.
+	PipelineDepth int
+	// RequestWire and GrantWire are the on-chip wire latencies.
+	RequestWire units.Duration
+	GrantWire   units.Duration
+}
+
+// DefaultHardware returns a 200 MHz, 4-stage-pipeline hardware model.
+func DefaultHardware() Hardware {
+	return Hardware{
+		ClockPeriod:   5 * units.Nanosecond,
+		PipelineDepth: 4,
+		RequestWire:   10 * units.Nanosecond,
+		GrantWire:     10 * units.Nanosecond,
+	}
+}
+
+// ComputeLatency implements TimingModel.
+func (h Hardware) ComputeLatency(c match.Complexity) units.Duration {
+	steps := c.HardwareDepth + h.PipelineDepth
+	return units.Duration(steps) * h.ClockPeriod
+}
+
+// RequestLatency implements TimingModel.
+func (h Hardware) RequestLatency() units.Duration { return h.RequestWire }
+
+// GrantLatency implements TimingModel.
+func (h Hardware) GrantLatency() units.Duration { return h.GrantWire }
+
+// Name implements TimingModel.
+func (h Hardware) Name() string { return "hardware" }
+
+// Software models the control loops of Helios and c-Through: demand is
+// gathered by polling counters over the management network, the schedule
+// is computed on a CPU, and configuration/grants traverse the same
+// network. Every term defaults to published control-plane magnitudes, so
+// the total lands where the paper says software schedulers live: around a
+// millisecond.
+type Software struct {
+	// DemandCollection is the time to poll flow/queue counters from all
+	// ports (Helios measured hundreds of microseconds to milliseconds).
+	DemandCollection units.Duration
+	// PerOp is the effective time per scalar operation of the schedule
+	// computation on a CPU, including memory traffic.
+	PerOp units.Duration
+	// IOOverhead is kernel/PCIe/driver overhead per control operation.
+	IOOverhead units.Duration
+	// ControlRTT is the host<->controller network round trip.
+	ControlRTT units.Duration
+}
+
+// DefaultSoftware returns a control loop with Helios-like constants:
+// 500 us demand collection, 1 ns/op compute, 30 us I/O, 100 us RTT.
+func DefaultSoftware() Software {
+	return Software{
+		DemandCollection: 500 * units.Microsecond,
+		PerOp:            1 * units.Nanosecond,
+		IOOverhead:       30 * units.Microsecond,
+		ControlRTT:       100 * units.Microsecond,
+	}
+}
+
+// ComputeLatency implements TimingModel.
+func (s Software) ComputeLatency(c match.Complexity) units.Duration {
+	return s.DemandCollection +
+		units.Duration(c.SoftwareOps)*s.PerOp +
+		s.IOOverhead
+}
+
+// RequestLatency implements TimingModel.
+func (s Software) RequestLatency() units.Duration { return s.ControlRTT / 2 }
+
+// GrantLatency implements TimingModel.
+func (s Software) GrantLatency() units.Duration { return s.ControlRTT / 2 }
+
+// Name implements TimingModel.
+func (s Software) Name() string { return "software" }

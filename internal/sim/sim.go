@@ -1,0 +1,215 @@
+// Package sim is the discrete-event simulation kernel: a picosecond clock
+// and a binary-heap event queue with deterministic FIFO tie-breaking.
+//
+// The kernel is deliberately single-threaded. Hybrid-switch scheduling is a
+// tightly coupled feedback loop (VOQ state -> demand -> schedule -> grants
+// -> VOQ state); event-level parallelism would buy nothing and cost
+// reproducibility. Parallelism belongs one level up, across independent
+// simulation configurations.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hybridsched/internal/units"
+)
+
+// Event is a scheduled callback. Obtain events from Simulator.Schedule or
+// Simulator.At; cancel them with Cancel.
+type Event struct {
+	when     units.Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// When returns the time the event is scheduled to fire.
+func (e *Event) When() units.Time { return e.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the simulated clock and event queue. The zero value is a
+// simulator at time zero, ready to use.
+type Simulator struct {
+	now       units.Time
+	queue     eventHeap
+	seq       uint64
+	processed uint64
+	stopped   bool
+}
+
+// New returns a simulator at time zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() units.Time { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events waiting in the queue (including
+// canceled events not yet drained).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule runs fn after delay d. A non-positive delay schedules fn at the
+// current time; it runs after all events already scheduled for this instant
+// (FIFO within a timestamp).
+func (s *Simulator) Schedule(d units.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past is a programming
+// error and panics: silently reordering the past would corrupt causality.
+func (s *Simulator) At(t units.Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel prevents e from firing. Canceling an already-fired or
+// already-canceled event is a harmless no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	e.fn = nil
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Stop makes the current Run/RunUntil return after the current event
+// completes. Pending events remain queued.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step executes the single earliest pending event. It returns false when
+// the queue is empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.when
+		fn := e.fn
+		e.fn = nil
+		s.processed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes all events scheduled at or before t, then advances the
+// clock to t. Events scheduled after t remain pending.
+func (s *Simulator) RunUntil(t units.Time) {
+	s.stopped = false
+	for !s.stopped {
+		idx := s.peek()
+		if idx == nil || idx.when > t {
+			break
+		}
+		s.Step()
+	}
+	if !s.stopped && t > s.now {
+		s.now = t
+	}
+}
+
+func (s *Simulator) peek() *Event {
+	for len(s.queue) > 0 {
+		if s.queue[0].canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}
+
+// Ticker invokes fn every period until canceled. It is the building block
+// for clocked hardware models (the scheduling pipeline, slotted OCS
+// schedules).
+type Ticker struct {
+	sim     *Simulator
+	period  units.Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker starts a ticker whose first tick fires after one period.
+// period must be positive.
+func (s *Simulator) NewTicker(period units.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.sim.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.sim.Cancel(t.ev)
+}

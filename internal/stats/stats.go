@@ -1,0 +1,287 @@
+// Package stats provides the measurement primitives the simulator reports
+// through: counters, log-binned latency histograms with percentiles, and
+// time-weighted gauges for queue-occupancy style signals.
+//
+// Everything here is allocation-free on the record path: the fabric records
+// a sample per packet per hop, so histograms use fixed bucket arrays in the
+// style of HDR histograms rather than keeping raw samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Counter accumulates a monotonically growing sum.
+type Counter struct {
+	n int64
+}
+
+// Add increases the counter by d.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the accumulated sum.
+func (c *Counter) Value() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+const (
+	subBucketBits  = 6 // 64 linear sub-buckets per power of two: <1.6% error
+	subBucketCount = 1 << subBucketBits
+	bucketGroups   = 64 - subBucketBits
+)
+
+// Histogram records non-negative int64 samples into logarithmic buckets
+// with 64 linear sub-buckets per octave (relative error below 1.6%). The
+// zero value is ready to use.
+type Histogram struct {
+	buckets [bucketGroups * subBucketCount]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+func bucketIndex(v int64) int {
+	if v < subBucketCount {
+		return int(v)
+	}
+	h := 63 - bits.LeadingZeros64(uint64(v)) // highest set bit, >= subBucketBits
+	shift := h - subBucketBits
+	sub := int(v>>shift) - subBucketCount // in [0, subBucketCount)
+	group := h - subBucketBits + 1
+	return group*subBucketCount + sub
+}
+
+// bucketLow returns the lowest value mapping to bucket i.
+func bucketLow(i int) int64 {
+	group := i / subBucketCount
+	sub := i % subBucketCount
+	if group == 0 {
+		return int64(sub)
+	}
+	shift := group - 1
+	return int64(sub+subBucketCount) << shift
+}
+
+// Record adds one sample. Negative samples are clamped to zero (they can
+// only arise from programmer error upstream; measurement must not panic).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketIndex(v)]++
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest recorded sample, or 0 if empty.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample, or 0 if empty.
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the average of all samples, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Percentile returns an estimate of the p-th percentile (p in [0, 100]).
+// The estimate is the lower bound of the bucket containing the rank, so it
+// never overstates. Returns 0 for an empty histogram.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.Min()
+	}
+	if p >= 100 {
+		return h.Max()
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.count)))
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i]
+		if cum >= rank {
+			lo := bucketLow(i)
+			if lo < h.min {
+				lo = h.min
+			}
+			if lo > h.max {
+				lo = h.max
+			}
+			return lo
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Summary is a compact digest of a histogram.
+type Summary struct {
+	Count            int64
+	Min, Max         int64
+	Mean             float64
+	P50, P90, P99    int64
+	P999             int64
+	StdDevUpperBound float64 // derived from buckets; slight overestimate
+}
+
+// Summarize extracts a Summary from the histogram.
+func (h *Histogram) Summarize() Summary {
+	s := Summary{
+		Count: h.Count(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+	}
+	if h.count > 1 {
+		var sq float64
+		for i, c := range h.buckets {
+			if c == 0 {
+				continue
+			}
+			d := float64(bucketLow(i)) - s.Mean
+			sq += d * d * float64(c)
+		}
+		s.StdDevUpperBound = math.Sqrt(sq / float64(h.count))
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%d p50=%d p90=%d p99=%d p99.9=%d max=%d mean=%.1f",
+		s.Count, s.Min, s.P50, s.P90, s.P99, s.P999, s.Max, s.Mean)
+}
+
+// TimeWeightedGauge integrates a piecewise-constant signal over time, e.g.
+// queue occupancy in bits. Time is an opaque int64 (picoseconds by
+// convention); the gauge only needs it to advance monotonically.
+type TimeWeightedGauge struct {
+	lastT    int64
+	value    int64
+	integral float64
+	max      int64
+	started  bool
+	startT   int64
+}
+
+// Set records that the signal changed to v at time t. Calls must have
+// non-decreasing t.
+func (g *TimeWeightedGauge) Set(t, v int64) {
+	if !g.started {
+		g.started = true
+		g.startT = t
+	} else {
+		g.integral += float64(g.value) * float64(t-g.lastT)
+	}
+	g.lastT = t
+	g.value = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add adjusts the signal by delta at time t.
+func (g *TimeWeightedGauge) Add(t, delta int64) { g.Set(t, g.value+delta) }
+
+// Value returns the current signal value.
+func (g *TimeWeightedGauge) Value() int64 { return g.value }
+
+// Max returns the largest value ever set.
+func (g *TimeWeightedGauge) Max() int64 { return g.max }
+
+// MeanOver returns the time-weighted mean of the signal from the first
+// observation until time end.
+func (g *TimeWeightedGauge) MeanOver(end int64) float64 {
+	if !g.started || end <= g.startT {
+		return 0
+	}
+	total := g.integral + float64(g.value)*float64(end-g.lastT)
+	return total / float64(end-g.startT)
+}
+
+// Series accumulates (x, y) points for figure output.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Sorted returns a copy of the series sorted by x.
+func (s *Series) Sorted() *Series {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	out := &Series{Name: s.Name}
+	for _, i := range idx {
+		out.Append(s.X[i], s.Y[i])
+	}
+	return out
+}

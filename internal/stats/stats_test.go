@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hybridsched/internal/rng"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("got %d, want 42", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if p := h.Percentile(50); p < 45 || p > 55 {
+		t.Fatalf("p50 = %d, want ~50", p)
+	}
+	if p := h.Percentile(99); p < 95 || p > 100 {
+		t.Fatalf("p99 = %d, want ~99", p)
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %d, want 1", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %d, want 100", p)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Fatal("negative sample should clamp to zero")
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	// Property: for any value, the percentile estimate of a single-sample
+	// histogram is within 1/64 relative error below the value.
+	f := func(raw uint32) bool {
+		v := int64(raw)
+		var h Histogram
+		h.Record(v)
+		got := h.Percentile(50)
+		if got > v {
+			return false
+		}
+		if v >= 64 && float64(v-got)/float64(v) > 1.0/64+1e-9 {
+			return false
+		}
+		return v < 64 == (got == v) || got <= v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramVsExactPercentiles(t *testing.T) {
+	r := rng.New(99)
+	var h Histogram
+	var raw []int64
+	for i := 0; i < 50000; i++ {
+		v := int64(r.Exp(100000))
+		raw = append(raw, v)
+		h.Record(v)
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		exact := raw[int(p/100*float64(len(raw)))-0]
+		if int(p/100*float64(len(raw))) >= len(raw) {
+			exact = raw[len(raw)-1]
+		}
+		got := h.Percentile(p)
+		if exact == 0 {
+			continue
+		}
+		relErr := math.Abs(float64(got-exact)) / float64(exact)
+		if relErr > 0.05 {
+			t.Errorf("p%.1f: hist=%d exact=%d relErr=%.3f", p, got, exact, relErr)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 50; i++ {
+		a.Record(i)
+	}
+	for i := int64(50); i < 100; i++ {
+		b.Record(i)
+	}
+	a.Merge(&b)
+	if a.Count() != 100 || a.Min() != 0 || a.Max() != 99 {
+		t.Fatalf("merge wrong: count=%d min=%d max=%d", a.Count(), a.Min(), a.Max())
+	}
+	var empty Histogram
+	a.Merge(&empty) // must be a no-op
+	if a.Count() != 100 {
+		t.Fatal("merging empty changed count")
+	}
+	empty.Merge(&a)
+	if empty.Count() != 100 || empty.Min() != 0 {
+		t.Fatal("merge into empty broken")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(int64(i))
+	}
+	s := h.Summarize()
+	if s.Count != 1000 || s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.P999 {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+	if s.StdDevUpperBound <= 0 {
+		t.Fatal("stddev should be positive")
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestTimeWeightedGauge(t *testing.T) {
+	var g TimeWeightedGauge
+	g.Set(0, 10)
+	g.Set(10, 20) // 10 for [0,10)
+	g.Set(30, 0)  // 20 for [10,30)
+	// mean over [0,40): (10*10 + 20*20 + 0*10)/40 = 500/40 = 12.5
+	if m := g.MeanOver(40); m != 12.5 {
+		t.Fatalf("mean = %v, want 12.5", m)
+	}
+	if g.Max() != 20 {
+		t.Fatalf("max = %d, want 20", g.Max())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("value = %d, want 0", g.Value())
+	}
+}
+
+func TestTimeWeightedGaugeAdd(t *testing.T) {
+	var g TimeWeightedGauge
+	g.Add(0, 5)
+	g.Add(10, 5)
+	g.Add(20, -10)
+	if g.Value() != 0 {
+		t.Fatalf("value = %d", g.Value())
+	}
+	// 5 over [0,10), 10 over [10,20): mean over [0,20) = (50+100)/20 = 7.5
+	if m := g.MeanOver(20); m != 7.5 {
+		t.Fatalf("mean = %v, want 7.5", m)
+	}
+}
+
+func TestTimeWeightedGaugeEmpty(t *testing.T) {
+	var g TimeWeightedGauge
+	if g.MeanOver(100) != 0 {
+		t.Fatal("empty gauge mean should be 0")
+	}
+}
+
+func TestSeriesSorted(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Append(3, 30)
+	s.Append(1, 10)
+	s.Append(2, 20)
+	out := s.Sorted()
+	if out.Len() != 3 {
+		t.Fatal("len wrong")
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if out.X[i] != want || out.Y[i] != want*10 {
+			t.Fatalf("point %d = (%v,%v)", i, out.X[i], out.Y[i])
+		}
+	}
+	// Original untouched.
+	if s.X[0] != 3 {
+		t.Fatal("Sorted mutated the receiver")
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return bucketIndex(x) <= bucketIndex(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketLowInverse(t *testing.T) {
+	// bucketLow(bucketIndex(v)) <= v for all v, and indexing bucketLow's
+	// value returns the same bucket.
+	f := func(raw uint64) bool {
+		v := int64(raw >> 1) // keep non-negative
+		i := bucketIndex(v)
+		lo := bucketLow(i)
+		return lo <= v && bucketIndex(lo) == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package trace records and replays packet traces in a compact binary
+// format. The paper pitches its framework for evaluation "under real
+// traffic workloads"; traces are how those workloads enter and leave the
+// simulator — capture a generator's output once, replay it bit-identically
+// against every scheduler under test, or import a record produced
+// elsewhere.
+//
+// Format: a 16-byte header (magic "HSTR", version, record count) followed
+// by fixed-size little-endian records. Everything is stdlib
+// encoding/binary.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hybridsched/internal/packet"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/units"
+)
+
+// Magic identifies trace files.
+const Magic = "HSTR"
+
+// Version of the on-disk format.
+const Version uint32 = 1
+
+// Record is one traced packet event.
+type Record struct {
+	Time  units.Time // creation (capture) time
+	ID    uint64
+	Flow  uint64
+	Src   uint16
+	Dst   uint16
+	Size  uint32 // bits
+	Class uint8
+	Via   uint8 // packet.Path of delivery traces; 0 for offered traces
+}
+
+const recordSize = 8 + 8 + 8 + 2 + 2 + 4 + 1 + 1 + 6 // +6 pad to 40 bytes
+
+// FromPacket builds an offered-traffic record.
+func FromPacket(p *packet.Packet) Record {
+	return Record{
+		Time:  p.CreatedAt,
+		ID:    p.ID,
+		Flow:  p.Flow,
+		Src:   uint16(p.Src),
+		Dst:   uint16(p.Dst),
+		Size:  uint32(p.Size),
+		Class: uint8(p.Class),
+		Via:   uint8(p.Via),
+	}
+}
+
+// ToPacket reconstructs a packet (timestamps beyond CreatedAt are zero).
+func (r Record) ToPacket() *packet.Packet {
+	return &packet.Packet{
+		ID:        r.ID,
+		Flow:      r.Flow,
+		Src:       packet.Port(r.Src),
+		Dst:       packet.Port(r.Dst),
+		Size:      units.Size(r.Size),
+		Class:     packet.Class(r.Class),
+		CreatedAt: r.Time,
+		Via:       packet.Path(r.Via),
+	}
+}
+
+// Writer streams records to an io.Writer. Close (or Flush) finalizes the
+// header count, so the underlying writer must be an io.WriteSeeker for
+// the count to be patched — use WriteAll for one-shot writing to plain
+// writers.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewWriter writes a header with a zero count placeholder; pair with
+// WriteAll-style readers that tolerate trailing truncation, or prefer
+// WriteAll when the record set is known up front.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, 0); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func writeHeader(w io.Writer, count uint64) error {
+	if _, err := w.Write([]byte(Magic)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, Version); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, count)
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	w.count++
+	return writeRecord(w.w, r)
+}
+
+func writeRecord(w io.Writer, r Record) error {
+	var buf [recordSize]byte
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], uint64(r.Time))
+	le.PutUint64(buf[8:], r.ID)
+	le.PutUint64(buf[16:], r.Flow)
+	le.PutUint16(buf[24:], r.Src)
+	le.PutUint16(buf[26:], r.Dst)
+	le.PutUint32(buf[28:], r.Size)
+	buf[32] = r.Class
+	buf[33] = r.Via
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered records. The header count remains zero (readers
+// fall back to reading until EOF when the header count is zero).
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteAll writes a complete trace with an exact header count.
+func WriteAll(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, uint64(len(records))); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if err := writeRecord(bw, r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ErrBadTrace reports a malformed header or record stream.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// ReadAll parses a complete trace. A zero header count means "read until
+// EOF" (streamed traces).
+func ReadAll(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 16)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if string(head[:4]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, head[:4])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(head[4:]); v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	count := le.Uint64(head[8:])
+	var out []Record
+	var buf [recordSize]byte
+	for {
+		if count > 0 && uint64(len(out)) == count {
+			break
+		}
+		_, err := io.ReadFull(br, buf[:])
+		if err == io.EOF && count == 0 {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadTrace, len(out), err)
+		}
+		out = append(out, Record{
+			Time:  units.Time(le.Uint64(buf[0:])),
+			ID:    le.Uint64(buf[8:]),
+			Flow:  le.Uint64(buf[16:]),
+			Src:   le.Uint16(buf[24:]),
+			Dst:   le.Uint16(buf[26:]),
+			Size:  le.Uint32(buf[28:]),
+			Class: buf[32],
+			Via:   buf[33],
+		})
+	}
+	return out, nil
+}
+
+// Replay schedules every record's packet at its recorded time and feeds
+// it to emit — a drop-in replacement for a live traffic generator.
+// Records must be time-sorted (ReadAll output from a capture is). It
+// returns the number of packets scheduled.
+func Replay(s *sim.Simulator, records []Record, emit func(*packet.Packet)) (int, error) {
+	var prev units.Time
+	for i, r := range records {
+		if r.Time < prev {
+			return 0, fmt.Errorf("trace: record %d out of order (%v after %v)", i, r.Time, prev)
+		}
+		prev = r.Time
+		rec := r
+		s.At(rec.Time, func() { emit(rec.ToPacket()) })
+	}
+	return len(records), nil
+}
+
+// Capture hooks a callback chain: it records every packet passing through
+// and forwards to next (which may be nil).
+func Capture(records *[]Record, next func(*packet.Packet)) func(*packet.Packet) {
+	return func(p *packet.Packet) {
+		*records = append(*records, FromPacket(p))
+		if next != nil {
+			next(p)
+		}
+	}
+}

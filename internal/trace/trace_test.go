@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"hybridsched/internal/packet"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Time: 0, ID: 1, Flow: 10, Src: 0, Dst: 3, Size: 12000, Class: 0},
+		{Time: units.Time(5 * units.Microsecond), ID: 2, Flow: 10, Src: 0, Dst: 3, Size: 12000, Class: 1},
+		{Time: units.Time(9 * units.Microsecond), ID: 3, Flow: 11, Src: 2, Dst: 1, Size: 512, Class: 2, Via: 1},
+	}
+}
+
+func TestWriteAllReadAllRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	recs := sampleRecords()
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestStreamedWriterZeroCountReadsToEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestReadAllRejectsGarbage(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("not a trace at all!!"))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := ReadAll(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	// Valid header claiming more records than present.
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadAll(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("expected error for truncated trace")
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := &packet.Packet{
+		ID: 42, Flow: 7, Src: 3, Dst: 9,
+		Size: 1500 * units.Byte, Class: packet.ClassBulk,
+		CreatedAt: units.Time(units.Millisecond), Via: packet.PathOCS,
+	}
+	got := FromPacket(p).ToPacket()
+	if got.ID != p.ID || got.Flow != p.Flow || got.Src != p.Src || got.Dst != p.Dst ||
+		got.Size != p.Size || got.Class != p.Class || got.CreatedAt != p.CreatedAt ||
+		got.Via != p.Via {
+		t.Fatalf("round trip lost fields: %+v vs %+v", got, p)
+	}
+}
+
+func TestReplayTiming(t *testing.T) {
+	s := sim.New()
+	var times []units.Time
+	n, err := Replay(s, sampleRecords(), func(p *packet.Packet) {
+		times = append(times, s.Now())
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	s.Run()
+	want := []units.Time{0, units.Time(5 * units.Microsecond), units.Time(9 * units.Microsecond)}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("packet %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestReplayRejectsUnsorted(t *testing.T) {
+	recs := sampleRecords()
+	recs[0].Time = units.Time(units.Second)
+	if _, err := Replay(sim.New(), recs, func(*packet.Packet) {}); err == nil {
+		t.Fatal("expected out-of-order error")
+	}
+}
+
+// TestCaptureThenReplayIsBitIdentical is the headline property: capture a
+// generator's offered traffic, replay it, and the replayed stream matches
+// the original packet for packet.
+func TestCaptureThenReplayIsBitIdentical(t *testing.T) {
+	gen, err := traffic.New(traffic.Config{
+		Ports:    4,
+		LineRate: 10 * units.Gbps,
+		Load:     0.5,
+		Pattern:  traffic.Uniform{},
+		Sizes:    traffic.TrimodalInternet{},
+		Until:    units.Time(2 * units.Millisecond),
+		Seed:     77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture.
+	s1 := sim.New()
+	var captured []Record
+	gen.Start(s1, Capture(&captured, nil))
+	s1.Run()
+	if len(captured) < 100 {
+		t.Fatalf("too few packets captured: %d", len(captured))
+	}
+	// Serialize + parse + replay.
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, captured); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := sim.New()
+	var replayed []Record
+	if _, err := Replay(s2, parsed, func(p *packet.Packet) {
+		replayed = append(replayed, FromPacket(p))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s2.Run()
+	if len(replayed) != len(captured) {
+		t.Fatalf("replayed %d of %d", len(replayed), len(captured))
+	}
+	for i := range captured {
+		if replayed[i] != captured[i] {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, replayed[i], captured[i])
+		}
+	}
+}
+
+func TestCaptureForwards(t *testing.T) {
+	var recs []Record
+	forwarded := 0
+	hook := Capture(&recs, func(*packet.Packet) { forwarded++ })
+	hook(&packet.Packet{ID: 1})
+	hook(&packet.Packet{ID: 2})
+	if len(recs) != 2 || forwarded != 2 {
+		t.Fatalf("recs=%d forwarded=%d", len(recs), forwarded)
+	}
+}

@@ -1,0 +1,358 @@
+// Package traffic generates the data-center workloads the framework is
+// evaluated under: per-port Poisson or bursty ON/OFF arrival processes,
+// destination patterns from uniform to heavily skewed, and packet-size
+// mixes including the mice-and-elephants bimodal that motivates hybrid
+// switching (long bursts to the OCS, the rest to the EPS).
+//
+// Everything is seeded and deterministic: the same Config produces the
+// same packet sequence.
+package traffic
+
+import (
+	"fmt"
+
+	"hybridsched/internal/packet"
+	"hybridsched/internal/rng"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/units"
+)
+
+// Pattern chooses the destination for each flow.
+type Pattern interface {
+	// Dst returns a destination port != src in [0, n).
+	Dst(r *rng.Rand, src, n int) int
+	// Name identifies the pattern in reports.
+	Name() string
+}
+
+// Uniform spreads flows uniformly over all other ports.
+type Uniform struct{}
+
+// Dst implements Pattern.
+func (Uniform) Dst(r *rng.Rand, src, n int) int {
+	d := r.Intn(n - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Permutation sends all of a port's traffic to a single fixed partner — a
+// matrix an optical circuit switch serves perfectly and an oblivious TDMA
+// schedule serves at 1/(n-1) throughput. The permutation is a derangement
+// drawn from the pattern seed.
+type Permutation struct {
+	perm []int
+}
+
+// NewPermutation draws a random derangement of n ports.
+func NewPermutation(n int, seed uint64) *Permutation {
+	return &Permutation{perm: rng.New(seed).Derangement(n)}
+}
+
+// Dst implements Pattern.
+func (p *Permutation) Dst(_ *rng.Rand, src, n int) int { return p.perm[src] }
+
+// Name implements Pattern.
+func (p *Permutation) Name() string { return "permutation" }
+
+// Hotspot sends a fraction of traffic to a few hot destinations and the
+// rest uniformly — the skew knob for the hybrid-vs-EPS experiments.
+type Hotspot struct {
+	// Frac is the probability a flow targets a hot destination.
+	Frac float64
+	// Spots is the number of hot destinations (ports 0..Spots-1).
+	Spots int
+}
+
+// Dst implements Pattern.
+func (h Hotspot) Dst(r *rng.Rand, src, n int) int {
+	if h.Spots > 0 && r.Bool(h.Frac) {
+		d := r.Intn(h.Spots)
+		if d != src {
+			return d
+		}
+		// Fall through to uniform if we drew ourselves.
+	}
+	return Uniform{}.Dst(r, src, n)
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot-%d-%.0f%%", h.Spots, h.Frac*100) }
+
+// Zipf ranks destinations per source (rotating so sources do not collide
+// on rank order) and draws by a Zipf law with exponent S.
+type Zipf struct {
+	S       float64
+	sampler *rng.ZipfSampler
+}
+
+// NewZipf returns a Zipf pattern over n-1 destinations.
+func NewZipf(n int, s float64) *Zipf {
+	return &Zipf{S: s, sampler: rng.NewZipfSampler(n-1, s)}
+}
+
+// Dst implements Pattern.
+func (z *Zipf) Dst(r *rng.Rand, src, n int) int {
+	rank := z.sampler.Sample(r)
+	d := (src + 1 + rank) % n
+	return d
+}
+
+// Name implements Pattern.
+func (z *Zipf) Name() string { return fmt.Sprintf("zipf-%.1f", z.S) }
+
+// SizeDist chooses packet sizes.
+type SizeDist interface {
+	Sample(r *rng.Rand) units.Size
+	// Mean returns the expected size, used to calibrate offered load.
+	Mean() units.Size
+	Name() string
+}
+
+// Fixed always returns one size.
+type Fixed struct{ Size units.Size }
+
+// Sample implements SizeDist.
+func (f Fixed) Sample(*rng.Rand) units.Size { return f.Size }
+
+// Mean implements SizeDist.
+func (f Fixed) Mean() units.Size { return f.Size }
+
+// Name implements SizeDist.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed-%v", f.Size) }
+
+// TrimodalInternet is the classic 64/576/1500-byte packet mix observed on
+// real links.
+type TrimodalInternet struct{}
+
+// Sample implements SizeDist.
+func (TrimodalInternet) Sample(r *rng.Rand) units.Size {
+	u := r.Float64()
+	switch {
+	case u < 0.5:
+		return 64 * units.Byte
+	case u < 0.7:
+		return 576 * units.Byte
+	default:
+		return 1500 * units.Byte
+	}
+}
+
+// Mean implements SizeDist.
+func (TrimodalInternet) Mean() units.Size {
+	var meanBytes float64 = 0.5*64 + 0.2*576 + 0.3*1500 // 597.2 B
+	return units.Size(meanBytes * 8)
+}
+
+// Name implements SizeDist.
+func (TrimodalInternet) Name() string { return "trimodal" }
+
+// Process selects the arrival process.
+type Process uint8
+
+// Process values.
+const (
+	// Poisson arrivals: memoryless interarrivals at the offered load.
+	Poisson Process = iota
+	// OnOff arrivals: Pareto-ish bursts at full line rate separated by
+	// idle gaps — the "long bursts of traffic" hybrid switching targets.
+	OnOff
+)
+
+func (p Process) String() string {
+	if p == OnOff {
+		return "onoff"
+	}
+	return "poisson"
+}
+
+// Config parameterizes a generator.
+type Config struct {
+	Ports    int
+	LineRate units.BitRate
+	// Load is the offered load per port as a fraction of LineRate,
+	// in (0, 1].
+	Load    float64
+	Pattern Pattern
+	Sizes   SizeDist
+	Process Process
+	// BurstMeanPkts is the mean ON-burst length in packets (OnOff only).
+	BurstMeanPkts float64
+	// BurstPareto, if > 1, draws burst lengths from a Pareto distribution
+	// with this shape instead of exponential.
+	BurstPareto float64
+	// LatencySensitiveFrac marks this fraction of flows as
+	// ClassLatencySensitive (they will be pinned to the EPS by the
+	// default classifier).
+	LatencySensitiveFrac float64
+	// Until stops generation at this simulated time.
+	Until units.Time
+	Seed  uint64
+}
+
+func (c *Config) validate() error {
+	if c.Ports < 2 {
+		return fmt.Errorf("traffic: need at least 2 ports (no self-traffic)")
+	}
+	if c.LineRate <= 0 {
+		return fmt.Errorf("traffic: LineRate must be positive")
+	}
+	if c.Load <= 0 || c.Load > 1 {
+		return fmt.Errorf("traffic: Load %v out of (0,1]", c.Load)
+	}
+	if c.Pattern == nil || c.Sizes == nil {
+		return fmt.Errorf("traffic: Pattern and Sizes are required")
+	}
+	if c.Until <= 0 {
+		return fmt.Errorf("traffic: Until must be positive")
+	}
+	return nil
+}
+
+// Generator drives per-port arrival processes. Create with New, then
+// Start.
+type Generator struct {
+	cfg      Config
+	emitted  int64
+	bits     int64
+	nextID   uint64
+	nextFlow uint64
+}
+
+// New validates cfg and returns a generator.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Process == OnOff && cfg.BurstMeanPkts <= 0 {
+		cfg.BurstMeanPkts = 16
+	}
+	return &Generator{cfg: cfg}, nil
+}
+
+// Emitted returns the number of packets generated so far.
+func (g *Generator) Emitted() int64 { return g.emitted }
+
+// BitsEmitted returns the volume generated so far.
+func (g *Generator) BitsEmitted() units.Size { return units.Size(g.bits) }
+
+// OfferedRate returns the configured per-port offered rate.
+func (g *Generator) OfferedRate() units.BitRate {
+	return units.BitRate(float64(g.cfg.LineRate) * g.cfg.Load)
+}
+
+// Start schedules the first arrival on every port. emit is called for
+// each generated packet at its creation time.
+func (g *Generator) Start(s *sim.Simulator, emit func(*packet.Packet)) {
+	root := rng.New(g.cfg.Seed)
+	for port := 0; port < g.cfg.Ports; port++ {
+		r := root.Split()
+		switch g.cfg.Process {
+		case OnOff:
+			g.startOnOff(s, port, r, emit)
+		default:
+			g.startPoisson(s, port, r, emit)
+		}
+	}
+}
+
+// meanInterarrival is the packet interarrival time that realizes the
+// offered load for the mean packet size.
+func (g *Generator) meanInterarrival() units.Duration {
+	meanTx := units.TransmitTime(g.cfg.Sizes.Mean(), g.cfg.LineRate)
+	return units.Duration(float64(meanTx) / g.cfg.Load)
+}
+
+func (g *Generator) makePacket(t units.Time, src, dst int, r *rng.Rand, flow uint64) *packet.Packet {
+	size := g.cfg.Sizes.Sample(r)
+	if size < packet.MinFrame {
+		size = packet.MinFrame
+	}
+	if size > packet.MaxFrame {
+		size = packet.MaxFrame
+	}
+	class := packet.ClassBestEffort
+	if g.cfg.LatencySensitiveFrac > 0 && r.Bool(g.cfg.LatencySensitiveFrac) {
+		class = packet.ClassLatencySensitive
+	}
+	g.nextID++
+	g.emitted++
+	g.bits += int64(size)
+	return &packet.Packet{
+		ID:        g.nextID,
+		Flow:      flow,
+		Src:       packet.Port(src),
+		Dst:       packet.Port(dst),
+		Size:      size,
+		Class:     class,
+		CreatedAt: t,
+	}
+}
+
+func (g *Generator) startPoisson(s *sim.Simulator, port int, r *rng.Rand, emit func(*packet.Packet)) {
+	mean := float64(g.meanInterarrival())
+	var arrive func()
+	arrive = func() {
+		now := s.Now()
+		if now.After(g.cfg.Until) {
+			return
+		}
+		dst := g.cfg.Pattern.Dst(r, port, g.cfg.Ports)
+		g.nextFlow++
+		emit(g.makePacket(now, port, dst, r, g.nextFlow))
+		s.Schedule(units.Duration(r.Exp(mean)), arrive)
+	}
+	s.Schedule(units.Duration(r.Exp(mean)), arrive)
+}
+
+func (g *Generator) startOnOff(s *sim.Simulator, port int, r *rng.Rand, emit func(*packet.Packet)) {
+	// During ON, packets are back-to-back at line rate. To hit the load,
+	// mean OFF = mean ON * (1-load)/load.
+	var startBurst func()
+	startBurst = func() {
+		if s.Now().After(g.cfg.Until) {
+			return
+		}
+		var burstPkts int
+		if g.cfg.BurstPareto > 1 {
+			burstPkts = int(r.Pareto(1, g.cfg.BurstPareto) * g.cfg.BurstMeanPkts *
+				(g.cfg.BurstPareto - 1) / g.cfg.BurstPareto)
+		} else {
+			burstPkts = int(r.Exp(g.cfg.BurstMeanPkts))
+		}
+		if burstPkts < 1 {
+			burstPkts = 1
+		}
+		dst := g.cfg.Pattern.Dst(r, port, g.cfg.Ports)
+		g.nextFlow++
+		flow := g.nextFlow
+		var onTime units.Duration
+		remaining := burstPkts
+		var sendNext func()
+		sendNext = func() {
+			now := s.Now()
+			if now.After(g.cfg.Until) {
+				return
+			}
+			p := g.makePacket(now, port, dst, r, flow)
+			emit(p)
+			tx := units.TransmitTime(p.Size, g.cfg.LineRate)
+			onTime += tx
+			remaining--
+			if remaining > 0 {
+				s.Schedule(tx, sendNext)
+				return
+			}
+			// Burst over: idle long enough to realize the load.
+			offMean := float64(onTime) * (1 - g.cfg.Load) / g.cfg.Load
+			s.Schedule(tx+units.Duration(r.Exp(offMean)), startBurst)
+		}
+		sendNext()
+	}
+	mean := float64(g.meanInterarrival())
+	s.Schedule(units.Duration(r.Exp(mean)), startBurst)
+}

@@ -1,0 +1,278 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"hybridsched/internal/packet"
+	"hybridsched/internal/rng"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/units"
+)
+
+func baseConfig() Config {
+	return Config{
+		Ports:    8,
+		LineRate: 10 * units.Gbps,
+		Load:     0.5,
+		Pattern:  Uniform{},
+		Sizes:    Fixed{1500 * units.Byte},
+		Until:    units.Time(10 * units.Millisecond),
+		Seed:     42,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(c *Config){
+		func(c *Config) { c.Ports = 0 },
+		func(c *Config) { c.LineRate = 0 },
+		func(c *Config) { c.Load = 0 },
+		func(c *Config) { c.Load = 1.5 },
+		func(c *Config) { c.Pattern = nil },
+		func(c *Config) { c.Sizes = nil },
+		func(c *Config) { c.Until = 0 },
+	}
+	for i, mutate := range bad {
+		c := baseConfig()
+		mutate(&c)
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := New(baseConfig()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestPoissonOfferedLoad(t *testing.T) {
+	cfg := baseConfig()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	var bits int64
+	g.Start(s, func(p *packet.Packet) { bits += int64(p.Size) })
+	s.RunUntil(cfg.Until)
+
+	elapsed := units.Duration(cfg.Until).Seconds()
+	wantBits := float64(cfg.LineRate) * cfg.Load * elapsed * float64(cfg.Ports)
+	got := float64(bits)
+	if math.Abs(got-wantBits)/wantBits > 0.05 {
+		t.Fatalf("offered %v bits, want ~%v (±5%%)", got, wantBits)
+	}
+	if g.BitsEmitted() != units.Size(bits) {
+		t.Fatal("BitsEmitted disagrees with callback sum")
+	}
+}
+
+func TestOnOffOfferedLoad(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Process = OnOff
+	cfg.BurstMeanPkts = 32
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	var bits int64
+	g.Start(s, func(p *packet.Packet) { bits += int64(p.Size) })
+	s.RunUntil(cfg.Until)
+
+	elapsed := units.Duration(cfg.Until).Seconds()
+	wantBits := float64(cfg.LineRate) * cfg.Load * elapsed * float64(cfg.Ports)
+	got := float64(bits)
+	if math.Abs(got-wantBits)/wantBits > 0.15 {
+		t.Fatalf("ON/OFF offered %v bits, want ~%v (±15%%)", got, wantBits)
+	}
+}
+
+func TestOnOffBurstsShareDestinationAndFlow(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Process = OnOff
+	cfg.BurstMeanPkts = 16
+	g, _ := New(cfg)
+	s := sim.New()
+	flowDst := map[uint64]packet.Port{}
+	g.Start(s, func(p *packet.Packet) {
+		if dst, seen := flowDst[p.Flow]; seen && dst != p.Dst {
+			t.Fatalf("flow %d changed destination %d -> %d", p.Flow, dst, p.Dst)
+		}
+		flowDst[p.Flow] = p.Dst
+	})
+	s.RunUntil(cfg.Until)
+	if len(flowDst) < 10 {
+		t.Fatalf("too few flows: %d", len(flowDst))
+	}
+}
+
+func TestOnOffBurstinessExceedsPoisson(t *testing.T) {
+	// Measure max bits in any 100us window; ON/OFF at the same load must
+	// be burstier.
+	maxWindow := func(process Process) int64 {
+		cfg := baseConfig()
+		cfg.Process = process
+		cfg.BurstMeanPkts = 64
+		cfg.Ports = 2
+		g, _ := New(cfg)
+		s := sim.New()
+		window := units.Duration(100 * units.Microsecond)
+		var cur, best int64
+		var windowStart units.Time
+		g.Start(s, func(p *packet.Packet) {
+			if p.CreatedAt.Sub(windowStart) > window {
+				windowStart = p.CreatedAt
+				cur = 0
+			}
+			cur += int64(p.Size)
+			if cur > best {
+				best = cur
+			}
+		})
+		s.RunUntil(cfg.Until)
+		return best
+	}
+	poisson := maxWindow(Poisson)
+	onoff := maxWindow(OnOff)
+	if onoff <= poisson {
+		t.Fatalf("ON/OFF peak window %d <= Poisson %d; burstiness lost", onoff, poisson)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		g, _ := New(baseConfig())
+		s := sim.New()
+		var ids []uint64
+		g.Start(s, func(p *packet.Packet) {
+			ids = append(ids, p.ID, uint64(p.Src), uint64(p.Dst), uint64(p.Size))
+		})
+		s.RunUntil(baseConfig().Until)
+		return ids
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestNoSelfTraffic(t *testing.T) {
+	for _, pat := range []Pattern{
+		Uniform{},
+		NewPermutation(8, 7),
+		Hotspot{Frac: 0.9, Spots: 2},
+		NewZipf(8, 1.2),
+	} {
+		r := rng.New(5)
+		for trial := 0; trial < 2000; trial++ {
+			src := trial % 8
+			if d := pat.Dst(r, src, 8); d == src || d < 0 || d >= 8 {
+				t.Fatalf("%s: bad destination %d for src %d", pat.Name(), d, src)
+			}
+		}
+	}
+}
+
+func TestPermutationIsFixed(t *testing.T) {
+	p := NewPermutation(8, 3)
+	r := rng.New(1)
+	first := p.Dst(r, 2, 8)
+	for i := 0; i < 100; i++ {
+		if p.Dst(r, 2, 8) != first {
+			t.Fatal("permutation pattern must be static")
+		}
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	h := Hotspot{Frac: 0.8, Spots: 2}
+	r := rng.New(9)
+	hot := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if d := h.Dst(r, 5, 16); d < 2 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.7 || frac > 0.9 {
+		t.Fatalf("hot fraction %.2f, want ~0.8", frac)
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	z := NewZipf(16, 1.5)
+	r := rng.New(11)
+	counts := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		counts[z.Dst(r, 0, 16)]++
+	}
+	// Rank-0 destination for src 0 is port 1.
+	if counts[1] <= counts[8] {
+		t.Fatalf("zipf rank ordering broken: %v", counts)
+	}
+}
+
+func TestSizeClamping(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Sizes = Fixed{1 * units.Byte} // below MinFrame
+	g, _ := New(cfg)
+	s := sim.New()
+	g.Start(s, func(p *packet.Packet) {
+		if p.Size < packet.MinFrame {
+			t.Fatalf("size %v below minimum frame", p.Size)
+		}
+	})
+	s.RunUntil(units.Time(units.Millisecond))
+}
+
+func TestLatencySensitiveMarking(t *testing.T) {
+	cfg := baseConfig()
+	cfg.LatencySensitiveFrac = 0.3
+	g, _ := New(cfg)
+	s := sim.New()
+	var sensitive, total int
+	g.Start(s, func(p *packet.Packet) {
+		total++
+		if p.Class == packet.ClassLatencySensitive {
+			sensitive++
+		}
+	})
+	s.RunUntil(cfg.Until)
+	frac := float64(sensitive) / float64(total)
+	if math.Abs(frac-0.3) > 0.05 {
+		t.Fatalf("latency-sensitive fraction %.2f, want ~0.3", frac)
+	}
+}
+
+func TestTrimodalMean(t *testing.T) {
+	d := TrimodalInternet{}
+	r := rng.New(21)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(r))
+	}
+	got := sum / n
+	want := float64(d.Mean())
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("sample mean %.0f, analytic %.0f", got, want)
+	}
+}
+
+func TestGenerationStopsAtUntil(t *testing.T) {
+	cfg := baseConfig()
+	g, _ := New(cfg)
+	s := sim.New()
+	var last units.Time
+	g.Start(s, func(p *packet.Packet) { last = p.CreatedAt })
+	s.Run() // run to exhaustion: generator must terminate the event stream
+	if last.After(cfg.Until) {
+		t.Fatalf("packet generated at %v after Until %v", last, cfg.Until)
+	}
+}

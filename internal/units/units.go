@@ -1,0 +1,329 @@
+// Package units provides the fundamental quantities used throughout the
+// simulator: simulated time (picosecond resolution), data sizes (bits) and
+// bit rates (bits per second), together with overflow-safe arithmetic
+// between them.
+//
+// Picosecond resolution is required because the paper spans switching times
+// from nanoseconds to milliseconds and line rates from 1 Gbps to 100 Gbps; a
+// 64 B frame at 100 Gbps lasts 5.12 ns, so nanosecond resolution would
+// accumulate visible quantization error over a simulation.
+package units
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Duration is a span of simulated time in picoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Time is an absolute simulated time: picoseconds since simulation start.
+type Time int64
+
+// MaxTime is the largest representable simulation instant. It is used as an
+// "infinitely far in the future" sentinel.
+const MaxTime Time = 1<<63 - 1
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Nanoseconds returns the duration as a floating-point number of nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / float64(Nanosecond) }
+
+// Microseconds returns the duration as a floating-point number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Milliseconds returns the duration as a floating-point number of milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// String renders the duration with an auto-selected unit, e.g. "51.2ns".
+func (d Duration) String() string {
+	if d == 0 {
+		return "0s"
+	}
+	neg := d < 0
+	v := float64(d)
+	if neg {
+		v = -v
+	}
+	type unit struct {
+		div  float64
+		name string
+	}
+	for _, u := range []unit{
+		{float64(Second), "s"},
+		{float64(Millisecond), "ms"},
+		{float64(Microsecond), "us"},
+		{float64(Nanosecond), "ns"},
+	} {
+		if v >= u.div {
+			return trimFloat(v/u.div, neg) + u.name
+		}
+	}
+	return trimFloat(v, neg) + "ps"
+}
+
+func trimFloat(v float64, neg bool) string {
+	s := strconv.FormatFloat(v, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if neg {
+		return "-" + s
+	}
+	return s
+}
+
+// ParseDuration parses strings such as "1ms", "51.2ns", "10us", "2s", "500ps".
+func ParseDuration(s string) (Duration, error) {
+	v, suffix, err := splitNumber(s)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad duration %q: %w", s, err)
+	}
+	var mul Duration
+	switch suffix {
+	case "ps":
+		mul = Picosecond
+	case "ns":
+		mul = Nanosecond
+	case "us", "µs":
+		mul = Microsecond
+	case "ms":
+		mul = Millisecond
+	case "s":
+		mul = Second
+	default:
+		return 0, fmt.Errorf("units: bad duration %q: unknown unit %q", s, suffix)
+	}
+	return Duration(v * float64(mul)), nil
+}
+
+// Size is an amount of data in bits.
+type Size int64
+
+// Common sizes. Decimal multiples follow network convention (1 KB = 1000 B).
+const (
+	Bit      Size = 1
+	Byte          = 8 * Bit
+	Kilobyte      = 1000 * Byte
+	Megabyte      = 1000 * Kilobyte
+	Gigabyte      = 1000 * Megabyte
+	Terabyte      = 1000 * Gigabyte
+)
+
+// Bytes returns the size as a floating-point number of bytes.
+func (s Size) Bytes() float64 { return float64(s) / float64(Byte) }
+
+// Bits returns the size as an integer number of bits.
+func (s Size) Bits() int64 { return int64(s) }
+
+// String renders the size with an auto-selected unit, e.g. "1.5KB".
+func (s Size) String() string {
+	if s == 0 {
+		return "0B"
+	}
+	neg := s < 0
+	v := float64(s)
+	if neg {
+		v = -v
+	}
+	type unit struct {
+		div  float64
+		name string
+	}
+	for _, u := range []unit{
+		{float64(Terabyte), "TB"},
+		{float64(Gigabyte), "GB"},
+		{float64(Megabyte), "MB"},
+		{float64(Kilobyte), "KB"},
+		{float64(Byte), "B"},
+	} {
+		if v >= u.div {
+			return trimFloat(v/u.div, neg) + u.name
+		}
+	}
+	return trimFloat(v, neg) + "b"
+}
+
+// ParseSize parses strings such as "1500B", "9KB", "1.2GB", "64b" (bits).
+func ParseSize(s string) (Size, error) {
+	v, suffix, err := splitNumber(s)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad size %q: %w", s, err)
+	}
+	var mul Size
+	switch suffix {
+	case "b":
+		mul = Bit
+	case "B":
+		mul = Byte
+	case "KB", "kB":
+		mul = Kilobyte
+	case "MB":
+		mul = Megabyte
+	case "GB":
+		mul = Gigabyte
+	case "TB":
+		mul = Terabyte
+	default:
+		return 0, fmt.Errorf("units: bad size %q: unknown unit %q", s, suffix)
+	}
+	return Size(v * float64(mul)), nil
+}
+
+// BitRate is a transmission rate in bits per second.
+type BitRate int64
+
+// Common rates.
+const (
+	BitPerSecond BitRate = 1
+	Kbps                 = 1000 * BitPerSecond
+	Mbps                 = 1000 * Kbps
+	Gbps                 = 1000 * Mbps
+	Tbps                 = 1000 * Gbps
+)
+
+// String renders the rate with an auto-selected unit, e.g. "10Gbps".
+func (r BitRate) String() string {
+	if r == 0 {
+		return "0bps"
+	}
+	neg := r < 0
+	v := float64(r)
+	if neg {
+		v = -v
+	}
+	type unit struct {
+		div  float64
+		name string
+	}
+	for _, u := range []unit{
+		{float64(Tbps), "Tbps"},
+		{float64(Gbps), "Gbps"},
+		{float64(Mbps), "Mbps"},
+		{float64(Kbps), "Kbps"},
+	} {
+		if v >= u.div {
+			return trimFloat(v/u.div, neg) + u.name
+		}
+	}
+	return trimFloat(v, neg) + "bps"
+}
+
+// ParseBitRate parses strings such as "10Gbps", "100Mbps", "1.6Tbps".
+func ParseBitRate(s string) (BitRate, error) {
+	v, suffix, err := splitNumber(s)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad bit rate %q: %w", s, err)
+	}
+	var mul BitRate
+	switch suffix {
+	case "bps":
+		mul = BitPerSecond
+	case "Kbps", "kbps":
+		mul = Kbps
+	case "Mbps":
+		mul = Mbps
+	case "Gbps":
+		mul = Gbps
+	case "Tbps":
+		mul = Tbps
+	default:
+		return 0, fmt.Errorf("units: bad bit rate %q: unknown unit %q", s, suffix)
+	}
+	return BitRate(v * float64(mul)), nil
+}
+
+func splitNumber(s string) (float64, string, error) {
+	s = strings.TrimSpace(s)
+	i := len(s)
+	for i > 0 {
+		c := s[i-1]
+		if c >= '0' && c <= '9' || c == '.' {
+			break
+		}
+		i--
+	}
+	if i == 0 || i == len(s) {
+		return 0, "", fmt.Errorf("missing number or unit")
+	}
+	v, err := strconv.ParseFloat(s[:i], 64)
+	if err != nil {
+		return 0, "", err
+	}
+	return v, s[i:], nil
+}
+
+// TransmitTime returns the time needed to serialize s onto a link of rate r.
+// It rounds up to the next picosecond so that back-to-back transmissions
+// never overlap. TransmitTime panics if r <= 0.
+func TransmitTime(s Size, r BitRate) Duration {
+	if r <= 0 {
+		panic("units: TransmitTime with non-positive rate")
+	}
+	if s <= 0 {
+		return 0
+	}
+	// ps = bits * 1e12 / bps, computed in 128 bits to avoid overflow.
+	return Duration(mulDivCeil(uint64(s), uint64(Second), uint64(r)))
+}
+
+// TransferSize returns the amount of data a link of rate r carries in d.
+// It rounds down (partial bits do not arrive).
+func TransferSize(r BitRate, d Duration) Size {
+	if r <= 0 || d <= 0 {
+		return 0
+	}
+	// bits = bps * ps / 1e12
+	return Size(mulDiv(uint64(r), uint64(d), uint64(Second)))
+}
+
+// mulDiv returns a*b/c using 128-bit intermediates, truncating.
+func mulDiv(a, b, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi >= c {
+		panic("units: mulDiv overflow")
+	}
+	q, _ := bits.Div64(hi, lo, c)
+	return q
+}
+
+// mulDivCeil returns ceil(a*b/c) using 128-bit intermediates.
+func mulDivCeil(a, b, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi >= c {
+		panic("units: mulDivCeil overflow")
+	}
+	q, r := bits.Div64(hi, lo, c)
+	if r > 0 {
+		q++
+	}
+	return q
+}

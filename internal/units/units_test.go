@@ -1,0 +1,186 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTransmitTimeKnownValues(t *testing.T) {
+	cases := []struct {
+		size Size
+		rate BitRate
+		want Duration
+	}{
+		// A 64 B frame at 10 Gbps takes 51.2 ns.
+		{64 * Byte, 10 * Gbps, Duration(51200)},
+		// A 1500 B frame at 10 Gbps takes 1.2 us.
+		{1500 * Byte, 10 * Gbps, 1200 * Nanosecond},
+		// A 64 B frame at 100 Gbps takes 5.12 ns.
+		{64 * Byte, 100 * Gbps, Duration(5120)},
+		// One bit at 1 bps takes one second.
+		{Bit, BitPerSecond, Second},
+		// Zero size is instantaneous.
+		{0, 10 * Gbps, 0},
+	}
+	for _, c := range cases {
+		if got := TransmitTime(c.size, c.rate); got != c.want {
+			t.Errorf("TransmitTime(%v, %v) = %v, want %v", c.size, c.rate, got, c.want)
+		}
+	}
+}
+
+func TestTransmitTimeRoundsUp(t *testing.T) {
+	// 1 bit at 3 bps = 333333333333.33 ps; must round up.
+	got := TransmitTime(Bit, 3)
+	if got != Duration(333333333334) {
+		t.Errorf("TransmitTime(1b, 3bps) = %d, want 333333333334", got)
+	}
+}
+
+func TestTransferSizeKnownValues(t *testing.T) {
+	// 10 Gbps for 1 ms carries 10 Mb = 1.25 MB.
+	if got := TransferSize(10*Gbps, Millisecond); got != Size(10_000_000) {
+		t.Errorf("TransferSize(10Gbps, 1ms) = %d bits, want 10000000", got)
+	}
+	if got := TransferSize(10*Gbps, 0); got != 0 {
+		t.Errorf("TransferSize with zero duration = %d, want 0", got)
+	}
+}
+
+func TestTransmitTransferRoundTrip(t *testing.T) {
+	// Property: transferring for exactly TransmitTime(s, r) carries at
+	// least s (ceil rounding can only add capacity).
+	f := func(sizeBytes uint16, rateMbps uint16) bool {
+		if rateMbps == 0 {
+			return true
+		}
+		s := Size(sizeBytes) * Byte
+		r := BitRate(rateMbps) * Mbps
+		d := TransmitTime(s, r)
+		return TransferSize(r, d) >= s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(5 * Microsecond)
+	if !t0.Before(t1) || !t1.After(t0) {
+		t.Fatal("ordering broken")
+	}
+	if d := t1.Sub(t0); d != 5*Microsecond {
+		t.Fatalf("Sub = %v, want 5us", d)
+	}
+	if s := t1.Seconds(); s != 5e-6 {
+		t.Fatalf("Seconds = %v, want 5e-6", s)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0s"},
+		{Duration(51200), "51.2ns"},
+		{1200 * Nanosecond, "1.2us"},
+		{Millisecond, "1ms"},
+		{2500 * Millisecond, "2.5s"},
+		{500 * Picosecond, "500ps"},
+		{-Millisecond, "-1ms"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestSizeString(t *testing.T) {
+	cases := []struct {
+		s    Size
+		want string
+	}{
+		{0, "0B"},
+		{64 * Byte, "64B"},
+		{1500 * Byte, "1.5KB"},
+		{Gigabyte, "1GB"},
+		{3 * Bit, "3b"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.s), got, c.want)
+		}
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	if got := (10 * Gbps).String(); got != "10Gbps" {
+		t.Errorf("got %q", got)
+	}
+	if got := (BitRate(1_600_000_000_000)).String(); got != "1.6Tbps" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParseRoundTrips(t *testing.T) {
+	for _, s := range []string{"1ms", "51.2ns", "10us", "2s", "500ps"} {
+		d, err := ParseDuration(s)
+		if err != nil {
+			t.Fatalf("ParseDuration(%q): %v", s, err)
+		}
+		back, err := ParseDuration(d.String())
+		if err != nil || back != d {
+			t.Errorf("round trip %q -> %v -> %v (%v)", s, d, back, err)
+		}
+	}
+	if _, err := ParseDuration("10 parsecs"); err == nil {
+		t.Error("expected error for bad unit")
+	}
+	if _, err := ParseDuration("ms"); err == nil {
+		t.Error("expected error for missing number")
+	}
+
+	r, err := ParseBitRate("10Gbps")
+	if err != nil || r != 10*Gbps {
+		t.Errorf("ParseBitRate = %v, %v", r, err)
+	}
+	if _, err := ParseBitRate("10"); err == nil {
+		t.Error("expected error for missing unit")
+	}
+
+	sz, err := ParseSize("1500B")
+	if err != nil || sz != 1500*Byte {
+		t.Errorf("ParseSize = %v, %v", sz, err)
+	}
+	if _, err := ParseSize("xB"); err == nil {
+		t.Error("expected error for bad number")
+	}
+}
+
+func TestTransmitTimePanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for rate 0")
+		}
+	}()
+	TransmitTime(Byte, 0)
+}
+
+func TestPaperBufferArithmetic(t *testing.T) {
+	// The paper's in-text claim: a 64-port switch at 10 Gbps/port with a
+	// 1 ms switching time needs on the order of gigabytes of buffering;
+	// with 1 ns switching, kilobytes. Per-port data during reconfig:
+	perPortMs := TransferSize(10*Gbps, Millisecond) // bits
+	total := Size(64) * perPortMs
+	if total.Bytes() < 50e6 { // 80 MB raw; with burst multiple -> GBs
+		t.Errorf("ms-scale aggregate buffering %v too small to support the paper's claim", total)
+	}
+	perPortNs := TransferSize(10*Gbps, Nanosecond)
+	totalNs := Size(64) * perPortNs
+	if totalNs.Bytes() > 1e3 {
+		t.Errorf("ns-scale aggregate buffering %v should be sub-KB per reconfiguration", totalNs)
+	}
+}

@@ -1,0 +1,257 @@
+// Package voq implements Virtual Output Queues — the buffering element of
+// the paper's processing logic. Each (input, output) pair has its own FIFO
+// so head-of-line blocking cannot couple destinations; as a queue's status
+// changes the bank emits notifications, which is how scheduling requests
+// reach the scheduling logic in Figure 2.
+package voq
+
+import (
+	"fmt"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/packet"
+	"hybridsched/internal/stats"
+	"hybridsched/internal/units"
+)
+
+// Queue is a single FIFO with byte- and packet-count limits and tail-drop.
+// The zero value is unusable; queues are created by NewBank (or NewQueue
+// for standalone use, e.g. host queues).
+type Queue struct {
+	pkts     []*packet.Packet // ring buffer
+	head     int
+	count    int
+	bits     units.Size
+	maxBits  units.Size // 0 = unlimited
+	maxPkts  int        // 0 = unlimited
+	enq      stats.Counter
+	deq      stats.Counter
+	drops    stats.Counter
+	dropBits stats.Counter
+	occ      stats.TimeWeightedGauge
+	peakBits units.Size
+}
+
+// NewQueue returns an empty queue with the given limits (0 = unlimited).
+func NewQueue(maxBits units.Size, maxPkts int) *Queue {
+	return &Queue{pkts: make([]*packet.Packet, 8), maxBits: maxBits, maxPkts: maxPkts}
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return q.count }
+
+// Bits returns the queued volume in bits.
+func (q *Queue) Bits() units.Size { return q.bits }
+
+// PeakBits returns the high-water mark of queued volume.
+func (q *Queue) PeakBits() units.Size { return q.peakBits }
+
+// Drops returns the count of tail-dropped packets.
+func (q *Queue) Drops() int64 { return q.drops.Value() }
+
+// DroppedBits returns the volume of tail-dropped packets.
+func (q *Queue) DroppedBits() units.Size { return units.Size(q.dropBits.Value()) }
+
+// Enqueued returns the count of accepted packets.
+func (q *Queue) Enqueued() int64 { return q.enq.Value() }
+
+// Dequeued returns the count of dequeued packets.
+func (q *Queue) Dequeued() int64 { return q.deq.Value() }
+
+// MeanBitsOver returns the time-weighted mean occupancy in bits up to end.
+func (q *Queue) MeanBitsOver(end units.Time) float64 {
+	return q.occ.MeanOver(int64(end))
+}
+
+// Front returns the packet at the head without removing it, or nil.
+func (q *Queue) Front() *packet.Packet {
+	if q.count == 0 {
+		return nil
+	}
+	return q.pkts[q.head]
+}
+
+// Enqueue appends p at time t. It returns false (and accounts a drop) if a
+// limit would be exceeded.
+func (q *Queue) Enqueue(t units.Time, p *packet.Packet) bool {
+	if q.maxPkts > 0 && q.count >= q.maxPkts ||
+		q.maxBits > 0 && q.bits+p.Size > q.maxBits {
+		q.drops.Inc()
+		q.dropBits.Add(int64(p.Size))
+		return false
+	}
+	if q.count == len(q.pkts) {
+		q.grow()
+	}
+	q.pkts[(q.head+q.count)%len(q.pkts)] = p
+	q.count++
+	q.bits += p.Size
+	if q.bits > q.peakBits {
+		q.peakBits = q.bits
+	}
+	p.EnqueuedAt = t
+	q.enq.Inc()
+	q.occ.Set(int64(t), int64(q.bits))
+	return true
+}
+
+func (q *Queue) grow() {
+	bigger := make([]*packet.Packet, 2*len(q.pkts))
+	for i := 0; i < q.count; i++ {
+		bigger[i] = q.pkts[(q.head+i)%len(q.pkts)]
+	}
+	q.pkts = bigger
+	q.head = 0
+}
+
+// Dequeue removes and returns the head packet, or nil if empty.
+func (q *Queue) Dequeue(t units.Time) *packet.Packet {
+	if q.count == 0 {
+		return nil
+	}
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head = (q.head + 1) % len(q.pkts)
+	q.count--
+	q.bits -= p.Size
+	q.deq.Inc()
+	q.occ.Set(int64(t), int64(q.bits))
+	return p
+}
+
+// DequeueUpTo drains whole packets from the head while their cumulative
+// size fits within budget, returning them in order. A head packet larger
+// than the remaining budget stops the drain (packets are never fragmented).
+func (q *Queue) DequeueUpTo(t units.Time, budget units.Size) []*packet.Packet {
+	var out []*packet.Packet
+	for q.count > 0 {
+		p := q.pkts[q.head]
+		if p.Size > budget {
+			break
+		}
+		budget -= p.Size
+		out = append(out, q.Dequeue(t))
+	}
+	return out
+}
+
+// Notify is called by a Bank when a VOQ transitions between empty and
+// non-empty — the paper's "as the status of a VOQ changes, the subsystem
+// generates scheduling requests".
+type Notify func(in, out packet.Port, nowEmpty bool)
+
+// Bank is the n x n VOQ array at the switch ingress.
+type Bank struct {
+	n      int
+	queues []*Queue
+	notify Notify
+	total  units.Size
+	peak   units.Size
+	drops  stats.Counter
+}
+
+// NewBank returns an n x n bank whose queues each hold at most maxBits
+// (0 = unlimited). notify may be nil.
+func NewBank(n int, maxBits units.Size, notify Notify) *Bank {
+	if n <= 0 {
+		panic("voq: bank size must be positive")
+	}
+	b := &Bank{n: n, queues: make([]*Queue, n*n), notify: notify}
+	for i := range b.queues {
+		b.queues[i] = NewQueue(maxBits, 0)
+	}
+	return b
+}
+
+// N returns the port count.
+func (b *Bank) N() int { return b.n }
+
+// Queue returns the VOQ for (in, out).
+func (b *Bank) Queue(in, out packet.Port) *Queue {
+	return b.queues[int(in)*b.n+int(out)]
+}
+
+func (b *Bank) check(in, out packet.Port) {
+	if in < 0 || int(in) >= b.n || out < 0 || int(out) >= b.n {
+		panic(fmt.Sprintf("voq: port out of range (%d,%d) for n=%d", in, out, b.n))
+	}
+}
+
+// Enqueue places p into VOQ (p.Src, p.Dst). It returns false on tail-drop.
+func (b *Bank) Enqueue(t units.Time, p *packet.Packet) bool {
+	b.check(p.Src, p.Dst)
+	q := b.Queue(p.Src, p.Dst)
+	wasEmpty := q.Len() == 0
+	if !q.Enqueue(t, p) {
+		b.drops.Inc()
+		return false
+	}
+	b.total += p.Size
+	if b.total > b.peak {
+		b.peak = b.total
+	}
+	if wasEmpty && b.notify != nil {
+		b.notify(p.Src, p.Dst, false)
+	}
+	return true
+}
+
+// Dequeue removes the head packet of VOQ (in, out), or returns nil.
+func (b *Bank) Dequeue(t units.Time, in, out packet.Port) *packet.Packet {
+	b.check(in, out)
+	q := b.Queue(in, out)
+	p := q.Dequeue(t)
+	if p != nil {
+		b.total -= p.Size
+		if q.Len() == 0 && b.notify != nil {
+			b.notify(in, out, true)
+		}
+	}
+	return p
+}
+
+// DequeueUpTo drains up to budget bits of whole packets from VOQ (in, out).
+func (b *Bank) DequeueUpTo(t units.Time, in, out packet.Port, budget units.Size) []*packet.Packet {
+	b.check(in, out)
+	q := b.Queue(in, out)
+	pkts := q.DequeueUpTo(t, budget)
+	for _, p := range pkts {
+		b.total -= p.Size
+	}
+	if len(pkts) > 0 && q.Len() == 0 && b.notify != nil {
+		b.notify(in, out, true)
+	}
+	return pkts
+}
+
+// TotalBits returns the aggregate backlog across all VOQs.
+func (b *Bank) TotalBits() units.Size { return b.total }
+
+// PeakBits returns the aggregate backlog high-water mark — the Figure 1
+// "buffering memory requirement" measurement.
+func (b *Bank) PeakBits() units.Size { return b.peak }
+
+// Drops returns the aggregate tail-drop count.
+func (b *Bank) Drops() int64 { return b.drops.Value() }
+
+// FillOccupancy writes the current per-VOQ backlog into est via
+// SetOccupancy, the feed for occupancy-based demand estimation.
+func (b *Bank) FillOccupancy(t units.Time, est demand.Estimator) {
+	for i := 0; i < b.n; i++ {
+		for j := 0; j < b.n; j++ {
+			est.SetOccupancy(t, i, j, int64(b.queues[i*b.n+j].bits))
+		}
+	}
+}
+
+// OccupancyMatrix returns the instantaneous backlog as a demand matrix in
+// bits.
+func (b *Bank) OccupancyMatrix() *demand.Matrix {
+	m := demand.NewMatrix(b.n)
+	for i := 0; i < b.n; i++ {
+		for j := 0; j < b.n; j++ {
+			m.Set(i, j, int64(b.queues[i*b.n+j].bits))
+		}
+	}
+	return m
+}

@@ -1,0 +1,272 @@
+package voq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridsched/internal/packet"
+	"hybridsched/internal/rng"
+	"hybridsched/internal/units"
+)
+
+func mkpkt(id uint64, src, dst packet.Port, size units.Size) *packet.Packet {
+	return &packet.Packet{ID: id, Src: src, Dst: dst, Size: size}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(0, 0)
+	for i := uint64(0); i < 100; i++ {
+		if !q.Enqueue(0, mkpkt(i, 0, 1, 64*units.Byte)) {
+			t.Fatal("unlimited queue dropped")
+		}
+	}
+	if q.Len() != 100 || q.Bits() != 100*64*units.Byte {
+		t.Fatalf("len=%d bits=%v", q.Len(), q.Bits())
+	}
+	for i := uint64(0); i < 100; i++ {
+		p := q.Dequeue(0)
+		if p == nil || p.ID != i {
+			t.Fatalf("FIFO order broken at %d: %v", i, p)
+		}
+	}
+	if q.Dequeue(0) != nil {
+		t.Fatal("empty dequeue should return nil")
+	}
+	if q.Enqueued() != 100 || q.Dequeued() != 100 || q.Drops() != 0 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestQueueRingWraparound(t *testing.T) {
+	// Interleave enqueues and dequeues to force head wraparound.
+	q := NewQueue(0, 0)
+	next := uint64(0)
+	expect := uint64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			q.Enqueue(0, mkpkt(next, 0, 1, 64*units.Byte))
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			p := q.Dequeue(0)
+			if p.ID != expect {
+				t.Fatalf("wraparound order broken: got %d want %d", p.ID, expect)
+			}
+			expect++
+		}
+	}
+	for q.Len() > 0 {
+		p := q.Dequeue(0)
+		if p.ID != expect {
+			t.Fatalf("drain order broken: got %d want %d", p.ID, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("lost packets: drained %d of %d", expect, next)
+	}
+}
+
+func TestQueueBitLimit(t *testing.T) {
+	q := NewQueue(100*units.Byte, 0)
+	if !q.Enqueue(0, mkpkt(0, 0, 1, 64*units.Byte)) {
+		t.Fatal("first packet should fit")
+	}
+	if q.Enqueue(0, mkpkt(1, 0, 1, 64*units.Byte)) {
+		t.Fatal("second packet should tail-drop")
+	}
+	if q.Drops() != 1 || q.DroppedBits() != 64*units.Byte {
+		t.Fatalf("drop accounting wrong: %d, %v", q.Drops(), q.DroppedBits())
+	}
+	// Exactly filling the limit is allowed.
+	q2 := NewQueue(128*units.Byte, 0)
+	q2.Enqueue(0, mkpkt(0, 0, 1, 64*units.Byte))
+	if !q2.Enqueue(0, mkpkt(1, 0, 1, 64*units.Byte)) {
+		t.Fatal("exact fill should be accepted")
+	}
+}
+
+func TestQueuePacketLimit(t *testing.T) {
+	q := NewQueue(0, 2)
+	q.Enqueue(0, mkpkt(0, 0, 1, 64*units.Byte))
+	q.Enqueue(0, mkpkt(1, 0, 1, 64*units.Byte))
+	if q.Enqueue(0, mkpkt(2, 0, 1, 64*units.Byte)) {
+		t.Fatal("packet limit not enforced")
+	}
+}
+
+func TestQueuePeakAndOccupancy(t *testing.T) {
+	q := NewQueue(0, 0)
+	q.Enqueue(0, mkpkt(0, 0, 1, 1000*units.Byte))
+	q.Enqueue(units.Time(10), mkpkt(1, 0, 1, 1000*units.Byte))
+	q.Dequeue(units.Time(20))
+	q.Dequeue(units.Time(30))
+	if q.PeakBits() != 2000*units.Byte {
+		t.Fatalf("peak = %v", q.PeakBits())
+	}
+	if q.Bits() != 0 {
+		t.Fatalf("bits = %v", q.Bits())
+	}
+	if q.MeanBitsOver(units.Time(30)) <= 0 {
+		t.Fatal("mean occupancy should be positive")
+	}
+}
+
+func TestDequeueUpTo(t *testing.T) {
+	q := NewQueue(0, 0)
+	for i := uint64(0); i < 5; i++ {
+		q.Enqueue(0, mkpkt(i, 0, 1, 1000*units.Byte))
+	}
+	// Budget for 2.5 packets drains exactly 2.
+	got := q.DequeueUpTo(0, 2500*units.Byte)
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 1 {
+		t.Fatalf("got %v", got)
+	}
+	// Budget smaller than head drains nothing (no fragmentation).
+	got = q.DequeueUpTo(0, 999*units.Byte)
+	if len(got) != 0 {
+		t.Fatalf("fragmented a packet: %v", got)
+	}
+	// Huge budget drains the rest.
+	got = q.DequeueUpTo(0, units.Gigabyte)
+	if len(got) != 3 {
+		t.Fatalf("got %d, want 3", len(got))
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestBankRouting(t *testing.T) {
+	b := NewBank(4, 0, nil)
+	b.Enqueue(0, mkpkt(1, 2, 3, 64*units.Byte))
+	b.Enqueue(0, mkpkt(2, 3, 1, 64*units.Byte))
+	if b.Queue(2, 3).Len() != 1 || b.Queue(3, 1).Len() != 1 {
+		t.Fatal("packets routed to wrong VOQ")
+	}
+	if b.Queue(0, 0).Len() != 0 {
+		t.Fatal("unexpected packet")
+	}
+	p := b.Dequeue(0, 2, 3)
+	if p == nil || p.ID != 1 {
+		t.Fatalf("dequeue wrong: %v", p)
+	}
+	if b.Dequeue(0, 0, 0) != nil {
+		t.Fatal("empty VOQ dequeue should be nil")
+	}
+}
+
+func TestBankNotifications(t *testing.T) {
+	type note struct {
+		in, out packet.Port
+		empty   bool
+	}
+	var notes []note
+	b := NewBank(2, 0, func(in, out packet.Port, empty bool) {
+		notes = append(notes, note{in, out, empty})
+	})
+	b.Enqueue(0, mkpkt(0, 0, 1, 64*units.Byte)) // empty -> nonempty: notify
+	b.Enqueue(0, mkpkt(1, 0, 1, 64*units.Byte)) // still nonempty: no notify
+	b.Dequeue(0, 0, 1)                          // still nonempty: no notify
+	b.Dequeue(0, 0, 1)                          // nonempty -> empty: notify
+	if len(notes) != 2 {
+		t.Fatalf("notes = %v", notes)
+	}
+	if notes[0] != (note{0, 1, false}) || notes[1] != (note{0, 1, true}) {
+		t.Fatalf("notes = %v", notes)
+	}
+}
+
+func TestBankNotifyOnDrainViaDequeueUpTo(t *testing.T) {
+	var empties int
+	b := NewBank(2, 0, func(_, _ packet.Port, empty bool) {
+		if empty {
+			empties++
+		}
+	})
+	b.Enqueue(0, mkpkt(0, 0, 1, 64*units.Byte))
+	b.Enqueue(0, mkpkt(1, 0, 1, 64*units.Byte))
+	b.DequeueUpTo(0, 0, 1, units.Gigabyte)
+	if empties != 1 {
+		t.Fatalf("empties = %d, want 1", empties)
+	}
+}
+
+func TestBankAggregateAccounting(t *testing.T) {
+	b := NewBank(3, 0, nil)
+	b.Enqueue(0, mkpkt(0, 0, 1, 1000*units.Byte))
+	b.Enqueue(0, mkpkt(1, 1, 2, 500*units.Byte))
+	if b.TotalBits() != 1500*units.Byte {
+		t.Fatalf("total = %v", b.TotalBits())
+	}
+	if b.PeakBits() != 1500*units.Byte {
+		t.Fatalf("peak = %v", b.PeakBits())
+	}
+	b.Dequeue(0, 0, 1)
+	if b.TotalBits() != 500*units.Byte {
+		t.Fatalf("total after dequeue = %v", b.TotalBits())
+	}
+	if b.PeakBits() != 1500*units.Byte {
+		t.Fatal("peak must not shrink")
+	}
+}
+
+func TestBankDropAccounting(t *testing.T) {
+	b := NewBank(2, 100*units.Byte, nil)
+	b.Enqueue(0, mkpkt(0, 0, 1, 64*units.Byte))
+	b.Enqueue(0, mkpkt(1, 0, 1, 64*units.Byte)) // dropped
+	if b.Drops() != 1 {
+		t.Fatalf("drops = %d", b.Drops())
+	}
+	if b.TotalBits() != 64*units.Byte {
+		t.Fatal("dropped packet counted in total")
+	}
+}
+
+func TestBankOccupancyMatrix(t *testing.T) {
+	b := NewBank(2, 0, nil)
+	b.Enqueue(0, mkpkt(0, 0, 1, 1000*units.Byte))
+	b.Enqueue(0, mkpkt(1, 1, 0, 2000*units.Byte))
+	m := b.OccupancyMatrix()
+	if m.At(0, 1) != int64(1000*units.Byte) || m.At(1, 0) != int64(2000*units.Byte) {
+		t.Fatalf("matrix wrong:\n%v", m)
+	}
+}
+
+func TestBankPortRangePanics(t *testing.T) {
+	b := NewBank(2, 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Enqueue(0, mkpkt(0, 5, 1, 64*units.Byte))
+}
+
+// Property: for any random enqueue/dequeue interleaving, conservation holds:
+// enqueued = dequeued + still-queued + dropped, per queue and in bits.
+func TestQueueConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		q := NewQueue(units.Size(r.Intn(100)+1)*100*units.Byte, 0)
+		var enq, deq, dropped int64
+		for i := 0; i < 500; i++ {
+			if r.Bool(0.6) {
+				p := mkpkt(uint64(i), 0, 1, units.Size(64+r.Intn(1400))*units.Byte)
+				if q.Enqueue(0, p) {
+					enq++
+				} else {
+					dropped++
+				}
+			} else if q.Dequeue(0) != nil {
+				deq++
+			}
+		}
+		return enq == deq+int64(q.Len()) &&
+			q.Drops() == dropped &&
+			q.Enqueued() == enq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
