@@ -1,0 +1,31 @@
+# Development targets. `make check` is what CI should run; it would have
+# caught the missing-go.mod class of breakage mechanically.
+
+GO ?= go
+
+.PHONY: all build test vet fmt-check bench-smoke check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt-check fails (and lists the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# bench-smoke proves the hot-path benchmarks still compile and run; the
+# event-queue benchmark is the kernel's allocation regression guard.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkEventQueue -benchtime 0.1s .
+
+check: fmt-check vet build test bench-smoke

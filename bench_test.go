@@ -1,6 +1,6 @@
 // Benchmarks regenerating every figure, table and in-text claim of the
-// paper (F1, T1, F2) and the framework experiments (E1-E8), plus
-// microbenchmarks of the performance-critical substrates. EXPERIMENTS.md
+// paper (F1, T1, F2) and the framework experiments (E1-E9), plus
+// microbenchmarks of the performance-critical substrates. README.md
 // maps each benchmark to the paper artifact it reproduces.
 //
 // The experiment benchmarks run at Quick scale so `go test -bench=.`
@@ -15,6 +15,7 @@ import (
 	"hybridsched/internal/experiments"
 	"hybridsched/internal/match"
 	"hybridsched/internal/rng"
+	"hybridsched/internal/runner"
 	"hybridsched/internal/sched"
 	"hybridsched/internal/sim"
 	"hybridsched/internal/stats"
@@ -224,6 +225,56 @@ func BenchmarkSketchSnapshot(b *testing.B) {
 		s.Snapshot(0)
 	}
 }
+
+// fanoutJobs builds one bundle of independent scenario runs: the same
+// 8-port hybrid switch under eight loads with derived seeds — the shape of
+// work cmd/sweep and cmd/figures fan out across cores.
+func fanoutJobs() []runner.Job {
+	jobs := make([]runner.Job, 8)
+	for i := range jobs {
+		jobs[i] = runner.Job{
+			Fabric: FabricConfig{
+				Ports:        8,
+				LineRate:     10 * units.Gbps,
+				LinkDelay:    500 * units.Nanosecond,
+				Slot:         10 * units.Microsecond,
+				ReconfigTime: units.Microsecond,
+				Algorithm:    "islip",
+				Timing:       sched.DefaultHardware(),
+				Pipelined:    true,
+			},
+			Traffic: TrafficConfig{
+				Ports:    8,
+				LineRate: 10 * units.Gbps,
+				Load:     0.2 + 0.08*float64(i),
+				Pattern:  traffic.Uniform{},
+				Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+				Seed:     runner.DeriveSeed(1, i),
+			},
+			Duration: units.Millisecond,
+		}
+	}
+	return jobs
+}
+
+func benchScenarioFanout(b *testing.B, workers int) {
+	b.Helper()
+	jobs := fanoutJobs()
+	pool := runner.New(workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.RunScenarios(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioFanoutSerial and BenchmarkScenarioFanoutParallel run
+// the identical bundle of independent simulations on one worker and on
+// GOMAXPROCS workers; the ns/op ratio is the speedup the parallel
+// scenario-execution engine buys on this host.
+func BenchmarkScenarioFanoutSerial(b *testing.B)   { benchScenarioFanout(b, 1) }
+func BenchmarkScenarioFanoutParallel(b *testing.B) { benchScenarioFanout(b, 0) }
 
 // BenchmarkFabricEndToEnd measures whole-simulator throughput: simulated
 // packets pushed through an 8-port hybrid switch per wall-clock second.

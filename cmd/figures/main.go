@@ -1,29 +1,39 @@
 // Command figures regenerates every figure, table and in-text claim of
-// the paper (and the framework experiments E1-E8). See EXPERIMENTS.md for
-// the experiment index and expected shapes.
+// the paper (and the framework experiments E1-E9 and ablations A1-A2).
+// See README.md for the experiment index and expected shapes.
+//
+// Independent experiments fan out across cores (-parallel), and inside
+// each experiment the per-point simulation runs fan out too; output is
+// rendered in selection order, byte-identical at any worker count. The
+// exception is E4, whose tables contain measured wall-clock times: it is
+// scheduled after the parallel batch with nothing else running, so its
+// timings stay clean, but they naturally vary run to run.
 //
 // Usage:
 //
-//	figures [-id F1,T1,...|all] [-scale quick|full] [-csv dir] [-plot]
+//	figures [-id F1,T1,...|all] [-scale quick|full] [-csv dir] [-plot] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"hybridsched/internal/experiments"
 	"hybridsched/internal/report"
+	"hybridsched/internal/runner"
 )
 
 func main() {
 	var (
-		ids   = flag.String("id", "all", "comma-separated experiment IDs, or 'all'")
-		scale = flag.String("scale", "quick", "quick or full")
-		csv   = flag.String("csv", "", "also write each table as CSV into this directory")
-		plot  = flag.Bool("plot", false, "render ASCII log-log plots for series")
+		ids      = flag.String("id", "all", "comma-separated experiment IDs, or 'all'")
+		scale    = flag.String("scale", "quick", "quick or full")
+		csv      = flag.String("csv", "", "also write each table as CSV into this directory")
+		plot     = flag.Bool("plot", false, "render ASCII log-log plots for series")
+		parallel = flag.Int("parallel", 0, "worker count for experiments and their inner runs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -46,32 +56,112 @@ func main() {
 		selected = strings.Split(*ids, ",")
 	}
 
-	for _, id := range selected {
-		id = strings.TrimSpace(id)
-		res, err := experiments.Run(id, sc)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-			os.Exit(1)
+	if err := run(os.Stdout, selected, sc, *csv, *plot, *parallel); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected experiments on a worker pool and renders the
+// results to w in selection order, streaming each as soon as it (and all
+// before it) completes — a failure late in the batch still prints every
+// experiment that finished ahead of it.
+//
+// Scheduling: experiments marked WallClock (E4) report measured wall-clock
+// times, so they run after the parallel batch, one at a time, with nothing
+// else contending for cores. The outer (experiment) and inner (per-point)
+// pools are sized together so total concurrency stays near -parallel
+// instead of multiplying up to parallel^2.
+func run(w io.Writer, ids []string, sc experiments.Scale, csvDir string, plot bool, parallel int) error {
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	var parIdx, wcIdx []int
+	for i, id := range ids {
+		if e := experiments.Lookup(id); e != nil && e.WallClock {
+			wcIdx = append(wcIdx, i)
+		} else {
+			parIdx = append(parIdx, i)
 		}
-		fmt.Printf("\n######## %s — %s ########\n\n", res.ID, res.Title)
+	}
+	total := runner.New(parallel).Workers()
+	outer := total
+	if len(parIdx) > 0 && outer > len(parIdx) {
+		outer = len(parIdx)
+	}
+	inner := 1
+	if outer > 0 {
+		inner = total / outer
+	}
+	if inner < 1 {
+		inner = 1
+	}
+	experiments.SetParallelism(inner)
+
+	type slot struct {
+		res *experiments.Result
+		err error
+	}
+	slots := make([]chan slot, len(ids))
+	for i := range slots {
+		slots[i] = make(chan slot, 1) // buffered: producers never block on an exited consumer
+	}
+	done := make(chan struct{}) // closed when the consumer returns early
+	defer close(done)
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	go func() {
+		pool := runner.New(outer)
+		// Errors surface through the slots; Map's own error is redundant.
+		_, _ = runner.Map(pool, len(parIdx), func(k int) (struct{}, error) {
+			if canceled() {
+				return struct{}{}, nil
+			}
+			i := parIdx[k]
+			res, err := experiments.Run(ids[i], sc)
+			slots[i] <- slot{res, err}
+			return struct{}{}, err
+		})
+		for _, i := range wcIdx {
+			if canceled() {
+				return
+			}
+			res, err := experiments.Run(ids[i], sc)
+			slots[i] <- slot{res, err}
+		}
+	}()
+
+	for i := range ids {
+		s := <-slots[i]
+		if s.err != nil {
+			return s.err
+		}
+		res := s.res
+		fmt.Fprintf(w, "\n######## %s — %s ########\n\n", res.ID, res.Title)
 		for ti, tab := range res.Tables {
-			tab.Render(os.Stdout)
-			fmt.Println()
-			if *csv != "" {
-				if err := writeCSV(*csv, fmt.Sprintf("%s_%d.csv", res.ID, ti), tab); err != nil {
-					fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-					os.Exit(1)
+			tab.Render(w)
+			fmt.Fprintln(w)
+			if csvDir != "" {
+				if err := writeCSV(csvDir, fmt.Sprintf("%s_%d.csv", res.ID, ti), tab); err != nil {
+					return err
 				}
 			}
 		}
-		if *plot && len(res.Series) > 0 {
-			report.LogLogPlot(os.Stdout, res.Title, 64, 16, res.Series...)
-			fmt.Println()
+		if plot && len(res.Series) > 0 {
+			report.LogLogPlot(w, res.Title, 64, 16, res.Series...)
+			fmt.Fprintln(w)
 		}
 		for _, n := range res.Notes {
-			fmt.Printf("  note: %s\n", n)
+			fmt.Fprintf(w, "  note: %s\n", n)
 		}
 	}
+	return nil
 }
 
 func writeCSV(dir, name string, tab *report.Table) error {

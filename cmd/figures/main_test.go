@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybridsched/internal/experiments"
+)
+
+// TestFiguresParallelOutputIsByteIdentical is the determinism contract:
+// rendered output must not depend on the worker count, either across
+// experiments or across the per-point runs inside them. E4 is excluded —
+// it reports measured wall-clock times, which vary run to run by nature.
+func TestFiguresParallelOutputIsByteIdentical(t *testing.T) {
+	ids := []string{"T1", "F2", "E2", "A1"}
+	render := func(parallel int) string {
+		var b bytes.Buffer
+		if err := run(&b, ids, experiments.Quick, "", true, parallel); err != nil {
+			t.Fatalf("figures failed: %v", err)
+		}
+		return b.String()
+	}
+	serial := render(1)
+	if serial == "" {
+		t.Fatal("empty output")
+	}
+	if got := render(8); got != serial {
+		t.Fatalf("output differs between 1 and 8 workers:\n--- 1 ---\n%s\n--- 8 ---\n%s", serial, got)
+	}
+}
+
+func TestFiguresWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var b bytes.Buffer
+	if err := run(&b, []string{"T1"}, experiments.Quick, dir, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "T1_0.csv")); err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+}
+
+func TestFiguresUnknownIDFails(t *testing.T) {
+	var b bytes.Buffer
+	if err := run(&b, []string{"NOPE"}, experiments.Quick, "", false, 0); err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+}

@@ -1,5 +1,7 @@
 // Command sweep runs a one-dimensional parameter sweep and emits CSV on
-// stdout — the plotting workhorse behind the figures.
+// stdout — the plotting workhorse behind the figures. The sweep points are
+// independent simulations, so they fan out across cores (see -parallel);
+// the CSV is byte-identical at any worker count.
 //
 // Supported sweep variables:
 //
@@ -16,14 +18,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"hybridsched/internal/fabric"
 	"hybridsched/internal/report"
+	"hybridsched/internal/runner"
 	"hybridsched/internal/sched"
-	"hybridsched/internal/sim"
 	"hybridsched/internal/traffic"
 	"hybridsched/internal/units"
 )
@@ -42,21 +45,22 @@ func main() {
 		load     = flag.Float64("load", 0.5, "offered load (unless swept)")
 		durS     = flag.String("duration", "5ms", "traffic duration")
 		seed     = flag.Uint64("seed", 1, "seed")
+		parallel = flag.Int("parallel", 0, "worker count for sweep points (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *values == "" {
 		fmt.Fprintln(os.Stderr, "sweep: -values is required")
 		os.Exit(2)
 	}
-	if err := run(*sweepVar, strings.Split(*values, ","), *ports, *rateS, *slotS,
-		*reconfS, *alg, *timingS, *bufferS, *load, *durS, *seed); err != nil {
+	if err := run(os.Stdout, *sweepVar, strings.Split(*values, ","), *ports, *rateS, *slotS,
+		*reconfS, *alg, *timingS, *bufferS, *load, *durS, *seed, *parallel); err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(sweepVar string, values []string, ports int, rateS, slotS, reconfS,
-	alg, timingS, bufferS string, load float64, durS string, seed uint64) error {
+func run(w io.Writer, sweepVar string, values []string, ports int, rateS, slotS, reconfS,
+	alg, timingS, bufferS string, load float64, durS string, seed uint64, parallel int) error {
 	rate, err := units.ParseBitRate(rateS)
 	if err != nil {
 		return err
@@ -82,13 +86,15 @@ func run(sweepVar string, values []string, ports int, rateS, slotS, reconfS,
 		buffer = fabric.BufferAtHost
 	}
 
-	tab := report.NewTable("", sweepVar,
-		"delivered_frac", "throughput", "lat_p50_us", "lat_p99_us",
-		"peak_switch_buf_B", "peak_host_buf_B", "duty_cycle")
 	linkDelay := 500 * units.Nanosecond
 
-	for _, v := range values {
+	// Parse every sweep value up front, so bad input fails before any
+	// simulation runs, then fan the points out over the worker pool.
+	trimmed := make([]string, len(values))
+	jobs := make([]runner.Job, len(values))
+	for i, v := range values {
 		v = strings.TrimSpace(v)
+		trimmed[i] = v
 		p, ld, rc, lk := ports, load, reconf, linkDelay
 		switch sweepVar {
 		case "load":
@@ -105,45 +111,47 @@ func run(sweepVar string, values []string, ports int, rateS, slotS, reconfS,
 		if err != nil {
 			return fmt.Errorf("bad value %q: %w", v, err)
 		}
-		s := sim.New()
-		f, err := fabric.New(s, fabric.Config{
-			Ports:        p,
-			LineRate:     rate,
-			LinkDelay:    lk,
-			Slot:         slot,
-			ReconfigTime: rc,
-			Algorithm:    alg,
-			Seed:         seed,
-			Timing:       timing,
-			Pipelined:    timingS == "hardware",
-			Buffer:       buffer,
-		})
-		if err != nil {
-			return err
+		jobs[i] = runner.Job{
+			Fabric: fabric.Config{
+				Ports:        p,
+				LineRate:     rate,
+				LinkDelay:    lk,
+				Slot:         slot,
+				ReconfigTime: rc,
+				Algorithm:    alg,
+				Seed:         seed,
+				Timing:       timing,
+				Pipelined:    timingS == "hardware",
+				Buffer:       buffer,
+			},
+			Traffic: traffic.Config{
+				Ports:    p,
+				LineRate: rate,
+				Load:     ld,
+				Pattern:  traffic.Uniform{},
+				Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+				Until:    units.Time(dur),
+				Seed:     seed,
+			},
+			Duration: dur,
 		}
-		gen, err := traffic.New(traffic.Config{
-			Ports:    p,
-			LineRate: rate,
-			Load:     ld,
-			Pattern:  traffic.Uniform{},
-			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
-			Until:    units.Time(dur),
-			Seed:     seed,
-		})
-		if err != nil {
-			return err
-		}
-		f.Start()
-		gen.Start(s, f.Inject)
-		s.RunUntil(units.Time(dur))
-		s.RunUntil(units.Time(dur + dur/2))
-		f.Stop()
-		m := f.Metrics()
-		tab.AddRow(v, m.DeliveredFraction(), m.Throughput(p, rate),
+	}
+
+	ms, err := runner.New(parallel).RunScenarios(jobs)
+	if err != nil {
+		return err
+	}
+
+	tab := report.NewTable("", sweepVar,
+		"delivered_frac", "throughput", "lat_p50_us", "lat_p99_us",
+		"peak_switch_buf_B", "peak_host_buf_B", "duty_cycle")
+	for i, m := range ms {
+		p := jobs[i].Fabric.Ports
+		tab.AddRow(trimmed[i], m.DeliveredFraction(), m.Throughput(p, rate),
 			units.Duration(m.Latency.P50).Microseconds(),
 			units.Duration(m.Latency.P99).Microseconds(),
 			m.PeakSwitchBuffer.Bytes(), m.PeakHostBuffer.Bytes(), m.DutyCycle)
 	}
-	tab.CSV(os.Stdout)
+	tab.CSV(w)
 	return nil
 }

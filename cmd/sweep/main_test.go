@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"testing"
+)
 
 func TestSweepVariables(t *testing.T) {
 	cases := []struct {
@@ -16,8 +20,8 @@ func TestSweepVariables(t *testing.T) {
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			err := run(c.varr, c.values, 8, "10Gbps", "20us", "1us",
-				"islip", "hardware", "switch", 0.4, "1ms", 1)
+			err := run(io.Discard, c.varr, c.values, 8, "10Gbps", "20us", "1us",
+				"islip", "hardware", "switch", 0.4, "1ms", 1, 0)
 			if err != nil {
 				t.Fatalf("sweep failed: %v", err)
 			}
@@ -31,25 +35,49 @@ func TestSweepRejectsBadInputs(t *testing.T) {
 		call func() error
 	}{
 		{"unknown variable", func() error {
-			return run("gravity", []string{"1"}, 8, "10Gbps", "20us", "1us",
-				"islip", "hardware", "switch", 0.4, "1ms", 1)
+			return run(io.Discard, "gravity", []string{"1"}, 8, "10Gbps", "20us", "1us",
+				"islip", "hardware", "switch", 0.4, "1ms", 1, 0)
 		}},
 		{"bad value for load", func() error {
-			return run("load", []string{"heavy"}, 8, "10Gbps", "20us", "1us",
-				"islip", "hardware", "switch", 0.4, "1ms", 1)
+			return run(io.Discard, "load", []string{"heavy"}, 8, "10Gbps", "20us", "1us",
+				"islip", "hardware", "switch", 0.4, "1ms", 1, 0)
 		}},
 		{"bad rate", func() error {
-			return run("load", []string{"0.5"}, 8, "lots", "20us", "1us",
-				"islip", "hardware", "switch", 0.4, "1ms", 1)
+			return run(io.Discard, "load", []string{"0.5"}, 8, "lots", "20us", "1us",
+				"islip", "hardware", "switch", 0.4, "1ms", 1, 0)
 		}},
 		{"bad duration", func() error {
-			return run("load", []string{"0.5"}, 8, "10Gbps", "20us", "1us",
-				"islip", "hardware", "switch", 0.4, "later", 1)
+			return run(io.Discard, "load", []string{"0.5"}, 8, "10Gbps", "20us", "1us",
+				"islip", "hardware", "switch", 0.4, "later", 1, 0)
 		}},
 	}
 	for _, c := range cases {
 		if err := c.call(); err == nil {
 			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// TestSweepParallelOutputIsByteIdentical is the determinism contract: the
+// CSV must not depend on the worker count.
+func TestSweepParallelOutputIsByteIdentical(t *testing.T) {
+	sweep := func(parallel int) string {
+		var b bytes.Buffer
+		err := run(&b, "load", []string{"0.2", "0.4", "0.6", "0.8"}, 8,
+			"10Gbps", "20us", "1us", "islip", "hardware", "switch", 0.4, "1ms", 1, parallel)
+		if err != nil {
+			t.Fatalf("sweep failed: %v", err)
+		}
+		return b.String()
+	}
+	serial := sweep(1)
+	if serial == "" {
+		t.Fatal("empty CSV")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := sweep(workers); got != serial {
+			t.Fatalf("CSV differs between 1 and %d workers:\n--- 1 ---\n%s\n--- %d ---\n%s",
+				workers, serial, workers, got)
 		}
 	}
 }

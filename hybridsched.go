@@ -17,9 +17,11 @@
 //   - internal/platform — the NetFPGA-style register/plug-in contract
 //
 // This root package is the high-level entry point: describe a Scenario
-// (fabric + workload + duration) and Run it to metrics. The examples/
-// directory shows the API on the paper's motivating workloads, and
-// bench_test.go regenerates every figure and claim (see EXPERIMENTS.md).
+// (fabric + workload + duration) and Run it to metrics. Independent
+// scenarios fan out across cores through internal/runner (RunScenarios).
+// The examples/ directory shows the API on the paper's motivating
+// workloads, and bench_test.go regenerates every figure and claim (see
+// README.md for the experiment index).
 package hybridsched
 
 import (
@@ -27,7 +29,7 @@ import (
 
 	"hybridsched/internal/fabric"
 	"hybridsched/internal/match"
-	"hybridsched/internal/sim"
+	"hybridsched/internal/runner"
 	"hybridsched/internal/traffic"
 	"hybridsched/internal/units"
 )
@@ -80,27 +82,29 @@ func (sc Scenario) RunWithFabric() (Metrics, *Fabric, error) {
 	if sc.Duration <= 0 {
 		return Metrics{}, nil, fmt.Errorf("hybridsched: Duration must be positive")
 	}
-	drain := sc.Drain
-	if drain == 0 {
-		drain = 0.5
+	return runner.Job{
+		Fabric:   sc.Fabric,
+		Traffic:  sc.Traffic,
+		Duration: sc.Duration,
+		Drain:    sc.Drain,
+	}.Run()
+}
+
+// RunScenarios executes independent scenarios on a worker pool of the
+// given size (0 = GOMAXPROCS) and returns their metrics in submission
+// order — identical at any worker count.
+func RunScenarios(scs []Scenario, workers int) ([]Metrics, error) {
+	jobs := make([]runner.Job, len(scs))
+	for i, sc := range scs {
+		if sc.Duration <= 0 {
+			return nil, fmt.Errorf("hybridsched: scenario %d: Duration must be positive", i)
+		}
+		jobs[i] = runner.Job{
+			Fabric:   sc.Fabric,
+			Traffic:  sc.Traffic,
+			Duration: sc.Duration,
+			Drain:    sc.Drain,
+		}
 	}
-	s := sim.New()
-	f, err := fabric.New(s, sc.Fabric)
-	if err != nil {
-		return Metrics{}, nil, err
-	}
-	tc := sc.Traffic
-	if tc.Until == 0 {
-		tc.Until = units.Time(sc.Duration)
-	}
-	gen, err := traffic.New(tc)
-	if err != nil {
-		return Metrics{}, nil, err
-	}
-	f.Start()
-	gen.Start(s, f.Inject)
-	s.RunUntil(units.Time(sc.Duration))
-	s.RunUntil(units.Time(float64(sc.Duration) * (1 + drain)))
-	f.Stop()
-	return f.Metrics(), f, nil
+	return runner.New(workers).RunScenarios(jobs)
 }

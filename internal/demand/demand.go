@@ -6,7 +6,7 @@
 // A Matrix holds per (input, output) demand in abstract int64 units
 // (the fabric uses bits). Estimators turn the stream of VOQ status
 // reports into a demand snapshot; the choice of estimator is one of the
-// ablations DESIGN.md calls out, because estimation lag is one of the
+// ablations experiment E8 evaluates, because estimation lag is one of the
 // latency terms that make software schedulers slow.
 package demand
 

@@ -8,6 +8,7 @@ import (
 	"hybridsched/internal/ocs"
 	"hybridsched/internal/packet"
 	"hybridsched/internal/report"
+	"hybridsched/internal/runner"
 	"hybridsched/internal/sched"
 	"hybridsched/internal/sim"
 	"hybridsched/internal/traffic"
@@ -16,16 +17,8 @@ import (
 
 func init() {
 	Registry = append(Registry,
-		struct {
-			ID    string
-			Run   func(Scale) (*Result, error)
-			Short string
-		}{"A1", A1GrantOrdering, "Ablation: grant before vs after OCS configuration completes"},
-		struct {
-			ID    string
-			Run   func(Scale) (*Result, error)
-			Short string
-		}{"A2", A2ISLIPIterations, "Ablation: iSLIP iteration count (1 vs log n vs n)"},
+		Experiment{ID: "A1", Run: A1GrantOrdering, Short: "Ablation: grant before vs after OCS configuration completes"},
+		Experiment{ID: "A2", Run: A2ISLIPIterations, Short: "Ablation: iSLIP iteration count (1 vs log n vs n)"},
 	)
 }
 
@@ -140,14 +133,13 @@ func A1GrantOrdering(sc Scale) (*Result, error) {
 		fmt.Sprintf("%d-port OCS, %v reconfiguration, %d packets/input/slot, %d cycles",
 			ports, reconfig, slotPkts, cycles),
 		"ordering", "delivered", "rejected_at_send", "truncated_in_flight")
-	correct, err := run(true)
+	outcomes, err := runner.Map(pool, 2, func(i int) (outcome, error) {
+		return run(i == 0)
+	})
 	if err != nil {
 		return nil, err
 	}
-	buggy, err := run(false)
-	if err != nil {
-		return nil, err
-	}
+	correct, buggy := outcomes[0], outcomes[1]
 	tab.AddRow("configure-then-grant (paper)", correct.delivered, correct.rejected, correct.truncated)
 	tab.AddRow("grant-at-configure-start (ablated)", buggy.delivered, buggy.rejected, buggy.truncated)
 	res.Tables = append(res.Tables, tab)
@@ -174,27 +166,37 @@ func A2ISLIPIterations(sc Scale) (*Result, error) {
 	tab := report.NewTable(
 		fmt.Sprintf("%d-port cell-mode crossbar, bursty load 0.9", ports),
 		"variant", "iterations", "delivered_frac", "mean_lat", "p99_lat")
-	for _, v := range []struct {
+	variants := []struct {
 		name, alg string
 		iters     int
 	}{
 		{"islip-1", "islip1", 1},
 		{"islip-log n", "islip", log2ceilInt(ports)},
 		{"islip-n", "islipn", ports},
-	} {
-		m, err := runScenario(fabricCellMode(ports, slot, v.alg), traffic.Config{
-			Ports:         ports,
-			LineRate:      10 * units.Gbps,
-			Load:          0.9,
-			Pattern:       traffic.Uniform{},
-			Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
-			Process:       traffic.OnOff,
-			BurstMeanPkts: 16,
-			Seed:          61,
-		}, dur)
-		if err != nil {
-			return nil, err
+	}
+	jobs := make([]runner.Job, len(variants))
+	for i, v := range variants {
+		jobs[i] = runner.Job{
+			Fabric: fabricCellMode(ports, slot, v.alg),
+			Traffic: traffic.Config{
+				Ports:         ports,
+				LineRate:      10 * units.Gbps,
+				Load:          0.9,
+				Pattern:       traffic.Uniform{},
+				Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
+				Process:       traffic.OnOff,
+				BurstMeanPkts: 16,
+				Seed:          61,
+			},
+			Duration: dur,
 		}
+	}
+	ms, err := runScenarios(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		v := variants[i]
 		tab.AddRow(v.name, v.iters, m.DeliveredFraction(),
 			units.Duration(m.Latency.Mean), units.Duration(m.Latency.P99))
 	}

@@ -7,17 +7,17 @@ import (
 	"hybridsched/internal/packet"
 	"hybridsched/internal/report"
 	"hybridsched/internal/rng"
+	"hybridsched/internal/runner"
 	"hybridsched/internal/sched"
 	"hybridsched/internal/sim"
 	"hybridsched/internal/units"
 )
 
 func init() {
-	Registry = append(Registry, struct {
-		ID    string
-		Run   func(Scale) (*Result, error)
-		Short string
-	}{"E9", E9ClusterScheduling, "Cluster: centralized vs distributed core scheduling under skew"})
+	Registry = append(Registry, Experiment{
+		ID: "E9", Run: E9ClusterScheduling,
+		Short: "Cluster: centralized vs distributed core scheduling under skew",
+	})
 }
 
 // E9ClusterScheduling builds the §3 testbed — racks of hosts, ToR
@@ -36,15 +36,25 @@ func E9ClusterScheduling(sc Scale) (*Result, error) {
 	tab := report.NewTable(
 		fmt.Sprintf("%d racks x %d hosts, 40 Gbps uplinks, greedy core scheduler", racks, hosts),
 		"skew", "mode", "inter_delivered", "inter_bits", "inter_p50", "peak_core_voq")
+	type combo struct {
+		skew float64
+		mode cluster.Mode
+	}
+	var combos []combo
 	for _, skew := range []float64{0, 0.9} {
 		for _, mode := range []cluster.Mode{cluster.Centralized, cluster.Distributed} {
-			m, err := runCluster(racks, hosts, mode, skew, dur)
-			if err != nil {
-				return nil, err
-			}
-			tab.AddRow(skew, mode, m.DeliveredInter, m.InterBits,
-				units.Duration(m.LatencyInter.P50), m.PeakInterVOQ)
+			combos = append(combos, combo{skew, mode})
 		}
+	}
+	ms, err := runner.Map(pool, len(combos), func(i int) (cluster.Metrics, error) {
+		return runCluster(racks, hosts, combos[i].mode, combos[i].skew, dur)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		tab.AddRow(combos[i].skew, combos[i].mode, m.DeliveredInter, m.InterBits,
+			units.Duration(m.LatencyInter.P50), m.PeakInterVOQ)
 	}
 	res.Tables = append(res.Tables, tab)
 	res.note("with request bits only, the distributed scheduler cannot distinguish elephants from trickles: under skew its inter-rack latency and core backlog blow up by several x while the centralized entity keeps the hot uplink busy — the control-bandwidth cost of distribution")

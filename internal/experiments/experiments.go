@@ -1,11 +1,16 @@
 // Package experiments implements every figure, table and in-text claim of
 // the paper as a reproducible experiment, plus the framework evaluations
-// §3 motivates (see DESIGN.md's experiment index). Each experiment returns
+// §3 motivates (see README.md's experiment index). Each experiment returns
 // a Result holding rendered tables and raw series; cmd/figures prints
 // them and bench_test.go wraps them as benchmarks.
 //
 // Every experiment accepts a Scale: Quick shrinks port counts and
 // durations for CI and benchmarks; Full uses paper-scale parameters.
+//
+// The per-point simulation runs inside each experiment are independent and
+// fan out over a worker pool (see runScenarios / SetParallelism); results
+// are collected in submission order, so output is identical at any worker
+// count.
 package experiments
 
 import (
@@ -14,8 +19,8 @@ import (
 	"hybridsched/internal/buffermodel"
 	"hybridsched/internal/fabric"
 	"hybridsched/internal/report"
+	"hybridsched/internal/runner"
 	"hybridsched/internal/sched"
-	"hybridsched/internal/sim"
 	"hybridsched/internal/stats"
 	"hybridsched/internal/traffic"
 	"hybridsched/internal/units"
@@ -44,51 +49,70 @@ func (r *Result) note(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
 }
 
-// runScenario executes one fabric+traffic run and returns metrics.
-func runScenario(fc fabric.Config, tc traffic.Config, dur units.Duration) (fabric.Metrics, error) {
-	s := sim.New()
-	f, err := fabric.New(s, fc)
-	if err != nil {
-		return fabric.Metrics{}, err
-	}
-	tc.Until = units.Time(dur)
-	gen, err := traffic.New(tc)
-	if err != nil {
-		return fabric.Metrics{}, err
-	}
-	f.Start()
-	gen.Start(s, f.Inject)
-	s.RunUntil(units.Time(dur))
-	s.RunUntil(units.Time(dur + dur/2))
-	f.Stop()
-	return f.Metrics(), nil
+// pool fans the per-point simulation runs inside each experiment out over
+// the machine's cores. Experiments submit a slice of independent jobs and
+// collect metrics in submission order, so tables and notes are identical
+// at any worker count.
+var pool = runner.New(0)
+
+// SetParallelism resizes the per-point worker pool; n <= 0 selects
+// GOMAXPROCS.
+func SetParallelism(n int) { pool = runner.New(n) }
+
+// runScenarios executes independent fabric+traffic jobs on the pool and
+// returns their metrics in submission order — the shared submit/collect
+// helper behind every multi-point experiment.
+func runScenarios(jobs []runner.Job) ([]fabric.Metrics, error) {
+	return pool.RunScenarios(jobs)
 }
 
-// Registry maps experiment IDs to runners, in presentation order.
-var Registry = []struct {
+// runScenario executes one fabric+traffic run and returns metrics.
+func runScenario(fc fabric.Config, tc traffic.Config, dur units.Duration) (fabric.Metrics, error) {
+	m, _, err := runner.Job{Fabric: fc, Traffic: tc, Duration: dur}.Run()
+	return m, err
+}
+
+// Experiment is one registered, runnable reproduction.
+type Experiment struct {
 	ID    string
 	Run   func(Scale) (*Result, error)
 	Short string
-}{
-	{"F1", Figure1, "Figure 1: buffering requirement vs switching time"},
-	{"T1", Table1, "In-text claim: GB at 1 ms vs KB at 1 ns (64x10G)"},
-	{"F2", Figure2, "Figure 2: control-loop pipeline and latency breakdown"},
-	{"E1", E1SchedulerLatency, "Scheduler latency: hardware vs software, by algorithm and port count"},
-	{"E2", E2MiceLatency, "Small-flow latency/jitter under fast vs slow scheduling"},
-	{"E3", E3HybridVsSkew, "Hybrid throughput vs traffic skew (EPS-only/TDMA/greedy)"},
-	{"E4", E4AlgorithmScaling, "Matching algorithm cost scaling with port count"},
-	{"E5", E5DutyCycle, "OCS duty cycle vs reconfiguration/slot ratio"},
-	{"E6", E6SyncSlack, "Host-switch synchronization distance vs goodput"},
-	{"E7", E7CrossbarSchedulers, "Crossbar arbiter throughput vs offered load"},
-	{"E8", E8DemandEstimation, "Demand estimation accuracy vs estimator and window"},
+	// WallClock marks experiments whose tables contain measured
+	// wall-clock times. cmd/figures schedules them after the parallel
+	// batch, alone, so CPU contention cannot corrupt the measurements;
+	// their output is also inherently non-reproducible byte-for-byte.
+	WallClock bool
+}
+
+// Registry maps experiment IDs to runners, in presentation order.
+var Registry = []Experiment{
+	{ID: "F1", Run: Figure1, Short: "Figure 1: buffering requirement vs switching time"},
+	{ID: "T1", Run: Table1, Short: "In-text claim: GB at 1 ms vs KB at 1 ns (64x10G)"},
+	{ID: "F2", Run: Figure2, Short: "Figure 2: control-loop pipeline and latency breakdown"},
+	{ID: "E1", Run: E1SchedulerLatency, Short: "Scheduler latency: hardware vs software, by algorithm and port count"},
+	{ID: "E2", Run: E2MiceLatency, Short: "Small-flow latency/jitter under fast vs slow scheduling"},
+	{ID: "E3", Run: E3HybridVsSkew, Short: "Hybrid throughput vs traffic skew (EPS-only/TDMA/greedy)"},
+	{ID: "E4", Run: E4AlgorithmScaling, Short: "Matching algorithm cost scaling with port count", WallClock: true},
+	{ID: "E5", Run: E5DutyCycle, Short: "OCS duty cycle vs reconfiguration/slot ratio"},
+	{ID: "E6", Run: E6SyncSlack, Short: "Host-switch synchronization distance vs goodput"},
+	{ID: "E7", Run: E7CrossbarSchedulers, Short: "Crossbar arbiter throughput vs offered load"},
+	{ID: "E8", Run: E8DemandEstimation, Short: "Demand estimation accuracy vs estimator and window"},
+}
+
+// Lookup returns the registry entry for id, or nil if unknown.
+func Lookup(id string) *Experiment {
+	for i := range Registry {
+		if Registry[i].ID == id {
+			return &Registry[i]
+		}
+	}
+	return nil
 }
 
 // Run executes the experiment with the given ID.
 func Run(id string, sc Scale) (*Result, error) {
-	for _, e := range Registry {
-		if e.ID == id {
-			return e.Run(sc)
-		}
+	if e := Lookup(id); e != nil {
+		return e.Run(sc)
 	}
 	return nil, fmt.Errorf("experiments: unknown id %q", id)
 }
@@ -139,6 +163,12 @@ func Figure1(sc Scale) (*Result, error) {
 	}
 	swCurve := &stats.Series{Name: "sim-switch-peak-bytes"}
 	hostCurve := &stats.Series{Name: "sim-host-peak-bytes"}
+	type point struct {
+		cfg    cfg
+		regime fabric.BufferPlacement
+	}
+	var points []point
+	var jobs []runner.Job
 	for _, c := range sweeps {
 		for _, regime := range []fabric.BufferPlacement{fabric.BufferAtSwitch, fabric.BufferAtHost} {
 			timing := sched.TimingModel(sched.DefaultHardware())
@@ -152,36 +182,45 @@ func Figure1(sc Scale) (*Result, error) {
 				}
 				pipelined = false
 			}
-			m, err := runScenario(fabric.Config{
-				Ports:        ports,
-				LineRate:     10 * units.Gbps,
-				LinkDelay:    500 * units.Nanosecond,
-				Slot:         c.slot,
-				ReconfigTime: c.reconfig,
-				Algorithm:    "islip",
-				Timing:       timing,
-				Pipelined:    pipelined,
-				Buffer:       regime,
-			}, traffic.Config{
-				Ports:         ports,
-				LineRate:      10 * units.Gbps,
-				Load:          0.7,
-				Pattern:       traffic.Uniform{},
-				Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
-				Process:       traffic.OnOff,
-				BurstMeanPkts: 32,
-				Seed:          42,
-			}, dur)
-			if err != nil {
-				return nil, err
-			}
-			simTab.AddRow(c.reconfig, c.slot, regime,
-				m.PeakSwitchBuffer, m.PeakHostBuffer, m.DeliveredFraction())
-			if regime == fabric.BufferAtSwitch {
-				swCurve.Append(c.reconfig.Seconds(), m.PeakSwitchBuffer.Bytes())
-			} else {
-				hostCurve.Append(c.reconfig.Seconds(), m.PeakHostBuffer.Bytes())
-			}
+			points = append(points, point{c, regime})
+			jobs = append(jobs, runner.Job{
+				Fabric: fabric.Config{
+					Ports:        ports,
+					LineRate:     10 * units.Gbps,
+					LinkDelay:    500 * units.Nanosecond,
+					Slot:         c.slot,
+					ReconfigTime: c.reconfig,
+					Algorithm:    "islip",
+					Timing:       timing,
+					Pipelined:    pipelined,
+					Buffer:       regime,
+				},
+				Traffic: traffic.Config{
+					Ports:         ports,
+					LineRate:      10 * units.Gbps,
+					Load:          0.7,
+					Pattern:       traffic.Uniform{},
+					Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
+					Process:       traffic.OnOff,
+					BurstMeanPkts: 32,
+					Seed:          42,
+				},
+				Duration: dur,
+			})
+		}
+	}
+	ms, err := runScenarios(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		c, regime := points[i].cfg, points[i].regime
+		simTab.AddRow(c.reconfig, c.slot, regime,
+			m.PeakSwitchBuffer, m.PeakHostBuffer, m.DeliveredFraction())
+		if regime == fabric.BufferAtSwitch {
+			swCurve.Append(c.reconfig.Seconds(), m.PeakSwitchBuffer.Bytes())
+		} else {
+			hostCurve.Append(c.reconfig.Seconds(), m.PeakHostBuffer.Bytes())
 		}
 	}
 	res.Tables = append(res.Tables, simTab)
@@ -261,28 +300,37 @@ func Figure2(sc Scale) (*Result, error) {
 	if sc == Full {
 		dur = 10 * units.Millisecond
 	}
-	for _, tm := range []sched.TimingModel{hw, sw} {
-		m, err := runScenario(fabric.Config{
-			Ports:        simPorts,
-			LineRate:     10 * units.Gbps,
-			LinkDelay:    500 * units.Nanosecond,
-			Slot:         20 * units.Microsecond,
-			ReconfigTime: units.Microsecond,
-			Algorithm:    alg,
-			Timing:       tm,
-		}, traffic.Config{
-			Ports:    simPorts,
-			LineRate: 10 * units.Gbps,
-			Load:     0.5,
-			Pattern:  traffic.Uniform{},
-			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
-			Seed:     3,
-		}, dur)
-		if err != nil {
-			return nil, err
+	models := []sched.TimingModel{hw, sw}
+	jobs := make([]runner.Job, len(models))
+	for i, tm := range models {
+		jobs[i] = runner.Job{
+			Fabric: fabric.Config{
+				Ports:        simPorts,
+				LineRate:     10 * units.Gbps,
+				LinkDelay:    500 * units.Nanosecond,
+				Slot:         20 * units.Microsecond,
+				ReconfigTime: units.Microsecond,
+				Algorithm:    alg,
+				Timing:       tm,
+			},
+			Traffic: traffic.Config{
+				Ports:    simPorts,
+				LineRate: 10 * units.Gbps,
+				Load:     0.5,
+				Pattern:  traffic.Uniform{},
+				Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+				Seed:     3,
+			},
+			Duration: dur,
 		}
+	}
+	ms, err := runScenarios(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
 		res.note("%s loop: measured grant staleness p50=%v (cycles=%d, grants=%d)",
-			tm.Name(), units.Duration(m.Loop.Staleness.P50), m.Loop.Cycles, m.Loop.GrantedPairs)
+			models[i].Name(), units.Duration(m.Loop.Staleness.P50), m.Loop.Cycles, m.Loop.GrantedPairs)
 	}
 	res.note("ordering invariant (configure strictly before grant) is enforced by internal/sched and tested in sched/ocs unit tests")
 	return res, nil

@@ -12,6 +12,7 @@ import (
 	"hybridsched/internal/packet"
 	"hybridsched/internal/report"
 	"hybridsched/internal/rng"
+	"hybridsched/internal/runner"
 	"hybridsched/internal/sched"
 	"hybridsched/internal/sim"
 	"hybridsched/internal/stats"
@@ -58,34 +59,44 @@ func E2MiceLatency(sc Scale) (*Result, error) {
 		slot      units.Duration
 		reconfig  units.Duration
 	}
-	var miceP99 []int64
-	for _, v := range []variant{
+	variants := []variant{
 		{"hardware (fast optics)", sched.DefaultHardware(), true,
 			10 * units.Microsecond, 200 * units.Nanosecond},
 		{"software (slow optics)", sched.DefaultSoftware(), false,
 			300 * units.Microsecond, 100 * units.Microsecond},
-	} {
-		m, err := runScenario(fabric.Config{
-			Ports:        ports,
-			LineRate:     10 * units.Gbps,
-			LinkDelay:    500 * units.Nanosecond,
-			Slot:         v.slot,
-			ReconfigTime: v.reconfig,
-			Algorithm:    "islip",
-			Timing:       v.timing,
-			Pipelined:    v.pipelined,
-		}, traffic.Config{
-			Ports:                ports,
-			LineRate:             10 * units.Gbps,
-			Load:                 0.5,
-			Pattern:              traffic.Uniform{},
-			Sizes:                traffic.Fixed{Size: 1500 * units.Byte},
-			LatencySensitiveFrac: 0.2,
-			Seed:                 17,
-		}, dur)
-		if err != nil {
-			return nil, err
+	}
+	jobs := make([]runner.Job, len(variants))
+	for i, v := range variants {
+		jobs[i] = runner.Job{
+			Fabric: fabric.Config{
+				Ports:        ports,
+				LineRate:     10 * units.Gbps,
+				LinkDelay:    500 * units.Nanosecond,
+				Slot:         v.slot,
+				ReconfigTime: v.reconfig,
+				Algorithm:    "islip",
+				Timing:       v.timing,
+				Pipelined:    v.pipelined,
+			},
+			Traffic: traffic.Config{
+				Ports:                ports,
+				LineRate:             10 * units.Gbps,
+				Load:                 0.5,
+				Pattern:              traffic.Uniform{},
+				Sizes:                traffic.Fixed{Size: 1500 * units.Byte},
+				LatencySensitiveFrac: 0.2,
+				Seed:                 17,
+			},
+			Duration: dur,
 		}
+	}
+	ms, err := runScenarios(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var miceP99 []int64
+	for i, m := range ms {
+		v := variants[i]
 		jitter := units.Duration(m.LatencyMice.P99 - m.LatencyMice.P50)
 		tab.AddRow(v.name,
 			units.Duration(m.LatencyMice.P50), units.Duration(m.LatencyMice.P99),
@@ -160,33 +171,47 @@ func E3HybridVsSkew(sc Scale) (*Result, error) {
 	for _, sys := range systems {
 		series[sys.name] = &stats.Series{Name: sys.name}
 	}
+	type point struct {
+		frac float64
+		name string
+	}
+	var points []point
+	var jobs []runner.Job
 	for _, frac := range fracs {
 		var pattern traffic.Pattern = traffic.Uniform{}
 		if frac > 0 {
 			pattern = traffic.Hotspot{Frac: frac, Spots: 2}
 		}
 		for _, sys := range systems {
-			m, err := runScenario(sys.cfg(), traffic.Config{
-				Ports:         ports,
-				LineRate:      10 * units.Gbps,
-				Load:          0.6,
-				Pattern:       pattern,
-				Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
-				Process:       traffic.OnOff,
-				BurstMeanPkts: 32,
-				Seed:          23,
-			}, dur)
-			if err != nil {
-				return nil, err
-			}
-			ocsShare := 0.0
-			if m.DeliveredBits > 0 {
-				ocsShare = float64(m.OCS.BitsDelivered) / float64(m.DeliveredBits)
-			}
-			tab.AddRow(frac, sys.name, m.DeliveredFraction(), ocsShare,
-				units.Duration(m.Latency.Mean))
-			series[sys.name].Append(frac, m.DeliveredFraction())
+			points = append(points, point{frac, sys.name})
+			jobs = append(jobs, runner.Job{
+				Fabric: sys.cfg(),
+				Traffic: traffic.Config{
+					Ports:         ports,
+					LineRate:      10 * units.Gbps,
+					Load:          0.6,
+					Pattern:       pattern,
+					Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
+					Process:       traffic.OnOff,
+					BurstMeanPkts: 32,
+					Seed:          23,
+				},
+				Duration: dur,
+			})
 		}
+	}
+	ms, err := runScenarios(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		ocsShare := 0.0
+		if m.DeliveredBits > 0 {
+			ocsShare = float64(m.OCS.BitsDelivered) / float64(m.DeliveredBits)
+		}
+		tab.AddRow(points[i].frac, points[i].name, m.DeliveredFraction(), ocsShare,
+			units.Duration(m.Latency.Mean))
+		series[points[i].name].Append(points[i].frac, m.DeliveredFraction())
 	}
 	res.Tables = append(res.Tables, tab)
 	for _, sys := range systems {
@@ -201,7 +226,8 @@ func E3HybridVsSkew(sc Scale) (*Result, error) {
 
 // E4AlgorithmScaling measures real Schedule() wall time on saturated
 // random demand across port counts and sets it against the hardware-depth
-// model.
+// model. It stays serial on purpose: concurrent runs would contend for
+// cores and corrupt the wall-clock numbers being reported.
 func E4AlgorithmScaling(sc Scale) (*Result, error) {
 	res := &Result{ID: "E4", Title: "Matching algorithm cost scaling"}
 	portCounts := []int{8, 16, 32, 64}
@@ -260,28 +286,37 @@ func E5DutyCycle(sc Scale) (*Result, error) {
 	tab := report.NewTable(fmt.Sprintf("slot fixed at %v, permutation traffic load 0.8", slot),
 		"reconfig/slot", "reconfig", "analytic_duty", "sim_duty", "delivered_frac")
 	curve := &stats.Series{Name: "delivered-vs-ratio"}
-	for _, ratio := range ratios {
-		reconfig := units.Duration(float64(slot) * ratio)
-		m, err := runScenario(fabric.Config{
-			Ports:        ports,
-			LineRate:     10 * units.Gbps,
-			LinkDelay:    500 * units.Nanosecond,
-			Slot:         slot,
-			ReconfigTime: reconfig,
-			Algorithm:    "greedy",
-			Timing:       sched.DefaultHardware(),
-			Pipelined:    true,
-		}, traffic.Config{
-			Ports:    ports,
-			LineRate: 10 * units.Gbps,
-			Load:     0.8,
-			Pattern:  traffic.NewPermutation(ports, 5),
-			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
-			Seed:     31,
-		}, dur)
-		if err != nil {
-			return nil, err
+	jobs := make([]runner.Job, len(ratios))
+	for i, ratio := range ratios {
+		jobs[i] = runner.Job{
+			Fabric: fabric.Config{
+				Ports:        ports,
+				LineRate:     10 * units.Gbps,
+				LinkDelay:    500 * units.Nanosecond,
+				Slot:         slot,
+				ReconfigTime: units.Duration(float64(slot) * ratio),
+				Algorithm:    "greedy",
+				Timing:       sched.DefaultHardware(),
+				Pipelined:    true,
+			},
+			Traffic: traffic.Config{
+				Ports:    ports,
+				LineRate: 10 * units.Gbps,
+				Load:     0.8,
+				Pattern:  traffic.NewPermutation(ports, 5),
+				Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+				Seed:     31,
+			},
+			Duration: dur,
 		}
+	}
+	ms, err := runScenarios(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		ratio := ratios[i]
+		reconfig := units.Duration(float64(slot) * ratio)
 		analytic := float64(slot) / (float64(slot) + float64(reconfig))
 		tab.AddRow(ratio, reconfig, analytic, m.DutyCycle, m.DeliveredFraction())
 		curve.Append(ratio, m.DeliveredFraction())
@@ -315,27 +350,36 @@ func E6SyncSlack(sc Scale) (*Result, error) {
 	tab := report.NewTable(fmt.Sprintf("host-buffered, slot %v, reconfig 5us, load 0.5", slot),
 		"link_delay", "2xdelay/slot", "delivered_frac", "missed_circuit", "lat_p50", "host_peak")
 	curve := &stats.Series{Name: "missed-vs-sync-distance"}
-	for _, d := range delays {
-		m, err := runScenario(fabric.Config{
-			Ports:        ports,
-			LineRate:     10 * units.Gbps,
-			LinkDelay:    d,
-			Slot:         slot,
-			ReconfigTime: 5 * units.Microsecond,
-			Algorithm:    "islip",
-			Timing:       sched.DefaultHardware(),
-			Buffer:       fabric.BufferAtHost,
-		}, traffic.Config{
-			Ports:    ports,
-			LineRate: 10 * units.Gbps,
-			Load:     0.5,
-			Pattern:  traffic.Uniform{},
-			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
-			Seed:     37,
-		}, dur)
-		if err != nil {
-			return nil, err
+	jobs := make([]runner.Job, len(delays))
+	for i, d := range delays {
+		jobs[i] = runner.Job{
+			Fabric: fabric.Config{
+				Ports:        ports,
+				LineRate:     10 * units.Gbps,
+				LinkDelay:    d,
+				Slot:         slot,
+				ReconfigTime: 5 * units.Microsecond,
+				Algorithm:    "islip",
+				Timing:       sched.DefaultHardware(),
+				Buffer:       fabric.BufferAtHost,
+			},
+			Traffic: traffic.Config{
+				Ports:    ports,
+				LineRate: 10 * units.Gbps,
+				Load:     0.5,
+				Pattern:  traffic.Uniform{},
+				Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+				Seed:     37,
+			},
+			Duration: dur,
 		}
+	}
+	ms, err := runScenarios(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		d := delays[i]
 		frac := float64(2*d) / float64(slot)
 		tab.AddRow(d, frac, m.DeliveredFraction(), m.MissedCircuit,
 			units.Duration(m.Latency.P50), m.PeakHostBuffer)
@@ -371,35 +415,49 @@ func E7CrossbarSchedulers(sc Scale) (*Result, error) {
 	tab := report.NewTable("uniform Poisson traffic, zero reconfiguration, slot = 1 frame (cell mode)",
 		"algorithm", "load", "delivered_frac", "mean_lat", "p99_lat")
 	slot := units.TransmitTime(1500*units.Byte, 10*units.Gbps)
-	run := func(a string, load float64, pattern traffic.Pattern, seed uint64) (fabric.Metrics, error) {
-		return runScenario(fabric.Config{
-			Ports:        ports,
-			LineRate:     10 * units.Gbps,
-			LinkDelay:    100 * units.Nanosecond,
-			Slot:         slot,
-			ReconfigTime: 0,
-			Algorithm:    a,
-			Timing: sched.Hardware{ClockPeriod: units.Nanosecond,
-				PipelineDepth: 1, RequestWire: units.Nanosecond, GrantWire: units.Nanosecond},
-			Pipelined: true,
-		}, traffic.Config{
-			Ports:    ports,
-			LineRate: 10 * units.Gbps,
-			Load:     load,
-			Pattern:  pattern,
-			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
-			Seed:     seed,
-		}, dur)
+	job := func(a string, load float64, pattern traffic.Pattern, seed uint64) runner.Job {
+		return runner.Job{
+			Fabric: fabric.Config{
+				Ports:        ports,
+				LineRate:     10 * units.Gbps,
+				LinkDelay:    100 * units.Nanosecond,
+				Slot:         slot,
+				ReconfigTime: 0,
+				Algorithm:    a,
+				Timing: sched.Hardware{ClockPeriod: units.Nanosecond,
+					PipelineDepth: 1, RequestWire: units.Nanosecond, GrantWire: units.Nanosecond},
+				Pipelined: true,
+			},
+			Traffic: traffic.Config{
+				Ports:    ports,
+				LineRate: 10 * units.Gbps,
+				Load:     load,
+				Pattern:  pattern,
+				Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+				Seed:     seed,
+			},
+			Duration: dur,
+		}
 	}
+	type point struct {
+		alg  string
+		load float64
+	}
+	var points []point
+	var jobs []runner.Job
 	for _, load := range loads {
 		for _, a := range algs {
-			m, err := run(a, load, traffic.Uniform{}, 41)
-			if err != nil {
-				return nil, err
-			}
-			tab.AddRow(a, load, m.DeliveredFraction(),
-				units.Duration(m.Latency.Mean), units.Duration(m.Latency.P99))
+			points = append(points, point{a, load})
+			jobs = append(jobs, job(a, load, traffic.Uniform{}, 41))
 		}
+	}
+	ms, err := runScenarios(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		tab.AddRow(points[i].alg, points[i].load, m.DeliveredFraction(),
+			units.Duration(m.Latency.Mean), units.Duration(m.Latency.P99))
 	}
 	res.Tables = append(res.Tables, tab)
 
@@ -409,12 +467,17 @@ func E7CrossbarSchedulers(sc Scale) (*Result, error) {
 	// right pairing 1/(n-1) of the time.
 	permTab := report.NewTable("permutation traffic, load 0.9 (demand-awareness test)",
 		"algorithm", "delivered_frac", "mean_lat")
+	permJobs := make([]runner.Job, len(algs))
+	for i, a := range algs {
+		permJobs[i] = job(a, 0.9, traffic.NewPermutation(ports, 5), 43)
+	}
+	permMs, err := runScenarios(permJobs)
+	if err != nil {
+		return nil, err
+	}
 	series := map[string]*stats.Series{}
-	for _, a := range algs {
-		m, err := run(a, 0.9, traffic.NewPermutation(ports, 5), 43)
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range permMs {
+		a := algs[i]
 		permTab.AddRow(a, m.DeliveredFraction(), units.Duration(m.Latency.Mean))
 		s := &stats.Series{Name: a}
 		s.Append(0.9, m.DeliveredFraction())
@@ -459,7 +522,12 @@ func E8DemandEstimation(sc Scale) (*Result, error) {
 	}
 	tab := report.NewTable("ON/OFF traffic, load 0.6; error vs next-interval arrivals",
 		"estimator", "mean_rel_error", "intervals")
-	for _, f := range factories {
+	type row struct {
+		meanErr   float64
+		intervals int
+	}
+	rows, err := runner.Map(pool, len(factories), func(fi int) (row, error) {
+		f := factories[fi]
 		est := f.mk()
 		// Replay the same traffic into the estimator and collect actual
 		// per-interval arrival matrices.
@@ -478,7 +546,7 @@ func E8DemandEstimation(sc Scale) (*Result, error) {
 			Seed:          53,
 		})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		s := sim.New()
 		var actual []*demand.Matrix
@@ -509,9 +577,15 @@ func E8DemandEstimation(sc Scale) (*Result, error) {
 			}
 		}
 		if count == 0 {
-			return nil, fmt.Errorf("experiments: no scored intervals for %s", f.name)
+			return row{}, fmt.Errorf("experiments: no scored intervals for %s", f.name)
 		}
-		tab.AddRow(f.name, errSum/float64(count), count)
+		return row{errSum / float64(count), count}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		tab.AddRow(factories[i].name, r.meanErr, r.intervals)
 	}
 	res.Tables = append(res.Tables, tab)
 	res.note("shorter windows track ON/OFF bursts better; heavy smoothing lags — the estimation-freshness term of scheduler latency")

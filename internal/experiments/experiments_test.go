@@ -39,6 +39,38 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	}
 }
 
+// TestParallelismDoesNotChangeResults renders a multi-point, simulation-
+// heavy experiment at one worker and at many, and requires byte-identical
+// output — the determinism contract of the runner fan-out.
+func TestParallelismDoesNotChangeResults(t *testing.T) {
+	render := func(id string) string {
+		var b strings.Builder
+		res, err := Run(id, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tab := range res.Tables {
+			tab.Render(&b)
+		}
+		for _, n := range res.Notes {
+			b.WriteString(n)
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	defer SetParallelism(0)
+	for _, id := range []string{"F2", "E3", "E7"} {
+		SetParallelism(1)
+		serial := render(id)
+		SetParallelism(8)
+		parallel := render(id)
+		if serial != parallel {
+			t.Fatalf("%s output differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial, parallel)
+		}
+	}
+}
+
 func TestRunUnknownID(t *testing.T) {
 	if _, err := Run("NOPE", Quick); err == nil {
 		t.Fatal("expected error for unknown experiment")

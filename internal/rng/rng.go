@@ -19,20 +19,24 @@ type Rand struct {
 	s [4]uint64
 }
 
+// SplitMix64 advances *state by the splitmix64 increment and returns the
+// next output of the sequence. It is the canonical seed-mixing function:
+// nearby states yield uncorrelated outputs.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // New returns a generator seeded from seed via splitmix64, so that nearby
 // seeds produce uncorrelated streams.
 func New(seed uint64) *Rand {
 	r := &Rand{}
 	sm := seed
-	next := func() uint64 {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
 	for i := range r.s {
-		r.s[i] = next()
+		r.s[i] = SplitMix64(&sm)
 	}
 	// All-zero state is invalid for xoshiro; splitmix64 cannot produce
 	// four zeros from any seed, but guard anyway.

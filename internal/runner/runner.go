@@ -1,0 +1,147 @@
+// Package runner is the deterministic parallel scenario-execution engine.
+//
+// The simulation kernel (internal/sim) is deliberately single-threaded;
+// parallelism belongs across independent simulation configurations. This
+// package provides that layer: a fixed-size worker pool fans Jobs out over
+// GOMAXPROCS workers (or any explicit count), and results are collected in
+// submission order, so every consumer's output is byte-identical whether it
+// ran on one worker or sixty-four.
+//
+// Three layers ride on it: cmd/sweep parallelizes over sweep values,
+// cmd/figures over experiment IDs, and internal/experiments over the
+// per-point simulation runs inside each experiment.
+package runner
+
+import (
+	"runtime"
+	"sync"
+
+	"hybridsched/internal/fabric"
+	"hybridsched/internal/rng"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+// Pool is a fixed-size worker pool. It holds no state between calls; the
+// same Pool may be used concurrently and reused freely.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count. A count of zero or less
+// selects GOMAXPROCS — the whole point of the engine is to keep every core
+// busy with independent simulations.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs fn(i) for every i in [0, n) on p's workers and returns the
+// results in index order. All jobs run to completion even when some fail;
+// the returned error is the failure with the lowest index, so error
+// reporting is as deterministic as the results themselves.
+func Map[T any](p *Pool, n int, fn func(int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return results, nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial fast path: no goroutines, same submission order.
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Job is one self-contained simulation: a fabric configuration, a workload,
+// and how long to offer it. Each Job builds its own simulator, so jobs are
+// independent by construction and safe to run concurrently.
+type Job struct {
+	Fabric  fabric.Config
+	Traffic traffic.Config
+	// Duration is how long traffic is offered. The run continues for
+	// Duration*Drain afterwards so queues flush. Drain defaults to 0.5.
+	Duration units.Duration
+	Drain    float64
+}
+
+// Run executes the job on the calling goroutine and returns the final
+// metrics plus the fabric, for callers that want to inspect component
+// state post-run.
+func (j Job) Run() (fabric.Metrics, *fabric.Fabric, error) {
+	drain := j.Drain
+	if drain == 0 {
+		drain = 0.5
+	}
+	s := sim.New()
+	f, err := fabric.New(s, j.Fabric)
+	if err != nil {
+		return fabric.Metrics{}, nil, err
+	}
+	tc := j.Traffic
+	if tc.Until == 0 {
+		tc.Until = units.Time(j.Duration)
+	}
+	gen, err := traffic.New(tc)
+	if err != nil {
+		return fabric.Metrics{}, nil, err
+	}
+	f.Start()
+	gen.Start(s, f.Inject)
+	s.RunUntil(units.Time(j.Duration))
+	s.RunUntil(units.Time(float64(j.Duration) * (1 + drain)))
+	f.Stop()
+	return f.Metrics(), f, nil
+}
+
+// RunScenarios fans the jobs out over the pool and returns their metrics
+// in submission order.
+func (p *Pool) RunScenarios(jobs []Job) ([]fabric.Metrics, error) {
+	return Map(p, len(jobs), func(i int) (fabric.Metrics, error) {
+		m, _, err := jobs[i].Run()
+		return m, err
+	})
+}
+
+// DeriveSeed maps a base seed and a job index to a decorrelated per-job
+// seed (splitmix64 of base+index), so a fan-out of related scenarios gets
+// independent yet reproducible random streams regardless of which worker
+// runs which job.
+func DeriveSeed(base uint64, index int) uint64 {
+	state := base + uint64(index)*0x9e3779b97f4a7c15
+	return rng.SplitMix64(&state)
+}

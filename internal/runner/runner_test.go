@@ -1,0 +1,161 @@
+package runner
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"hybridsched/internal/fabric"
+	"hybridsched/internal/sched"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+func TestMapReturnsResultsInSubmissionOrder(t *testing.T) {
+	p := New(8)
+	n := 100
+	got, err := Map(p, n, func(i int) (int, error) {
+		// Uneven work so workers finish out of order.
+		v := 0
+		for k := 0; k < (i%7)*1000; k++ {
+			v += k
+		}
+		_ = v
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	got, err := Map(New(4), 0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapReportsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		p := New(workers)
+		errA := errors.New("a")
+		errB := errors.New("b")
+		_, err := Map(p, 10, func(i int) (int, error) {
+			switch i {
+			case 2:
+				return 0, errB
+			case 7:
+				return 0, errA
+			}
+			return i, nil
+		})
+		if err != errB {
+			t.Fatalf("workers=%d: err = %v, want the index-2 error", workers, err)
+		}
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+	if New(-3).Workers() < 1 {
+		t.Fatal("negative worker count not clamped")
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Fatalf("Workers() = %d, want 5", got)
+	}
+}
+
+// scenarioJobs builds a small fan-out of independent, deterministic runs
+// with distinguishable loads and derived seeds.
+func scenarioJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Fabric: fabric.Config{
+				Ports:        4,
+				LineRate:     10 * units.Gbps,
+				LinkDelay:    500 * units.Nanosecond,
+				Slot:         10 * units.Microsecond,
+				ReconfigTime: units.Microsecond,
+				Algorithm:    "islip",
+				Timing:       sched.DefaultHardware(),
+				Pipelined:    true,
+			},
+			Traffic: traffic.Config{
+				Ports:    4,
+				LineRate: 10 * units.Gbps,
+				Load:     0.3 + 0.1*float64(i%4),
+				Pattern:  traffic.Uniform{},
+				Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+				Seed:     DeriveSeed(1, i),
+			},
+			Duration: units.Millisecond,
+		}
+	}
+	return jobs
+}
+
+func TestRunScenariosDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := scenarioJobs(6)
+	serial, err := New(1).RunScenarios(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		parallel, err := New(workers).RunScenarios(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("metrics differ between 1 and %d workers", workers)
+		}
+	}
+	// The jobs must be distinguishable (different loads/seeds), or the
+	// determinism check proves nothing.
+	for i := 1; i < len(serial); i++ {
+		if reflect.DeepEqual(serial[0], serial[i]) {
+			t.Fatalf("jobs 0 and %d produced identical metrics; fan-out is degenerate", i)
+		}
+	}
+}
+
+func TestRunScenariosSurfacesConfigErrors(t *testing.T) {
+	jobs := scenarioJobs(3)
+	jobs[1].Fabric.Ports = -1
+	if _, err := New(4).RunScenarios(jobs); err == nil {
+		t.Fatal("expected config error to surface")
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("indices %d and %d collide", j, i)
+		}
+		seen[s] = i
+	}
+	if DeriveSeed(42, 7) != DeriveSeed(42, 7) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(42, 7) == DeriveSeed(43, 7) {
+		t.Fatal("base seed ignored")
+	}
+}
+
+func BenchmarkMapOverhead(b *testing.B) {
+	p := New(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(p, 64, func(i int) (int, error) { return i, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,7 +5,13 @@
 // tightly coupled feedback loop (VOQ state -> demand -> schedule -> grants
 // -> VOQ state); event-level parallelism would buy nothing and cost
 // reproducibility. Parallelism belongs one level up, across independent
-// simulation configurations.
+// simulation configurations — see internal/runner.
+//
+// Event storage is recycled through a per-simulator freelist, so the
+// Schedule/Step hot path performs zero amortized heap allocations. Handles
+// are generation-stamped: a handle to an event that has fired or been
+// canceled goes stale, and canceling through a stale handle is a harmless
+// no-op even after the underlying storage has been reused.
 package sim
 
 import (
@@ -15,20 +21,30 @@ import (
 	"hybridsched/internal/units"
 )
 
-// Event is a scheduled callback. Obtain events from Simulator.Schedule or
-// Simulator.At; cancel them with Cancel.
-type Event struct {
-	when     units.Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 once popped
+// node is the queued representation of a scheduled callback. Nodes are
+// recycled through Simulator.freelist; gen increments on every release so
+// stale Event handles can never touch a reused node.
+type node struct {
+	when  units.Time
+	seq   uint64
+	gen   uint64
+	fn    func()
+	index int // heap index, -1 once popped
 }
 
-// When returns the time the event is scheduled to fire.
-func (e *Event) When() units.Time { return e.when }
+// Event is a handle to a scheduled callback, returned by Schedule and At
+// and consumed by Cancel. It is a small value: copy it freely. The zero
+// Event is valid and refers to nothing.
+type Event struct {
+	n    *node
+	gen  uint64
+	when units.Time
+}
 
-type eventHeap []*Event
+// When returns the time the event was scheduled to fire.
+func (e Event) When() units.Time { return e.when }
+
+type eventHeap []*node
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -43,18 +59,18 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+	n := x.(*node)
+	n.index = len(*h)
+	*h = append(*h, n)
 }
 func (h *eventHeap) Pop() any {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	k := len(old)
+	n := old[k-1]
+	old[k-1] = nil
+	n.index = -1
+	*h = old[:k-1]
+	return n
 }
 
 // Simulator owns the simulated clock and event queue. The zero value is a
@@ -62,6 +78,7 @@ func (h *eventHeap) Pop() any {
 type Simulator struct {
 	now       units.Time
 	queue     eventHeap
+	freelist  []*node
 	seq       uint64
 	processed uint64
 	stopped   bool
@@ -76,14 +93,33 @@ func (s *Simulator) Now() units.Time { return s.now }
 // Processed returns the number of events executed so far.
 func (s *Simulator) Processed() uint64 { return s.processed }
 
-// Pending returns the number of events waiting in the queue (including
-// canceled events not yet drained).
+// Pending returns the number of live events waiting in the queue. Canceled
+// events are removed eagerly and are never counted.
 func (s *Simulator) Pending() int { return len(s.queue) }
+
+// alloc takes a node from the freelist, or heap-allocates when empty.
+func (s *Simulator) alloc() *node {
+	if k := len(s.freelist); k > 0 {
+		n := s.freelist[k-1]
+		s.freelist[k-1] = nil
+		s.freelist = s.freelist[:k-1]
+		return n
+	}
+	return &node{}
+}
+
+// free retires a node to the freelist, invalidating every outstanding
+// handle to it by bumping the generation.
+func (s *Simulator) free(n *node) {
+	n.fn = nil
+	n.gen++
+	s.freelist = append(s.freelist, n)
+}
 
 // Schedule runs fn after delay d. A non-positive delay schedules fn at the
 // current time; it runs after all events already scheduled for this instant
 // (FIFO within a timestamp).
-func (s *Simulator) Schedule(d units.Duration, fn func()) *Event {
+func (s *Simulator) Schedule(d units.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -92,30 +128,36 @@ func (s *Simulator) Schedule(d units.Duration, fn func()) *Event {
 
 // At runs fn at absolute time t. Scheduling in the past is a programming
 // error and panics: silently reordering the past would corrupt causality.
-func (s *Simulator) At(t units.Time, fn func()) *Event {
+func (s *Simulator) At(t units.Time, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	e := &Event{when: t, seq: s.seq, fn: fn}
+	n := s.alloc()
+	n.when = t
+	n.seq = s.seq
+	n.fn = fn
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	heap.Push(&s.queue, n)
+	return Event{n: n, gen: n.gen, when: t}
 }
 
-// Cancel prevents e from firing. Canceling an already-fired or
-// already-canceled event is a harmless no-op.
-func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.canceled {
+// Cancel prevents e from firing and removes it from the queue immediately
+// (Pending drops at once). Canceling an already-fired or already-canceled
+// event, or the zero Event, is a harmless no-op: handles go stale when the
+// event fires or is canceled, so a late Cancel can never hit an event that
+// reused the same storage.
+func (s *Simulator) Cancel(e Event) {
+	n := e.n
+	if n == nil || n.gen != e.gen {
 		return
 	}
-	e.canceled = true
-	e.fn = nil
-	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
+	if n.index >= 0 {
+		heap.Remove(&s.queue, n.index)
 	}
+	s.free(n)
 }
 
 // Stop makes the current Run/RunUntil return after the current event
@@ -125,19 +167,19 @@ func (s *Simulator) Stop() { s.stopped = true }
 // Step executes the single earliest pending event. It returns false when
 // the queue is empty.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.canceled {
-			continue
-		}
-		s.now = e.when
-		fn := e.fn
-		e.fn = nil
-		s.processed++
-		fn()
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	n := heap.Pop(&s.queue).(*node)
+	s.now = n.when
+	fn := n.fn
+	// Retire the node before running the callback: the callback may
+	// schedule new events (which reuse it under a fresh generation) or
+	// cancel its own handle (now stale, a no-op).
+	s.free(n)
+	s.processed++
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -152,8 +194,7 @@ func (s *Simulator) Run() {
 func (s *Simulator) RunUntil(t units.Time) {
 	s.stopped = false
 	for !s.stopped {
-		idx := s.peek()
-		if idx == nil || idx.when > t {
+		if len(s.queue) == 0 || s.queue[0].when > t {
 			break
 		}
 		s.Step()
@@ -163,17 +204,6 @@ func (s *Simulator) RunUntil(t units.Time) {
 	}
 }
 
-func (s *Simulator) peek() *Event {
-	for len(s.queue) > 0 {
-		if s.queue[0].canceled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		return s.queue[0]
-	}
-	return nil
-}
-
 // Ticker invokes fn every period until canceled. It is the building block
 // for clocked hardware models (the scheduling pipeline, slotted OCS
 // schedules).
@@ -181,7 +211,7 @@ type Ticker struct {
 	sim     *Simulator
 	period  units.Duration
 	fn      func()
-	ev      *Event
+	ev      Event
 	stopped bool
 }
 
@@ -208,8 +238,12 @@ func (t *Ticker) arm() {
 	})
 }
 
-// Stop cancels the ticker.
+// Stop cancels the ticker. Stopping a ticker twice, or from inside its own
+// tick callback, is safe.
 func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
 	t.stopped = true
 	t.sim.Cancel(t.ev)
 }

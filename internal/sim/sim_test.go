@@ -107,8 +107,8 @@ func TestCancel(t *testing.T) {
 	ran := false
 	e := s.Schedule(units.Nanosecond, func() { ran = true })
 	s.Cancel(e)
-	s.Cancel(e) // double-cancel is fine
-	s.Cancel(nil)
+	s.Cancel(e)       // double-cancel is fine
+	s.Cancel(Event{}) // so is canceling the zero handle
 	s.Run()
 	if ran {
 		t.Fatal("canceled event ran")
@@ -121,7 +121,7 @@ func TestCancel(t *testing.T) {
 func TestCancelOneOfMany(t *testing.T) {
 	s := New()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 5; i++ {
 		i := i
 		evs = append(evs, s.Schedule(units.Duration(i+1)*units.Nanosecond, func() {
@@ -248,6 +248,171 @@ func TestHeapOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPendingExcludesCanceled is the regression test for queue-depth
+// overcounting: canceled events must leave the queue (and the Pending
+// count) immediately, not linger until drained.
+func TestPendingExcludesCanceled(t *testing.T) {
+	s := New()
+	var evs []Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs, s.Schedule(units.Duration(i+1)*units.Nanosecond, func() {}))
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", s.Pending())
+	}
+	s.Cancel(evs[2])
+	if s.Pending() != 4 {
+		t.Fatalf("pending after one cancel = %d, want 4", s.Pending())
+	}
+	s.Cancel(evs[2]) // double-cancel must not double-decrement
+	if s.Pending() != 4 {
+		t.Fatalf("pending after double cancel = %d, want 4", s.Pending())
+	}
+	for _, e := range evs {
+		s.Cancel(e)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending after canceling all = %d, want 0", s.Pending())
+	}
+}
+
+// TestCancelThenRun: a queue whose events are all canceled before Run must
+// execute nothing and leave the clock untouched.
+func TestCancelThenRun(t *testing.T) {
+	s := New()
+	fired := 0
+	var evs []Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, s.Schedule(units.Duration(i+1)*units.Nanosecond, func() { fired++ }))
+	}
+	for _, e := range evs {
+		s.Cancel(e)
+	}
+	s.Run()
+	if fired != 0 || s.Processed() != 0 {
+		t.Fatalf("fired = %d, processed = %d, want 0, 0", fired, s.Processed())
+	}
+	if s.Now() != 0 {
+		t.Fatalf("now = %v, want 0", s.Now())
+	}
+}
+
+// TestRunUntilAllCanceled: RunUntil over a fully-canceled queue must still
+// advance the clock to the target time.
+func TestRunUntilAllCanceled(t *testing.T) {
+	s := New()
+	var evs []Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs, s.Schedule(units.Duration(i+1)*units.Microsecond, func() {
+			t.Fatal("canceled event fired")
+		}))
+	}
+	for _, e := range evs {
+		s.Cancel(e)
+	}
+	s.RunUntil(units.Time(3 * units.Microsecond))
+	if s.Now() != units.Time(3*units.Microsecond) {
+		t.Fatalf("now = %v, want 3us", s.Now())
+	}
+}
+
+// TestTickerStopInsideOwnTick: stopping a ticker from its own callback
+// (including stopping it twice) must not fire further ticks and must not
+// cancel unrelated events that recycled the tick's storage.
+func TestTickerStopInsideOwnTick(t *testing.T) {
+	s := New()
+	ticks := 0
+	bystander := false
+	var tk *Ticker
+	tk = s.NewTicker(10*units.Nanosecond, func() {
+		ticks++
+		if ticks == 3 {
+			tk.Stop()
+			tk.Stop() // double-stop is safe
+			// Scheduled after Stop: likely reuses the freed tick node;
+			// the ticker's stale handle must not be able to kill it.
+			s.Schedule(units.Nanosecond, func() { bystander = true })
+			tk.Stop()
+		}
+	})
+	s.Run()
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+	if !bystander {
+		t.Fatal("event scheduled after Ticker.Stop was lost")
+	}
+}
+
+// TestStaleHandleCancelIsNoOp: once an event fires, its handle is stale; a
+// late Cancel through it must not touch whichever event reused the node.
+func TestStaleHandleCancelIsNoOp(t *testing.T) {
+	s := New()
+	first := s.Schedule(units.Nanosecond, func() {})
+	s.Run()
+	second := s.Schedule(units.Nanosecond, func() {})
+	s.Cancel(first) // stale: must not cancel second
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (stale cancel removed a live event)", s.Pending())
+	}
+	ran := false
+	_ = second
+	s.queue[0].fn = func() { ran = true }
+	s.Run()
+	if !ran {
+		t.Fatal("live event did not run after stale cancel")
+	}
+}
+
+// TestFIFODeterminismWithFreelistReuse drives several waves of
+// schedule/fire/cancel so that nodes are heavily recycled, and verifies
+// same-timestamp FIFO ordering holds in every wave.
+func TestFIFODeterminismWithFreelistReuse(t *testing.T) {
+	s := New()
+	for wave := 0; wave < 20; wave++ {
+		var order []int
+		var evs []Event
+		base := units.Duration(wave+1) * units.Microsecond
+		for i := 0; i < 16; i++ {
+			i := i
+			evs = append(evs, s.Schedule(base, func() { order = append(order, i) }))
+		}
+		// Cancel every third event; survivors must still fire in
+		// submission order despite the heap churn and node reuse.
+		for i := 0; i < len(evs); i += 3 {
+			s.Cancel(evs[i])
+		}
+		s.Run()
+		want := -1
+		for _, v := range order {
+			if v%3 == 0 {
+				t.Fatalf("wave %d: canceled event %d fired", wave, v)
+			}
+			if v <= want {
+				t.Fatalf("wave %d: same-time events reordered: %v", wave, order)
+			}
+			want = v
+		}
+		if len(order) != 16-6 {
+			t.Fatalf("wave %d: fired %d events, want 10", wave, len(order))
+		}
+	}
+}
+
+// TestEventWhen: the handle remembers its scheduled time, even after the
+// event fires and its storage is recycled.
+func TestEventWhen(t *testing.T) {
+	s := New()
+	e := s.Schedule(7*units.Nanosecond, func() {})
+	if e.When() != units.Time(7*units.Nanosecond) {
+		t.Fatalf("When = %v", e.When())
+	}
+	s.Run()
+	if e.When() != units.Time(7*units.Nanosecond) {
+		t.Fatalf("When after fire = %v", e.When())
 	}
 }
 
