@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench-smoke check
+.PHONY: all build test vet fmt-check bench-smoke race-smoke check
 
 all: build
 
@@ -24,8 +24,14 @@ fmt-check:
 	fi
 
 # bench-smoke proves the hot-path benchmarks still compile and run; the
-# event-queue benchmark is the kernel's allocation regression guard.
+# event-queue benchmark is the kernel's allocation regression guard and
+# the observer benchmark covers the streaming-sample path.
 bench-smoke:
-	$(GO) test -run '^$$' -bench BenchmarkEventQueue -benchtime 0.1s .
+	$(GO) test -run '^$$' -bench 'BenchmarkEventQueue|BenchmarkObserverStream' -benchtime 0.1s .
+
+# race-smoke runs the concurrency-bearing layers under the race detector:
+# the parallel execution engine and the root fan-out/observer API.
+race-smoke:
+	$(GO) test -race ./internal/runner/... .
 
 check: fmt-check vet build test bench-smoke

@@ -1,0 +1,83 @@
+package hybridsched
+
+import (
+	"hybridsched/internal/demand"
+	"hybridsched/internal/match"
+)
+
+// The scheduling-logic plug-in point — the slot of the paper's Figure 2
+// where "users implement novel design". External packages implement
+// Algorithm against DemandReader and install it with RegisterAlgorithm;
+// the name then works everywhere a built-in does (FabricConfig.Algorithm,
+// cmd/hybridsim -alg, the platform register file). See examples/customalg.
+type (
+	// Matching maps input port -> output port (or Unmatched). A valid
+	// matching assigns each output to at most one input.
+	Matching = match.Matching
+	// Complexity describes an algorithm's cost for the timing models:
+	// serial hardware depth in clocked steps, and scalar software ops.
+	Complexity = match.Complexity
+)
+
+// Unmatched marks an input port with no output assigned this slot.
+const Unmatched = match.Unmatched
+
+// NewMatching returns an all-unmatched matching for n ports.
+func NewMatching(n int) Matching { return match.NewMatching(n) }
+
+// DemandReader is the read-only demand view an Algorithm schedules from.
+// Entry (i, j) is the estimated backlog, in bits, from input i to output j.
+type DemandReader interface {
+	// N returns the port count.
+	N() int
+	// At returns the pending demand from input i to output j.
+	At(i, j int) int64
+}
+
+// The estimator's matrix is exactly what algorithms receive.
+var _ DemandReader = (*demand.Matrix)(nil)
+
+// Algorithm computes crossbar matchings from demand. Implementations may
+// keep state across calls (round-robin pointers); Reset clears it.
+type Algorithm interface {
+	// Name identifies the algorithm in reports and the registry.
+	Name() string
+	// Schedule returns a matching serving d. Zero entries of d are
+	// non-requests; the matching should only pair ports with positive
+	// demand (demand-oblivious schedules like TDMA are the exception).
+	Schedule(d DemandReader) Matching
+	// Complexity reports cost for an n-port instance; the timing models
+	// turn it into schedule-computation latency.
+	Complexity(n int) Complexity
+	// Reset clears inter-slot state.
+	Reset()
+}
+
+// AlgorithmFactory constructs an algorithm for an n-port switch with a
+// seed for randomized algorithms.
+type AlgorithmFactory func(ports int, seed uint64) Algorithm
+
+// RegisterAlgorithm installs a factory under name, alongside the built-in
+// algorithms. Like database/sql.Register it is meant for init-time use and
+// panics on a duplicate name: a collision is a programming error.
+func RegisterAlgorithm(name string, factory AlgorithmFactory) {
+	match.Register(name, func(n int, seed uint64) match.Algorithm {
+		return algorithmAdapter{impl: factory(n, seed)}
+	})
+}
+
+// algorithmAdapter bridges a public Algorithm onto the internal registry
+// contract.
+type algorithmAdapter struct{ impl Algorithm }
+
+func (a algorithmAdapter) Name() string                       { return a.impl.Name() }
+func (a algorithmAdapter) Schedule(d *demand.Matrix) Matching { return a.impl.Schedule(d) }
+func (a algorithmAdapter) Complexity(n int) Complexity        { return a.impl.Complexity(n) }
+func (a algorithmAdapter) Reset()                             { a.impl.Reset() }
+
+// Algorithms returns the names of all registered scheduling algorithms,
+// built-in and plugged-in, in sorted order.
+func Algorithms() []string { return match.Names() }
+
+// KnownAlgorithm reports whether name is a registered algorithm.
+func KnownAlgorithm(name string) bool { return match.Known(name) }

@@ -11,8 +11,8 @@ package hybridsched
 import (
 	"testing"
 
+	"hybridsched/experiments"
 	"hybridsched/internal/demand"
-	"hybridsched/internal/experiments"
 	"hybridsched/internal/match"
 	"hybridsched/internal/rng"
 	"hybridsched/internal/runner"
@@ -275,6 +275,47 @@ func benchScenarioFanout(b *testing.B, workers int) {
 // scenario-execution engine buys on this host.
 func BenchmarkScenarioFanoutSerial(b *testing.B)   { benchScenarioFanout(b, 1) }
 func BenchmarkScenarioFanoutParallel(b *testing.B) { benchScenarioFanout(b, 0) }
+
+// BenchmarkObserverStream measures the streaming-observation path: a
+// fixed 1 ms end-to-end run per op with a 10 us sampling ticker attached
+// (150 samples/op, histogram summarization included). It prices a whole
+// observed run — including per-op simulator/fabric construction — so
+// compare runs of this benchmark against each other, not ns/op against
+// BenchmarkFabricEndToEnd, which amortizes construction over one long
+// simulation.
+func BenchmarkObserverStream(b *testing.B) {
+	sc := Scenario{
+		Fabric: FabricConfig{
+			Ports:        8,
+			LineRate:     10 * units.Gbps,
+			LinkDelay:    500 * units.Nanosecond,
+			Slot:         10 * units.Microsecond,
+			ReconfigTime: units.Microsecond,
+			Algorithm:    "islip",
+			Timing:       sched.DefaultHardware(),
+			Pipelined:    true,
+		},
+		Traffic: TrafficConfig{
+			Ports:    8,
+			LineRate: 10 * units.Gbps,
+			Load:     0.6,
+			Pattern:  traffic.Uniform{},
+			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+			Seed:     1,
+		},
+		Duration:    units.Millisecond,
+		SampleEvery: 10 * units.Microsecond,
+	}
+	var samples int64
+	sc.Observer = func(Sample) { samples++ }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(samples)/float64(b.N), "samples/op")
+}
 
 // BenchmarkFabricEndToEnd measures whole-simulator throughput: simulated
 // packets pushed through an 8-port hybrid switch per wall-clock second.

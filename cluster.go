@@ -1,0 +1,35 @@
+package hybridsched
+
+import (
+	"hybridsched/internal/cluster"
+	"hybridsched/internal/sim"
+)
+
+// The rack-scale testbed of the paper's §3: ToR processing elements, a
+// core OCS, and a scheduling entity that can run centralized (full demand
+// magnitudes) or distributed (request bits only).
+type (
+	// Cluster is the assembled multi-rack testbed.
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes racks, rates, core optics and the
+	// scheduling entity.
+	ClusterConfig = cluster.Config
+	// ClusterMetrics is the full result set of a cluster run.
+	ClusterMetrics = cluster.Metrics
+	// ClusterMode selects the scheduling entity's information model.
+	ClusterMode = cluster.Mode
+)
+
+// ClusterMode values.
+const (
+	// Centralized gives the scheduling entity full rack-level demand.
+	Centralized = cluster.Centralized
+	// Distributed gives it request bits only — the control bandwidth a
+	// distributed request/grant implementation affords.
+	Distributed = cluster.Distributed
+)
+
+// NewCluster assembles a cluster testbed on the given simulator.
+func NewCluster(s *sim.Simulator, cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(s, cfg)
+}

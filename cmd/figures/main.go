@@ -22,9 +22,9 @@ import (
 	"path/filepath"
 	"strings"
 
-	"hybridsched/internal/experiments"
-	"hybridsched/internal/report"
-	"hybridsched/internal/runner"
+	"hybridsched"
+	"hybridsched/experiments"
+	"hybridsched/report"
 )
 
 func main() {
@@ -84,7 +84,7 @@ func run(w io.Writer, ids []string, sc experiments.Scale, csvDir string, plot bo
 			parIdx = append(parIdx, i)
 		}
 	}
-	total := runner.New(parallel).Workers()
+	total := hybridsched.NewPool(parallel).Workers()
 	outer := total
 	if len(parIdx) > 0 && outer > len(parIdx) {
 		outer = len(parIdx)
@@ -117,9 +117,9 @@ func run(w io.Writer, ids []string, sc experiments.Scale, csvDir string, plot bo
 		}
 	}
 	go func() {
-		pool := runner.New(outer)
+		pool := hybridsched.NewPool(outer)
 		// Errors surface through the slots; Map's own error is redundant.
-		_, _ = runner.Map(pool, len(parIdx), func(k int) (struct{}, error) {
+		_, _ = hybridsched.MapPool(pool, len(parIdx), func(k int) (struct{}, error) {
 			if canceled() {
 				return struct{}{}, nil
 			}

@@ -6,7 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
-	"hybridsched/internal/experiments"
+	"hybridsched/experiments"
 )
 
 // TestFiguresParallelOutputIsByteIdentical is the determinism contract:

@@ -14,155 +14,167 @@ import (
 	"fmt"
 	"os"
 
-	"hybridsched/internal/fabric"
-	"hybridsched/internal/match"
-	"hybridsched/internal/report"
-	"hybridsched/internal/sched"
-	"hybridsched/internal/sim"
-	"hybridsched/internal/traffic"
-	"hybridsched/internal/units"
+	"hybridsched"
+	"hybridsched/report"
 )
 
+// config carries the raw flag values into run. Every field is named, so a
+// caller cannot transpose two of the many same-typed knobs the way a
+// positional signature invites.
+type config struct {
+	Ports    int
+	Rate     string
+	Link     string
+	Slot     string
+	Reconfig string
+	Alg      string
+	Timing   string
+	Buffer   string
+	EPS      bool
+	Load     float64
+	Pattern  string
+	Process  string
+	Duration string
+	Seed     uint64
+}
+
 func main() {
-	var (
-		ports    = flag.Int("ports", 16, "switch port count")
-		rate     = flag.String("rate", "10Gbps", "line rate per port")
-		linkd    = flag.String("link", "500ns", "host<->switch one-way delay")
-		slot     = flag.String("slot", "10us", "transmission slot per configuration")
-		reconfig = flag.String("reconfig", "1us", "OCS reconfiguration dead time")
-		alg      = flag.String("alg", "islip", fmt.Sprintf("matching algorithm %v", match.Names()))
-		timing   = flag.String("timing", "hardware", "scheduler timing: hardware or software")
-		buffer   = flag.String("buffer", "switch", "buffering regime: switch or host")
-		epsOn    = flag.Bool("eps", false, "enable the electrical packet switch")
-		load     = flag.Float64("load", 0.5, "offered load fraction per port")
-		pattern  = flag.String("pattern", "uniform", "traffic pattern: uniform, permutation, hotspot, zipf")
-		process  = flag.String("process", "poisson", "arrival process: poisson or onoff")
-		duration = flag.String("duration", "5ms", "traffic duration (simulated)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-	)
+	var cfg config
+	flag.IntVar(&cfg.Ports, "ports", 16, "switch port count")
+	flag.StringVar(&cfg.Rate, "rate", "10Gbps", "line rate per port")
+	flag.StringVar(&cfg.Link, "link", "500ns", "host<->switch one-way delay")
+	flag.StringVar(&cfg.Slot, "slot", "10us", "transmission slot per configuration")
+	flag.StringVar(&cfg.Reconfig, "reconfig", "1us", "OCS reconfiguration dead time")
+	flag.StringVar(&cfg.Alg, "alg", "islip", fmt.Sprintf("matching algorithm %v", hybridsched.Algorithms()))
+	flag.StringVar(&cfg.Timing, "timing", "hardware", "scheduler timing: hardware or software")
+	flag.StringVar(&cfg.Buffer, "buffer", "switch", "buffering regime: switch or host")
+	flag.BoolVar(&cfg.EPS, "eps", false, "enable the electrical packet switch")
+	flag.Float64Var(&cfg.Load, "load", 0.5, "offered load fraction per port")
+	flag.StringVar(&cfg.Pattern, "pattern", "uniform", "traffic pattern: uniform, permutation, hotspot, zipf")
+	flag.StringVar(&cfg.Process, "process", "poisson", "arrival process: poisson or onoff")
+	flag.StringVar(&cfg.Duration, "duration", "5ms", "traffic duration (simulated)")
+	flag.Uint64Var(&cfg.Seed, "seed", 1, "random seed")
 	flag.Parse()
-	if err := run(*ports, *rate, *linkd, *slot, *reconfig, *alg, *timing,
-		*buffer, *epsOn, *load, *pattern, *process, *duration, *seed); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "hybridsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ports int, rateS, linkS, slotS, reconfS, alg, timingS, bufferS string,
-	epsOn bool, load float64, patternS, processS, durS string, seed uint64) error {
-	lineRate, err := units.ParseBitRate(rateS)
+// scenario translates the parsed flags into a public-API scenario via the
+// validating builder.
+func (c config) scenario() (hybridsched.Scenario, error) {
+	lineRate, err := hybridsched.ParseBitRate(c.Rate)
 	if err != nil {
-		return err
+		return hybridsched.Scenario{}, err
 	}
-	linkDelay, err := units.ParseDuration(linkS)
+	linkDelay, err := hybridsched.ParseDuration(c.Link)
 	if err != nil {
-		return err
+		return hybridsched.Scenario{}, err
 	}
-	slot, err := units.ParseDuration(slotS)
+	slot, err := hybridsched.ParseDuration(c.Slot)
 	if err != nil {
-		return err
+		return hybridsched.Scenario{}, err
 	}
-	reconf, err := units.ParseDuration(reconfS)
+	reconf, err := hybridsched.ParseDuration(c.Reconfig)
 	if err != nil {
-		return err
+		return hybridsched.Scenario{}, err
 	}
-	dur, err := units.ParseDuration(durS)
+	dur, err := hybridsched.ParseDuration(c.Duration)
 	if err != nil {
-		return err
+		return hybridsched.Scenario{}, err
 	}
 
-	var timing sched.TimingModel
-	switch timingS {
+	var timing hybridsched.TimingModel
+	switch c.Timing {
 	case "hardware":
-		timing = sched.DefaultHardware()
+		timing = hybridsched.DefaultHardware()
 	case "software":
-		timing = sched.DefaultSoftware()
+		timing = hybridsched.DefaultSoftware()
 	default:
-		return fmt.Errorf("unknown timing %q", timingS)
+		return hybridsched.Scenario{}, fmt.Errorf("unknown timing %q", c.Timing)
 	}
 
-	cfg := fabric.Config{
-		Ports:        ports,
-		LineRate:     lineRate,
-		LinkDelay:    linkDelay,
-		Slot:         slot,
-		ReconfigTime: reconf,
-		Algorithm:    alg,
-		Seed:         seed,
-		Timing:       timing,
-		Pipelined:    timingS == "hardware",
-		EnableEPS:    epsOn,
-	}
-	switch bufferS {
+	buffer := hybridsched.BufferAtSwitch
+	switch c.Buffer {
 	case "switch":
 	case "host":
-		cfg.Buffer = fabric.BufferAtHost
+		buffer = hybridsched.BufferAtHost
 	default:
-		return fmt.Errorf("unknown buffer regime %q", bufferS)
+		return hybridsched.Scenario{}, fmt.Errorf("unknown buffer regime %q", c.Buffer)
 	}
 
-	var pat traffic.Pattern
-	switch patternS {
+	var pat hybridsched.Pattern
+	switch c.Pattern {
 	case "uniform":
-		pat = traffic.Uniform{}
+		pat = hybridsched.Uniform{}
 	case "permutation":
-		pat = traffic.NewPermutation(ports, seed)
+		pat = hybridsched.NewPermutation(c.Ports, c.Seed)
 	case "hotspot":
-		pat = traffic.Hotspot{Frac: 0.7, Spots: 2}
+		pat = hybridsched.Hotspot{Frac: 0.7, Spots: 2}
 	case "zipf":
-		pat = traffic.NewZipf(ports, 1.2)
+		pat = hybridsched.NewZipf(c.Ports, 1.2)
 	default:
-		return fmt.Errorf("unknown pattern %q", patternS)
+		return hybridsched.Scenario{}, fmt.Errorf("unknown pattern %q", c.Pattern)
 	}
-	var proc traffic.Process
-	switch processS {
+	var proc hybridsched.Process
+	switch c.Process {
 	case "poisson":
-		proc = traffic.Poisson
+		proc = hybridsched.Poisson
 	case "onoff":
-		proc = traffic.OnOff
+		proc = hybridsched.OnOff
 	default:
-		return fmt.Errorf("unknown process %q", processS)
+		return hybridsched.Scenario{}, fmt.Errorf("unknown process %q", c.Process)
 	}
 
-	s := sim.New()
-	f, err := fabric.New(s, cfg)
+	opts := []hybridsched.Option{
+		hybridsched.WithPorts(c.Ports),
+		hybridsched.WithLineRate(lineRate),
+		hybridsched.WithLinkDelay(linkDelay),
+		hybridsched.WithSlot(slot),
+		hybridsched.WithReconfigTime(reconf),
+		hybridsched.WithAlgorithm(c.Alg),
+		hybridsched.WithSeed(c.Seed),
+		hybridsched.WithTiming(timing),
+		hybridsched.WithPipelined(c.Timing == "hardware"),
+		hybridsched.WithBuffer(buffer),
+		hybridsched.WithLoad(c.Load),
+		hybridsched.WithPattern(pat),
+		hybridsched.WithSizes(hybridsched.Fixed{Size: 1500 * hybridsched.Byte}),
+		hybridsched.WithProcess(proc),
+		hybridsched.WithDuration(dur),
+	}
+	if c.EPS {
+		opts = append(opts, hybridsched.WithEPS(0))
+	}
+	return hybridsched.NewScenario(opts...)
+}
+
+func run(cfg config) error {
+	sc, err := cfg.scenario()
 	if err != nil {
 		return err
 	}
-	gen, err := traffic.New(traffic.Config{
-		Ports:    ports,
-		LineRate: lineRate,
-		Load:     load,
-		Pattern:  pat,
-		Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
-		Process:  proc,
-		Until:    units.Time(dur),
-		Seed:     seed,
-	})
+	m, err := sc.Run()
 	if err != nil {
 		return err
 	}
-	f.Start()
-	gen.Start(s, f.Inject)
-	s.RunUntil(units.Time(dur))
-	s.RunUntil(units.Time(dur + dur/2))
-	f.Stop()
-	m := f.Metrics()
 
 	fmt.Printf("hybridsim: %d ports x %v, %s/%s scheduler, %v reconfig, %v slot, %s-buffered\n",
-		ports, lineRate, alg, timingS, reconf, slot, bufferS)
+		cfg.Ports, sc.Fabric.LineRate, cfg.Alg, cfg.Timing,
+		sc.Fabric.ReconfigTime, sc.Fabric.Slot, cfg.Buffer)
 	fmt.Printf("workload: %s %s load %.2f for %v (+drain)\n\n",
-		patternS, processS, load, dur)
+		cfg.Pattern, cfg.Process, cfg.Load, sc.Duration)
 
 	tab := report.NewTable("results", "metric", "value")
 	tab.AddRow("injected packets", m.Injected)
 	tab.AddRow("delivered packets", m.Delivered)
 	tab.AddRow("delivered fraction", m.DeliveredFraction())
-	tab.AddRow("throughput (frac of capacity)", m.Throughput(ports, lineRate))
+	tab.AddRow("throughput (frac of capacity)", m.Throughput(cfg.Ports, sc.Fabric.LineRate))
 	tab.AddRow("via OCS / via EPS (pkts)", fmt.Sprintf("%d / %d", m.OCS.PktsDelivered, m.EPS.PktsDelivered))
 	tab.AddRow("latency p50 / p99 / max",
-		fmt.Sprintf("%v / %v / %v", units.Duration(m.Latency.P50),
-			units.Duration(m.Latency.P99), units.Duration(m.Latency.Max)))
+		fmt.Sprintf("%v / %v / %v", hybridsched.Duration(m.Latency.P50),
+			hybridsched.Duration(m.Latency.P99), hybridsched.Duration(m.Latency.Max)))
 	tab.AddRow("peak switch buffer", m.PeakSwitchBuffer)
 	tab.AddRow("peak host buffer", m.PeakHostBuffer)
 	tab.AddRow("drops voq/host/eps/truncated",
@@ -170,7 +182,7 @@ func run(ports int, rateS, linkS, slotS, reconfS, alg, timingS, bufferS string,
 	tab.AddRow("OCS reconfigurations", m.OCS.Configures)
 	tab.AddRow("OCS duty cycle", m.DutyCycle)
 	tab.AddRow("scheduler cycles (idle)", fmt.Sprintf("%d (%d)", m.Loop.Cycles, m.Loop.IdleCycles))
-	tab.AddRow("grant staleness p50", units.Duration(m.Loop.Staleness.P50))
+	tab.AddRow("grant staleness p50", hybridsched.Duration(m.Loop.Staleness.P50))
 	tab.Render(os.Stdout)
 	return nil
 }

@@ -2,6 +2,25 @@ package main
 
 import "testing"
 
+// base returns a known-good configuration; tests override single fields.
+func base() config {
+	return config{
+		Ports:    8,
+		Rate:     "10Gbps",
+		Link:     "500ns",
+		Slot:     "20us",
+		Reconfig: "1us",
+		Alg:      "islip",
+		Timing:   "hardware",
+		Buffer:   "switch",
+		Load:     0.3,
+		Pattern:  "uniform",
+		Process:  "poisson",
+		Duration: "1ms",
+		Seed:     1,
+	}
+}
+
 func TestRunValidConfigurations(t *testing.T) {
 	cases := []struct {
 		name                             string
@@ -15,9 +34,9 @@ func TestRunValidConfigurations(t *testing.T) {
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			err := run(8, "10Gbps", "500ns", "20us", "1us", "islip",
-				c.timing, c.buffer, false, 0.3, c.pattern, c.process, "1ms", 1)
-			if err != nil {
+			cfg := base()
+			cfg.Timing, cfg.Buffer, cfg.Pattern, cfg.Process = c.timing, c.buffer, c.pattern, c.process
+			if err := run(cfg); err != nil {
 				t.Fatalf("run failed: %v", err)
 			}
 		})
@@ -25,46 +44,23 @@ func TestRunValidConfigurations(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	base := func() []string {
-		return []string{"10Gbps", "500ns", "20us", "1us", "islip",
-			"hardware", "switch", "uniform", "poisson", "1ms"}
-	}
-	_ = base
 	cases := []struct {
-		name string
-		call func() error
+		name   string
+		mutate func(*config)
 	}{
-		{"bad rate", func() error {
-			return run(8, "10Gbq", "500ns", "20us", "1us", "islip",
-				"hardware", "switch", false, 0.3, "uniform", "poisson", "1ms", 1)
-		}},
-		{"bad timing", func() error {
-			return run(8, "10Gbps", "500ns", "20us", "1us", "islip",
-				"quantum", "switch", false, 0.3, "uniform", "poisson", "1ms", 1)
-		}},
-		{"bad buffer", func() error {
-			return run(8, "10Gbps", "500ns", "20us", "1us", "islip",
-				"hardware", "cloud", false, 0.3, "uniform", "poisson", "1ms", 1)
-		}},
-		{"bad pattern", func() error {
-			return run(8, "10Gbps", "500ns", "20us", "1us", "islip",
-				"hardware", "switch", false, 0.3, "spiral", "poisson", "1ms", 1)
-		}},
-		{"bad process", func() error {
-			return run(8, "10Gbps", "500ns", "20us", "1us", "islip",
-				"hardware", "switch", false, 0.3, "uniform", "fractal", "1ms", 1)
-		}},
-		{"bad algorithm", func() error {
-			return run(8, "10Gbps", "500ns", "20us", "1us", "warp",
-				"hardware", "switch", false, 0.3, "uniform", "poisson", "1ms", 1)
-		}},
-		{"bad duration", func() error {
-			return run(8, "10Gbps", "500ns", "20us", "1us", "islip",
-				"hardware", "switch", false, 0.3, "uniform", "poisson", "soon", 1)
-		}},
+		{"bad rate", func(c *config) { c.Rate = "10Gbq" }},
+		{"bad timing", func(c *config) { c.Timing = "quantum" }},
+		{"bad buffer", func(c *config) { c.Buffer = "cloud" }},
+		{"bad pattern", func(c *config) { c.Pattern = "spiral" }},
+		{"bad process", func(c *config) { c.Process = "fractal" }},
+		{"bad algorithm", func(c *config) { c.Alg = "warp" }},
+		{"bad duration", func(c *config) { c.Duration = "soon" }},
+		{"bad load", func(c *config) { c.Load = 1.5 }},
 	}
 	for _, c := range cases {
-		if err := c.call(); err == nil {
+		cfg := base()
+		c.mutate(&cfg)
+		if err := run(cfg); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}

@@ -23,12 +23,8 @@ import (
 	"strconv"
 	"strings"
 
-	"hybridsched/internal/fabric"
-	"hybridsched/internal/report"
-	"hybridsched/internal/runner"
-	"hybridsched/internal/sched"
-	"hybridsched/internal/traffic"
-	"hybridsched/internal/units"
+	"hybridsched"
+	"hybridsched/report"
 )
 
 func main() {
@@ -61,37 +57,37 @@ func main() {
 
 func run(w io.Writer, sweepVar string, values []string, ports int, rateS, slotS, reconfS,
 	alg, timingS, bufferS string, load float64, durS string, seed uint64, parallel int) error {
-	rate, err := units.ParseBitRate(rateS)
+	rate, err := hybridsched.ParseBitRate(rateS)
 	if err != nil {
 		return err
 	}
-	slot, err := units.ParseDuration(slotS)
+	slot, err := hybridsched.ParseDuration(slotS)
 	if err != nil {
 		return err
 	}
-	reconf, err := units.ParseDuration(reconfS)
+	reconf, err := hybridsched.ParseDuration(reconfS)
 	if err != nil {
 		return err
 	}
-	dur, err := units.ParseDuration(durS)
+	dur, err := hybridsched.ParseDuration(durS)
 	if err != nil {
 		return err
 	}
-	var timing sched.TimingModel = sched.DefaultHardware()
+	var timing hybridsched.TimingModel = hybridsched.DefaultHardware()
 	if timingS == "software" {
-		timing = sched.DefaultSoftware()
+		timing = hybridsched.DefaultSoftware()
 	}
-	buffer := fabric.BufferAtSwitch
+	buffer := hybridsched.BufferAtSwitch
 	if bufferS == "host" {
-		buffer = fabric.BufferAtHost
+		buffer = hybridsched.BufferAtHost
 	}
 
-	linkDelay := 500 * units.Nanosecond
+	linkDelay := 500 * hybridsched.Nanosecond
 
 	// Parse every sweep value up front, so bad input fails before any
 	// simulation runs, then fan the points out over the worker pool.
 	trimmed := make([]string, len(values))
-	jobs := make([]runner.Job, len(values))
+	scs := make([]hybridsched.Scenario, len(values))
 	for i, v := range values {
 		v = strings.TrimSpace(v)
 		trimmed[i] = v
@@ -100,19 +96,19 @@ func run(w io.Writer, sweepVar string, values []string, ports int, rateS, slotS,
 		case "load":
 			ld, err = strconv.ParseFloat(v, 64)
 		case "reconfig":
-			rc, err = units.ParseDuration(v)
+			rc, err = hybridsched.ParseDuration(v)
 		case "ports":
 			p, err = strconv.Atoi(v)
 		case "linkdelay":
-			lk, err = units.ParseDuration(v)
+			lk, err = hybridsched.ParseDuration(v)
 		default:
 			return fmt.Errorf("unknown sweep variable %q", sweepVar)
 		}
 		if err != nil {
 			return fmt.Errorf("bad value %q: %w", v, err)
 		}
-		jobs[i] = runner.Job{
-			Fabric: fabric.Config{
+		scs[i] = hybridsched.Scenario{
+			Fabric: hybridsched.FabricConfig{
 				Ports:        p,
 				LineRate:     rate,
 				LinkDelay:    lk,
@@ -124,20 +120,20 @@ func run(w io.Writer, sweepVar string, values []string, ports int, rateS, slotS,
 				Pipelined:    timingS == "hardware",
 				Buffer:       buffer,
 			},
-			Traffic: traffic.Config{
+			Traffic: hybridsched.TrafficConfig{
 				Ports:    p,
 				LineRate: rate,
 				Load:     ld,
-				Pattern:  traffic.Uniform{},
-				Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
-				Until:    units.Time(dur),
+				Pattern:  hybridsched.Uniform{},
+				Sizes:    hybridsched.Fixed{Size: 1500 * hybridsched.Byte},
+				Until:    hybridsched.Time(dur),
 				Seed:     seed,
 			},
 			Duration: dur,
 		}
 	}
 
-	ms, err := runner.New(parallel).RunScenarios(jobs)
+	ms, err := hybridsched.RunScenarios(scs, parallel)
 	if err != nil {
 		return err
 	}
@@ -146,10 +142,10 @@ func run(w io.Writer, sweepVar string, values []string, ports int, rateS, slotS,
 		"delivered_frac", "throughput", "lat_p50_us", "lat_p99_us",
 		"peak_switch_buf_B", "peak_host_buf_B", "duty_cycle")
 	for i, m := range ms {
-		p := jobs[i].Fabric.Ports
+		p := scs[i].Fabric.Ports
 		tab.AddRow(trimmed[i], m.DeliveredFraction(), m.Throughput(p, rate),
-			units.Duration(m.Latency.P50).Microseconds(),
-			units.Duration(m.Latency.P99).Microseconds(),
+			hybridsched.Duration(m.Latency.P50).Microseconds(),
+			hybridsched.Duration(m.Latency.P99).Microseconds(),
 			m.PeakSwitchBuffer.Bytes(), m.PeakHostBuffer.Bytes(), m.DutyCycle)
 	}
 	tab.CSV(w)

@@ -17,62 +17,57 @@ import (
 	"log"
 	"os"
 
-	"hybridsched/internal/cluster"
-	"hybridsched/internal/packet"
-	"hybridsched/internal/report"
-	"hybridsched/internal/rng"
-	"hybridsched/internal/sched"
-	"hybridsched/internal/sim"
-	"hybridsched/internal/units"
+	"hybridsched"
+	"hybridsched/report"
 )
 
-func run(mode cluster.Mode) (cluster.Metrics, error) {
-	s := sim.New()
-	c, err := cluster.New(s, cluster.Config{
+func run(mode hybridsched.ClusterMode) (hybridsched.ClusterMetrics, error) {
+	s := hybridsched.NewSimulator()
+	c, err := hybridsched.NewCluster(s, hybridsched.ClusterConfig{
 		Racks:        4,
 		HostsPerRack: 4,
-		HostRate:     10 * units.Gbps,
-		UplinkRate:   40 * units.Gbps,
-		CoreReconfig: units.Microsecond,
-		Slot:         10 * units.Microsecond,
-		TransitDelay: units.Microsecond,
+		HostRate:     10 * hybridsched.Gbps,
+		UplinkRate:   40 * hybridsched.Gbps,
+		CoreReconfig: hybridsched.Microsecond,
+		Slot:         10 * hybridsched.Microsecond,
+		TransitDelay: hybridsched.Microsecond,
 		Algorithm:    "greedy",
-		Timing:       sched.DefaultHardware(),
+		Timing:       hybridsched.DefaultHardware(),
 		Pipelined:    true,
 		Mode:         mode,
 	})
 	if err != nil {
-		return cluster.Metrics{}, err
+		return hybridsched.ClusterMetrics{}, err
 	}
 	c.Start()
 
 	// 36 Gbps of inter-rack demand, 90% of it on the rack-0 -> rack-3
 	// elephant pair, the rest uniform — the regime where scheduling
 	// quality decides who wins.
-	r := rng.New(2024)
+	r := hybridsched.NewRand(2024)
 	var id uint64
 	const n = 4000
 	for k := 0; k < n; k++ {
-		at := units.Time(units.Duration(k) * 2 * units.Microsecond)
+		at := hybridsched.Time(hybridsched.Duration(k) * 2 * hybridsched.Microsecond)
 		s.At(at, func() {
 			id++
-			var src, dst packet.Port
+			var src, dst hybridsched.Port
 			if r.Bool(0.9) {
-				src = packet.Port(r.Intn(4))      // rack 0
-				dst = packet.Port(12 + r.Intn(4)) // rack 3
+				src = hybridsched.Port(r.Intn(4))      // rack 0
+				dst = hybridsched.Port(12 + r.Intn(4)) // rack 3
 			} else {
-				src = packet.Port(r.Intn(16))
+				src = hybridsched.Port(r.Intn(16))
 				for {
-					dst = packet.Port(r.Intn(16))
+					dst = hybridsched.Port(r.Intn(16))
 					if dst != src {
 						break
 					}
 				}
 			}
-			c.Inject(&packet.Packet{ID: id, Src: src, Dst: dst, Size: 9000 * units.Byte})
+			c.Inject(&hybridsched.Packet{ID: id, Src: src, Dst: dst, Size: 9000 * hybridsched.Byte})
 		})
 	}
-	s.RunUntil(units.Time(12 * units.Millisecond))
+	s.RunUntil(hybridsched.Time(12 * hybridsched.Millisecond))
 	c.Stop()
 	return c.Metrics(), nil
 }
@@ -82,13 +77,13 @@ func main() {
 		"4 racks x 4 hosts, 40 Gbps core uplinks, skewed inter-rack load",
 		"scheduling entity", "inter_delivered", "inter_p50", "inter_p99",
 		"peak_core_voq", "core_duty")
-	for _, mode := range []cluster.Mode{cluster.Centralized, cluster.Distributed} {
+	for _, mode := range []hybridsched.ClusterMode{hybridsched.Centralized, hybridsched.Distributed} {
 		m, err := run(mode)
 		if err != nil {
 			log.Fatal(err)
 		}
 		tab.AddRow(mode, m.DeliveredInter,
-			units.Duration(m.LatencyInter.P50), units.Duration(m.LatencyInter.P99),
+			hybridsched.Duration(m.LatencyInter.P50), hybridsched.Duration(m.LatencyInter.P99),
 			m.PeakInterVOQ, m.CoreDutyCycle)
 	}
 	tab.Render(os.Stdout)

@@ -16,46 +16,43 @@ import (
 	"os"
 
 	"hybridsched"
-	"hybridsched/internal/report"
-	"hybridsched/internal/sched"
-	"hybridsched/internal/traffic"
-	"hybridsched/internal/units"
+	"hybridsched/report"
 )
 
 func run(regime string) (hybridsched.Metrics, error) {
 	ports := 16
 	cfg := hybridsched.FabricConfig{
 		Ports:     ports,
-		LineRate:  10 * units.Gbps,
-		LinkDelay: 2 * units.Microsecond, // rack-scale control distance
-		Algorithm: "hungarian",           // c-Through solves max-weight exactly
+		LineRate:  10 * hybridsched.Gbps,
+		LinkDelay: 2 * hybridsched.Microsecond, // rack-scale control distance
+		Algorithm: "hungarian",                 // c-Through solves max-weight exactly
 	}
 	switch regime {
 	case "c-through (host-buffered, software, ms optics)":
 		cfg.Buffer = hybridsched.BufferAtHost
-		cfg.Timing = sched.DefaultSoftware()
-		cfg.Slot = 3 * units.Millisecond // amortize the ms-scale loop
-		cfg.ReconfigTime = units.Millisecond
+		cfg.Timing = hybridsched.DefaultSoftware()
+		cfg.Slot = 3 * hybridsched.Millisecond // amortize the ms-scale loop
+		cfg.ReconfigTime = hybridsched.Millisecond
 	case "hardware (switch-buffered, us optics)":
 		cfg.Buffer = hybridsched.BufferAtSwitch
-		cfg.Timing = sched.DefaultHardware()
+		cfg.Timing = hybridsched.DefaultHardware()
 		cfg.Pipelined = true
-		cfg.Slot = 10 * units.Microsecond
-		cfg.ReconfigTime = units.Microsecond
+		cfg.Slot = 10 * hybridsched.Microsecond
+		cfg.ReconfigTime = hybridsched.Microsecond
 	}
 	return hybridsched.Scenario{
 		Fabric: cfg,
 		Traffic: hybridsched.TrafficConfig{
 			Ports:         ports,
-			LineRate:      10 * units.Gbps,
+			LineRate:      10 * hybridsched.Gbps,
 			Load:          0.4,
-			Pattern:       traffic.Hotspot{Frac: 0.6, Spots: 3},
-			Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
-			Process:       traffic.OnOff,
+			Pattern:       hybridsched.Hotspot{Frac: 0.6, Spots: 3},
+			Sizes:         hybridsched.Fixed{Size: 1500 * hybridsched.Byte},
+			Process:       hybridsched.OnOff,
 			BurstMeanPkts: 64,
 			Seed:          7,
 		},
-		Duration: 30 * units.Millisecond,
+		Duration: 30 * hybridsched.Millisecond,
 		Drain:    1.0,
 	}.Run()
 }
@@ -73,7 +70,7 @@ func main() {
 			log.Fatal(err)
 		}
 		tab.AddRow(regime, m.DeliveredFraction(),
-			units.Duration(m.Latency.P50), units.Duration(m.Latency.P99),
+			hybridsched.Duration(m.Latency.P50), hybridsched.Duration(m.Latency.P99),
 			m.PeakHostBuffer, m.PeakSwitchBuffer, m.Loop.Cycles)
 	}
 	tab.Render(os.Stdout)

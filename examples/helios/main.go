@@ -14,51 +14,47 @@ import (
 	"os"
 
 	"hybridsched"
-	"hybridsched/internal/classify"
-	"hybridsched/internal/report"
-	"hybridsched/internal/sched"
-	"hybridsched/internal/traffic"
-	"hybridsched/internal/units"
+	"hybridsched/report"
 )
 
 func run(name, algorithm string, epsOnly bool, skew float64) (hybridsched.Metrics, error) {
 	ports := 16
 	cfg := hybridsched.FabricConfig{
 		Ports:        ports,
-		LineRate:     10 * units.Gbps,
-		LinkDelay:    500 * units.Nanosecond,
-		Slot:         10 * units.Microsecond,
-		ReconfigTime: 1 * units.Microsecond,
+		LineRate:     10 * hybridsched.Gbps,
+		LinkDelay:    500 * hybridsched.Nanosecond,
+		Slot:         10 * hybridsched.Microsecond,
+		ReconfigTime: 1 * hybridsched.Microsecond,
 		Algorithm:    algorithm,
-		Timing:       sched.DefaultHardware(),
+		Timing:       hybridsched.DefaultHardware(),
 		Pipelined:    true,
 		EnableEPS:    true,
 		// Aged residue (circuits never scheduled it) rides the EPS.
-		ResidualTimeout: 200 * units.Microsecond,
+		ResidualTimeout: 200 * hybridsched.Microsecond,
 	}
 	if epsOnly {
-		cfg.Rules = []classify.Rule{{
-			Priority: 1, Src: classify.Any, Dst: classify.Any, Class: classify.Any,
-			Action: classify.Action{Hint: classify.EPSOnly},
+		cfg.Rules = []hybridsched.Rule{{
+			Priority: 1, Src: hybridsched.Any, Dst: hybridsched.Any, Class: hybridsched.Any,
+			Action: hybridsched.RuleAction{Hint: hybridsched.EPSOnly},
 		}}
 	}
-	var pattern traffic.Pattern = traffic.Uniform{}
+	var pattern hybridsched.Pattern = hybridsched.Uniform{}
 	if skew > 0 {
-		pattern = traffic.Hotspot{Frac: skew, Spots: 2}
+		pattern = hybridsched.Hotspot{Frac: skew, Spots: 2}
 	}
 	return hybridsched.Scenario{
 		Fabric: cfg,
 		Traffic: hybridsched.TrafficConfig{
 			Ports:         ports,
-			LineRate:      10 * units.Gbps,
+			LineRate:      10 * hybridsched.Gbps,
 			Load:          0.6,
 			Pattern:       pattern,
-			Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
-			Process:       traffic.OnOff,
+			Sizes:         hybridsched.Fixed{Size: 1500 * hybridsched.Byte},
+			Process:       hybridsched.OnOff,
 			BurstMeanPkts: 32,
 			Seed:          99,
 		},
-		Duration: 8 * units.Millisecond,
+		Duration: 8 * hybridsched.Millisecond,
 	}.Run()
 }
 
@@ -84,7 +80,7 @@ func main() {
 				share = float64(m.OCS.BitsDelivered) / float64(m.DeliveredBits)
 			}
 			tab.AddRow(skew, sys.name, m.DeliveredFraction(), share,
-				units.Duration(m.Latency.P99))
+				hybridsched.Duration(m.Latency.P99))
 		}
 	}
 	tab.Render(os.Stdout)

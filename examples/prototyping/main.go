@@ -1,7 +1,8 @@
 // Prototyping: the paper's whole point is "a framework for rapid
 // prototyping and assessment of new hardware-based scheduling algorithms"
 // where "the users implement novel design in the scheduling logic module".
-// This example does exactly that against the platform contract:
+// This example does exactly that against the platform contract, using only
+// the public API:
 //
 //  1. implement a new matching algorithm (a longest-queue-first arbiter),
 //  2. register it with the scheduling-logic registry,
@@ -16,15 +17,8 @@ import (
 	"log"
 	"os"
 
-	"hybridsched/internal/demand"
-	"hybridsched/internal/match"
-	"hybridsched/internal/packet"
-	"hybridsched/internal/platform"
-	"hybridsched/internal/report"
-	"hybridsched/internal/rng"
-	"hybridsched/internal/sim"
-	"hybridsched/internal/traffic"
-	"hybridsched/internal/units"
+	"hybridsched"
+	"hybridsched/report"
 )
 
 // lqf is the user's novel scheduling logic: a longest-queue-first maximal
@@ -36,8 +30,8 @@ type lqf struct{ n int }
 func (l *lqf) Name() string { return "lqf" }
 func (l *lqf) Reset()       {}
 
-func (l *lqf) Complexity(n int) match.Complexity {
-	return match.Complexity{HardwareDepth: 2 * log2(n), SoftwareOps: n * n}
+func (l *lqf) Complexity(n int) hybridsched.Complexity {
+	return hybridsched.Complexity{HardwareDepth: 2 * log2(n), SoftwareOps: n * n}
 }
 
 func log2(n int) int {
@@ -52,8 +46,8 @@ func log2(n int) int {
 	return k
 }
 
-func (l *lqf) Schedule(d *demand.Matrix) match.Matching {
-	m := match.NewMatching(l.n)
+func (l *lqf) Schedule(d hybridsched.DemandReader) hybridsched.Matching {
+	m := hybridsched.NewMatching(l.n)
 	inUsed := make([]bool, l.n)
 	// Outputs claim inputs in order of their deepest request; iterate a
 	// few rounds to make the matching maximal.
@@ -90,14 +84,16 @@ func (l *lqf) Schedule(d *demand.Matrix) match.Matching {
 
 // register the user design in the scheduling-logic slot.
 func init() {
-	match.Register("lqf", func(n int, _ uint64) match.Algorithm { return &lqf{n: n} })
+	hybridsched.RegisterAlgorithm("lqf", func(n int, _ uint64) hybridsched.Algorithm {
+		return &lqf{n: n}
+	})
 }
 
 // bringUp programs a device for the given algorithm and runs a skewed
 // workload through it.
 func bringUp(algorithm string) (delivered, drops, cycles uint32, err error) {
-	s := sim.New()
-	dev := platform.NewDevice(s)
+	s := hybridsched.NewSimulator()
+	dev := hybridsched.NewDevice(s)
 
 	// Register-level bring-up, exactly as a driver would do it.
 	w := func(addr, v uint32) {
@@ -105,12 +101,12 @@ func bringUp(algorithm string) (delivered, drops, cycles uint32, err error) {
 			err = dev.Write32(addr, v)
 		}
 	}
-	w(platform.RegPorts, 16)
-	w(platform.RegLineMbps, 10_000)
-	w(platform.RegSlotNs, 10_000)  // 10 us slots
-	w(platform.RegReconfNs, 1_000) // 1 us optics
+	w(hybridsched.RegPorts, 16)
+	w(hybridsched.RegLineMbps, 10_000)
+	w(hybridsched.RegSlotNs, 10_000)  // 10 us slots
+	w(hybridsched.RegReconfNs, 1_000) // 1 us optics
 	idx := -1
-	for i, n := range platform.AlgorithmNames() {
+	for i, n := range hybridsched.Algorithms() {
 		if n == algorithm {
 			idx = i
 		}
@@ -118,32 +114,32 @@ func bringUp(algorithm string) (delivered, drops, cycles uint32, err error) {
 	if idx < 0 {
 		return 0, 0, 0, fmt.Errorf("algorithm %q not registered", algorithm)
 	}
-	w(platform.RegAlgorithm, uint32(idx))
-	w(platform.RegControl, platform.CtrlStart|platform.CtrlPipelined)
+	w(hybridsched.RegAlgorithm, uint32(idx))
+	w(hybridsched.RegControl, hybridsched.CtrlStart|hybridsched.CtrlPipelined)
 	if err != nil {
 		return 0, 0, 0, err
 	}
 
-	gen, err := traffic.New(traffic.Config{
+	gen, err := hybridsched.NewTrafficGenerator(hybridsched.TrafficConfig{
 		Ports:         16,
-		LineRate:      10 * units.Gbps,
+		LineRate:      10 * hybridsched.Gbps,
 		Load:          0.6,
-		Pattern:       traffic.Hotspot{Frac: 0.6, Spots: 3},
-		Sizes:         traffic.Fixed{Size: 1500 * units.Byte},
-		Process:       traffic.OnOff,
+		Pattern:       hybridsched.Hotspot{Frac: 0.6, Spots: 3},
+		Sizes:         hybridsched.Fixed{Size: 1500 * hybridsched.Byte},
+		Process:       hybridsched.OnOff,
 		BurstMeanPkts: 32,
-		Until:         units.Time(8 * units.Millisecond),
+		Until:         hybridsched.Time(8 * hybridsched.Millisecond),
 		Seed:          3,
 	})
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	gen.Start(s, func(p *packet.Packet) {
+	gen.Start(s, func(p *hybridsched.Packet) {
 		if err := dev.Inject(p); err != nil {
 			log.Fatal(err)
 		}
 	})
-	s.RunUntil(units.Time(12 * units.Millisecond))
+	s.RunUntil(hybridsched.Time(12 * hybridsched.Millisecond))
 	dev.Stop()
 
 	r := func(addr uint32) uint32 {
@@ -153,14 +149,14 @@ func bringUp(algorithm string) (delivered, drops, cycles uint32, err error) {
 		}
 		return v
 	}
-	return r(platform.RegDelivered), r(platform.RegDropped), r(platform.RegCycles), nil
+	return r(hybridsched.RegDelivered), r(hybridsched.RegDropped), r(hybridsched.RegCycles), nil
 }
 
 func main() {
 	// Sanity-check the user algorithm standalone before deploying it.
-	r := rng.New(1)
+	r := hybridsched.NewRand(1)
 	probe := &lqf{n: 8}
-	d := demand.NewMatrix(8)
+	d := hybridsched.NewDemandMatrix(8)
 	for i := 0; i < 8; i++ {
 		for j := 0; j < 8; j++ {
 			if i != j {

@@ -1,5 +1,7 @@
 // Quickstart: build the paper's hybrid switch, offer a plain workload, and
-// read the headline numbers — the 60-second tour of the public API.
+// read the headline numbers — the 60-second tour of the public API. Note
+// that everything here comes from the root hybridsched package; no
+// internal import is needed (or possible) downstream.
 package main
 
 import (
@@ -7,34 +9,30 @@ import (
 	"log"
 
 	"hybridsched"
-	"hybridsched/internal/sched"
-	"hybridsched/internal/traffic"
-	"hybridsched/internal/units"
 )
 
 func main() {
 	// A 16-port hybrid ToR: 10 Gbps per port, microsecond optics, a
-	// hardware iSLIP scheduler pipelined with transmission.
-	scenario := hybridsched.Scenario{
-		Fabric: hybridsched.FabricConfig{
-			Ports:        16,
-			LineRate:     10 * units.Gbps,
-			LinkDelay:    500 * units.Nanosecond,
-			Slot:         10 * units.Microsecond,
-			ReconfigTime: 1 * units.Microsecond,
-			Algorithm:    "islip",
-			Timing:       sched.DefaultHardware(),
-			Pipelined:    true,
-		},
-		Traffic: hybridsched.TrafficConfig{
-			Ports:    16,
-			LineRate: 10 * units.Gbps,
-			Load:     0.6,
-			Pattern:  traffic.Uniform{},
-			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
-			Seed:     1,
-		},
-		Duration: 5 * units.Millisecond,
+	// hardware iSLIP scheduler pipelined with transmission. The builder
+	// validates eagerly: a typo'd algorithm name or a missing timing
+	// model fails here, not minutes into a sweep.
+	scenario, err := hybridsched.NewScenario(
+		hybridsched.WithPorts(16),
+		hybridsched.WithLineRate(10*hybridsched.Gbps),
+		hybridsched.WithLinkDelay(500*hybridsched.Nanosecond),
+		hybridsched.WithSlot(10*hybridsched.Microsecond),
+		hybridsched.WithReconfigTime(1*hybridsched.Microsecond),
+		hybridsched.WithAlgorithm("islip"),
+		hybridsched.WithTiming(hybridsched.DefaultHardware()),
+		hybridsched.WithPipelined(true),
+		hybridsched.WithLoad(0.6),
+		hybridsched.WithPattern(hybridsched.Uniform{}),
+		hybridsched.WithSizes(hybridsched.Fixed{Size: 1500 * hybridsched.Byte}),
+		hybridsched.WithSeed(1),
+		hybridsched.WithDuration(5*hybridsched.Millisecond),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	m, err := scenario.Run()
@@ -46,13 +44,13 @@ func main() {
 	fmt.Printf("  delivered:        %d of %d packets (%.1f%%)\n",
 		m.Delivered, m.Injected, 100*m.DeliveredFraction())
 	fmt.Printf("  latency:          p50 %v, p99 %v\n",
-		units.Duration(m.Latency.P50), units.Duration(m.Latency.P99))
+		hybridsched.Duration(m.Latency.P50), hybridsched.Duration(m.Latency.P99))
 	fmt.Printf("  ToR buffering:    peak %v (the Figure 1 'switch buffering' point)\n",
 		m.PeakSwitchBuffer)
 	fmt.Printf("  OCS duty cycle:   %.3f over %d reconfigurations\n",
 		m.DutyCycle, m.OCS.Configures)
 	fmt.Printf("  scheduler:        %d cycles, grant staleness p50 %v\n",
-		m.Loop.Cycles, units.Duration(m.Loop.Staleness.P50))
+		m.Loop.Cycles, hybridsched.Duration(m.Loop.Staleness.P50))
 	fmt.Println()
 	fmt.Printf("registered scheduling algorithms: %v\n", hybridsched.Algorithms())
 }

@@ -17,20 +17,17 @@ import (
 	"os"
 
 	"hybridsched"
-	"hybridsched/internal/report"
-	"hybridsched/internal/sched"
-	"hybridsched/internal/traffic"
-	"hybridsched/internal/units"
+	"hybridsched/report"
 )
 
-func run(timing sched.TimingModel, pipelined bool, slot, reconfig units.Duration,
+func run(timing hybridsched.TimingModel, pipelined bool, slot, reconfig hybridsched.Duration,
 	withEPS bool) (hybridsched.Metrics, error) {
 	ports := 16
 	return hybridsched.Scenario{
 		Fabric: hybridsched.FabricConfig{
 			Ports:        ports,
-			LineRate:     10 * units.Gbps,
-			LinkDelay:    500 * units.Nanosecond,
+			LineRate:     10 * hybridsched.Gbps,
+			LinkDelay:    500 * hybridsched.Nanosecond,
 			Slot:         slot,
 			ReconfigTime: reconfig,
 			Algorithm:    "islip",
@@ -40,35 +37,35 @@ func run(timing sched.TimingModel, pipelined bool, slot, reconfig units.Duration
 		},
 		Traffic: hybridsched.TrafficConfig{
 			Ports:                ports,
-			LineRate:             10 * units.Gbps,
+			LineRate:             10 * hybridsched.Gbps,
 			Load:                 0.5,
-			Pattern:              traffic.Uniform{},
-			Sizes:                traffic.TrimodalInternet{},
+			Pattern:              hybridsched.Uniform{},
+			Sizes:                hybridsched.TrimodalInternet{},
 			LatencySensitiveFrac: 0.15, // the VOIP/gaming share
 			Seed:                 13,
 		},
-		Duration: 10 * units.Millisecond,
+		Duration: 10 * hybridsched.Millisecond,
 	}.Run()
 }
 
 func main() {
 	type variant struct {
 		name      string
-		timing    sched.TimingModel
+		timing    hybridsched.TimingModel
 		pipelined bool
-		slot      units.Duration
-		reconfig  units.Duration
+		slot      hybridsched.Duration
+		reconfig  hybridsched.Duration
 		eps       bool
 	}
 	variants := []variant{
-		{"hardware + EPS", sched.DefaultHardware(), true,
-			10 * units.Microsecond, 200 * units.Nanosecond, true},
-		{"hardware, no EPS", sched.DefaultHardware(), true,
-			10 * units.Microsecond, 200 * units.Nanosecond, false},
-		{"software + EPS", sched.DefaultSoftware(), false,
-			300 * units.Microsecond, 100 * units.Microsecond, true},
-		{"software, no EPS", sched.DefaultSoftware(), false,
-			300 * units.Microsecond, 100 * units.Microsecond, false},
+		{"hardware + EPS", hybridsched.DefaultHardware(), true,
+			10 * hybridsched.Microsecond, 200 * hybridsched.Nanosecond, true},
+		{"hardware, no EPS", hybridsched.DefaultHardware(), true,
+			10 * hybridsched.Microsecond, 200 * hybridsched.Nanosecond, false},
+		{"software + EPS", hybridsched.DefaultSoftware(), false,
+			300 * hybridsched.Microsecond, 100 * hybridsched.Microsecond, true},
+		{"software, no EPS", hybridsched.DefaultSoftware(), false,
+			300 * hybridsched.Microsecond, 100 * hybridsched.Microsecond, false},
 	}
 	tab := report.NewTable("VOIP-class flow delay (15% latency-sensitive, load 0.5)",
 		"system", "mice_p50", "mice_p99", "jitter(p99-p50)", "bulk_p50")
@@ -78,10 +75,10 @@ func main() {
 			log.Fatal(err)
 		}
 		tab.AddRow(v.name,
-			units.Duration(m.LatencyMice.P50),
-			units.Duration(m.LatencyMice.P99),
-			units.Duration(m.LatencyMice.P99-m.LatencyMice.P50),
-			units.Duration(m.Latency.P50))
+			hybridsched.Duration(m.LatencyMice.P50),
+			hybridsched.Duration(m.LatencyMice.P99),
+			hybridsched.Duration(m.LatencyMice.P99-m.LatencyMice.P50),
+			hybridsched.Duration(m.Latency.P50))
 	}
 	tab.Render(os.Stdout)
 	fmt.Println("\nreading: a one-way VOIP budget is ~150 ms end-to-end, but per-switch")

@@ -7,12 +7,12 @@ import (
 	"hybridsched/internal/match"
 	"hybridsched/internal/ocs"
 	"hybridsched/internal/packet"
-	"hybridsched/internal/report"
 	"hybridsched/internal/runner"
 	"hybridsched/internal/sched"
 	"hybridsched/internal/sim"
 	"hybridsched/internal/traffic"
 	"hybridsched/internal/units"
+	"hybridsched/report"
 )
 
 func init() {

@@ -5,12 +5,12 @@ import (
 
 	"hybridsched/internal/cluster"
 	"hybridsched/internal/packet"
-	"hybridsched/internal/report"
 	"hybridsched/internal/rng"
 	"hybridsched/internal/runner"
 	"hybridsched/internal/sched"
 	"hybridsched/internal/sim"
 	"hybridsched/internal/units"
+	"hybridsched/report"
 )
 
 func init() {

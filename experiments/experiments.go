@@ -18,12 +18,12 @@ import (
 
 	"hybridsched/internal/buffermodel"
 	"hybridsched/internal/fabric"
-	"hybridsched/internal/report"
 	"hybridsched/internal/runner"
 	"hybridsched/internal/sched"
 	"hybridsched/internal/stats"
 	"hybridsched/internal/traffic"
 	"hybridsched/internal/units"
+	"hybridsched/report"
 )
 
 // Scale selects experiment size.

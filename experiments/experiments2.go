@@ -10,7 +10,6 @@ import (
 	"hybridsched/internal/fabric"
 	"hybridsched/internal/match"
 	"hybridsched/internal/packet"
-	"hybridsched/internal/report"
 	"hybridsched/internal/rng"
 	"hybridsched/internal/runner"
 	"hybridsched/internal/sched"
@@ -18,6 +17,7 @@ import (
 	"hybridsched/internal/stats"
 	"hybridsched/internal/traffic"
 	"hybridsched/internal/units"
+	"hybridsched/report"
 )
 
 // newAlgorithm instantiates a registered matching algorithm with a fixed

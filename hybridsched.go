@@ -7,46 +7,69 @@
 // fast optical circuit switches, and proposes a hardware framework split
 // into processing logic (classification + VOQs), scheduling logic
 // (pluggable algorithms) and switching logic (OCS + EPS). This module
-// builds that entire framework on a picosecond discrete-event simulator:
+// builds that entire framework on a picosecond discrete-event simulator.
 //
-//   - internal/match    — the pluggable scheduling algorithms (iSLIP, PIM,
-//     wavefront, TDMA, greedy, Hungarian, BvN/max-min decompositions)
-//   - internal/sched    — the scheduling loop with hardware and software
-//     timing models (the ns-vs-ms comparison at the paper's core)
-//   - internal/fabric   — the assembled hybrid switch of Figure 2
-//   - internal/platform — the NetFPGA-style register/plug-in contract
+// This root package is the complete public surface: nothing under
+// examples/ or cmd/ imports an internal package, and downstream code does
+// not need to either. It provides:
 //
-// This root package is the high-level entry point: describe a Scenario
-// (fabric + workload + duration) and Run it to metrics. Independent
-// scenarios fan out across cores through internal/runner (RunScenarios).
-// The examples/ directory shows the API on the paper's motivating
-// workloads, and bench_test.go regenerates every figure and claim (see
-// README.md for the experiment index).
+//   - The scenario vocabulary: durations, sizes and rates (Duration, Size,
+//     BitRate and their constants and parsers), timing models
+//     (DefaultHardware, DefaultSoftware), traffic patterns, size
+//     distributions and arrival processes (Uniform, Hotspot, Zipf, Fixed,
+//     TrimodalInternet, Poisson, OnOff), and classification rules (Rule,
+//     ElephantThresholdRules).
+//   - Scenario construction: either a Scenario literal or the validating
+//     functional-options builder NewScenario(WithPorts(16), ...).
+//   - Execution: Scenario.Run for a single result, RunScenarios to fan
+//     independent scenarios out across cores with deterministic ordering,
+//     and the context-aware RunContext/RunScenariosContext variants that
+//     abort mid-simulation on cancellation.
+//   - Streaming observation: set SampleEvery and Observer (or use
+//     WithObserver) to receive periodic time-series Samples — queue
+//     depths, latency percentiles, circuit utilization over simulated
+//     time — while the run is in flight, without perturbing it.
+//   - The scheduling-logic plug-in point: RegisterAlgorithm installs a
+//     user Algorithm (consuming a DemandReader, producing a Matching)
+//     alongside the built-ins (iSLIP, PIM, wavefront, TDMA, greedy,
+//     Hungarian); see examples/customalg.
+//   - The surrounding toolkit: the simulation kernel (NewSimulator), the
+//     NetFPGA-style register-file device (NewDevice), the rack-scale
+//     cluster testbed (NewCluster), demand matrices and estimators, and
+//     the deterministic worker pool (NewPool, MapPool).
+//
+// The public subpackages hybridsched/experiments and hybridsched/report
+// carry the paper's reproduced experiments and the table/plot rendering
+// they report through. The examples/ directory shows the API on the
+// paper's motivating workloads, and bench_test.go regenerates every
+// figure and claim (see README.md for the experiment index).
 package hybridsched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"hybridsched/internal/fabric"
-	"hybridsched/internal/match"
 	"hybridsched/internal/runner"
-	"hybridsched/internal/traffic"
-	"hybridsched/internal/units"
 )
 
-// Re-exported types, so downstream code can drive scenarios without
+// errDuration is the run-geometry precondition every entry point shares;
+// call sites wrap it with their own context.
+var errDuration = errors.New("Duration must be positive")
+
+// Re-exported core types, so downstream code can drive scenarios without
 // importing internal packages directly.
 type (
 	// FabricConfig configures the hybrid switch (ports, rates, slot,
 	// reconfiguration time, algorithm, timing model, buffering regime).
 	FabricConfig = fabric.Config
-	// TrafficConfig configures the workload (load, pattern, sizes,
-	// process).
-	TrafficConfig = traffic.Config
 	// Metrics is the full result set of a run.
 	Metrics = fabric.Metrics
 	// Fabric is the assembled hybrid switch.
 	Fabric = fabric.Fabric
+	// BufferPlacement selects the Figure 1 buffering regime.
+	BufferPlacement = fabric.BufferPlacement
 )
 
 // Buffer placements (Figure 1 regimes).
@@ -55,24 +78,79 @@ const (
 	BufferAtHost   = fabric.BufferAtHost
 )
 
-// Algorithms returns the names of all registered scheduling algorithms.
-func Algorithms() []string { return match.Names() }
+// DefaultDrain is the drain fraction used when Scenario.Drain is zero:
+// after the workload stops, the run continues for Duration*DefaultDrain so
+// queues flush. internal/runner owns the value; this is the same constant.
+const DefaultDrain = runner.DefaultDrain
 
 // Scenario is one complete experiment: a switch configuration, a workload,
-// and how long to run it.
+// and how long to run it. Build it as a literal or with NewScenario; both
+// run identically.
 type Scenario struct {
 	Fabric  FabricConfig
 	Traffic TrafficConfig
 	// Duration is how long traffic is offered. The run continues for
 	// Duration*Drain after the workload stops so queues flush. Drain
-	// defaults to 0.5.
-	Duration units.Duration
+	// defaults to DefaultDrain.
+	Duration Duration
 	Drain    float64
+	// SampleEvery, when positive and Observer is set, streams one Sample
+	// of the running fabric per interval of simulated time. Sampling is
+	// read-only: metrics are bit-identical with or without an observer.
+	SampleEvery Duration
+	// Observer receives the periodic samples in simulated-time order, on
+	// the goroutine executing the scenario.
+	Observer Observer
+}
+
+// job lowers the scenario onto the execution engine.
+func (sc Scenario) job() runner.Job {
+	return runner.Job{
+		Fabric:      sc.Fabric,
+		Traffic:     sc.Traffic,
+		Duration:    sc.Duration,
+		Drain:       sc.Drain,
+		SampleEvery: sc.SampleEvery,
+		Observer:    sc.Observer,
+	}
+}
+
+// Validate checks the whole scenario eagerly — run geometry, fabric
+// configuration (including that the algorithm name is registered), and
+// workload — without executing anything. NewScenario calls it; literal
+// scenarios may call it directly to fail fast before a long run.
+func (sc Scenario) Validate() error {
+	if sc.Duration <= 0 {
+		return fmt.Errorf("hybridsched: %w", errDuration)
+	}
+	if sc.Drain < 0 {
+		return fmt.Errorf("hybridsched: Drain must be non-negative")
+	}
+	if sc.SampleEvery < 0 {
+		return fmt.Errorf("hybridsched: SampleEvery must be non-negative")
+	}
+	if err := sc.Fabric.Validate(); err != nil {
+		return fmt.Errorf("hybridsched: %w", err)
+	}
+	if err := sc.job().EffectiveTraffic().Validate(); err != nil {
+		return fmt.Errorf("hybridsched: %w", err)
+	}
+	return nil
 }
 
 // Run builds and executes the scenario, returning the final metrics.
 func (sc Scenario) Run() (Metrics, error) {
-	m, _, err := sc.RunWithFabric()
+	return sc.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: cancellation aborts the simulation
+// mid-run and returns ctx's error. A context without cancellation adds
+// zero overhead.
+func (sc Scenario) RunContext(ctx context.Context) (Metrics, error) {
+	if sc.Duration <= 0 {
+		return Metrics{}, fmt.Errorf("hybridsched: %w", errDuration)
+	}
+	m, _, err := sc.job().RunContext(ctx)
 	return m, err
 }
 
@@ -80,31 +158,28 @@ func (sc Scenario) Run() (Metrics, error) {
 // want to inspect component state (tables, estimators) post-run.
 func (sc Scenario) RunWithFabric() (Metrics, *Fabric, error) {
 	if sc.Duration <= 0 {
-		return Metrics{}, nil, fmt.Errorf("hybridsched: Duration must be positive")
+		return Metrics{}, nil, fmt.Errorf("hybridsched: %w", errDuration)
 	}
-	return runner.Job{
-		Fabric:   sc.Fabric,
-		Traffic:  sc.Traffic,
-		Duration: sc.Duration,
-		Drain:    sc.Drain,
-	}.Run()
+	return sc.job().Run()
 }
 
 // RunScenarios executes independent scenarios on a worker pool of the
 // given size (0 = GOMAXPROCS) and returns their metrics in submission
 // order — identical at any worker count.
 func RunScenarios(scs []Scenario, workers int) ([]Metrics, error) {
+	return RunScenariosContext(context.Background(), scs, workers)
+}
+
+// RunScenariosContext is RunScenarios under a context: once ctx is
+// canceled, running scenarios abort and not-yet-started ones return
+// immediately; the first (lowest-index) error is returned.
+func RunScenariosContext(ctx context.Context, scs []Scenario, workers int) ([]Metrics, error) {
 	jobs := make([]runner.Job, len(scs))
 	for i, sc := range scs {
 		if sc.Duration <= 0 {
-			return nil, fmt.Errorf("hybridsched: scenario %d: Duration must be positive", i)
+			return nil, fmt.Errorf("hybridsched: scenario %d: %w", i, errDuration)
 		}
-		jobs[i] = runner.Job{
-			Fabric:   sc.Fabric,
-			Traffic:  sc.Traffic,
-			Duration: sc.Duration,
-			Drain:    sc.Drain,
-		}
+		jobs[i] = sc.job()
 	}
-	return runner.New(workers).RunScenarios(jobs)
+	return runner.New(workers).RunScenariosContext(ctx, jobs)
 }

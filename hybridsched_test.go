@@ -2,33 +2,29 @@ package hybridsched
 
 import (
 	"testing"
-
-	"hybridsched/internal/sched"
-	"hybridsched/internal/traffic"
-	"hybridsched/internal/units"
 )
 
 func demoScenario() Scenario {
 	return Scenario{
 		Fabric: FabricConfig{
 			Ports:        8,
-			LineRate:     10 * units.Gbps,
-			LinkDelay:    500 * units.Nanosecond,
-			Slot:         10 * units.Microsecond,
-			ReconfigTime: units.Microsecond,
+			LineRate:     10 * Gbps,
+			LinkDelay:    500 * Nanosecond,
+			Slot:         10 * Microsecond,
+			ReconfigTime: Microsecond,
 			Algorithm:    "islip",
-			Timing:       sched.DefaultHardware(),
+			Timing:       DefaultHardware(),
 			Pipelined:    true,
 		},
 		Traffic: TrafficConfig{
 			Ports:    8,
-			LineRate: 10 * units.Gbps,
+			LineRate: 10 * Gbps,
 			Load:     0.4,
-			Pattern:  traffic.Uniform{},
-			Sizes:    traffic.Fixed{Size: 1500 * units.Byte},
+			Pattern:  Uniform{},
+			Sizes:    Fixed{Size: 1500 * Byte},
 			Seed:     1,
 		},
-		Duration: 2 * units.Millisecond,
+		Duration: 2 * Millisecond,
 	}
 }
 

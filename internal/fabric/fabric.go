@@ -118,6 +118,20 @@ func (c *Config) fillDefaults() error {
 	return nil
 }
 
+// Validate checks the configuration the way New would, without building a
+// fabric: it applies the same defaulting rules to a copy and additionally
+// resolves the algorithm name against the registry. It is how the public
+// scenario builder validates eagerly.
+func (c Config) Validate() error {
+	if err := c.fillDefaults(); err != nil {
+		return err
+	}
+	if !match.Known(c.Algorithm) {
+		return fmt.Errorf("fabric: unknown algorithm %q (have %v)", c.Algorithm, match.Names())
+	}
+	return nil
+}
+
 // Fabric is an assembled hybrid switch. Create with New.
 type Fabric struct {
 	sim *sim.Simulator
@@ -502,6 +516,56 @@ func (f *Fabric) Metrics() Metrics {
 		m.EPS = f.epsSw.Stats()
 	}
 	return m
+}
+
+// Sample is one periodic observation of a running fabric: the time-series
+// counterpart of the final Metrics. Streaming consumers receive one Sample
+// per observation interval (queue depths, latency percentiles so far,
+// circuit utilization over simulated time).
+type Sample struct {
+	Time units.Time
+
+	Injected  int64
+	Delivered int64
+
+	// Queue depths at the three buffering points, at this instant.
+	SwitchQueuedBits units.Size
+	HostQueuedBits   units.Size
+	EPSQueuedBits    units.Size
+
+	// Latency percentiles over all deliveries so far.
+	LatencyP50 units.Duration
+	LatencyP99 units.Duration
+
+	// OCSDutyCycle is the circuit utilization over simulated time so far.
+	OCSDutyCycle float64
+
+	SchedCycles  int64
+	GrantedPairs int64
+}
+
+// Sample observes the fabric at the current simulated time. It is
+// read-only: sampling does not perturb the simulation, so a run with
+// observers attached is bit-identical to the same run without them.
+func (f *Fabric) Sample() Sample {
+	now := f.sim.Now()
+	lat := f.latAll.Summarize()
+	s := Sample{
+		Time:             now,
+		Injected:         f.injected.Value(),
+		Delivered:        f.delivered.Value(),
+		SwitchQueuedBits: f.voqs.TotalBits(),
+		HostQueuedBits:   f.hosts.TotalBits(),
+		LatencyP50:       units.Duration(lat.P50),
+		LatencyP99:       units.Duration(lat.P99),
+		OCSDutyCycle:     f.ocsSw.DutyCycle(units.Duration(now)),
+		SchedCycles:      f.loop.Cycles(),
+		GrantedPairs:     f.loop.GrantedPairs(),
+	}
+	if f.epsSw != nil {
+		s.EPSQueuedBits = f.epsSw.Stats().QueuedBits
+	}
+	return s
 }
 
 // Throughput returns delivered bits divided by elapsed time, normalized

@@ -21,6 +21,7 @@ package match
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 import "hybridsched/internal/demand"
@@ -164,12 +165,20 @@ type Algorithm interface {
 // randomized algorithms.
 type Factory func(n int, seed uint64) Algorithm
 
-var registry = map[string]Factory{}
+// The registry is guarded by a mutex because registration is public API:
+// a downstream program may register an algorithm while scenario workers
+// are concurrently instantiating others.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
 
 // Register installs a factory under name. It panics on duplicates: the
-// registry is assembled at init time and a collision is a programming
-// error.
+// registry is normally assembled at init time and a collision is a
+// programming error.
 func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
 	if _, dup := registry[name]; dup {
 		panic("match: duplicate algorithm " + name)
 	}
@@ -178,19 +187,31 @@ func Register(name string, f Factory) {
 
 // New instantiates a registered algorithm.
 func New(name string, n int, seed uint64) (Algorithm, error) {
+	registryMu.RLock()
 	f, ok := registry[name]
+	registryMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("match: unknown algorithm %q (have %v)", name, Names())
 	}
 	return f(n, seed), nil
 }
 
+// Known reports whether name is a registered algorithm.
+func Known(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
 // Names lists registered algorithms in sorted order.
 func Names() []string {
+	registryMu.RLock()
 	out := make([]string, 0, len(registry))
 	for name := range registry {
 		out = append(out, name)
 	}
+	registryMu.RUnlock()
 	sort.Strings(out)
 	return out
 }

@@ -13,6 +13,8 @@
 package runner
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -22,6 +24,12 @@ import (
 	"hybridsched/internal/traffic"
 	"hybridsched/internal/units"
 )
+
+// DefaultDrain is the drain fraction applied when a Job leaves Drain at
+// zero: the run continues for Duration*DefaultDrain after the workload
+// stops so queues flush. It is the single source of truth for the default;
+// the public Scenario API re-exports it.
+const DefaultDrain = 0.5
 
 // Pool is a fixed-size worker pool. It holds no state between calls; the
 // same Pool may be used concurrently and reused freely.
@@ -94,45 +102,125 @@ type Job struct {
 	Fabric  fabric.Config
 	Traffic traffic.Config
 	// Duration is how long traffic is offered. The run continues for
-	// Duration*Drain afterwards so queues flush. Drain defaults to 0.5.
+	// Duration*Drain afterwards so queues flush. Drain defaults to
+	// DefaultDrain.
 	Duration units.Duration
 	Drain    float64
+	// SampleEvery, when positive and Observer is set, emits one fabric
+	// Sample per interval of simulated time for the whole run (offered
+	// traffic plus drain). Sampling is read-only: the simulated event
+	// sequence, and therefore every metric, is identical with or without
+	// an observer attached.
+	SampleEvery units.Duration
+	// Observer receives the periodic samples. It is called on the
+	// goroutine running the job, in simulated-time order.
+	Observer func(fabric.Sample)
 }
 
 // Run executes the job on the calling goroutine and returns the final
 // metrics plus the fabric, for callers that want to inspect component
 // state post-run.
 func (j Job) Run() (fabric.Metrics, *fabric.Fabric, error) {
+	return j.RunContext(context.Background())
+}
+
+// EffectiveTraffic returns the workload as the engine will run it: Until
+// defaults to the offered Duration. RunContext and the public scenario
+// validator share this one copy of the rule.
+func (j Job) EffectiveTraffic() traffic.Config {
+	tc := j.Traffic
+	if tc.Until == 0 {
+		tc.Until = units.Time(j.Duration)
+	}
+	return tc
+}
+
+// RunContext is Run under a context: a cancellation or deadline aborts the
+// simulation between bounded chunks of simulated time and returns ctx's
+// error. A context without cancellation adds zero overhead.
+func (j Job) RunContext(ctx context.Context) (fabric.Metrics, *fabric.Fabric, error) {
+	if err := ctx.Err(); err != nil {
+		return fabric.Metrics{}, nil, err
+	}
+	if j.Drain < 0 {
+		return fabric.Metrics{}, nil, fmt.Errorf("runner: Drain must be non-negative")
+	}
+	if j.SampleEvery < 0 {
+		return fabric.Metrics{}, nil, fmt.Errorf("runner: SampleEvery must be non-negative")
+	}
 	drain := j.Drain
 	if drain == 0 {
-		drain = 0.5
+		drain = DefaultDrain
 	}
 	s := sim.New()
 	f, err := fabric.New(s, j.Fabric)
 	if err != nil {
 		return fabric.Metrics{}, nil, err
 	}
-	tc := j.Traffic
-	if tc.Until == 0 {
-		tc.Until = units.Time(j.Duration)
-	}
-	gen, err := traffic.New(tc)
+	gen, err := traffic.New(j.EffectiveTraffic())
 	if err != nil {
 		return fabric.Metrics{}, nil, err
 	}
 	f.Start()
 	gen.Start(s, f.Inject)
-	s.RunUntil(units.Time(j.Duration))
-	s.RunUntil(units.Time(float64(j.Duration) * (1 + drain)))
+	var ticker *sim.Ticker
+	if j.SampleEvery > 0 && j.Observer != nil {
+		ticker = s.NewTicker(j.SampleEvery, func() { j.Observer(f.Sample()) })
+	}
+	err = runUntil(ctx, s, units.Time(j.Duration))
+	if err == nil {
+		err = runUntil(ctx, s, units.Time(float64(j.Duration)*(1+drain)))
+	}
+	if ticker != nil {
+		ticker.Stop()
+	}
 	f.Stop()
+	if err != nil {
+		return fabric.Metrics{}, nil, err
+	}
 	return f.Metrics(), f, nil
+}
+
+// cancelCheckChunks bounds how stale a cancellation can go unnoticed: the
+// context is polled this many times across each run phase.
+const cancelCheckChunks = 64
+
+// runUntil advances the simulation to t. With a cancellable context it
+// runs in chunks of simulated time, polling ctx between chunks, so a
+// cancellation lands mid-run instead of after it; the chunking does not
+// reorder events and leaves results bit-identical.
+func runUntil(ctx context.Context, s *sim.Simulator, t units.Time) error {
+	if ctx.Done() == nil {
+		s.RunUntil(t)
+		return nil
+	}
+	start := s.Now()
+	chunk := t.Sub(start) / cancelCheckChunks
+	for k := units.Duration(1); k < cancelCheckChunks && chunk > 0; k++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.RunUntil(start.Add(chunk * k))
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.RunUntil(t)
+	return ctx.Err()
 }
 
 // RunScenarios fans the jobs out over the pool and returns their metrics
 // in submission order.
 func (p *Pool) RunScenarios(jobs []Job) ([]fabric.Metrics, error) {
+	return p.RunScenariosContext(context.Background(), jobs)
+}
+
+// RunScenariosContext is RunScenarios under a context: once ctx is
+// canceled, running jobs abort and not-yet-started jobs return immediately,
+// and the first (lowest-index) error is returned.
+func (p *Pool) RunScenariosContext(ctx context.Context, jobs []Job) ([]fabric.Metrics, error) {
 	return Map(p, len(jobs), func(i int) (fabric.Metrics, error) {
-		m, _, err := jobs[i].Run()
+		m, _, err := jobs[i].RunContext(ctx)
 		return m, err
 	})
 }

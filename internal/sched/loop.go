@@ -96,6 +96,14 @@ func (l *Loop) Stats() LoopStats {
 	}
 }
 
+// Cycles returns the completed scheduling cycles so far. Unlike Stats it
+// performs no histogram summarization, so it is cheap enough for
+// per-sample observation.
+func (l *Loop) Cycles() int64 { return l.cycles.Value() }
+
+// GrantedPairs returns the (input, output) grants issued so far.
+func (l *Loop) GrantedPairs() int64 { return l.granted.Value() }
+
 // ComputeLatency exposes the per-cycle schedule-computation latency for
 // reports.
 func (l *Loop) ComputeLatency() units.Duration {

@@ -213,6 +213,11 @@ func (c *Config) validate() error {
 	return nil
 }
 
+// Validate reports whether the configuration is runnable as-is, without
+// building a generator. It is how the public scenario builder validates
+// eagerly.
+func (c Config) Validate() error { return c.validate() }
+
 // Generator drives per-port arrival processes. Create with New, then
 // Start.
 type Generator struct {

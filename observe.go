@@ -1,0 +1,16 @@
+package hybridsched
+
+import "hybridsched/internal/fabric"
+
+// Sample is one periodic observation of a running fabric: the time-series
+// counterpart of the final Metrics. Set Scenario.SampleEvery and
+// Scenario.Observer (or use WithObserver) to stream them during a run —
+// queue depths at each buffering point, latency percentiles so far, and
+// circuit utilization over simulated time.
+type Sample = fabric.Sample
+
+// Observer receives periodic Samples during a run, in simulated-time
+// order, on the goroutine executing the scenario. Observation is
+// read-only: a run with an observer attached is bit-identical to the same
+// run without one.
+type Observer func(Sample)

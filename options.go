@@ -1,0 +1,184 @@
+package hybridsched
+
+// Option mutates a Scenario under construction. Options that describe a
+// shared dimension (WithPorts, WithLineRate, WithSeed) set both the fabric
+// and the workload side, which is most of the duplication a literal
+// Scenario carries.
+type Option func(*Scenario)
+
+// NewScenario assembles a scenario from options and validates it eagerly:
+// run geometry, fabric configuration (including that the algorithm name is
+// registered), and workload are all checked before anything runs. A
+// scenario built here runs bit-for-bit identically to the equivalent
+// Scenario literal.
+func NewScenario(opts ...Option) (Scenario, error) {
+	var sc Scenario
+	for _, o := range opts {
+		o(&sc)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// WithPorts sets the switch and workload port count.
+func WithPorts(n int) Option {
+	return func(sc *Scenario) {
+		sc.Fabric.Ports = n
+		sc.Traffic.Ports = n
+	}
+}
+
+// WithLineRate sets the per-port line rate for both the switch and the
+// workload calibration.
+func WithLineRate(r BitRate) Option {
+	return func(sc *Scenario) {
+		sc.Fabric.LineRate = r
+		sc.Traffic.LineRate = r
+	}
+}
+
+// WithSeed seeds both the scheduling algorithm and the workload.
+func WithSeed(seed uint64) Option {
+	return func(sc *Scenario) {
+		sc.Fabric.Seed = seed
+		sc.Traffic.Seed = seed
+	}
+}
+
+// WithLinkDelay sets the one-way host<->switch propagation delay.
+func WithLinkDelay(d Duration) Option {
+	return func(sc *Scenario) { sc.Fabric.LinkDelay = d }
+}
+
+// WithSlot sets the scheduler's transmission window per configuration.
+func WithSlot(d Duration) Option {
+	return func(sc *Scenario) { sc.Fabric.Slot = d }
+}
+
+// WithReconfigTime sets the OCS reconfiguration dead-time.
+func WithReconfigTime(d Duration) Option {
+	return func(sc *Scenario) { sc.Fabric.ReconfigTime = d }
+}
+
+// WithAlgorithm names the matching algorithm (built-in or registered via
+// RegisterAlgorithm).
+func WithAlgorithm(name string) Option {
+	return func(sc *Scenario) { sc.Fabric.Algorithm = name }
+}
+
+// WithTiming selects the scheduler timing model. Required.
+func WithTiming(t TimingModel) Option {
+	return func(sc *Scenario) { sc.Fabric.Timing = t }
+}
+
+// WithPipelined overlaps schedule computation with transmission.
+func WithPipelined(on bool) Option {
+	return func(sc *Scenario) { sc.Fabric.Pipelined = on }
+}
+
+// WithBuffer selects the Figure 1 buffering regime.
+func WithBuffer(b BufferPlacement) Option {
+	return func(sc *Scenario) { sc.Fabric.Buffer = b }
+}
+
+// WithVOQLimit bounds each switch VOQ (0 = unlimited).
+func WithVOQLimit(s Size) Option {
+	return func(sc *Scenario) { sc.Fabric.VOQLimit = s }
+}
+
+// WithHostQueueLimit bounds each per-destination host queue.
+func WithHostQueueLimit(s Size) Option {
+	return func(sc *Scenario) { sc.Fabric.HostQueueLimit = s }
+}
+
+// WithEPS enables the electrical packet switch at the given per-output
+// drain rate (0 = the LineRate/10 default).
+func WithEPS(rate BitRate) Option {
+	return func(sc *Scenario) {
+		sc.Fabric.EnableEPS = true
+		sc.Fabric.EPSRate = rate
+	}
+}
+
+// WithRules installs classification rules in the look-up table.
+func WithRules(rules ...Rule) Option {
+	return func(sc *Scenario) { sc.Fabric.Rules = rules }
+}
+
+// WithResidualTimeout shunts over-age OCS-eligible traffic to the EPS at
+// grant time (0 = off).
+func WithResidualTimeout(d Duration) Option {
+	return func(sc *Scenario) { sc.Fabric.ResidualTimeout = d }
+}
+
+// WithEstimator supplies the demand estimator (nil = occupancy).
+func WithEstimator(e Estimator) Option {
+	return func(sc *Scenario) { sc.Fabric.Estimator = e }
+}
+
+// WithLoad sets the offered load per port as a fraction of line rate.
+func WithLoad(f float64) Option {
+	return func(sc *Scenario) { sc.Traffic.Load = f }
+}
+
+// WithPattern sets the destination pattern.
+func WithPattern(p Pattern) Option {
+	return func(sc *Scenario) { sc.Traffic.Pattern = p }
+}
+
+// WithSizes sets the packet-size distribution.
+func WithSizes(s SizeDist) Option {
+	return func(sc *Scenario) { sc.Traffic.Sizes = s }
+}
+
+// WithProcess selects the arrival process (Poisson or OnOff).
+func WithProcess(p Process) Option {
+	return func(sc *Scenario) { sc.Traffic.Process = p }
+}
+
+// WithBursts configures the ON/OFF process: the mean burst length in
+// packets, and a Pareto shape (>1) for heavy-tailed bursts (0 =
+// exponential).
+func WithBursts(meanPkts, pareto float64) Option {
+	return func(sc *Scenario) {
+		sc.Traffic.BurstMeanPkts = meanPkts
+		sc.Traffic.BurstPareto = pareto
+	}
+}
+
+// WithLatencySensitiveFrac marks this fraction of flows latency-sensitive.
+func WithLatencySensitiveFrac(f float64) Option {
+	return func(sc *Scenario) { sc.Traffic.LatencySensitiveFrac = f }
+}
+
+// WithDuration sets how long traffic is offered.
+func WithDuration(d Duration) Option {
+	return func(sc *Scenario) { sc.Duration = d }
+}
+
+// WithDrain sets the drain fraction (0 = DefaultDrain).
+func WithDrain(f float64) Option {
+	return func(sc *Scenario) { sc.Drain = f }
+}
+
+// WithObserver streams one Sample per interval of simulated time to fn
+// during the run.
+func WithObserver(every Duration, fn Observer) Option {
+	return func(sc *Scenario) {
+		sc.SampleEvery = every
+		sc.Observer = fn
+	}
+}
+
+// WithFabric replaces the whole fabric configuration — the escape hatch
+// for dimensions without a dedicated option.
+func WithFabric(fc FabricConfig) Option {
+	return func(sc *Scenario) { sc.Fabric = fc }
+}
+
+// WithTraffic replaces the whole workload configuration.
+func WithTraffic(tc TrafficConfig) Option {
+	return func(sc *Scenario) { sc.Traffic = tc }
+}

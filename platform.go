@@ -1,0 +1,60 @@
+package hybridsched
+
+import (
+	"hybridsched/internal/platform"
+	"hybridsched/internal/sim"
+)
+
+// The NetFPGA-style platform contract: an emulated device brought up and
+// observed entirely through a 32-bit register file, the way a driver would
+// program the paper's hardware framework. See examples/prototyping.
+
+// Device is the emulated register-file device.
+type Device = platform.Device
+
+// NewDevice returns a stopped device on the given simulator; program its
+// registers, then set CtrlStart.
+func NewDevice(s *sim.Simulator) *Device { return platform.NewDevice(s) }
+
+// Register addresses (byte addresses, word-aligned).
+//
+// RegAlgorithm is an index into the sorted Algorithms() list, resolved
+// when CtrlStart is written. Registering a new algorithm re-sorts that
+// list, so complete all RegisterAlgorithm calls (normally init-time)
+// before computing an index to program — an index captured earlier may
+// silently select a different algorithm.
+const (
+	RegID        = platform.RegID        // RO: device identifier
+	RegVersion   = platform.RegVersion   // RO: register-map version
+	RegPorts     = platform.RegPorts     // RW: port count
+	RegAlgorithm = platform.RegAlgorithm // RW: index into Algorithms()
+	RegSlotNs    = platform.RegSlotNs    // RW: transmission slot, ns
+	RegReconfNs  = platform.RegReconfNs  // RW: OCS reconfiguration, ns
+	RegLineMbps  = platform.RegLineMbps  // RW: line rate, Mbps
+	RegControl   = platform.RegControl   // RW: control bits (Ctrl*)
+	RegStatus    = platform.RegStatus    // RO: bit0 running
+	RegSeedLo    = platform.RegSeedLo    // RW: algorithm seed (low word)
+	RegSeedHi    = platform.RegSeedHi    // RW: algorithm seed (high word)
+
+	RegCycles    = platform.RegCycles    // RO: scheduler cycles completed
+	RegGrants    = platform.RegGrants    // RO: (input,output) grants issued
+	RegDelivered = platform.RegDelivered // RO: packets delivered
+	RegDropped   = platform.RegDropped   // RO: packets dropped (all causes)
+	RegOCSPkts   = platform.RegOCSPkts   // RO: packets via OCS
+	RegEPSPkts   = platform.RegEPSPkts   // RO: packets via EPS
+	RegConfigs   = platform.RegConfigs   // RO: OCS reconfigurations
+)
+
+// Control-register bits.
+const (
+	CtrlStart        = platform.CtrlStart
+	CtrlPipelined    = platform.CtrlPipelined
+	CtrlHostBuffered = platform.CtrlHostBuffered
+	CtrlEnableEPS    = platform.CtrlEnableEPS
+)
+
+// DeviceID is the value of RegID.
+const DeviceID = platform.DeviceID
+
+// RegMapVersion is the register-map version reported at RegVersion.
+const RegMapVersion = platform.Version

@@ -1,0 +1,323 @@
+package hybridsched
+
+import (
+	"context"
+	"errors"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestNoInternalImportsOutsideModuleCore enforces the public-API contract:
+// nothing under examples/ or cmd/ may import hybridsched/internal/...; the
+// root package and the public subpackages are the whole surface they get.
+func TestNoInternalImportsOutsideModuleCore(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, dir := range []string{"examples", "cmd"} {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == "hybridsched/internal" || strings.HasPrefix(p, "hybridsched/internal/") {
+					t.Errorf("%s imports %s; examples and commands must use only the public surface", path, p)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// baseOptions is a complete, valid option set; validation tests break one
+// dimension at a time.
+func baseOptions() []Option {
+	return []Option{
+		WithPorts(8),
+		WithLineRate(10 * Gbps),
+		WithLinkDelay(500 * Nanosecond),
+		WithSlot(10 * Microsecond),
+		WithReconfigTime(Microsecond),
+		WithAlgorithm("islip"),
+		WithTiming(DefaultHardware()),
+		WithPipelined(true),
+		WithLoad(0.4),
+		WithPattern(Uniform{}),
+		WithSizes(Fixed{Size: 1500 * Byte}),
+		WithSeed(1),
+		WithDuration(2 * Millisecond),
+	}
+}
+
+func TestNewScenarioValidatesEagerly(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  []Option
+		wantErr string
+	}{
+		{"valid", nil, ""},
+		{"zero duration", []Option{WithDuration(0)}, "Duration"},
+		{"negative duration", []Option{WithDuration(-Millisecond)}, "Duration"},
+		{"missing timing", []Option{WithTiming(nil)}, "Timing"},
+		{"unknown algorithm", []Option{WithAlgorithm("warp-drive")}, "unknown algorithm"},
+		{"bad load", []Option{WithLoad(1.5)}, "Load"},
+		{"zero load", []Option{WithLoad(0)}, "Load"},
+		{"too few ports", []Option{WithPorts(1)}, "ports"},
+		{"no pattern", []Option{WithPattern(nil)}, "Pattern"},
+		{"negative drain", []Option{WithDrain(-0.1)}, "Drain"},
+		{"bad slot", []Option{WithSlot(0)}, "Slot"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewScenario(append(baseOptions(), c.mutate...)...)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error mentioning %q, got nil", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestBuilderMatchesLiteralBitForBit is the round-trip contract: a
+// NewScenario-built run produces metrics identical to the equivalent
+// literal-struct run.
+func TestBuilderMatchesLiteralBitForBit(t *testing.T) {
+	built, err := NewScenario(baseOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	literal := Scenario{
+		Fabric: FabricConfig{
+			Ports:        8,
+			LineRate:     10 * Gbps,
+			LinkDelay:    500 * Nanosecond,
+			Slot:         10 * Microsecond,
+			ReconfigTime: Microsecond,
+			Algorithm:    "islip",
+			Seed:         1,
+			Timing:       DefaultHardware(),
+			Pipelined:    true,
+		},
+		Traffic: TrafficConfig{
+			Ports:    8,
+			LineRate: 10 * Gbps,
+			Load:     0.4,
+			Pattern:  Uniform{},
+			Sizes:    Fixed{Size: 1500 * Byte},
+			Seed:     1,
+		},
+		Duration: 2 * Millisecond,
+	}
+	mb, err := built.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := literal.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mb, ml) {
+		t.Fatalf("builder and literal runs differ:\n%+v\nvs\n%+v", mb, ml)
+	}
+}
+
+// TestDrainDefaultSingleSource pins the Drain default: zero means
+// DefaultDrain exactly, and DefaultDrain actually changes the run length
+// versus another drain value.
+func TestDrainDefaultSingleSource(t *testing.T) {
+	if DefaultDrain != 0.5 {
+		t.Fatalf("DefaultDrain = %v, want 0.5", DefaultDrain)
+	}
+	sc := demoScenario()
+	sc.Drain = 0
+	mZero, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Drain = DefaultDrain
+	mDefault, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mZero, mDefault) {
+		t.Fatalf("Drain=0 and Drain=DefaultDrain runs differ:\n%+v\nvs\n%+v", mZero, mDefault)
+	}
+	sc.Drain = 1.0
+	mLong, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mLong.Elapsed <= mDefault.Elapsed {
+		t.Fatalf("Drain=1.0 did not lengthen the run: %v <= %v", mLong.Elapsed, mDefault.Elapsed)
+	}
+	// A literal scenario (no builder validation) still may not run with a
+	// negative drain: the engine rejects it instead of silently skipping
+	// the drain phase.
+	sc.Drain = -1
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("expected error for negative Drain at run time")
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc := demoScenario()
+	sc.Duration = 50 * Millisecond
+	sc.SampleEvery = 10 * Microsecond
+	samples := 0
+	sc.Observer = func(Sample) {
+		samples++
+		if samples == 3 {
+			cancel()
+		}
+	}
+	_, err := sc.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// 50 ms at a 10 us sampling period is 7500 samples; a prompt abort
+	// sees only the few until the next cancellation check.
+	if samples == 0 || samples > 1000 {
+		t.Fatalf("run was not aborted mid-simulation: %d samples fired", samples)
+	}
+}
+
+func TestRunScenariosContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunScenariosContext(ctx, []Scenario{demoScenario(), demoScenario()}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestObserverSamplesDeterministic is the streaming determinism contract:
+// the sample series of each scenario is identical at any worker count and
+// observation does not perturb the final metrics.
+func TestObserverSamplesDeterministic(t *testing.T) {
+	run := func(workers int) ([][]Sample, []Metrics) {
+		scs := make([]Scenario, 4)
+		series := make([][]Sample, len(scs))
+		for i := range scs {
+			i := i
+			scs[i] = demoScenario()
+			scs[i].Traffic.Seed = DeriveSeed(7, i)
+			scs[i].SampleEvery = 200 * Microsecond
+			scs[i].Observer = func(s Sample) { series[i] = append(series[i], s) }
+		}
+		ms, err := RunScenarios(scs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return series, ms
+	}
+	serialSamples, serialMetrics := run(1)
+	for i, s := range serialSamples {
+		if len(s) == 0 {
+			t.Fatalf("scenario %d produced no samples", i)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		gotSamples, gotMetrics := run(workers)
+		if !reflect.DeepEqual(gotSamples, serialSamples) {
+			t.Fatalf("sample series differ between 1 and %d workers", workers)
+		}
+		if !reflect.DeepEqual(gotMetrics, serialMetrics) {
+			t.Fatalf("metrics differ between 1 and %d workers", workers)
+		}
+	}
+
+	// Observation is read-only: the same scenarios without observers
+	// finish with identical metrics.
+	scs := make([]Scenario, 4)
+	for i := range scs {
+		scs[i] = demoScenario()
+		scs[i].Traffic.Seed = DeriveSeed(7, i)
+	}
+	plain, err := RunScenarios(scs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, serialMetrics) {
+		t.Fatal("attaching observers changed the final metrics")
+	}
+}
+
+// TestRegisterAlgorithmPublic registers an algorithm through the public
+// plug-in point and runs a scenario on it.
+func TestRegisterAlgorithmPublic(t *testing.T) {
+	if !KnownAlgorithm("test-diag") {
+		RegisterAlgorithm("test-diag", func(_ int, _ uint64) Algorithm {
+			return diagAlg{}
+		})
+	}
+	sc := demoScenario()
+	sc.Fabric.Algorithm = "test-diag"
+	m, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delivered == 0 {
+		t.Fatal("nothing delivered through the plugged-in algorithm")
+	}
+	found := false
+	for _, name := range Algorithms() {
+		if name == "test-diag" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("test-diag not listed in Algorithms(): %v", Algorithms())
+	}
+}
+
+// diagAlg serves each input's highest-demand output greedily by input
+// index — a minimal but demand-aware external algorithm.
+type diagAlg struct{}
+
+func (a diagAlg) Name() string { return "test-diag" }
+func (a diagAlg) Reset()       {}
+func (a diagAlg) Complexity(n int) Complexity {
+	return Complexity{HardwareDepth: n, SoftwareOps: n * n}
+}
+func (a diagAlg) Schedule(d DemandReader) Matching {
+	n := d.N()
+	m := NewMatching(n)
+	used := make([]bool, n)
+	for i := 0; i < n; i++ {
+		bestJ, bestV := -1, int64(0)
+		for j := 0; j < n; j++ {
+			if !used[j] && d.At(i, j) > bestV {
+				bestJ, bestV = j, d.At(i, j)
+			}
+		}
+		if bestJ >= 0 {
+			m[i] = bestJ
+			used[bestJ] = true
+		}
+	}
+	return m
+}

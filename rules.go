@@ -1,0 +1,42 @@
+package hybridsched
+
+import "hybridsched/internal/classify"
+
+// The classification vocabulary: the processing logic's configurable
+// look-up table that decides which fabric each flow may use.
+type (
+	// Rule is one look-up entry: match on (src, dst, class, size range)
+	// with wildcards, yield a RuleAction.
+	Rule = classify.Rule
+	// RuleAction is the result of a classification: a path hint, a drop
+	// bit, and an EPS queueing priority.
+	RuleAction = classify.Action
+	// PathHint tells the scheduler which fabric a flow may use.
+	PathHint = classify.PathHint
+	// RuleTable is the ordered look-up table (Fabric.Table exposes the
+	// live one for runtime reconfiguration).
+	RuleTable = classify.Table
+)
+
+// Any is the wildcard for rule port and class match fields.
+const Any = classify.Any
+
+// PathHint values.
+const (
+	// Auto lets the scheduler decide (the default).
+	Auto = classify.Auto
+	// EPSOnly pins a flow to the packet switch (latency-sensitive mice).
+	EPSOnly = classify.EPSOnly
+	// OCSOnly holds a flow for a circuit (known bulk transfers).
+	OCSOnly = classify.OCSOnly
+)
+
+// NewRuleTable returns an empty table with the given default action.
+func NewRuleTable(def RuleAction) *RuleTable { return classify.New(def) }
+
+// ElephantThresholdRules returns the classic hybrid-switch configuration:
+// frames of minSize bits or larger are OCS-eligible bulk, smaller frames
+// and the latency-sensitive class stay on the EPS.
+func ElephantThresholdRules(minSize Size) []Rule {
+	return classify.ElephantThresholdRules(minSize)
+}

@@ -1,0 +1,26 @@
+package hybridsched
+
+import "hybridsched/internal/sched"
+
+// The paper's central modeling contribution is the pair of scheduler
+// timing models — nanosecond-class hardware vs millisecond-class software
+// control loops. Both are part of the scenario vocabulary.
+type (
+	// TimingModel converts algorithmic complexity into wall-clock
+	// scheduling latency; FabricConfig.Timing requires one.
+	TimingModel = sched.TimingModel
+	// HardwareTiming models an on-chip (NetFPGA-style) scheduler.
+	HardwareTiming = sched.Hardware
+	// SoftwareTiming models a Helios/c-Through-style software control
+	// loop: polled demand, CPU compute, control-network RTTs.
+	SoftwareTiming = sched.Software
+	// LoopStats summarizes the scheduling loop's activity (Metrics.Loop).
+	LoopStats = sched.LoopStats
+)
+
+// DefaultHardware returns a 200 MHz, 4-stage-pipeline hardware model.
+func DefaultHardware() HardwareTiming { return sched.DefaultHardware() }
+
+// DefaultSoftware returns a control loop with Helios-like constants:
+// 500 us demand collection, 1 ns/op compute, 30 us I/O, 100 us RTT.
+func DefaultSoftware() SoftwareTiming { return sched.DefaultSoftware() }

@@ -1,0 +1,82 @@
+package hybridsched
+
+import (
+	"hybridsched/internal/demand"
+	"hybridsched/internal/packet"
+	"hybridsched/internal/rng"
+	"hybridsched/internal/runner"
+	"hybridsched/internal/sim"
+)
+
+// The toolkit around scenarios, for code that drives the simulator
+// directly — hand-crafted workloads, custom devices, component probes —
+// rather than through Scenario.Run.
+type (
+	// Simulator is the discrete-event kernel: a picosecond clock and a
+	// deterministic FIFO-tie-break event queue.
+	Simulator = sim.Simulator
+	// Packet is the unit of traffic.
+	Packet = packet.Packet
+	// Port identifies a switch port.
+	Port = packet.Port
+	// PacketClass is the traffic class carried by each packet.
+	PacketClass = packet.Class
+	// Rand is the deterministic splittable random source every workload
+	// draws from.
+	Rand = rng.Rand
+	// DemandMatrix is the (input x output) demand estimate scheduling
+	// algorithms consume; it implements DemandReader.
+	DemandMatrix = demand.Matrix
+	// Estimator supplies demand estimates to the scheduling loop
+	// (FabricConfig.Estimator).
+	Estimator = demand.Estimator
+	// Pool is the deterministic fixed-size worker pool independent
+	// simulations fan out over.
+	Pool = runner.Pool
+)
+
+// Packet classes.
+const (
+	ClassBestEffort       = packet.ClassBestEffort
+	ClassLatencySensitive = packet.ClassLatencySensitive
+)
+
+// NewSimulator returns a simulator at time zero.
+func NewSimulator() *Simulator { return sim.New() }
+
+// NewRand returns a deterministic random source for the given seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// NewDemandMatrix returns an n x n zero demand matrix.
+func NewDemandMatrix(n int) *DemandMatrix { return demand.NewMatrix(n) }
+
+// NewOccupancyEstimator returns the default estimator: instantaneous queue
+// occupancy, the estimate a hardware scheduler reads directly from VOQs.
+func NewOccupancyEstimator(n int) Estimator { return demand.NewOccupancy(n) }
+
+// NewWindowEstimator returns an estimator summing observed arrivals over a
+// sliding window — the polled-counter estimate of software control loops.
+func NewWindowEstimator(n int, window Duration) Estimator { return demand.NewWindow(n, window) }
+
+// NewEWMAEstimator returns an exponentially-weighted moving-average
+// estimator with the given smoothing factor and bucket width.
+func NewEWMAEstimator(n int, alpha float64, bucket Duration) Estimator {
+	return demand.NewEWMA(n, alpha, bucket)
+}
+
+// NewPool returns a worker pool of the given size (0 = GOMAXPROCS).
+// Results from MapPool are collected in index order, so output is
+// identical at any worker count.
+func NewPool(workers int) *Pool { return runner.New(workers) }
+
+// MapPool runs fn(i) for every i in [0, n) on p's workers and returns the
+// results in index order. All jobs run to completion even when some fail;
+// the returned error is the failure with the lowest index.
+func MapPool[T any](p *Pool, n int, fn func(int) (T, error)) ([]T, error) {
+	return runner.Map(p, n, fn)
+}
+
+// DeriveSeed maps a base seed and a job index to a decorrelated per-job
+// seed, so a fan-out of related scenarios gets independent yet
+// reproducible random streams regardless of which worker runs which job.
+func DeriveSeed(base uint64, index int) uint64 { return runner.DeriveSeed(base, index) }

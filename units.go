@@ -1,0 +1,65 @@
+package hybridsched
+
+import "hybridsched/internal/units"
+
+// The fundamental quantities every scenario is written in: simulated time
+// (picosecond resolution), data sizes (bits) and bit rates (bits per
+// second), re-exported from the units layer so scenarios never import it.
+type (
+	// Duration is a span of simulated time in picoseconds.
+	Duration = units.Duration
+	// Time is an absolute simulated time: picoseconds since start.
+	Time = units.Time
+	// Size is an amount of data in bits.
+	Size = units.Size
+	// BitRate is a transmission rate in bits per second.
+	BitRate = units.BitRate
+)
+
+// Common durations.
+const (
+	Picosecond  = units.Picosecond
+	Nanosecond  = units.Nanosecond
+	Microsecond = units.Microsecond
+	Millisecond = units.Millisecond
+	Second      = units.Second
+)
+
+// MaxTime is the largest representable simulation instant.
+const MaxTime = units.MaxTime
+
+// Common sizes. Decimal multiples follow network convention (1 KB = 1000 B).
+const (
+	Bit      = units.Bit
+	Byte     = units.Byte
+	Kilobyte = units.Kilobyte
+	Megabyte = units.Megabyte
+	Gigabyte = units.Gigabyte
+	Terabyte = units.Terabyte
+)
+
+// Common rates.
+const (
+	BitPerSecond = units.BitPerSecond
+	Kbps         = units.Kbps
+	Mbps         = units.Mbps
+	Gbps         = units.Gbps
+	Tbps         = units.Tbps
+)
+
+// ParseDuration parses strings such as "1ms", "51.2ns", "10us", "500ps".
+func ParseDuration(s string) (Duration, error) { return units.ParseDuration(s) }
+
+// ParseSize parses strings such as "1500B", "9KB", "1.2GB", "64b" (bits).
+func ParseSize(s string) (Size, error) { return units.ParseSize(s) }
+
+// ParseBitRate parses strings such as "10Gbps", "100Mbps", "1.6Tbps".
+func ParseBitRate(s string) (BitRate, error) { return units.ParseBitRate(s) }
+
+// TransmitTime returns the time needed to serialize s onto a link of rate
+// r, rounded up to the next picosecond.
+func TransmitTime(s Size, r BitRate) Duration { return units.TransmitTime(s, r) }
+
+// TransferSize returns the amount of data a link of rate r carries in d,
+// rounded down.
+func TransferSize(r BitRate, d Duration) Size { return units.TransferSize(r, d) }

@@ -1,0 +1,54 @@
+package hybridsched
+
+import "hybridsched/internal/traffic"
+
+// The workload vocabulary: destination patterns, packet-size mixes and
+// arrival processes, re-exported from the traffic layer.
+type (
+	// TrafficConfig configures the workload (load, pattern, sizes,
+	// process).
+	TrafficConfig = traffic.Config
+	// Pattern chooses the destination for each flow.
+	Pattern = traffic.Pattern
+	// SizeDist chooses packet sizes.
+	SizeDist = traffic.SizeDist
+	// Process selects the arrival process (Poisson or OnOff).
+	Process = traffic.Process
+
+	// Uniform spreads flows uniformly over all other ports.
+	Uniform = traffic.Uniform
+	// Permutation sends each port's traffic to one fixed partner.
+	Permutation = traffic.Permutation
+	// Hotspot sends a fraction of traffic to a few hot destinations.
+	Hotspot = traffic.Hotspot
+	// Zipf draws destinations by a Zipf law with exponent S.
+	Zipf = traffic.Zipf
+
+	// Fixed always returns one packet size.
+	Fixed = traffic.Fixed
+	// TrimodalInternet is the classic 64/576/1500-byte packet mix.
+	TrimodalInternet = traffic.TrimodalInternet
+
+	// TrafficGenerator drives per-port arrival processes onto any
+	// injector — the way to feed a Device or other custom sink that
+	// Scenario.Run does not cover.
+	TrafficGenerator = traffic.Generator
+)
+
+// Arrival processes.
+const (
+	// Poisson arrivals: memoryless interarrivals at the offered load.
+	Poisson = traffic.Poisson
+	// OnOff arrivals: bursts at line rate separated by idle gaps.
+	OnOff = traffic.OnOff
+)
+
+// NewPermutation draws a random derangement of n ports.
+func NewPermutation(n int, seed uint64) *Permutation { return traffic.NewPermutation(n, seed) }
+
+// NewZipf returns a Zipf pattern over n-1 destinations with exponent s.
+func NewZipf(n int, s float64) *Zipf { return traffic.NewZipf(n, s) }
+
+// NewTrafficGenerator validates cfg and returns a generator; call Start
+// with a simulator and an emit function (for example Device.Inject).
+func NewTrafficGenerator(cfg TrafficConfig) (*TrafficGenerator, error) { return traffic.New(cfg) }
