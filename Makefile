@@ -23,14 +23,19 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# bench-smoke proves the hot-path benchmarks still compile and run; the
-# event-queue benchmark is the kernel's allocation regression guard and
-# the observer benchmark covers the streaming-sample path.
+# bench-smoke proves the hot-path benchmarks still compile and run: the
+# event-queue benchmark is the kernel's allocation regression guard, the
+# observer benchmark covers the streaming-sample path, the empirical-
+# sampler benchmark the flow-size draw, and the trace-replay benchmark
+# the capture/replay injection path.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkEventQueue|BenchmarkObserverStream' -benchtime 0.1s .
+	$(GO) test -run '^$$' -bench 'BenchmarkEventQueue|BenchmarkObserverStream|BenchmarkEmpiricalSampler|BenchmarkTraceReplay' -benchtime 0.1s .
 
 # race-smoke runs the concurrency-bearing layers under the race detector:
-# the parallel execution engine and the root fan-out/observer API.
+# the parallel execution engine and the root fan-out/observer API,
+# including the flow-level generator fan-out
+# (TestFlowWorkloadParallelDeterminism) and the golden-trace replays at
+# several worker counts.
 race-smoke:
 	$(GO) test -race ./internal/runner/... .
 

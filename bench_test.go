@@ -9,6 +9,7 @@
 package hybridsched
 
 import (
+	"bytes"
 	"testing"
 
 	"hybridsched/experiments"
@@ -315,6 +316,72 @@ func BenchmarkObserverStream(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(samples)/float64(b.N), "samples/op")
+}
+
+// BenchmarkEmpiricalSampler measures the empirical flow-size hot path:
+// one inverse-transform draw from the web-search CDF per op. It is the
+// per-flow cost the flow-level generator adds over Fixed sizes.
+func BenchmarkEmpiricalSampler(b *testing.B) {
+	dist := traffic.WebSearch()
+	r := rng.New(1)
+	b.ReportAllocs()
+	var sink units.Size
+	for i := 0; i < b.N; i++ {
+		sink += dist.Sample(r)
+	}
+	if sink == 0 {
+		b.Fatal("sampler returned only zeros")
+	}
+}
+
+// BenchmarkTraceReplay prices the trace-replay hot path: a full 1 ms
+// captured flow-level workload re-injected through the fabric per op
+// (capture runs once outside the timer). Compare against
+// BenchmarkObserverStream-style whole-run benchmarks, not event-level
+// ones.
+func BenchmarkTraceReplay(b *testing.B) {
+	base := Scenario{
+		Fabric: FabricConfig{
+			Ports:        8,
+			LineRate:     10 * units.Gbps,
+			LinkDelay:    500 * units.Nanosecond,
+			Slot:         10 * units.Microsecond,
+			ReconfigTime: units.Microsecond,
+			Algorithm:    "islip",
+			Timing:       sched.DefaultHardware(),
+			Pipelined:    true,
+		},
+		Traffic: TrafficConfig{
+			Ports:     8,
+			LineRate:  10 * units.Gbps,
+			Load:      0.6,
+			Pattern:   traffic.Uniform{},
+			Process:   traffic.FlowArrivals,
+			FlowSizes: traffic.CacheFollower(),
+			Seed:      1,
+		},
+		Duration: units.Millisecond,
+	}
+	var buf bytes.Buffer
+	capture := base
+	capture.CaptureTo = &buf
+	if _, err := capture.Run(); err != nil {
+		b.Fatal(err)
+	}
+	records, err := ReadTrace(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	replay := base
+	replay.Traffic = TrafficConfig{}
+	replay.Replay = records
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := replay.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(records)), "pkts/op")
 }
 
 // BenchmarkFabricEndToEnd measures whole-simulator throughput: simulated

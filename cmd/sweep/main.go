@@ -9,10 +9,17 @@
 //	-var reconfig  sweeps OCS reconfiguration    (values like 100ns,1us,...)
 //	-var ports     sweeps the port count         (values like 8,16,32)
 //	-var linkdelay sweeps host<->switch distance (values like 500ns,5us)
+//	-var dist      sweeps the workload           (values like fixed,trimodal,
+//	               websearch,datamining,hadoop,cachefollower — empirical
+//	               names select flow-level arrivals)
 //
 // Example — the Figure 1 simulated sweep at full scale:
 //
 //	sweep -var reconfig -values 100ns,1us,10us,100us,1ms -load 0.7 -buffer host
+//
+// Example — the published flow-size distributions against one scheduler:
+//
+//	sweep -var dist -values trimodal,websearch,hadoop,cachefollower -alg islip
 package main
 
 import (
@@ -27,9 +34,27 @@ import (
 	"hybridsched/report"
 )
 
+// sweepConfig carries the fixed (non-swept) dimensions of a sweep as
+// parsed from flags.
+type sweepConfig struct {
+	Var      string   // sweep variable: load, reconfig, ports, linkdelay, dist
+	Values   []string // sweep values
+	Ports    int
+	Rate     string
+	Slot     string
+	Reconfig string
+	Alg      string
+	Timing   string // hardware or software
+	Buffer   string // switch or host
+	Load     float64
+	Duration string
+	Seed     uint64
+	Parallel int
+}
+
 func main() {
 	var (
-		sweepVar = flag.String("var", "load", "sweep variable: load, reconfig, ports, linkdelay")
+		sweepVar = flag.String("var", "load", "sweep variable: load, reconfig, ports, linkdelay, dist")
 		values   = flag.String("values", "", "comma-separated values (required)")
 		ports    = flag.Int("ports", 16, "port count (unless swept)")
 		rateS    = flag.String("rate", "10Gbps", "line rate")
@@ -48,37 +73,62 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep: -values is required")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *sweepVar, strings.Split(*values, ","), *ports, *rateS, *slotS,
-		*reconfS, *alg, *timingS, *bufferS, *load, *durS, *seed, *parallel); err != nil {
+	cfg := sweepConfig{
+		Var: *sweepVar, Values: strings.Split(*values, ","),
+		Ports: *ports, Rate: *rateS, Slot: *slotS, Reconfig: *reconfS,
+		Alg: *alg, Timing: *timingS, Buffer: *bufferS,
+		Load: *load, Duration: *durS, Seed: *seed, Parallel: *parallel,
+	}
+	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, sweepVar string, values []string, ports int, rateS, slotS, reconfS,
-	alg, timingS, bufferS string, load float64, durS string, seed uint64, parallel int) error {
-	rate, err := hybridsched.ParseBitRate(rateS)
+// workload maps a dist sweep value to a traffic configuration: the named
+// empirical distributions select flow-level arrivals; fixed and trimodal
+// keep per-packet Poisson.
+func workload(name string, base hybridsched.TrafficConfig) (hybridsched.TrafficConfig, error) {
+	switch name {
+	case "fixed":
+		base.Sizes = hybridsched.Fixed{Size: 1500 * hybridsched.Byte}
+	case "trimodal":
+		base.Sizes = hybridsched.TrimodalInternet{}
+	default:
+		dist, ok := hybridsched.EmpiricalByName(name)
+		if !ok {
+			return base, fmt.Errorf("unknown distribution %q (have fixed, trimodal, websearch, datamining, hadoop, cachefollower)", name)
+		}
+		base.Sizes = nil
+		base.Process = hybridsched.FlowArrivals
+		base.FlowSizes = dist
+	}
+	return base, nil
+}
+
+func run(w io.Writer, cfg sweepConfig) error {
+	rate, err := hybridsched.ParseBitRate(cfg.Rate)
 	if err != nil {
 		return err
 	}
-	slot, err := hybridsched.ParseDuration(slotS)
+	slot, err := hybridsched.ParseDuration(cfg.Slot)
 	if err != nil {
 		return err
 	}
-	reconf, err := hybridsched.ParseDuration(reconfS)
+	reconf, err := hybridsched.ParseDuration(cfg.Reconfig)
 	if err != nil {
 		return err
 	}
-	dur, err := hybridsched.ParseDuration(durS)
+	dur, err := hybridsched.ParseDuration(cfg.Duration)
 	if err != nil {
 		return err
 	}
 	var timing hybridsched.TimingModel = hybridsched.DefaultHardware()
-	if timingS == "software" {
+	if cfg.Timing == "software" {
 		timing = hybridsched.DefaultSoftware()
 	}
 	buffer := hybridsched.BufferAtSwitch
-	if bufferS == "host" {
+	if cfg.Buffer == "host" {
 		buffer = hybridsched.BufferAtHost
 	}
 
@@ -86,13 +136,17 @@ func run(w io.Writer, sweepVar string, values []string, ports int, rateS, slotS,
 
 	// Parse every sweep value up front, so bad input fails before any
 	// simulation runs, then fan the points out over the worker pool.
-	trimmed := make([]string, len(values))
-	scs := make([]hybridsched.Scenario, len(values))
-	for i, v := range values {
+	trimmed := make([]string, len(cfg.Values))
+	scs := make([]hybridsched.Scenario, len(cfg.Values))
+	for i, v := range cfg.Values {
 		v = strings.TrimSpace(v)
 		trimmed[i] = v
-		p, ld, rc, lk := ports, load, reconf, linkDelay
-		switch sweepVar {
+		p, ld, rc, lk := cfg.Ports, cfg.Load, reconf, linkDelay
+		tc := hybridsched.TrafficConfig{
+			Pattern: hybridsched.Uniform{},
+			Sizes:   hybridsched.Fixed{Size: 1500 * hybridsched.Byte},
+		}
+		switch cfg.Var {
 		case "load":
 			ld, err = strconv.ParseFloat(v, 64)
 		case "reconfig":
@@ -101,12 +155,19 @@ func run(w io.Writer, sweepVar string, values []string, ports int, rateS, slotS,
 			p, err = strconv.Atoi(v)
 		case "linkdelay":
 			lk, err = hybridsched.ParseDuration(v)
+		case "dist":
+			tc, err = workload(v, tc)
 		default:
-			return fmt.Errorf("unknown sweep variable %q", sweepVar)
+			return fmt.Errorf("unknown sweep variable %q", cfg.Var)
 		}
 		if err != nil {
 			return fmt.Errorf("bad value %q: %w", v, err)
 		}
+		tc.Ports = p
+		tc.LineRate = rate
+		tc.Load = ld
+		tc.Until = hybridsched.Time(dur)
+		tc.Seed = cfg.Seed
 		scs[i] = hybridsched.Scenario{
 			Fabric: hybridsched.FabricConfig{
 				Ports:        p,
@@ -114,31 +175,23 @@ func run(w io.Writer, sweepVar string, values []string, ports int, rateS, slotS,
 				LinkDelay:    lk,
 				Slot:         slot,
 				ReconfigTime: rc,
-				Algorithm:    alg,
-				Seed:         seed,
+				Algorithm:    cfg.Alg,
+				Seed:         cfg.Seed,
 				Timing:       timing,
-				Pipelined:    timingS == "hardware",
+				Pipelined:    cfg.Timing == "hardware",
 				Buffer:       buffer,
 			},
-			Traffic: hybridsched.TrafficConfig{
-				Ports:    p,
-				LineRate: rate,
-				Load:     ld,
-				Pattern:  hybridsched.Uniform{},
-				Sizes:    hybridsched.Fixed{Size: 1500 * hybridsched.Byte},
-				Until:    hybridsched.Time(dur),
-				Seed:     seed,
-			},
+			Traffic:  tc,
 			Duration: dur,
 		}
 	}
 
-	ms, err := hybridsched.RunScenarios(scs, parallel)
+	ms, err := hybridsched.RunScenarios(scs, cfg.Parallel)
 	if err != nil {
 		return err
 	}
 
-	tab := report.NewTable("", sweepVar,
+	tab := report.NewTable("", cfg.Var,
 		"delivered_frac", "throughput", "lat_p50_us", "lat_p99_us",
 		"peak_switch_buf_B", "peak_host_buf_B", "duty_cycle")
 	for i, m := range ms {

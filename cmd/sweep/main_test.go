@@ -3,8 +3,20 @@ package main
 import (
 	"bytes"
 	"io"
+	"strings"
 	"testing"
 )
+
+// baseConfig is a small, fast sweep configuration; tests override the
+// swept dimension.
+func baseConfig(varr string, values []string) sweepConfig {
+	return sweepConfig{
+		Var: varr, Values: values,
+		Ports: 8, Rate: "10Gbps", Slot: "20us", Reconfig: "1us",
+		Alg: "islip", Timing: "hardware", Buffer: "switch",
+		Load: 0.4, Duration: "1ms", Seed: 1, Parallel: 0,
+	}
+}
 
 func TestSweepVariables(t *testing.T) {
 	cases := []struct {
@@ -16,68 +28,87 @@ func TestSweepVariables(t *testing.T) {
 		{"reconfig", "reconfig", []string{"100ns", "1us"}},
 		{"ports", "ports", []string{"4", "8"}},
 		{"linkdelay", "linkdelay", []string{"500ns", "2us"}},
+		{"dist", "dist", []string{"fixed", "trimodal", "cachefollower", "hadoop"}},
 	}
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			err := run(io.Discard, c.varr, c.values, 8, "10Gbps", "20us", "1us",
-				"islip", "hardware", "switch", 0.4, "1ms", 1, 0)
-			if err != nil {
+			if err := run(io.Discard, baseConfig(c.varr, c.values)); err != nil {
 				t.Fatalf("sweep failed: %v", err)
 			}
 		})
 	}
 }
 
+// TestSweepDistEmitsEveryRow pins the dist sweep's CSV shape: one row per
+// distribution, labeled by the sweep value.
+func TestSweepDistEmitsEveryRow(t *testing.T) {
+	var b bytes.Buffer
+	values := []string{"trimodal", "websearch", "cachefollower"}
+	if err := run(&b, baseConfig("dist", values)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(values)+1 {
+		t.Fatalf("want %d rows + header, got %d:\n%s", len(values), len(lines), out)
+	}
+	for _, v := range values {
+		if !strings.Contains(out, v) {
+			t.Fatalf("row for %q missing:\n%s", v, out)
+		}
+	}
+}
+
 func TestSweepRejectsBadInputs(t *testing.T) {
 	cases := []struct {
-		name string
-		call func() error
+		name   string
+		mutate func(*sweepConfig)
 	}{
-		{"unknown variable", func() error {
-			return run(io.Discard, "gravity", []string{"1"}, 8, "10Gbps", "20us", "1us",
-				"islip", "hardware", "switch", 0.4, "1ms", 1, 0)
-		}},
-		{"bad value for load", func() error {
-			return run(io.Discard, "load", []string{"heavy"}, 8, "10Gbps", "20us", "1us",
-				"islip", "hardware", "switch", 0.4, "1ms", 1, 0)
-		}},
-		{"bad rate", func() error {
-			return run(io.Discard, "load", []string{"0.5"}, 8, "lots", "20us", "1us",
-				"islip", "hardware", "switch", 0.4, "1ms", 1, 0)
-		}},
-		{"bad duration", func() error {
-			return run(io.Discard, "load", []string{"0.5"}, 8, "10Gbps", "20us", "1us",
-				"islip", "hardware", "switch", 0.4, "later", 1, 0)
-		}},
+		{"unknown variable", func(c *sweepConfig) { c.Var = "gravity"; c.Values = []string{"1"} }},
+		{"bad value for load", func(c *sweepConfig) { c.Values = []string{"heavy"} }},
+		{"bad rate", func(c *sweepConfig) { c.Rate = "lots" }},
+		{"bad duration", func(c *sweepConfig) { c.Duration = "later" }},
+		{"unknown distribution", func(c *sweepConfig) { c.Var = "dist"; c.Values = []string{"bitcoin"} }},
 	}
 	for _, c := range cases {
-		if err := c.call(); err == nil {
+		cfg := baseConfig("load", []string{"0.5"})
+		c.mutate(&cfg)
+		if err := run(io.Discard, cfg); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}
 }
 
 // TestSweepParallelOutputIsByteIdentical is the determinism contract: the
-// CSV must not depend on the worker count.
+// CSV must not depend on the worker count — including for the flow-level
+// empirical workloads.
 func TestSweepParallelOutputIsByteIdentical(t *testing.T) {
-	sweep := func(parallel int) string {
-		var b bytes.Buffer
-		err := run(&b, "load", []string{"0.2", "0.4", "0.6", "0.8"}, 8,
-			"10Gbps", "20us", "1us", "islip", "hardware", "switch", 0.4, "1ms", 1, parallel)
-		if err != nil {
-			t.Fatalf("sweep failed: %v", err)
-		}
-		return b.String()
+	sweeps := []sweepConfig{
+		baseConfig("load", []string{"0.2", "0.4", "0.6", "0.8"}),
+		baseConfig("dist", []string{"trimodal", "cachefollower", "hadoop"}),
 	}
-	serial := sweep(1)
-	if serial == "" {
-		t.Fatal("empty CSV")
-	}
-	for _, workers := range []int{2, 8} {
-		if got := sweep(workers); got != serial {
-			t.Fatalf("CSV differs between 1 and %d workers:\n--- 1 ---\n%s\n--- %d ---\n%s",
-				workers, serial, workers, got)
-		}
+	for _, cfg := range sweeps {
+		cfg := cfg
+		t.Run(cfg.Var, func(t *testing.T) {
+			sweep := func(parallel int) string {
+				var b bytes.Buffer
+				cfg.Parallel = parallel
+				if err := run(&b, cfg); err != nil {
+					t.Fatalf("sweep failed: %v", err)
+				}
+				return b.String()
+			}
+			serial := sweep(1)
+			if serial == "" {
+				t.Fatal("empty CSV")
+			}
+			for _, workers := range []int{2, 8} {
+				if got := sweep(workers); got != serial {
+					t.Fatalf("CSV differs between 1 and %d workers:\n--- 1 ---\n%s\n--- %d ---\n%s",
+						workers, serial, workers, got)
+				}
+			}
+		})
 	}
 }

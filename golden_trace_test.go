@@ -1,0 +1,234 @@
+package hybridsched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The golden-trace regression suite: small HSTR traces committed under
+// testdata/ plus the expected report digest of replaying each through the
+// default scheduler set. Any behavioral drift in the fabric, a scheduler,
+// or the replay path shows up as a digest mismatch. Regenerate
+// intentionally with:
+//
+//	go test -run TestGoldenTraceReplay -update-golden .
+var updateGolden = flag.Bool("update-golden", false,
+	"regenerate testdata golden traces and report digests")
+
+// goldenAlgorithms is the default scheduler set every golden trace is
+// replayed through.
+var goldenAlgorithms = []string{"islip", "greedy", "tdma", "bvn"}
+
+// goldenWorkloads defines the committed traces. Each is captured from a
+// small deterministic scenario covering a distinct arrival process.
+var goldenWorkloads = []struct {
+	name     string
+	duration Duration
+	sc       func() Scenario
+}{
+	{"poisson_trimodal", 500 * Microsecond, func() Scenario {
+		sc := goldenFabricScenario(500 * Microsecond)
+		sc.Traffic = TrafficConfig{
+			Ports:    4,
+			LineRate: 10 * Gbps,
+			Load:     0.5,
+			Pattern:  Uniform{},
+			Sizes:    TrimodalInternet{},
+			Seed:     7,
+		}
+		return sc
+	}},
+	// Cache-follower flows average ~230 KB, so this one runs longer to
+	// catch a meaningful flow population.
+	{"flows_cachefollower", 2 * Millisecond, func() Scenario {
+		sc := goldenFabricScenario(2 * Millisecond)
+		sc.Traffic = TrafficConfig{
+			Ports:     4,
+			LineRate:  10 * Gbps,
+			Load:      0.5,
+			Pattern:   Uniform{},
+			Process:   FlowArrivals,
+			FlowSizes: CacheFollower(),
+			Seed:      7,
+		}
+		return sc
+	}},
+}
+
+// goldenFabricScenario is the capture-side configuration; replays swap
+// the algorithm.
+func goldenFabricScenario(dur Duration) Scenario {
+	return Scenario{
+		Fabric: FabricConfig{
+			Ports:        4,
+			LineRate:     10 * Gbps,
+			LinkDelay:    500 * Nanosecond,
+			Slot:         10 * Microsecond,
+			ReconfigTime: Microsecond,
+			Algorithm:    "islip",
+			Seed:         7,
+			Timing:       DefaultHardware(),
+			Pipelined:    true,
+		},
+		Duration: dur,
+	}
+}
+
+// reportDigest renders the replay metrics canonically and hashes them.
+// Every field that a report surfaces is included, so any drift is caught;
+// floats are formatted with fixed precision for stability.
+func reportDigest(m Metrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed=%d injected=%d injbits=%d delivered=%d delbits=%d\n",
+		m.Elapsed, m.Injected, m.InjectedBits, m.Delivered, m.DeliveredBits)
+	fmt.Fprintf(&b, "ocs: conf=%d dead=%d bits=%d pkts=%d trunc=%d\n",
+		m.OCS.Configures, m.OCS.DeadTime, m.OCS.BitsDelivered, m.OCS.PktsDelivered, m.OCS.Truncated)
+	fmt.Fprintf(&b, "eps: bits=%d pkts=%d drops=%d dropbits=%d peakq=%d\n",
+		m.EPS.BitsDelivered, m.EPS.PktsDelivered, m.EPS.Drops, m.EPS.DroppedBits, m.EPS.PeakQueueBits)
+	fmt.Fprintf(&b, "buf: sw=%d host=%d\n", m.PeakSwitchBuffer, m.PeakHostBuffer)
+	fmt.Fprintf(&b, "drops: voq=%d host=%d cls=%d missed=%d shunted=%d\n",
+		m.DropsVOQ, m.DropsHost, m.DropsClassify, m.MissedCircuit, m.Shunted)
+	for _, lat := range []struct {
+		name string
+		s    Summary
+	}{{"all", m.Latency}, {"mice", m.LatencyMice}, {"ocs", m.LatencyOCS}, {"eps", m.LatencyEPS}} {
+		fmt.Fprintf(&b, "lat-%s: n=%d min=%d max=%d mean=%.3f p50=%d p90=%d p99=%d p999=%d\n",
+			lat.name, lat.s.Count, lat.s.Min, lat.s.Max, lat.s.Mean,
+			lat.s.P50, lat.s.P90, lat.s.P99, lat.s.P999)
+	}
+	fmt.Fprintf(&b, "loop: cycles=%d idle=%d granted=%d stale-p50=%d\n",
+		m.Loop.Cycles, m.Loop.IdleCycles, m.Loop.GrantedPairs, m.Loop.Staleness.P50)
+	fmt.Fprintf(&b, "duty=%.6f\n", m.DutyCycle)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+const goldenDigestFile = "testdata/golden_digests.txt"
+
+func tracePath(name string) string {
+	return filepath.Join("testdata", name+".hstr")
+}
+
+// readGoldenDigests parses "key digest" lines.
+func readGoldenDigests(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(goldenDigestFile)
+	if err != nil {
+		t.Fatalf("missing golden digests (run with -update-golden to create): %v", err)
+	}
+	out := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad digest line %q", line)
+		}
+		out[fields[0]] = fields[1]
+	}
+	return out
+}
+
+// replayScenarios builds the replay matrix: every golden trace through
+// every algorithm of the default set, in deterministic order.
+func replayScenarios(t *testing.T) (keys []string, scs []Scenario) {
+	t.Helper()
+	for _, w := range goldenWorkloads {
+		recs, err := ReadTraceFile(tracePath(w.name))
+		if err != nil {
+			t.Fatalf("read golden trace (run with -update-golden to create): %v", err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("golden trace %s is empty", w.name)
+		}
+		for _, alg := range goldenAlgorithms {
+			sc := goldenFabricScenario(w.duration)
+			sc.Fabric.Algorithm = alg
+			sc.Replay = recs
+			keys = append(keys, w.name+"/"+alg)
+			scs = append(scs, sc)
+		}
+	}
+	return keys, scs
+}
+
+// regenerateGolden captures fresh traces and digests and writes them to
+// testdata/.
+func regenerateGolden(t *testing.T) {
+	t.Helper()
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range goldenWorkloads {
+		f, err := os.Create(tracePath(w.name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := w.sc()
+		sc.CaptureTo = f
+		if _, err := sc.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, scs := replayScenarios(t)
+	ms, err := RunScenarios(scs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("# sha256 of the canonical replay report per trace/algorithm.\n")
+	b.WriteString("# Regenerate with: go test -run TestGoldenTraceReplay -update-golden .\n")
+	lines := make([]string, len(keys))
+	for i, key := range keys {
+		lines[i] = fmt.Sprintf("%s %s", key, reportDigest(ms[i]))
+	}
+	sort.Strings(lines)
+	b.WriteString(strings.Join(lines, "\n"))
+	b.WriteString("\n")
+	if err := os.WriteFile(goldenDigestFile, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("regenerated %d traces and %d digests", len(goldenWorkloads), len(keys))
+}
+
+// TestGoldenTraceReplay is the tier-1 regression gate: replay every
+// committed trace through the default scheduler set at one worker and at
+// four, and require the canonical report digest of every run to match the
+// committed golden value.
+func TestGoldenTraceReplay(t *testing.T) {
+	if *updateGolden {
+		regenerateGolden(t)
+	}
+	want := readGoldenDigests(t)
+	keys, scs := replayScenarios(t)
+	if len(keys) != len(want) {
+		t.Fatalf("digest file has %d entries, replay matrix has %d", len(want), len(keys))
+	}
+	for _, workers := range []int{1, 4} {
+		ms, err := RunScenarios(scs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, key := range keys {
+			got := reportDigest(ms[i])
+			if want[key] == "" {
+				t.Fatalf("no golden digest for %s", key)
+			}
+			if got != want[key] {
+				t.Errorf("workers=%d %s: digest %s != golden %s (behavioral drift; "+
+					"verify and regenerate with -update-golden)", workers, key, got, want[key])
+			}
+		}
+	}
+}

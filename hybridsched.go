@@ -49,6 +49,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 
 	"hybridsched/internal/fabric"
 	"hybridsched/internal/runner"
@@ -101,6 +102,20 @@ type Scenario struct {
 	// Observer receives the periodic samples in simulated-time order, on
 	// the goroutine executing the scenario.
 	Observer Observer
+	// Replay, when non-empty, replaces the traffic generator: each
+	// record's packet is injected at its recorded creation time, so a
+	// captured workload runs bit-identically against any fabric
+	// configuration. Traffic is ignored in this mode. Load a file with
+	// WithWorkloadTrace or assign ReadTraceFile output directly.
+	Replay []TraceRecord
+	// CaptureTo, when non-nil, receives this run's offered workload as a
+	// complete HSTR trace, written when the run succeeds. Capture is
+	// read-only: metrics are bit-identical with or without it.
+	CaptureTo io.Writer
+
+	// traceErr records a workload-trace load failure from an option
+	// (WithWorkloadTrace) so Validate and Run surface it eagerly.
+	traceErr error
 }
 
 // job lowers the scenario onto the execution engine.
@@ -112,6 +127,8 @@ func (sc Scenario) job() runner.Job {
 		Drain:       sc.Drain,
 		SampleEvery: sc.SampleEvery,
 		Observer:    sc.Observer,
+		Replay:      sc.Replay,
+		CaptureTo:   sc.CaptureTo,
 	}
 }
 
@@ -120,6 +137,9 @@ func (sc Scenario) job() runner.Job {
 // workload — without executing anything. NewScenario calls it; literal
 // scenarios may call it directly to fail fast before a long run.
 func (sc Scenario) Validate() error {
+	if sc.traceErr != nil {
+		return fmt.Errorf("hybridsched: %w", sc.traceErr)
+	}
 	if sc.Duration <= 0 {
 		return fmt.Errorf("hybridsched: %w", errDuration)
 	}
@@ -131,6 +151,28 @@ func (sc Scenario) Validate() error {
 	}
 	if err := sc.Fabric.Validate(); err != nil {
 		return fmt.Errorf("hybridsched: %w", err)
+	}
+	if len(sc.Replay) > 0 {
+		// Replay replaces the generator; the workload configuration is
+		// unused, but the records must be time-sorted to schedule, fit
+		// inside the offered window (silent truncation would break the
+		// bit-identical-replay contract), and their ports must fit the
+		// fabric being replayed against. Slice the records explicitly to
+		// replay a prefix.
+		for i, r := range sc.Replay {
+			if i > 0 && r.Time < sc.Replay[i-1].Time {
+				return fmt.Errorf("hybridsched: Replay record %d out of order", i)
+			}
+			if r.Time > Time(sc.Duration) {
+				return fmt.Errorf("hybridsched: Replay record %d at %v is beyond the %v offered window",
+					i, r.Time, sc.Duration)
+			}
+			if int(r.Src) >= sc.Fabric.Ports || int(r.Dst) >= sc.Fabric.Ports {
+				return fmt.Errorf("hybridsched: Replay record %d ports (%d->%d) outside the %d-port fabric",
+					i, r.Src, r.Dst, sc.Fabric.Ports)
+			}
+		}
+		return nil
 	}
 	if err := sc.job().EffectiveTraffic().Validate(); err != nil {
 		return fmt.Errorf("hybridsched: %w", err)
@@ -147,6 +189,9 @@ func (sc Scenario) Run() (Metrics, error) {
 // mid-run and returns ctx's error. A context without cancellation adds
 // zero overhead.
 func (sc Scenario) RunContext(ctx context.Context) (Metrics, error) {
+	if sc.traceErr != nil {
+		return Metrics{}, fmt.Errorf("hybridsched: %w", sc.traceErr)
+	}
 	if sc.Duration <= 0 {
 		return Metrics{}, fmt.Errorf("hybridsched: %w", errDuration)
 	}
@@ -157,6 +202,9 @@ func (sc Scenario) RunContext(ctx context.Context) (Metrics, error) {
 // RunWithFabric is Run, additionally returning the fabric for callers that
 // want to inspect component state (tables, estimators) post-run.
 func (sc Scenario) RunWithFabric() (Metrics, *Fabric, error) {
+	if sc.traceErr != nil {
+		return Metrics{}, nil, fmt.Errorf("hybridsched: %w", sc.traceErr)
+	}
 	if sc.Duration <= 0 {
 		return Metrics{}, nil, fmt.Errorf("hybridsched: %w", errDuration)
 	}
@@ -176,6 +224,9 @@ func RunScenarios(scs []Scenario, workers int) ([]Metrics, error) {
 func RunScenariosContext(ctx context.Context, scs []Scenario, workers int) ([]Metrics, error) {
 	jobs := make([]runner.Job, len(scs))
 	for i, sc := range scs {
+		if sc.traceErr != nil {
+			return nil, fmt.Errorf("hybridsched: scenario %d: %w", i, sc.traceErr)
+		}
 		if sc.Duration <= 0 {
 			return nil, fmt.Errorf("hybridsched: scenario %d: %w", i, errDuration)
 		}

@@ -1,0 +1,219 @@
+package match
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/rng"
+)
+
+// This file is the property-based conformance suite for every registered
+// matching algorithm: whatever the demand matrix, an arbiter must return
+// a valid matching (each output claimed at most once, ports in range) and
+// — unless it is demand-oblivious or plays back a stuffed frame
+// decomposition — pair only ports with positive demand. The frame
+// decompositions additionally must cover their demand matrix exactly and
+// emit slots that respect the requested minimum duration.
+
+// demandOblivious algorithms may legitimately match zero-demand pairs:
+// TDMA schedules a fixed rotation regardless of demand, and the frame
+// schedulers (bvn, maxmin) play back decompositions of the *stuffed*
+// matrix, whose added entries have no live demand.
+var demandOblivious = map[string]bool{
+	"tdma":   true,
+	"bvn":    true,
+	"maxmin": true,
+}
+
+// randomDemand draws an n x n matrix whose entries are zero with
+// probability sparsity and otherwise uniform in [1, maxEntry].
+func randomDemand(r *rng.Rand, n int, sparsity float64, maxEntry int64) *demand.Matrix {
+	d := demand.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || r.Bool(sparsity) {
+				continue
+			}
+			d.Set(i, j, 1+r.Int63n(maxEntry))
+		}
+	}
+	return d
+}
+
+// checkMatching verifies the universal arbiter contract for one Schedule
+// output against the demand it was computed from.
+func checkMatching(t *testing.T, name string, m Matching, d *demand.Matrix) bool {
+	t.Helper()
+	if len(m) != d.N() {
+		t.Errorf("%s: matching has %d entries for %d ports", name, len(m), d.N())
+		return false
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("%s: invalid matching: %v", name, err)
+		return false
+	}
+	if demandOblivious[name] {
+		return true
+	}
+	for in, out := range m {
+		if out != Unmatched && d.At(in, out) <= 0 {
+			t.Errorf("%s: input %d matched to output %d with zero demand", name, in, out)
+			return false
+		}
+	}
+	return true
+}
+
+// TestAllAlgorithmsReturnValidMatchings is the conformance sweep: every
+// registered algorithm, random demand matrices of varying size, sparsity
+// and magnitude, several consecutive Schedule calls (so stateful
+// round-robin pointers and frame playback queues are exercised too).
+func TestAllAlgorithmsReturnValidMatchings(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			property := func(seed uint64, n8 uint8) bool {
+				n := 2 + int(n8%7) // ports in [2, 8]
+				r := rng.New(seed)
+				algo, err := New(name, n, seed)
+				if err != nil {
+					t.Fatalf("instantiate: %v", err)
+				}
+				for round := 0; round < 4; round++ {
+					sparsity := float64(round) * 0.3 // dense through mostly-empty
+					d := randomDemand(r, n, sparsity, 1<<20)
+					m := algo.Schedule(d)
+					if !checkMatching(t, name, m, d) {
+						return false
+					}
+				}
+				// After Reset the algorithm must still conform.
+				algo.Reset()
+				d := randomDemand(r, n, 0.5, 1<<20)
+				return checkMatching(t, name, algo.Schedule(d), d)
+			}
+			if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAllAlgorithmsHandleZeroDemand: an all-zero matrix must still yield
+// a valid matching (demand-aware arbiters should match nothing).
+func TestAllAlgorithmsHandleZeroDemand(t *testing.T) {
+	for _, name := range Names() {
+		algo, err := New(name, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := demand.NewMatrix(4)
+		m := algo.Schedule(d)
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: invalid matching on zero demand: %v", name, err)
+		}
+		if !demandOblivious[name] && m.Size() != 0 {
+			t.Errorf("%s: matched %d pairs with zero demand", name, m.Size())
+		}
+	}
+}
+
+// coverage sums the service each (i, j) pair receives across a schedule.
+func coverage(n int, slots []Slot) *demand.Matrix {
+	served := demand.NewMatrix(n)
+	for _, s := range slots {
+		for i, j := range s.Match {
+			if j != Unmatched {
+				served.Add(i, j, s.Weight)
+			}
+		}
+	}
+	return served
+}
+
+// TestBvNDecompositionCoversDemand: the BvN schedule serves every entry
+// of the demand matrix fully, each slot is a valid matching with positive
+// weight, and the total schedule length equals the stuffed matrix's
+// MaxLineSum — BvN's optimality certificate.
+func TestBvNDecompositionCoversDemand(t *testing.T) {
+	property := func(seed uint64, n8 uint8) bool {
+		n := 2 + int(n8%7)
+		r := rng.New(seed)
+		d := randomDemand(r, n, 0.4, 1<<16)
+		if d.Total() == 0 {
+			return true
+		}
+		slots := DecomposeBvN(d)
+		var length int64
+		for _, s := range slots {
+			if s.Weight <= 0 {
+				t.Errorf("BvN slot with non-positive weight %d", s.Weight)
+				return false
+			}
+			if err := s.Match.Validate(); err != nil {
+				t.Errorf("BvN slot invalid: %v", err)
+				return false
+			}
+			length += s.Weight
+		}
+		served := coverage(n, slots)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if served.At(i, j) < d.At(i, j) {
+					t.Errorf("BvN under-serves (%d,%d): %d < %d", i, j, served.At(i, j), d.At(i, j))
+					return false
+				}
+			}
+		}
+		if want := d.MaxLineSum(); length != want {
+			t.Errorf("BvN schedule length %d != MaxLineSum %d", length, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxMinDecompositionCoversDemand: slots plus the returned residual
+// account for every unit of demand, and every emitted slot respects the
+// minimum worthwhile duration (no slot shorter than minWorth, so no
+// reconfiguration is spent on demand the EPS should carry).
+func TestMaxMinDecompositionCoversDemand(t *testing.T) {
+	property := func(seed uint64, n8 uint8) bool {
+		n := 2 + int(n8%7)
+		r := rng.New(seed)
+		d := randomDemand(r, n, 0.4, 1<<16)
+		if d.Total() == 0 {
+			return true
+		}
+		minWorth := d.MaxLineSum() / 16
+		slots, residual := DecomposeMaxMin(d, minWorth)
+		for _, s := range slots {
+			if err := s.Match.Validate(); err != nil {
+				t.Errorf("maxmin slot invalid: %v", err)
+				return false
+			}
+			if s.Weight <= 0 || (minWorth > 0 && s.Weight < minWorth) {
+				t.Errorf("maxmin slot weight %d below minWorth %d", s.Weight, minWorth)
+				return false
+			}
+		}
+		served := coverage(n, slots)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if served.At(i, j)+residual.At(i, j) < d.At(i, j) {
+					t.Errorf("maxmin loses demand at (%d,%d): served %d + residual %d < %d",
+						i, j, served.At(i, j), residual.At(i, j), d.At(i, j))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

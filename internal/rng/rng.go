@@ -246,6 +246,14 @@ func NewEmpiricalCDF(points []CDFPoint) *EmpiricalCDF {
 	return &EmpiricalCDF{points: cp}
 }
 
+// Points returns a copy of the CDF's knots, so callers (statistical
+// tests, report tables) can enumerate the target distribution.
+func (e *EmpiricalCDF) Points() []CDFPoint {
+	out := make([]CDFPoint, len(e.points))
+	copy(out, e.points)
+	return out
+}
+
 // Sample draws one value by inverse transform with linear interpolation.
 func (e *EmpiricalCDF) Sample(r *Rand) float64 {
 	u := r.Float64()

@@ -15,12 +15,14 @@ package runner
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
 	"hybridsched/internal/fabric"
 	"hybridsched/internal/rng"
 	"hybridsched/internal/sim"
+	"hybridsched/internal/trace"
 	"hybridsched/internal/traffic"
 	"hybridsched/internal/units"
 )
@@ -115,6 +117,16 @@ type Job struct {
 	// Observer receives the periodic samples. It is called on the
 	// goroutine running the job, in simulated-time order.
 	Observer func(fabric.Sample)
+	// Replay, when non-empty, replaces the traffic generator: each
+	// record's packet is injected at its recorded time, so any captured
+	// workload runs bit-identically against any fabric configuration.
+	// Traffic is ignored in this mode.
+	Replay []trace.Record
+	// CaptureTo, when non-nil, receives the offered workload as a
+	// complete HSTR trace, written once the run succeeds. Capture taps
+	// the injection path read-only: metrics are bit-identical with or
+	// without it.
+	CaptureTo io.Writer
 }
 
 // Run executes the job on the calling goroutine and returns the final
@@ -157,12 +169,38 @@ func (j Job) RunContext(ctx context.Context) (fabric.Metrics, *fabric.Fabric, er
 	if err != nil {
 		return fabric.Metrics{}, nil, err
 	}
-	gen, err := traffic.New(j.EffectiveTraffic())
-	if err != nil {
-		return fabric.Metrics{}, nil, err
+	emit := f.Inject
+	var captured []trace.Record
+	if j.CaptureTo != nil {
+		emit = trace.Capture(&captured, f.Inject)
 	}
 	f.Start()
-	gen.Start(s, f.Inject)
+	if len(j.Replay) > 0 {
+		// The fabric indexes per-port state by Src/Dst, and records past
+		// the offered window would be silently dropped or injected during
+		// the drain; both must fail cleanly, not corrupt the run.
+		for i, r := range j.Replay {
+			if int(r.Src) >= j.Fabric.Ports || int(r.Dst) >= j.Fabric.Ports {
+				return fabric.Metrics{}, nil, fmt.Errorf(
+					"runner: replay record %d ports (%d->%d) outside the %d-port fabric",
+					i, r.Src, r.Dst, j.Fabric.Ports)
+			}
+			if r.Time > units.Time(j.Duration) {
+				return fabric.Metrics{}, nil, fmt.Errorf(
+					"runner: replay record %d at %v is beyond the %v offered window",
+					i, r.Time, j.Duration)
+			}
+		}
+		if _, err := trace.Replay(s, j.Replay, emit); err != nil {
+			return fabric.Metrics{}, nil, err
+		}
+	} else {
+		gen, err := traffic.New(j.EffectiveTraffic())
+		if err != nil {
+			return fabric.Metrics{}, nil, err
+		}
+		gen.Start(s, emit)
+	}
 	var ticker *sim.Ticker
 	if j.SampleEvery > 0 && j.Observer != nil {
 		ticker = s.NewTicker(j.SampleEvery, func() { j.Observer(f.Sample()) })
@@ -177,6 +215,11 @@ func (j Job) RunContext(ctx context.Context) (fabric.Metrics, *fabric.Fabric, er
 	f.Stop()
 	if err != nil {
 		return fabric.Metrics{}, nil, err
+	}
+	if j.CaptureTo != nil {
+		if err := trace.WriteAll(j.CaptureTo, captured); err != nil {
+			return fabric.Metrics{}, nil, fmt.Errorf("runner: write captured trace: %w", err)
+		}
 	}
 	return f.Metrics(), f, nil
 }

@@ -1,12 +1,14 @@
 package runner
 
 import (
+	"bytes"
 	"errors"
 	"reflect"
 	"testing"
 
 	"hybridsched/internal/fabric"
 	"hybridsched/internal/sched"
+	"hybridsched/internal/trace"
 	"hybridsched/internal/traffic"
 	"hybridsched/internal/units"
 )
@@ -131,6 +133,50 @@ func TestRunScenariosSurfacesConfigErrors(t *testing.T) {
 	jobs[1].Fabric.Ports = -1
 	if _, err := New(4).RunScenarios(jobs); err == nil {
 		t.Fatal("expected config error to surface")
+	}
+}
+
+// TestJobCaptureThenReplay exercises the engine-level trace plumbing: a
+// captured job writes a parseable trace, and a job driven by Replay needs
+// no workload configuration and reproduces the original metrics exactly.
+func TestJobCaptureThenReplay(t *testing.T) {
+	var buf bytes.Buffer
+	captureJob := scenarioJobs(1)[0]
+	captureJob.CaptureTo = &buf
+	orig, _, err := captureJob.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(records)) != orig.Injected {
+		t.Fatalf("captured %d records, injected %d packets", len(records), orig.Injected)
+	}
+	replayJob := scenarioJobs(1)[0]
+	replayJob.Traffic = traffic.Config{} // replay must not need a generator
+	replayJob.Replay = records
+	got, _, err := replayJob.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Fatalf("replay metrics diverge:\n%+v\nvs\n%+v", got, orig)
+	}
+}
+
+// TestJobReplayRejectsUnsorted: the engine surfaces trace.Replay's
+// ordering error instead of running a corrupt schedule.
+func TestJobReplayRejectsUnsorted(t *testing.T) {
+	job := scenarioJobs(1)[0]
+	job.Traffic = traffic.Config{}
+	job.Replay = []trace.Record{
+		{Time: units.Time(units.Millisecond), ID: 1, Src: 0, Dst: 1, Size: 12000},
+		{Time: 0, ID: 2, Src: 1, Dst: 2, Size: 12000},
+	}
+	if _, _, err := job.Run(); err == nil {
+		t.Fatal("expected out-of-order replay to fail")
 	}
 }
 

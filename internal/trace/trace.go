@@ -142,23 +142,43 @@ func WriteAll(w io.Writer, records []Record) error {
 	return bw.Flush()
 }
 
-// ErrBadTrace reports a malformed header or record stream.
+// ErrBadTrace reports a malformed header or record stream. The specific
+// failure modes below all wrap it, so errors.Is(err, ErrBadTrace) catches
+// any malformed trace while the sub-errors stay distinguishable.
 var ErrBadTrace = errors.New("trace: malformed trace")
 
+// Distinct failure modes of ReadAll. Each wraps ErrBadTrace.
+var (
+	// ErrBadMagic: the stream does not start with the HSTR magic.
+	ErrBadMagic = fmt.Errorf("%w: bad magic", ErrBadTrace)
+	// ErrBadVersion: the header carries an unsupported format version.
+	ErrBadVersion = fmt.Errorf("%w: unsupported version", ErrBadTrace)
+	// ErrTruncated: the stream ends mid-header or mid-record, or before
+	// the record count the header declares.
+	ErrTruncated = fmt.Errorf("%w: truncated", ErrBadTrace)
+	// ErrCountMismatch: the stream carries more data than the non-zero
+	// record count the header declares.
+	ErrCountMismatch = fmt.Errorf("%w: record count mismatch", ErrBadTrace)
+)
+
 // ReadAll parses a complete trace. A zero header count means "read until
-// EOF" (streamed traces).
+// EOF" (streamed traces); a non-zero count must match the stream exactly —
+// fewer records is ErrTruncated, trailing data is ErrCountMismatch.
 func ReadAll(r io.Reader) ([]Record, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, 16)
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	if n, err := io.ReadFull(br, head); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: header: got %d of 16 bytes", ErrTruncated, n)
+		}
+		return nil, fmt.Errorf("trace: read header: %w", err)
 	}
 	if string(head[:4]) != Magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, head[:4])
+		return nil, fmt.Errorf("%w %q (want %q)", ErrBadMagic, head[:4], Magic)
 	}
 	le := binary.LittleEndian
 	if v := le.Uint32(head[4:]); v != Version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+		return nil, fmt.Errorf("%w %d (want %d)", ErrBadVersion, v, Version)
 	}
 	count := le.Uint64(head[8:])
 	var out []Record
@@ -171,8 +191,14 @@ func ReadAll(r io.Reader) ([]Record, error) {
 		if err == io.EOF && count == 0 {
 			break
 		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if count > 0 {
+				return nil, fmt.Errorf("%w: record %d of %d declared", ErrTruncated, len(out), count)
+			}
+			return nil, fmt.Errorf("%w: partial record %d", ErrTruncated, len(out))
+		}
 		if err != nil {
-			return nil, fmt.Errorf("%w: record %d: %v", ErrBadTrace, len(out), err)
+			return nil, fmt.Errorf("trace: read record %d: %w", len(out), err)
 		}
 		out = append(out, Record{
 			Time:  units.Time(le.Uint64(buf[0:])),
@@ -184,6 +210,12 @@ func ReadAll(r io.Reader) ([]Record, error) {
 			Class: buf[32],
 			Via:   buf[33],
 		})
+	}
+	if count > 0 {
+		if extra, err := io.CopyN(io.Discard, br, 1); err == nil && extra > 0 {
+			return nil, fmt.Errorf("%w: header declares %d records but data follows record %d",
+				ErrCountMismatch, count, count)
+		}
 	}
 	return out, nil
 }

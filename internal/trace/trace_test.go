@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"hybridsched/internal/packet"
@@ -79,6 +80,91 @@ func TestReadAllRejectsGarbage(t *testing.T) {
 	truncated := buf.Bytes()[:buf.Len()-10]
 	if _, err := ReadAll(bytes.NewReader(truncated)); err == nil {
 		t.Fatal("expected error for truncated trace")
+	}
+}
+
+// TestReadAllDistinctErrors pins the reader's failure taxonomy: each
+// malformation yields its own wrapped error, every one of which still
+// matches the ErrBadTrace umbrella.
+func TestReadAllDistinctErrors(t *testing.T) {
+	whole := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, sampleRecords()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	streamed := func() []byte {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range sampleRecords() {
+			if err := w.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	badVersion := whole()
+	badVersion[4] = 99
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty input", nil, ErrTruncated},
+		{"short header", whole()[:10], ErrTruncated},
+		{"bad magic", []byte("not a trace at all!!"), ErrBadMagic},
+		{"bad version", badVersion, ErrBadVersion},
+		{"truncated mid-record", whole()[:len(whole())-10], ErrTruncated},
+		{"fewer records than declared", whole()[:len(whole())-recordSize], ErrTruncated},
+		{"trailing data past declared count", append(whole(), make([]byte, recordSize)...), ErrCountMismatch},
+		{"streamed trace with partial trailing record", streamed()[:len(streamed())-10], ErrTruncated},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadAll(bytes.NewReader(c.data))
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want errors.Is(%v)", err, c.want)
+			}
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("err = %v does not wrap ErrBadTrace", err)
+			}
+		})
+	}
+	// The sub-errors must stay distinguishable from each other.
+	if _, err := ReadAll(bytes.NewReader(badVersion)); errors.Is(err, ErrBadMagic) || errors.Is(err, ErrTruncated) {
+		t.Fatalf("bad-version error %v matches unrelated sub-errors", err)
+	}
+}
+
+// TestReadAllStreamedCompleteStillWorks guards the zero-count contract:
+// a cleanly flushed streamed trace (count 0, whole records) parses fine.
+func TestReadAllStreamedCompleteStillWorks(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("len=%d err=%v", len(got), err)
 	}
 }
 

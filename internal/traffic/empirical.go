@@ -1,0 +1,164 @@
+package traffic
+
+import (
+	"fmt"
+
+	"hybridsched/internal/rng"
+	"hybridsched/internal/units"
+)
+
+// CDFPoint is one knot of an empirical size CDF: P(X <= Value) = Cum,
+// with Value in bytes — the form flow-size distributions are published in
+// by data-center measurement studies.
+type CDFPoint = rng.CDFPoint
+
+// Empirical samples sizes from a piecewise-linear empirical CDF given as
+// (bytes, cumulative probability) knots — the mice-and-elephants flow-size
+// distributions that motivate hybrid switching. Use it as
+// Config.FlowSizes with the FlowArrivals process (its natural role: flows
+// span kilobytes to hundreds of megabytes), or as a per-packet SizeDist,
+// where samples are clamped to legal frame bounds.
+//
+// Sampling is inverse-transform with linear interpolation between knots,
+// deterministic per seed like every other distribution here.
+type Empirical struct {
+	name string
+	cdf  *rng.EmpiricalCDF
+	mean units.Size
+}
+
+// NewEmpirical builds a sampler from knots sorted by Value (bytes) with
+// Cum non-decreasing and ending at 1.0. Like rng.NewEmpiricalCDF it
+// panics on malformed input: CDF tables are static program data.
+func NewEmpirical(name string, points []CDFPoint) *Empirical {
+	cdf := rng.NewEmpiricalCDF(points)
+	return &Empirical{
+		name: name,
+		cdf:  cdf,
+		mean: units.Size(cdf.Mean() * float64(units.Byte)),
+	}
+}
+
+// Sample implements SizeDist; the returned size is in bits.
+func (e *Empirical) Sample(r *rng.Rand) units.Size {
+	return units.Size(e.cdf.Sample(r) * float64(units.Byte))
+}
+
+// Mean implements SizeDist: the analytic mean of the piecewise-linear
+// distribution, used to calibrate offered load.
+func (e *Empirical) Mean() units.Size { return e.mean }
+
+// Name implements SizeDist.
+func (e *Empirical) Name() string { return fmt.Sprintf("empirical-%s", e.name) }
+
+// CDF exposes the underlying sampler, so reports and statistical tests
+// can enumerate the target distribution's knots.
+func (e *Empirical) CDF() *rng.EmpiricalCDF { return e.cdf }
+
+// The built-in distributions below are digitized approximations of
+// published data-center flow-size CDFs. Values are flow sizes in bytes.
+// The samplers are immutable after construction and safe to share across
+// concurrently running scenarios.
+var (
+	// webSearch approximates the web-search workload of DCTCP (Alizadeh
+	// et al., SIGCOMM 2010): query traffic with a heavy tail of multi-
+	// megabyte background flows. Over half the bytes come from flows
+	// above 1 MB while most flows stay under 100 KB.
+	webSearch = NewEmpirical("websearch", []CDFPoint{
+		{Value: 1e3, Cum: 0},
+		{Value: 1e4, Cum: 0.15},
+		{Value: 2e4, Cum: 0.20},
+		{Value: 3e4, Cum: 0.30},
+		{Value: 5e4, Cum: 0.40},
+		{Value: 8e4, Cum: 0.53},
+		{Value: 2e5, Cum: 0.60},
+		{Value: 1e6, Cum: 0.70},
+		{Value: 2e6, Cum: 0.80},
+		{Value: 5e6, Cum: 0.90},
+		{Value: 1e7, Cum: 0.97},
+		{Value: 3e7, Cum: 1.0},
+	})
+
+	// dataMining approximates the data-mining workload of VL2 (Greenberg
+	// et al., SIGCOMM 2009): the most extreme mice-and-elephants mix in
+	// the literature — over half the flows are under 2 KB, yet nearly
+	// all bytes ride flows above 100 MB.
+	dataMining = NewEmpirical("datamining", []CDFPoint{
+		{Value: 100, Cum: 0},
+		{Value: 180, Cum: 0.10},
+		{Value: 250, Cum: 0.20},
+		{Value: 560, Cum: 0.30},
+		{Value: 900, Cum: 0.35},
+		{Value: 1.1e3, Cum: 0.40},
+		{Value: 1.87e3, Cum: 0.53},
+		{Value: 3.16e3, Cum: 0.60},
+		{Value: 1e4, Cum: 0.70},
+		{Value: 4e5, Cum: 0.80},
+		{Value: 3.16e6, Cum: 0.90},
+		{Value: 1e8, Cum: 0.97},
+		{Value: 1e9, Cum: 1.0},
+	})
+
+	// hadoop approximates the Hadoop-cluster workload measured inside
+	// Facebook's data centers (Roy et al., SIGCOMM 2015): dominated by
+	// sub-10 KB RPCs with a thin tail reaching ~100 MB shuffle flows.
+	hadoop = NewEmpirical("hadoop", []CDFPoint{
+		{Value: 64, Cum: 0},
+		{Value: 256, Cum: 0.15},
+		{Value: 512, Cum: 0.35},
+		{Value: 1e3, Cum: 0.50},
+		{Value: 2e3, Cum: 0.63},
+		{Value: 4e3, Cum: 0.73},
+		{Value: 1e4, Cum: 0.83},
+		{Value: 1e5, Cum: 0.92},
+		{Value: 1e6, Cum: 0.97},
+		{Value: 1e7, Cum: 0.99},
+		{Value: 1e8, Cum: 1.0},
+	})
+
+	// cacheFollower approximates the cache-follower workload from the
+	// same Facebook study: web-cache traffic of small objects with a
+	// moderate tail of multi-megabyte responses.
+	cacheFollower = NewEmpirical("cachefollower", []CDFPoint{
+		{Value: 64, Cum: 0},
+		{Value: 512, Cum: 0.15},
+		{Value: 1e3, Cum: 0.30},
+		{Value: 2e3, Cum: 0.45},
+		{Value: 4e3, Cum: 0.55},
+		{Value: 1e4, Cum: 0.68},
+		{Value: 6.4e4, Cum: 0.80},
+		{Value: 2.56e5, Cum: 0.90},
+		{Value: 1e6, Cum: 0.97},
+		{Value: 1e7, Cum: 1.0},
+	})
+)
+
+// WebSearch returns the DCTCP web-search flow-size distribution.
+func WebSearch() *Empirical { return webSearch }
+
+// DataMining returns the VL2 data-mining flow-size distribution.
+func DataMining() *Empirical { return dataMining }
+
+// Hadoop returns the Facebook Hadoop-cluster flow-size distribution.
+func Hadoop() *Empirical { return hadoop }
+
+// CacheFollower returns the Facebook cache-follower flow-size
+// distribution.
+func CacheFollower() *Empirical { return cacheFollower }
+
+// EmpiricalByName looks up a built-in empirical distribution by its short
+// name (websearch, datamining, hadoop, cachefollower) — the form sweeps
+// and command-line tools select distributions in.
+func EmpiricalByName(name string) (*Empirical, bool) {
+	switch name {
+	case "websearch":
+		return webSearch, true
+	case "datamining":
+		return dataMining, true
+	case "hadoop":
+		return hadoop, true
+	case "cachefollower":
+		return cacheFollower, true
+	}
+	return nil, false
+}

@@ -1,0 +1,243 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"hybridsched/internal/packet"
+	"hybridsched/internal/rng"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/units"
+)
+
+func builtins() []*Empirical {
+	return []*Empirical{WebSearch(), DataMining(), Hadoop(), CacheFollower()}
+}
+
+// TestEmpiricalDeterministicPerSeed pins the reproducibility contract:
+// the same seed yields the same sample sequence, a different seed a
+// different one.
+func TestEmpiricalDeterministicPerSeed(t *testing.T) {
+	for _, e := range builtins() {
+		draw := func(seed uint64) []units.Size {
+			r := rng.New(seed)
+			out := make([]units.Size, 256)
+			for i := range out {
+				out[i] = e.Sample(r)
+			}
+			return out
+		}
+		a, b := draw(7), draw(7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: sample %d differs across identical seeds: %v vs %v", e.Name(), i, a[i], b[i])
+			}
+		}
+		c := draw(8)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: seeds 7 and 8 produced identical sequences", e.Name())
+		}
+	}
+}
+
+// knots exposes each built-in's committed CDF table for the statistical
+// conformance test below.
+func knots(e *Empirical) []CDFPoint { return e.cdf.Points() }
+
+// TestEmpiricalMatchesTargetCDF is the committed statistical test: the
+// empirical CDF of a large sample, evaluated at every knot of the target
+// table, must match the table's cumulative probability within a tolerance
+// far above the expected sampling error (~0.002 at n=100000).
+func TestEmpiricalMatchesTargetCDF(t *testing.T) {
+	const n = 100000
+	const tol = 0.01
+	for _, e := range builtins() {
+		r := rng.New(1)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = float64(e.Sample(r)) / float64(units.Byte)
+		}
+		for _, k := range knots(e) {
+			atOrBelow := 0
+			for _, s := range samples {
+				if s <= k.Value {
+					atOrBelow++
+				}
+			}
+			got := float64(atOrBelow) / n
+			if math.Abs(got-k.Cum) > tol {
+				t.Errorf("%s: P(X <= %.0fB) = %.4f, want %.2f ±%.2f",
+					e.Name(), k.Value, got, k.Cum, tol)
+			}
+		}
+	}
+}
+
+// TestEmpiricalMeanMatchesSamples cross-checks the analytic Mean (used to
+// calibrate offered load) against the sample mean.
+func TestEmpiricalMeanMatchesSamples(t *testing.T) {
+	const n = 200000
+	for _, e := range builtins() {
+		r := rng.New(3)
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(e.Sample(r))
+		}
+		got := sum / n
+		want := float64(e.Mean())
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s: sample mean %.0f bits vs analytic %.0f bits (>5%%)", e.Name(), got, want)
+		}
+	}
+}
+
+// flowConfig is a flow-level workload over a small empirical distribution
+// (mean ~14 KB), sized so a short simulation still sees thousands of
+// flows.
+func flowConfig() Config {
+	return Config{
+		Ports:    8,
+		LineRate: 10 * units.Gbps,
+		Load:     0.5,
+		Pattern:  Uniform{},
+		Process:  FlowArrivals,
+		FlowSizes: NewEmpirical("test-small", []CDFPoint{
+			{Value: 200, Cum: 0},
+			{Value: 1e3, Cum: 0.4},
+			{Value: 1e4, Cum: 0.8},
+			{Value: 1e5, Cum: 1.0},
+		}),
+		Until: units.Time(50 * units.Millisecond),
+		Seed:  42,
+	}
+}
+
+// TestFlowArrivalsOfferedLoad checks the flow-level mode realizes the
+// configured load: total offered bits over the run must approximate
+// rate * load * time * ports.
+func TestFlowArrivalsOfferedLoad(t *testing.T) {
+	cfg := flowConfig()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	var bits int64
+	flows := map[uint64]int{}
+	g.Start(s, func(p *packet.Packet) {
+		bits += int64(p.Size)
+		flows[p.Flow]++
+	})
+	s.Run()
+
+	elapsed := units.Duration(cfg.Until).Seconds()
+	wantBits := float64(cfg.LineRate) * cfg.Load * elapsed * float64(cfg.Ports)
+	if got := float64(bits); math.Abs(got-wantBits)/wantBits > 0.10 {
+		t.Fatalf("offered %v bits, want ~%v (±10%%)", got, wantBits)
+	}
+	if len(flows) < 1000 {
+		t.Fatalf("only %d flows in 50ms; flow arrivals are too sparse", len(flows))
+	}
+	multi := 0
+	for _, pkts := range flows {
+		if pkts > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no flow was segmented into multiple packets")
+	}
+}
+
+// TestFlowArrivalsSegmentation checks every emitted packet respects the
+// MTU and frame bounds, and that a flow's packets are back-to-back at
+// line rate with all segments equal to the MTU except the last.
+func TestFlowArrivalsSegmentation(t *testing.T) {
+	cfg := flowConfig()
+	cfg.Ports = 2
+	cfg.MTU = 1000 * units.Byte
+	cfg.Until = units.Time(10 * units.Millisecond)
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	type ev struct {
+		at   units.Time
+		size units.Size
+	}
+	perFlow := map[uint64][]ev{}
+	g.Start(s, func(p *packet.Packet) {
+		if p.Size < packet.MinFrame || p.Size > packet.MaxFrame {
+			t.Fatalf("packet size %v outside frame bounds", p.Size)
+		}
+		if p.Size > cfg.MTU {
+			t.Fatalf("packet size %v exceeds MTU %v", p.Size, cfg.MTU)
+		}
+		perFlow[p.Flow] = append(perFlow[p.Flow], ev{s.Now(), p.Size})
+	})
+	s.Run()
+	checkedGaps := false
+	for flow, evs := range perFlow {
+		for i, e := range evs[:len(evs)-1] {
+			if e.size != cfg.MTU {
+				t.Fatalf("flow %d segment %d is %v, want MTU %v", flow, i, e.size, cfg.MTU)
+			}
+			gap := evs[i+1].at.Sub(e.at)
+			if want := units.TransmitTime(e.size, cfg.LineRate); gap != want {
+				t.Fatalf("flow %d: gap %v between segments, want line-rate %v", flow, gap, want)
+			}
+			checkedGaps = true
+		}
+	}
+	if !checkedGaps {
+		t.Fatal("no multi-segment flow observed")
+	}
+}
+
+// TestFlowArrivalsValidation covers the flow-mode configuration errors.
+func TestFlowArrivalsValidation(t *testing.T) {
+	cfg := flowConfig()
+	cfg.FlowSizes = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for FlowArrivals without FlowSizes")
+	}
+	cfg = flowConfig()
+	cfg.MTU = packet.MaxFrame + units.Byte
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for MTU above the jumbo bound")
+	}
+	// Sub-MinFrame MTUs would be padded per segment while the flow
+	// accounting advanced by MTU, inflating the offered load — rejected.
+	cfg = flowConfig()
+	cfg.MTU = packet.MinFrame - units.Byte
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for MTU below the minimum frame")
+	}
+	// Sizes is not required in flow mode.
+	cfg = flowConfig()
+	cfg.Sizes = nil
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("flow mode should not require Sizes: %v", err)
+	}
+}
+
+// TestEmpiricalByName pins the lookup used by sweeps and tools.
+func TestEmpiricalByName(t *testing.T) {
+	for _, name := range []string{"websearch", "datamining", "hadoop", "cachefollower"} {
+		e, ok := EmpiricalByName(name)
+		if !ok || e == nil {
+			t.Fatalf("EmpiricalByName(%q) not found", name)
+		}
+	}
+	if _, ok := EmpiricalByName("bitcoin"); ok {
+		t.Fatal("unknown name should not resolve")
+	}
+}

@@ -1,8 +1,10 @@
 // Package traffic generates the data-center workloads the framework is
-// evaluated under: per-port Poisson or bursty ON/OFF arrival processes,
-// destination patterns from uniform to heavily skewed, and packet-size
-// mixes including the mice-and-elephants bimodal that motivates hybrid
-// switching (long bursts to the OCS, the rest to the EPS).
+// evaluated under: per-port Poisson, bursty ON/OFF, or flow-level arrival
+// processes, destination patterns from uniform to heavily skewed, and
+// size distributions from fixed frames to the published empirical
+// flow-size CDFs (web search, data mining, Hadoop, cache follower) whose
+// mice-and-elephants shape motivates hybrid switching (long bursts to the
+// OCS, the rest to the EPS).
 //
 // Everything is seeded and deterministic: the same Config produces the
 // same packet sequence.
@@ -161,11 +163,20 @@ const (
 	// OnOff arrivals: Pareto-ish bursts at full line rate separated by
 	// idle gaps — the "long bursts of traffic" hybrid switching targets.
 	OnOff
+	// FlowArrivals is the flow-level mode real workloads are published
+	// in: flows arrive by a memoryless process calibrated to the offered
+	// load, each flow draws its total size from FlowSizes (typically an
+	// Empirical distribution), and the flow is segmented into MTU-sized
+	// packets sent back-to-back at line rate.
+	FlowArrivals
 )
 
 func (p Process) String() string {
-	if p == OnOff {
+	switch p {
+	case OnOff:
 		return "onoff"
+	case FlowArrivals:
+		return "flows"
 	}
 	return "poisson"
 }
@@ -185,6 +196,12 @@ type Config struct {
 	// BurstPareto, if > 1, draws burst lengths from a Pareto distribution
 	// with this shape instead of exponential.
 	BurstPareto float64
+	// FlowSizes is the per-flow total-size distribution (FlowArrivals
+	// only). Required in that mode; Sizes is unused there.
+	FlowSizes SizeDist
+	// MTU is the segment size flows are cut into (FlowArrivals only;
+	// 0 = 1500 bytes).
+	MTU units.Size
 	// LatencySensitiveFrac marks this fraction of flows as
 	// ClassLatencySensitive (they will be pinned to the EPS by the
 	// default classifier).
@@ -204,7 +221,20 @@ func (c *Config) validate() error {
 	if c.Load <= 0 || c.Load > 1 {
 		return fmt.Errorf("traffic: Load %v out of (0,1]", c.Load)
 	}
-	if c.Pattern == nil || c.Sizes == nil {
+	if c.Pattern == nil {
+		return fmt.Errorf("traffic: Pattern is required")
+	}
+	if c.Process == FlowArrivals {
+		if c.FlowSizes == nil {
+			return fmt.Errorf("traffic: FlowSizes is required for flow-level arrivals")
+		}
+		// Segments below MinFrame would be padded up while the flow
+		// accounting still advanced by MTU, silently inflating the
+		// offered load — reject instead (0 keeps the 1500 B default).
+		if c.MTU != 0 && (c.MTU < packet.MinFrame || c.MTU > packet.MaxFrame) {
+			return fmt.Errorf("traffic: MTU %v out of [%v, %v]", c.MTU, packet.MinFrame, packet.MaxFrame)
+		}
+	} else if c.Sizes == nil {
 		return fmt.Errorf("traffic: Pattern and Sizes are required")
 	}
 	if c.Until <= 0 {
@@ -236,6 +266,9 @@ func New(cfg Config) (*Generator, error) {
 	if cfg.Process == OnOff && cfg.BurstMeanPkts <= 0 {
 		cfg.BurstMeanPkts = 16
 	}
+	if cfg.Process == FlowArrivals && cfg.MTU == 0 {
+		cfg.MTU = 1500 * units.Byte
+	}
 	return &Generator{cfg: cfg}, nil
 }
 
@@ -259,6 +292,8 @@ func (g *Generator) Start(s *sim.Simulator, emit func(*packet.Packet)) {
 		switch g.cfg.Process {
 		case OnOff:
 			g.startOnOff(s, port, r, emit)
+		case FlowArrivals:
+			g.startFlows(s, port, r, emit)
 		default:
 			g.startPoisson(s, port, r, emit)
 		}
@@ -284,6 +319,13 @@ func (g *Generator) makePacket(t units.Time, src, dst int, r *rng.Rand, flow uin
 	if g.cfg.LatencySensitiveFrac > 0 && r.Bool(g.cfg.LatencySensitiveFrac) {
 		class = packet.ClassLatencySensitive
 	}
+	return g.makePacketSized(t, src, dst, size, class, flow)
+}
+
+// makePacketSized stamps out one packet of a known size and class,
+// updating the emission counters.
+func (g *Generator) makePacketSized(t units.Time, src, dst int, size units.Size,
+	class packet.Class, flow uint64) *packet.Packet {
 	g.nextID++
 	g.emitted++
 	g.bits += int64(size)
@@ -309,6 +351,64 @@ func (g *Generator) startPoisson(s *sim.Simulator, port int, r *rng.Rand, emit f
 		dst := g.cfg.Pattern.Dst(r, port, g.cfg.Ports)
 		g.nextFlow++
 		emit(g.makePacket(now, port, dst, r, g.nextFlow))
+		s.Schedule(units.Duration(r.Exp(mean)), arrive)
+	}
+	s.Schedule(units.Duration(r.Exp(mean)), arrive)
+}
+
+// startFlows drives the flow-level mode: flow arrivals are memoryless at
+// the rate that realizes the offered load for the mean flow size, each
+// flow draws its total size from FlowSizes and is segmented into MTU
+// packets transmitted back-to-back at line rate — a burst whose length is
+// the flow, which is exactly the structure hybrid switching exploits
+// (elephants to the OCS, mice to the EPS).
+func (g *Generator) startFlows(s *sim.Simulator, port int, r *rng.Rand, emit func(*packet.Packet)) {
+	meanTx := units.TransmitTime(g.cfg.FlowSizes.Mean(), g.cfg.LineRate)
+	mean := float64(meanTx) / g.cfg.Load
+	var arrive func()
+	arrive = func() {
+		now := s.Now()
+		if now.After(g.cfg.Until) {
+			return
+		}
+		dst := g.cfg.Pattern.Dst(r, port, g.cfg.Ports)
+		g.nextFlow++
+		flow := g.nextFlow
+		remaining := g.cfg.FlowSizes.Sample(r)
+		if remaining < packet.MinFrame {
+			remaining = packet.MinFrame
+		}
+		// The whole flow shares one class: LatencySensitiveFrac marks
+		// flows, not packets.
+		class := packet.ClassBestEffort
+		if g.cfg.LatencySensitiveFrac > 0 && r.Bool(g.cfg.LatencySensitiveFrac) {
+			class = packet.ClassLatencySensitive
+		}
+		var sendNext func()
+		sendNext = func() {
+			now := s.Now()
+			if now.After(g.cfg.Until) {
+				return
+			}
+			size := g.cfg.MTU
+			if remaining <= size {
+				size = remaining
+				remaining = 0
+			} else {
+				remaining -= size
+			}
+			if size < packet.MinFrame {
+				size = packet.MinFrame
+			}
+			p := g.makePacketSized(now, port, dst, size, class, flow)
+			emit(p)
+			if remaining > 0 {
+				s.Schedule(units.TransmitTime(p.Size, g.cfg.LineRate), sendNext)
+			}
+		}
+		sendNext()
+		// Flow arrivals are open-loop: the next flow does not wait for
+		// this one to finish transmitting.
 		s.Schedule(units.Duration(r.Exp(mean)), arrive)
 	}
 	s.Schedule(units.Duration(r.Exp(mean)), arrive)

@@ -1,5 +1,10 @@
 package hybridsched
 
+import (
+	"fmt"
+	"io"
+)
+
 // Option mutates a Scenario under construction. Options that describe a
 // shared dimension (WithPorts, WithLineRate, WithSeed) set both the fabric
 // and the workload side, which is most of the duplication a literal
@@ -146,6 +151,52 @@ func WithBursts(meanPkts, pareto float64) Option {
 		sc.Traffic.BurstMeanPkts = meanPkts
 		sc.Traffic.BurstPareto = pareto
 	}
+}
+
+// WithFlowSizes sets the per-flow total-size distribution for the
+// flow-level arrival mode (use with WithProcess(FlowArrivals) and one of
+// the empirical distributions: WebSearch(), DataMining(), Hadoop(),
+// CacheFollower(), or NewEmpirical).
+func WithFlowSizes(s SizeDist) Option {
+	return func(sc *Scenario) { sc.Traffic.FlowSizes = s }
+}
+
+// WithMTU sets the segment size flows are cut into in the flow-level
+// arrival mode (0 = 1500 bytes).
+func WithMTU(s Size) Option {
+	return func(sc *Scenario) { sc.Traffic.MTU = s }
+}
+
+// WithWorkloadTrace replays the HSTR trace at path instead of running a
+// live traffic generator: every record's packet is injected at its
+// recorded time, so the same workload can be driven bit-identically
+// against every registered algorithm. A load or parse failure surfaces
+// from NewScenario (the file is read when the option is applied).
+func WithWorkloadTrace(path string) Option {
+	return func(sc *Scenario) {
+		recs, err := ReadTraceFile(path)
+		if err != nil {
+			sc.traceErr = fmt.Errorf("workload trace: %w", err)
+			return
+		}
+		sc.Replay = recs
+	}
+}
+
+// WithWorkloadRecords replays already-parsed trace records instead of
+// running a live traffic generator — the in-memory form of
+// WithWorkloadTrace.
+func WithWorkloadRecords(records []TraceRecord) Option {
+	return func(sc *Scenario) { sc.Replay = records }
+}
+
+// CaptureTrace records this scenario's offered workload to w as a
+// complete HSTR trace, written when the run succeeds. Capture is
+// read-only — metrics are bit-identical with or without it — and the
+// captured trace replayed via WithWorkloadTrace reproduces the run
+// exactly.
+func CaptureTrace(w io.Writer) Option {
+	return func(sc *Scenario) { sc.CaptureTo = w }
 }
 
 // WithLatencySensitiveFrac marks this fraction of flows latency-sensitive.

@@ -6,6 +6,7 @@ import (
 	"hybridsched/internal/rng"
 	"hybridsched/internal/runner"
 	"hybridsched/internal/sim"
+	"hybridsched/internal/stats"
 )
 
 // The toolkit around scenarios, for code that drives the simulator
@@ -33,6 +34,9 @@ type (
 	// Pool is the deterministic fixed-size worker pool independent
 	// simulations fan out over.
 	Pool = runner.Pool
+	// Summary is the latency/staleness distribution summary carried by
+	// Metrics (count, min/max, mean, percentiles, in picoseconds).
+	Summary = stats.Summary
 )
 
 // Packet classes.

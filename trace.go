@@ -1,0 +1,76 @@
+package hybridsched
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"hybridsched/internal/trace"
+)
+
+// Workload traces: capture any generator's offered traffic once as a
+// compact binary HSTR stream, then replay it bit-identically against
+// every registered algorithm. Set Scenario.CaptureTo (or the CaptureTrace
+// option) to record a run; set Scenario.Replay (WithWorkloadTrace /
+// WithWorkloadRecords) to drive a run from a recording instead of a live
+// generator.
+
+// TraceRecord is one traced packet event: creation time, identity, ports,
+// size and class — everything needed to re-inject the packet.
+type TraceRecord = trace.Record
+
+// Trace parse failures, re-exported so downstream code can distinguish
+// them with errors.Is. Every specific error wraps ErrBadTrace.
+var (
+	// ErrBadTrace is the umbrella for any malformed trace.
+	ErrBadTrace = trace.ErrBadTrace
+	// ErrTraceBadMagic: the stream does not start with the HSTR magic.
+	ErrTraceBadMagic = trace.ErrBadMagic
+	// ErrTraceBadVersion: the header carries an unsupported version.
+	ErrTraceBadVersion = trace.ErrBadVersion
+	// ErrTraceTruncated: the stream ends mid-header, mid-record, or
+	// before the record count the header declares.
+	ErrTraceTruncated = trace.ErrTruncated
+	// ErrTraceCountMismatch: data continues past the declared count.
+	ErrTraceCountMismatch = trace.ErrCountMismatch
+)
+
+// ReadTrace parses a complete HSTR trace from r.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) { return trace.ReadAll(r) }
+
+// ReadTraceFile parses the HSTR trace at path.
+func ReadTraceFile(path string) ([]TraceRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := trace.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// WriteTrace writes a complete HSTR trace (exact header count) to w.
+func WriteTrace(w io.Writer, records []TraceRecord) error {
+	return trace.WriteAll(w, records)
+}
+
+// WriteTraceFile writes a complete HSTR trace to path.
+func WriteTraceFile(path string, records []TraceRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteAll(f, records); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// RecordFromPacket builds an offered-traffic record from a packet — the
+// way hand-crafted workloads (Device/cluster drivers) enter the trace
+// format.
+func RecordFromPacket(p *Packet) TraceRecord { return trace.FromPacket(p) }

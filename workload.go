@@ -28,6 +28,14 @@ type (
 	Fixed = traffic.Fixed
 	// TrimodalInternet is the classic 64/576/1500-byte packet mix.
 	TrimodalInternet = traffic.TrimodalInternet
+	// Empirical samples sizes from a piecewise-linear empirical CDF
+	// given as (bytes, cumulative probability) knots — the published
+	// data-center flow-size distributions. Use as FlowSizes with
+	// FlowArrivals.
+	Empirical = traffic.Empirical
+	// CDFPoint is one knot of an empirical CDF: P(X <= Value bytes) =
+	// Cum.
+	CDFPoint = traffic.CDFPoint
 
 	// TrafficGenerator drives per-port arrival processes onto any
 	// injector — the way to feed a Device or other custom sink that
@@ -41,6 +49,10 @@ const (
 	Poisson = traffic.Poisson
 	// OnOff arrivals: bursts at line rate separated by idle gaps.
 	OnOff = traffic.OnOff
+	// FlowArrivals: flows arrive by a memoryless process, each drawing
+	// its total size from FlowSizes and segmented into MTU packets sent
+	// back-to-back at line rate.
+	FlowArrivals = traffic.FlowArrivals
 )
 
 // NewPermutation draws a random derangement of n ports.
@@ -52,3 +64,34 @@ func NewZipf(n int, s float64) *Zipf { return traffic.NewZipf(n, s) }
 // NewTrafficGenerator validates cfg and returns a generator; call Start
 // with a simulator and an emit function (for example Device.Inject).
 func NewTrafficGenerator(cfg TrafficConfig) (*TrafficGenerator, error) { return traffic.New(cfg) }
+
+// NewEmpirical builds a flow-size sampler from CDF knots sorted by Value
+// (bytes) with Cum non-decreasing and ending at 1.0; it panics on
+// malformed input, since CDF tables are static program data.
+func NewEmpirical(name string, points []CDFPoint) *Empirical {
+	return traffic.NewEmpirical(name, points)
+}
+
+// The built-in empirical flow-size distributions, digitized from
+// published data-center measurement studies.
+
+// WebSearch returns the DCTCP web-search flow-size distribution
+// (Alizadeh et al., SIGCOMM 2010).
+func WebSearch() *Empirical { return traffic.WebSearch() }
+
+// DataMining returns the VL2 data-mining flow-size distribution
+// (Greenberg et al., SIGCOMM 2009).
+func DataMining() *Empirical { return traffic.DataMining() }
+
+// Hadoop returns the Facebook Hadoop-cluster flow-size distribution
+// (Roy et al., SIGCOMM 2015).
+func Hadoop() *Empirical { return traffic.Hadoop() }
+
+// CacheFollower returns the Facebook cache-follower flow-size
+// distribution (Roy et al., SIGCOMM 2015).
+func CacheFollower() *Empirical { return traffic.CacheFollower() }
+
+// EmpiricalByName looks up a built-in empirical distribution by short
+// name (websearch, datamining, hadoop, cachefollower) — the form sweeps
+// and command-line flags select distributions in.
+func EmpiricalByName(name string) (*Empirical, bool) { return traffic.EmpiricalByName(name) }

@@ -1,0 +1,265 @@
+package hybridsched
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// testFlowSizes is a small empirical distribution (mean ~14 KB) so short
+// simulations still carry thousands of flows.
+func testFlowSizes() *Empirical {
+	return NewEmpirical("test-small", []CDFPoint{
+		{Value: 200, Cum: 0},
+		{Value: 1e3, Cum: 0.4},
+		{Value: 1e4, Cum: 0.8},
+		{Value: 1e5, Cum: 1.0},
+	})
+}
+
+// flowScenario is demoScenario on the flow-level empirical workload.
+func flowScenario() Scenario {
+	sc := demoScenario()
+	sc.Traffic.Process = FlowArrivals
+	sc.Traffic.Sizes = nil
+	sc.Traffic.FlowSizes = testFlowSizes()
+	return sc
+}
+
+// TestCaptureReplayReproducesRun is the acceptance contract: capture a
+// run's offered workload, replay it through the same fabric, and the
+// report is byte-identical — at any worker count — for every arrival
+// process, including the new flow-level mode.
+func TestCaptureReplayReproducesRun(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"poisson-fixed", demoScenario()},
+		{"flows-empirical", flowScenario()},
+		{"onoff", func() Scenario {
+			sc := demoScenario()
+			sc.Traffic.Process = OnOff
+			sc.Traffic.BurstMeanPkts = 16
+			return sc
+		}()},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			captured := c.sc
+			captured.CaptureTo = &buf
+			orig, err := captured.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) == 0 {
+				t.Fatal("capture produced no records")
+			}
+
+			replay := c.sc
+			replay.Traffic = TrafficConfig{} // replay needs no generator config
+			replay.Replay = recs
+			for _, workers := range []int{1, 4} {
+				scs := []Scenario{replay, replay, replay}
+				ms, err := RunScenarios(scs, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, m := range ms {
+					if !reflect.DeepEqual(m, orig) {
+						t.Fatalf("workers=%d replay %d diverged from original run:\n%+v\nvs\n%+v",
+							workers, i, m, orig)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCaptureIsReadOnly: attaching a capture writer does not perturb the
+// run.
+func TestCaptureIsReadOnly(t *testing.T) {
+	plain, err := flowScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sc := flowScenario()
+	sc.CaptureTo = &buf
+	taped, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, taped) {
+		t.Fatal("capture perturbed the run")
+	}
+}
+
+// TestWithWorkloadTraceOption drives the file-based path end to end: a
+// captured trace on disk, loaded through the options builder, replayed
+// against a different algorithm than it was captured under.
+func TestWithWorkloadTraceOption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "workload.hstr")
+
+	var buf bytes.Buffer
+	sc := flowScenario()
+	sc.CaptureTo = &buf
+	if _, err := sc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, alg := range []string{"islip", "greedy"} {
+		built, err := NewScenario(
+			WithPorts(8),
+			WithLineRate(10*Gbps),
+			WithLinkDelay(500*Nanosecond),
+			WithSlot(10*Microsecond),
+			WithReconfigTime(Microsecond),
+			WithAlgorithm(alg),
+			WithTiming(DefaultHardware()),
+			WithPipelined(true),
+			WithSeed(1),
+			WithDuration(2*Millisecond),
+			WithWorkloadTrace(path),
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		m, err := built.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if m.Injected == 0 || m.Delivered == 0 {
+			t.Fatalf("%s: replay injected %d delivered %d", alg, m.Injected, m.Delivered)
+		}
+	}
+
+	// Loading a missing or corrupt trace fails at NewScenario, not at Run.
+	if _, err := NewScenario(append(baseOptions(), WithWorkloadTrace(filepath.Join(dir, "absent.hstr")))...); err == nil {
+		t.Fatal("expected error for missing trace file")
+	}
+	bad := filepath.Join(dir, "bad.hstr")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewScenario(append(baseOptions(), WithWorkloadTrace(bad))...)
+	if err == nil {
+		t.Fatal("expected error for corrupt trace file")
+	}
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("corrupt-trace error %v does not wrap ErrBadTrace", err)
+	}
+}
+
+// TestReplayValidateRejectsUnsorted: eager validation catches
+// out-of-order records before anything runs.
+func TestReplayValidateRejectsUnsorted(t *testing.T) {
+	sc := demoScenario()
+	sc.Replay = []TraceRecord{
+		{Time: Time(Millisecond), ID: 1, Src: 0, Dst: 1, Size: 12000},
+		{Time: 0, ID: 2, Src: 1, Dst: 2, Size: 12000},
+	}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("expected out-of-order Replay to fail validation")
+	}
+}
+
+// TestReplayRejectsOutOfRangePorts: a record whose ports exceed the
+// target fabric (a trace captured on a larger switch, or a corrupt file)
+// must fail validation and the run itself — never panic mid-simulation.
+func TestReplayRejectsOutOfRangePorts(t *testing.T) {
+	sc := demoScenario() // 8 ports
+	sc.Traffic = TrafficConfig{}
+	sc.Replay = []TraceRecord{
+		{Time: 0, ID: 1, Src: 0, Dst: 1, Size: 12000},
+		{Time: Time(Microsecond), ID: 2, Src: 200, Dst: 1, Size: 12000},
+	}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("expected out-of-range Src to fail validation")
+	}
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("expected out-of-range Src to fail at run time")
+	}
+	sc.Replay[1] = TraceRecord{Time: Time(Microsecond), ID: 2, Src: 1, Dst: 8, Size: 12000}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("expected out-of-range Dst to fail validation")
+	}
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("expected out-of-range Dst to fail at run time")
+	}
+}
+
+// TestReplayRejectsRecordsBeyondDuration: replaying a trace into a run
+// shorter than the trace must fail loudly — silent truncation would
+// break the bit-identical-replay contract.
+func TestReplayRejectsRecordsBeyondDuration(t *testing.T) {
+	var buf bytes.Buffer
+	capture := demoScenario() // 2 ms offered
+	capture.CaptureTo = &buf
+	if _, err := capture.Run(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := demoScenario()
+	replay.Traffic = TrafficConfig{}
+	replay.Replay = recs
+	replay.Duration = 500 * Microsecond
+	if err := replay.Validate(); err == nil {
+		t.Fatal("expected too-short Duration to fail validation")
+	}
+	if _, err := replay.Run(); err == nil {
+		t.Fatal("expected too-short Duration to fail at run time")
+	}
+	// An explicitly sliced prefix replays fine.
+	cut := 0
+	for cut < len(recs) && recs[cut].Time <= Time(500*Microsecond) {
+		cut++
+	}
+	replay.Replay = recs[:cut]
+	if _, err := replay.Run(); err != nil {
+		t.Fatalf("sliced prefix should replay: %v", err)
+	}
+}
+
+// TestFlowWorkloadParallelDeterminism fans flow-level scenarios over the
+// execution engine: metrics are identical at any worker count. It is also
+// the race-smoke coverage for the flow-level generator.
+func TestFlowWorkloadParallelDeterminism(t *testing.T) {
+	build := func() []Scenario {
+		scs := make([]Scenario, 4)
+		for i := range scs {
+			scs[i] = flowScenario()
+			scs[i].Traffic.Seed = DeriveSeed(11, i)
+		}
+		return scs
+	}
+	serial, err := RunScenarios(build(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := RunScenarios(build(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("flow-level metrics differ between 1 and %d workers", workers)
+		}
+	}
+}
