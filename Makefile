@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench-smoke race-smoke check
+.PHONY: all build test vet fmt-check bench-smoke bench-json race-smoke check
 
 all: build
 
@@ -26,16 +26,26 @@ fmt-check:
 # bench-smoke proves the hot-path benchmarks still compile and run: the
 # event-queue benchmark is the kernel's allocation regression guard, the
 # observer benchmark covers the streaming-sample path, the empirical-
-# sampler benchmark the flow-size draw, and the trace-replay benchmark
-# the capture/replay injection path.
+# sampler benchmark the flow-size draw, the trace-replay benchmark the
+# capture/replay injection path, and the matching benchmarks
+# (BenchmarkMatch*, at up to 512 ports) the scheduling core's
+# nonzero-iteration hot path.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkEventQueue|BenchmarkObserverStream|BenchmarkEmpiricalSampler|BenchmarkTraceReplay' -benchtime 0.1s .
+	$(GO) test -run '^$$' -bench 'BenchmarkEventQueue|BenchmarkObserverStream|BenchmarkEmpiricalSampler|BenchmarkTraceReplay|BenchmarkMatch' -benchtime 0.1s .
+
+# bench-json records the scheduling-core performance trajectory: it runs
+# the matching and frame-decomposition benchmark set with -benchmem and
+# rewrites BENCH_core.json ({name, ns_op, b_op, allocs_op} per
+# benchmark). The committed file is the baseline future PRs diff against.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkMatch$$|BenchmarkFrameDecompose$$' -benchmem -benchtime 0.2s . | $(GO) run ./cmd/benchjson -o BENCH_core.json
 
 # race-smoke runs the concurrency-bearing layers under the race detector:
 # the parallel execution engine and the root fan-out/observer API,
 # including the flow-level generator fan-out
-# (TestFlowWorkloadParallelDeterminism) and the golden-trace replays at
-# several worker counts.
+# (TestFlowWorkloadParallelDeterminism), the golden-trace replays at
+# several worker counts, and the 256-port fabric scenario
+# (TestScale256PortScenario).
 race-smoke:
 	$(GO) test -race ./internal/runner/... .
 

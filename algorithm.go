@@ -27,6 +27,9 @@ func NewMatching(n int) Matching { return match.NewMatching(n) }
 
 // DemandReader is the read-only demand view an Algorithm schedules from.
 // Entry (i, j) is the estimated backlog, in bits, from input i to output j.
+// The view is only on loan for the duration of a Schedule call — the
+// scheduling loop recycles the underlying matrix afterwards — so
+// implementations must copy any entries they keep across calls.
 type DemandReader interface {
 	// N returns the port count.
 	N() int

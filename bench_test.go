@@ -127,6 +127,67 @@ func benchName(alg string, n int) string {
 	return alg + "/" + itoa(n)
 }
 
+// sparseDemand builds a matrix where each input talks to about k distinct
+// outputs — the demand shape a large fabric actually presents to its
+// scheduler (each rack converses with a few peers, not all n).
+func sparseDemand(n, k int, seed uint64) *demand.Matrix {
+	r := rng.New(seed)
+	d := demand.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for c := 0; c < k; c++ {
+			j := r.Intn(n)
+			if j == i {
+				continue
+			}
+			d.Set(i, j, int64(1+r.Intn(100_000)))
+		}
+	}
+	return d
+}
+
+// BenchmarkMatch measures one Schedule call per algorithm at rack (16),
+// pod (128) and fabric (512) port counts over sparse demand (~8 peers per
+// port). This is the scaling trajectory the refactor toward nonzero
+// iteration is judged against; run with -benchmem and compare allocs/op.
+func BenchmarkMatch(b *testing.B) {
+	for _, n := range []int{16, 128, 512} {
+		d := sparseDemand(n, 8, 42)
+		for _, name := range []string{"tdma", "islip", "pim", "wavefront", "greedy", "ilqf", "hungarian"} {
+			alg, err := match.New(name, n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(name+"/n="+itoa(n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					alg.Schedule(d)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFrameDecompose measures a whole-frame circuit decomposition
+// (BvN and the Solstice-style max-min) over sparse demand at rack and pod
+// scale — the per-frame cost a slow-switching OCS scheduler amortizes.
+func BenchmarkFrameDecompose(b *testing.B) {
+	for _, n := range []int{16, 128} {
+		d := sparseDemand(n, 8, 7)
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				match.DecomposeBvN(d)
+			}
+		})
+		b.Run("maxmin/n="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				match.DecomposeMaxMin(d, d.MaxLineSum()/16)
+			}
+		})
+	}
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON performance record — the format of the committed
+// BENCH_core.json baseline that gives the repo a recorded performance
+// trajectory across PRs:
+//
+//	go test -run '^$' -bench BenchmarkMatch -benchmem . | benchjson -o BENCH_core.json
+//
+// Each benchmark line becomes {name, ns_op, b_op, allocs_op}; lines
+// without allocation columns (benchmarks that did not ReportAllocs) keep
+// ns_op and record b_op/allocs_op as -1.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark measurement.
+type Record struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	records, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(records) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark result lines. The format is fixed by the
+// testing package: name, iterations, value unit pairs.
+func parse(sc *bufio.Scanner) ([]Record, error) {
+	var out []Record
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		r := Record{Name: trimProcSuffix(f[0]), BOp: -1, AllocsOp: -1}
+		ok := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v, unit := f[i], f[i+1]
+			switch unit {
+			case "ns/op":
+				x, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op %q: %w", v, err)
+				}
+				r.NsOp = x
+				ok = true
+			case "B/op":
+				x, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad B/op %q: %w", v, err)
+				}
+				r.BOp = x
+			case "allocs/op":
+				x, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op %q: %w", v, err)
+				}
+				r.AllocsOp = x
+			}
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, sc.Err()
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS of a benchmark name
+// (BenchmarkMatch/islip/n=128-8 -> BenchmarkMatch/islip/n=128).
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

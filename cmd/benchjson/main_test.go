@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: hybridsched
+BenchmarkMatch/islip/n=128-8         	    2308	    105696 ns/op	    6358 B/op	       6 allocs/op
+BenchmarkMatch/tdma/n=16-8           	 2708622	        80.39 ns/op	     128 B/op	       1 allocs/op
+BenchmarkFrameDecompose/n=16-8      	    2379	     99344 ns/op
+PASS
+ok  	hybridsched	8.033s
+`
+	recs, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3: %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Name != "BenchmarkMatch/islip/n=128" || r.NsOp != 105696 || r.BOp != 6358 || r.AllocsOp != 6 {
+		t.Fatalf("record 0 = %+v", r)
+	}
+	if recs[1].NsOp != 80.39 {
+		t.Fatalf("fractional ns/op lost: %+v", recs[1])
+	}
+	// No -benchmem columns: sentinel -1, ns/op still captured.
+	if recs[2].BOp != -1 || recs[2].AllocsOp != -1 || recs[2].NsOp != 99344 {
+		t.Fatalf("record 2 = %+v", recs[2])
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkMatch/islip/n=128-8": "BenchmarkMatch/islip/n=128",
+		"BenchmarkFoo-16":              "BenchmarkFoo",
+		"BenchmarkBare":                "BenchmarkBare",
+	} {
+		if got := trimProcSuffix(in); got != want {
+			t.Fatalf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

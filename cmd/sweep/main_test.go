@@ -40,6 +40,27 @@ func TestSweepVariables(t *testing.T) {
 	}
 }
 
+// TestSweepPortsReachesFabricScale drives the ports sweep into the
+// post-refactor regime: one CSV row per size up to a 256-port fabric,
+// each from a completed end-to-end simulation.
+func TestSweepPortsReachesFabricScale(t *testing.T) {
+	cfg := baseConfig("ports", []string{"16", "64", "256"})
+	cfg.Duration = "200us"
+	var buf bytes.Buffer
+	if err := run(&buf, cfg); err != nil {
+		t.Fatalf("ports sweep failed: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+3 {
+		t.Fatalf("want header + 3 rows, got %d lines:\n%s", len(lines), buf.String())
+	}
+	for i, want := range []string{"16", "64", "256"} {
+		if !strings.HasPrefix(lines[1+i], want+",") {
+			t.Fatalf("row %d = %q, want ports %s", i, lines[1+i], want)
+		}
+	}
+}
+
 // TestSweepDistEmitsEveryRow pins the dist sweep's CSV shape: one row per
 // distribution, labeled by the sweep value.
 func TestSweepDistEmitsEveryRow(t *testing.T) {

@@ -200,9 +200,10 @@ func (c *Cluster) Inject(p *packet.Packet) {
 	}
 }
 
-// snapshot builds the rack-level demand the scheduler sees.
+// snapshot builds the rack-level demand the scheduler sees. The matrix
+// comes from the demand pool; the scheduling loop releases it after use.
 func (c *Cluster) snapshot(units.Time) *demand.Matrix {
-	m := demand.NewMatrix(c.cfg.Racks)
+	m := demand.FromPool(c.cfg.Racks)
 	for i := range c.interVOQ {
 		for j := range c.interVOQ[i] {
 			bits := int64(c.interVOQ[i][j].Bits())

@@ -8,20 +8,39 @@
 // reports into a demand snapshot; the choice of estimator is one of the
 // ablations experiment E8 evaluates, because estimation lag is one of the
 // latency terms that make software schedulers slow.
+//
+// # Scale
+//
+// The matrix is dense in storage (At/Set stay O(1)) but additionally
+// maintains, incrementally on every Set/Add: the ascending nonzero column
+// indices of each row (Row, NonZeros, RowNonZeros), and exact row/column/
+// total sums (RowSum, ColSum, Total, MaxLineSum — all O(1), MaxLineSum
+// O(n)). At fabric scale (hundreds of ports) real demand is sparse — each
+// port converses with a few peers — so the matching algorithms in
+// internal/match iterate Row views in O(nonzeros) instead of scanning all
+// n² cells. FromPool/Release recycle matrices through a per-size
+// sync.Pool so estimators and frame decompositions stop paying an n²
+// allocation per scheduling frame.
 package demand
 
 import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"hybridsched/internal/units"
 )
 
 // Matrix is an n x n demand matrix. Entries are non-negative.
 type Matrix struct {
-	n int
-	v []int64
+	n    int
+	v    []int64
+	cols [][]int32 // per-row ascending nonzero column indices
+	rsum []int64   // per-row sums
+	csum []int64   // per-column sums
+	nz   int       // total nonzero entries
+	tot  int64     // total sum
 }
 
 // NewMatrix returns a zero n x n matrix. It panics if n <= 0.
@@ -29,7 +48,41 @@ func NewMatrix(n int) *Matrix {
 	if n <= 0 {
 		panic("demand: matrix size must be positive")
 	}
-	return &Matrix{n: n, v: make([]int64, n*n)}
+	return &Matrix{
+		n:    n,
+		v:    make([]int64, n*n),
+		cols: make([][]int32, n),
+		rsum: make([]int64, n),
+		csum: make([]int64, n),
+	}
+}
+
+// matrixPools holds one sync.Pool of zeroed matrices per dimension.
+var matrixPools sync.Map // int -> *sync.Pool
+
+func poolFor(n int) *sync.Pool {
+	if p, ok := matrixPools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := matrixPools.LoadOrStore(n, &sync.Pool{
+		New: func() any { return NewMatrix(n) },
+	})
+	return p.(*sync.Pool)
+}
+
+// FromPool returns a zeroed n x n matrix from the shared pool. It is
+// interchangeable with NewMatrix; callers that Release matrices when done
+// keep per-frame snapshot and decomposition work allocation-free.
+func FromPool(n int) *Matrix {
+	return poolFor(n).Get().(*Matrix)
+}
+
+// Release zeroes m and returns it to the pool. The caller must not use m
+// afterwards. Releasing is optional — matrices that escape to long-lived
+// owners are simply collected by the GC.
+func (m *Matrix) Release() {
+	m.Reset()
+	poolFor(m.n).Put(m)
 }
 
 // N returns the matrix dimension.
@@ -43,62 +96,164 @@ func (m *Matrix) Set(i, j int, x int64) {
 	if x < 0 {
 		x = 0
 	}
-	m.v[i*m.n+j] = x
+	idx := i*m.n + j
+	old := m.v[idx]
+	if old == x {
+		return
+	}
+	m.v[idx] = x
+	m.rsum[i] += x - old
+	m.csum[j] += x - old
+	m.tot += x - old
+	if old == 0 {
+		m.insertCol(i, int32(j))
+		m.nz++
+	} else if x == 0 {
+		m.removeCol(i, int32(j))
+		m.nz--
+	}
+}
+
+// insertCol records column j as nonzero in row i, keeping the row's index
+// list ascending. Appending in column order (how estimators and copies
+// build matrices) hits the O(1) fast path.
+func (m *Matrix) insertCol(i int, j int32) {
+	row := m.cols[i]
+	if k := len(row); k == 0 || row[k-1] < j {
+		m.cols[i] = append(row, j)
+		return
+	}
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	row = append(row, 0)
+	copy(row[lo+1:], row[lo:])
+	row[lo] = j
+	m.cols[i] = row
+}
+
+// removeCol drops column j from row i's nonzero index list.
+func (m *Matrix) removeCol(i int, j int32) {
+	row := m.cols[i]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	copy(row[lo:], row[lo+1:])
+	m.cols[i] = row[:len(row)-1]
 }
 
 // Add increments entry (i, j), clamping at zero.
 func (m *Matrix) Add(i, j int, d int64) { m.Set(i, j, m.At(i, j)+d) }
 
-// Clone returns a deep copy.
+// Row is a read-only view of one row's nonzero entries in ascending
+// column order. It is valid until the matrix is next mutated.
+type Row struct {
+	cols []int32
+	vals []int64 // the full dense row; indexed by column
+}
+
+// Row returns the nonzero view of row i.
+func (m *Matrix) Row(i int) Row {
+	return Row{cols: m.cols[i], vals: m.v[i*m.n : (i+1)*m.n]}
+}
+
+// Len returns the number of nonzero entries in the row.
+func (r Row) Len() int { return len(r.cols) }
+
+// Entry returns the k-th nonzero entry as (column, value). Entries are
+// ordered by ascending column.
+func (r Row) Entry(k int) (j int, v int64) {
+	c := r.cols[k]
+	return int(c), r.vals[c]
+}
+
+// NonZeros returns the total number of nonzero entries.
+func (m *Matrix) NonZeros() int { return m.nz }
+
+// RowNonZeros returns the number of nonzero entries in row i.
+func (m *Matrix) RowNonZeros(i int) int { return len(m.cols[i]) }
+
+// Clone returns a deep copy drawn from the matrix pool.
 func (m *Matrix) Clone() *Matrix {
-	out := NewMatrix(m.n)
-	copy(out.v, m.v)
+	out := FromPool(m.n)
+	out.CopyFrom(m)
 	return out
 }
 
-// Reset zeroes all entries.
-func (m *Matrix) Reset() {
-	for i := range m.v {
-		m.v[i] = 0
+// CopyFrom makes m an exact copy of src. Both must have the same
+// dimension. The copy touches only src's nonzero entries, so copying a
+// sparse matrix is O(nonzeros), not O(n²).
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.n != src.n {
+		panic(fmt.Sprintf("demand: CopyFrom dimension mismatch %d != %d", m.n, src.n))
 	}
-}
-
-// Total returns the sum of all entries.
-func (m *Matrix) Total() int64 {
-	var s int64
-	for _, x := range m.v {
-		s += x
+	if m == src {
+		return
 	}
-	return s
-}
-
-// RowSum returns the sum of row i.
-func (m *Matrix) RowSum(i int) int64 {
-	var s int64
-	for j := 0; j < m.n; j++ {
-		s += m.At(i, j)
-	}
-	return s
-}
-
-// ColSum returns the sum of column j.
-func (m *Matrix) ColSum(j int) int64 {
-	var s int64
+	m.Reset()
 	for i := 0; i < m.n; i++ {
-		s += m.At(i, j)
+		sc := src.cols[i]
+		dst := m.cols[i][:0]
+		base := i * m.n
+		for _, j := range sc {
+			m.v[base+int(j)] = src.v[base+int(j)]
+			dst = append(dst, j)
+		}
+		m.cols[i] = dst
+		m.rsum[i] = src.rsum[i]
 	}
-	return s
+	copy(m.csum, src.csum)
+	m.nz = src.nz
+	m.tot = src.tot
 }
+
+// Reset zeroes all entries. Cost is O(nonzeros + n), not O(n²).
+func (m *Matrix) Reset() {
+	for i, row := range m.cols {
+		base := i * m.n
+		for _, j := range row {
+			m.v[base+int(j)] = 0
+		}
+		m.cols[i] = row[:0]
+		m.rsum[i] = 0
+	}
+	for j := range m.csum {
+		m.csum[j] = 0
+	}
+	m.nz = 0
+	m.tot = 0
+}
+
+// Total returns the sum of all entries. O(1): maintained incrementally.
+func (m *Matrix) Total() int64 { return m.tot }
+
+// RowSum returns the sum of row i. O(1): maintained incrementally.
+func (m *Matrix) RowSum(i int) int64 { return m.rsum[i] }
+
+// ColSum returns the sum of column j. O(1): maintained incrementally.
+func (m *Matrix) ColSum(j int) int64 { return m.csum[j] }
 
 // MaxLineSum returns the largest row or column sum — the lower bound on the
 // time any schedule needs to serve the matrix (the "makespan bound").
 func (m *Matrix) MaxLineSum() int64 {
 	var best int64
 	for i := 0; i < m.n; i++ {
-		if r := m.RowSum(i); r > best {
+		if r := m.rsum[i]; r > best {
 			best = r
 		}
-		if c := m.ColSum(i); c > best {
+		if c := m.csum[i]; c > best {
 			best = c
 		}
 	}
@@ -108,9 +263,12 @@ func (m *Matrix) MaxLineSum() int64 {
 // Max returns the largest entry.
 func (m *Matrix) Max() int64 {
 	var best int64
-	for _, x := range m.v {
-		if x > best {
-			best = x
+	for i, row := range m.cols {
+		base := i * m.n
+		for _, j := range row {
+			if x := m.v[base+int(j)]; x > best {
+				best = x
+			}
 		}
 	}
 	return best
@@ -122,9 +280,13 @@ func (m *Matrix) Quantize(slotUnits int64) *Matrix {
 	if slotUnits <= 0 {
 		panic("demand: slotUnits must be positive")
 	}
-	out := NewMatrix(m.n)
-	for i := range m.v {
-		out.v[i] = (m.v[i] + slotUnits - 1) / slotUnits
+	out := FromPool(m.n)
+	for i := 0; i < m.n; i++ {
+		row := m.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			j, v := row.Entry(k)
+			out.Set(i, j, (v+slotUnits-1)/slotUnits)
+		}
 	}
 	return out
 }
@@ -137,24 +299,16 @@ func (m *Matrix) Quantize(slotUnits int64) *Matrix {
 func (m *Matrix) Stuff() *Matrix {
 	out := m.Clone()
 	target := out.MaxLineSum()
-	rows := make([]int64, out.n)
-	cols := make([]int64, out.n)
 	for i := 0; i < out.n; i++ {
-		rows[i] = out.RowSum(i)
-		cols[i] = out.ColSum(i)
-	}
-	for i := 0; i < out.n; i++ {
-		for j := 0; j < out.n && rows[i] < target; j++ {
-			slack := target - rows[i]
-			if cslack := target - cols[j]; cslack < slack {
+		for j := 0; j < out.n && out.rsum[i] < target; j++ {
+			slack := target - out.rsum[i]
+			if cslack := target - out.csum[j]; cslack < slack {
 				slack = cslack
 			}
 			if slack <= 0 {
 				continue
 			}
 			out.Add(i, j, slack)
-			rows[i] += slack
-			cols[j] += slack
 		}
 	}
 	return out
@@ -186,8 +340,10 @@ func (m *Matrix) Normalized() [][]float64 {
 	out := make([][]float64, m.n)
 	for i := range out {
 		out[i] = make([]float64, m.n)
-		for j := range out[i] {
-			out[i][j] = float64(m.At(i, j)) / float64(max)
+		row := m.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			j, v := row.Entry(k)
+			out[i][j] = float64(v) / float64(max)
 		}
 	}
 	return out
@@ -204,10 +360,20 @@ type Estimator interface {
 	// SetOccupancy reports the current VOQ backlog for (in, out).
 	SetOccupancy(t units.Time, in, out int, bits int64)
 	// Snapshot returns the demand estimate as of time t. The returned
-	// matrix is owned by the caller.
+	// matrix is owned by the caller (and may be Released back to the
+	// pool once consumed).
 	Snapshot(t units.Time) *Matrix
 	// Name identifies the estimator in reports.
 	Name() string
+}
+
+// OccupancySink is implemented by estimators that can ingest a whole
+// occupancy matrix at once instead of n² SetOccupancy calls. The matrix
+// argument is a read-only view owned by the caller and only valid for the
+// duration of the call; implementations must copy what they keep.
+// voq.Bank.FillOccupancy uses this fast path when available.
+type OccupancySink interface {
+	SetOccupancyMatrix(t units.Time, m *Matrix)
 }
 
 // Occupancy estimates demand as the instantaneous VOQ backlog. This is
@@ -226,6 +392,11 @@ func (o *Occupancy) Observe(units.Time, int, int, int64) {}
 // SetOccupancy records the backlog.
 func (o *Occupancy) SetOccupancy(_ units.Time, in, out int, bits int64) {
 	o.m.Set(in, out, bits)
+}
+
+// SetOccupancyMatrix implements OccupancySink: the whole backlog at once.
+func (o *Occupancy) SetOccupancyMatrix(_ units.Time, m *Matrix) {
+	o.m.CopyFrom(m)
 }
 
 // Snapshot returns the current backlog matrix.
@@ -270,10 +441,15 @@ func (w *Window) SetOccupancy(_ units.Time, in, out int, bits int64) {
 	w.occ.Set(in, out, bits)
 }
 
+// SetOccupancyMatrix implements OccupancySink.
+func (w *Window) SetOccupancyMatrix(_ units.Time, m *Matrix) {
+	w.occ.CopyFrom(m)
+}
+
 // Snapshot sums arrivals within the trailing window.
 func (w *Window) Snapshot(t units.Time) *Matrix {
 	cut := t.Add(-w.window)
-	out := NewMatrix(w.n)
+	out := FromPool(w.n)
 	// Drop expired events in place.
 	kept := w.events[:0]
 	for _, e := range w.events {
@@ -325,6 +501,9 @@ func (e *EWMA) Observe(t units.Time, in, out int, bits int64) {
 // SetOccupancy is a no-op for EWMA (it is a pure rate estimator).
 func (e *EWMA) SetOccupancy(units.Time, int, int, int64) {}
 
+// SetOccupancyMatrix implements OccupancySink as a no-op.
+func (e *EWMA) SetOccupancyMatrix(units.Time, *Matrix) {}
+
 func (e *EWMA) roll(t units.Time) {
 	for t.Sub(e.last) >= e.bucket {
 		for i := range e.rate {
@@ -338,9 +517,11 @@ func (e *EWMA) roll(t units.Time) {
 // Snapshot returns the smoothed per-bucket volume.
 func (e *EWMA) Snapshot(t units.Time) *Matrix {
 	e.roll(t)
-	out := NewMatrix(e.n)
-	for i := range e.rate {
-		out.v[i] = int64(math.Round(e.rate[i]))
+	out := FromPool(e.n)
+	for idx, r := range e.rate {
+		if v := int64(math.Round(r)); v != 0 {
+			out.Set(idx/e.n, idx%e.n, v)
+		}
 	}
 	return out
 }

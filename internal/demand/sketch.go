@@ -63,6 +63,9 @@ func (s *Sketch) Observe(t units.Time, in, out int, bs int64) {
 // SetOccupancy is a no-op: the sketch is an arrival-rate structure.
 func (s *Sketch) SetOccupancy(units.Time, int, int, int64) {}
 
+// SetOccupancyMatrix implements OccupancySink as a no-op.
+func (s *Sketch) SetOccupancyMatrix(units.Time, *Matrix) {}
+
 func (s *Sketch) maybeDecay(t units.Time) {
 	if s.decay <= 0 {
 		return
@@ -96,10 +99,12 @@ func (s *Sketch) Estimate(in, out int) int64 {
 // Snapshot implements Estimator.
 func (s *Sketch) Snapshot(t units.Time) *Matrix {
 	s.maybeDecay(t)
-	m := NewMatrix(s.n)
+	m := FromPool(s.n)
 	for i := 0; i < s.n; i++ {
 		for j := 0; j < s.n; j++ {
-			m.Set(i, j, s.Estimate(i, j))
+			if v := s.Estimate(i, j); v > 0 {
+				m.Set(i, j, v)
+			}
 		}
 	}
 	return m

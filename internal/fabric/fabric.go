@@ -9,6 +9,7 @@ package fabric
 
 import (
 	"fmt"
+	"slices"
 
 	"hybridsched/internal/classify"
 	"hybridsched/internal/demand"
@@ -146,6 +147,7 @@ type Fabric struct {
 	loop  *sched.Loop
 
 	nicBusy []units.Time // fast-regime host uplink pacing
+	residue []int32      // shuntResidue scratch: nonempty VOQ indices
 
 	injected      stats.Counter
 	injectedBits  stats.Counter
@@ -318,14 +320,13 @@ func (f *Fabric) snapshot(t units.Time) *demand.Matrix {
 	if f.cfg.Buffer == BufferAtHost {
 		f.hosts.Queues().FillOccupancy(t, f.est)
 		// Staged packets at the ToR still need service.
-		n := f.cfg.Ports
 		snap := f.est.Snapshot(t)
 		staged := f.voqs.OccupancyMatrix()
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if v := staged.At(i, j); v > 0 {
-					snap.Add(i, j, v)
-				}
+		for i := 0; i < f.cfg.Ports; i++ {
+			row := staged.Row(i)
+			for k := 0; k < row.Len(); k++ {
+				j, v := row.Entry(k)
+				snap.Add(i, j, v)
 			}
 		}
 		return snap
@@ -412,24 +413,27 @@ func (f *Fabric) drainVOQBudget(in, out packet.Port, budget units.Size) units.Si
 }
 
 // shuntResidue moves over-age head-of-line packets of unmatched VOQs to
-// the EPS.
+// the EPS. Only nonempty VOQs are visited (sorted for determinism), so a
+// residue sweep over a 512-port bank costs O(backlogged pairs), not n².
 func (f *Fabric) shuntResidue(m match.Matching) {
 	now := f.sim.Now()
-	for i := 0; i < f.cfg.Ports; i++ {
-		for j := 0; j < f.cfg.Ports; j++ {
-			if m[i] == j {
-				continue // served by a circuit this slot
+	n := f.cfg.Ports
+	f.residue = f.voqs.AppendNonEmpty(f.residue[:0])
+	slices.Sort(f.residue)
+	for _, idx := range f.residue {
+		i, j := int(idx)/n, int(idx)%n
+		if m[i] == j {
+			continue // served by a circuit this slot
+		}
+		q := f.voqs.Queue(packet.Port(i), packet.Port(j))
+		for {
+			front := q.Front()
+			if front == nil || now.Sub(front.EnqueuedAt) <= f.cfg.ResidualTimeout {
+				break
 			}
-			q := f.voqs.Queue(packet.Port(i), packet.Port(j))
-			for {
-				front := q.Front()
-				if front == nil || now.Sub(front.EnqueuedAt) <= f.cfg.ResidualTimeout {
-					break
-				}
-				p := f.voqs.Dequeue(now, packet.Port(i), packet.Port(j))
-				f.shunted.Inc()
-				f.epsSw.Send(p)
-			}
+			p := f.voqs.Dequeue(now, packet.Port(i), packet.Port(j))
+			f.shunted.Inc()
+			f.epsSw.Send(p)
 		}
 	}
 }

@@ -1,7 +1,7 @@
 package match
 
 import (
-	"sort"
+	"slices"
 
 	"hybridsched/internal/demand"
 )
@@ -25,6 +25,96 @@ func ScheduleCost(slots []Slot, overhead int64) int64 {
 	return total
 }
 
+// decomposer carries the scratch one frame decomposition reuses across
+// its many perfect-matching extractions: Kuhn's augmenting-path state and
+// the threshold-search value buffer.
+type decomposer struct {
+	matchCol []int32
+	visited  []bool
+	vals     []int64
+}
+
+func newDecomposer(n int) *decomposer {
+	return &decomposer{
+		matchCol: make([]int32, n),
+		visited:  make([]bool, n),
+	}
+}
+
+// perfect finds a perfect matching using only edges with weight >= thr
+// via Kuhn's augmenting-path algorithm, iterating each row's nonzero
+// entries. It reports ok=false if no perfect matching exists. The search
+// visits candidate columns in ascending order, exactly like the dense
+// column scan, so extracted matchings are identical to the dense
+// reference.
+func (dc *decomposer) perfect(d *demand.Matrix, thr int64) (Matching, bool) {
+	n := d.N()
+	for j := 0; j < n; j++ {
+		dc.matchCol[j] = -1
+	}
+	var try func(i int) bool
+	try = func(i int) bool {
+		row := d.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			j, v := row.Entry(k)
+			if dc.visited[j] || v < thr {
+				continue
+			}
+			dc.visited[j] = true
+			if dc.matchCol[j] < 0 || try(int(dc.matchCol[j])) {
+				dc.matchCol[j] = int32(i)
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		for j := range dc.visited {
+			dc.visited[j] = false
+		}
+		if !try(i) {
+			return nil, false
+		}
+	}
+	m := NewMatching(n)
+	for j, i := range dc.matchCol {
+		m[i] = j
+	}
+	return m, true
+}
+
+// bestThreshold returns the largest t such that the edges {(i,j) :
+// work(i,j) >= t} admit a perfect matching, or 0 if none does.
+func (dc *decomposer) bestThreshold(work *demand.Matrix) int64 {
+	n := work.N()
+	vals := dc.vals[:0]
+	for i := 0; i < n; i++ {
+		row := work.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			_, v := row.Entry(k)
+			vals = append(vals, v)
+		}
+	}
+	dc.vals = vals
+	if len(vals) == 0 {
+		return 0
+	}
+	slices.Sort(vals)
+	vals = dedup(vals)
+	lo, hi := 0, len(vals)-1
+	best := int64(0)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if _, ok := dc.perfect(work, vals[mid]); ok {
+			best = vals[mid]
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best
+}
+
 // DecomposeBvN performs a Birkhoff–von Neumann decomposition: the matrix is
 // stuffed so every line sums to MaxLineSum, then repeatedly a perfect
 // matching on the positive support is extracted with weight equal to its
@@ -33,9 +123,10 @@ func ScheduleCost(slots []Slot, overhead int64) int64 {
 // but it may use up to n^2-2n+2 slots, each paying the OCS dead-time.
 func DecomposeBvN(d *demand.Matrix) []Slot {
 	work := d.Stuff()
+	dc := newDecomposer(d.N())
 	var slots []Slot
 	for work.Total() > 0 {
-		m, ok := kuhnPerfect(work, 1)
+		m, ok := dc.perfect(work, 1)
 		if !ok {
 			// Cannot happen for a stuffed matrix (Birkhoff's theorem);
 			// guard against a bug rather than spinning forever.
@@ -45,6 +136,7 @@ func DecomposeBvN(d *demand.Matrix) []Slot {
 		subtract(work, m, w)
 		slots = append(slots, Slot{Match: m, Weight: w})
 	}
+	work.Release()
 	return slots
 }
 
@@ -55,15 +147,18 @@ func DecomposeBvN(d *demand.Matrix) []Slot {
 // matching serves less than minWorth per pair — demand not worth an OCS
 // reconfiguration — and the residual is returned for the EPS to carry,
 // exactly the paper's "residual traffic can be sent through the EPS".
+// The returned residual is pool-backed; callers that consume it promptly
+// may Release it.
 func DecomposeMaxMin(d *demand.Matrix, minWorth int64) (slots []Slot, residual *demand.Matrix) {
 	work := d.Stuff()
-	served := demand.NewMatrix(d.N())
+	served := demand.FromPool(d.N())
+	dc := newDecomposer(d.N())
 	for work.Total() > 0 {
-		thr := bestThreshold(work)
+		thr := dc.bestThreshold(work)
 		if thr <= 0 {
 			break
 		}
-		m, ok := kuhnPerfect(work, thr)
+		m, ok := dc.perfect(work, thr)
 		if !ok {
 			panic("match: threshold search returned infeasible threshold")
 		}
@@ -79,46 +174,19 @@ func DecomposeMaxMin(d *demand.Matrix, minWorth int64) (slots []Slot, residual *
 		}
 		slots = append(slots, Slot{Match: m, Weight: w})
 	}
-	residual = demand.NewMatrix(d.N())
+	residual = demand.FromPool(d.N())
 	for i := 0; i < d.N(); i++ {
-		for j := 0; j < d.N(); j++ {
-			if rem := d.At(i, j) - served.At(i, j); rem > 0 {
+		row := d.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			j, v := row.Entry(k)
+			if rem := v - served.At(i, j); rem > 0 {
 				residual.Set(i, j, rem)
 			}
 		}
 	}
+	work.Release()
+	served.Release()
 	return slots, residual
-}
-
-// bestThreshold returns the largest t such that the edges {(i,j) :
-// work(i,j) >= t} admit a perfect matching, or 0 if none does.
-func bestThreshold(work *demand.Matrix) int64 {
-	n := work.N()
-	vals := make([]int64, 0, n*n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if v := work.At(i, j); v > 0 {
-				vals = append(vals, v)
-			}
-		}
-	}
-	if len(vals) == 0 {
-		return 0
-	}
-	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
-	vals = dedup(vals)
-	lo, hi := 0, len(vals)-1
-	best := int64(0)
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		if _, ok := kuhnPerfect(work, vals[mid]); ok {
-			best = vals[mid]
-			lo = mid + 1
-		} else {
-			hi = mid - 1
-		}
-	}
-	return best
 }
 
 func dedup(v []int64) []int64 {
@@ -129,45 +197,6 @@ func dedup(v []int64) []int64 {
 		}
 	}
 	return out
-}
-
-// kuhnPerfect finds a perfect matching using only edges with weight >= thr
-// via Kuhn's augmenting-path algorithm. It reports ok=false if no perfect
-// matching exists.
-func kuhnPerfect(d *demand.Matrix, thr int64) (Matching, bool) {
-	n := d.N()
-	matchCol := make([]int, n) // column -> row
-	for j := range matchCol {
-		matchCol[j] = Unmatched
-	}
-	visited := make([]bool, n)
-	var try func(i int) bool
-	try = func(i int) bool {
-		for j := 0; j < n; j++ {
-			if visited[j] || d.At(i, j) < thr || d.At(i, j) <= 0 {
-				continue
-			}
-			visited[j] = true
-			if matchCol[j] == Unmatched || try(matchCol[j]) {
-				matchCol[j] = i
-				return true
-			}
-		}
-		return false
-	}
-	for i := 0; i < n; i++ {
-		for j := range visited {
-			visited[j] = false
-		}
-		if !try(i) {
-			return nil, false
-		}
-	}
-	m := NewMatching(n)
-	for j, i := range matchCol {
-		m[i] = j
-	}
-	return m, true
 }
 
 func minAlong(d *demand.Matrix, m Matching) int64 {

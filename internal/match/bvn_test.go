@@ -171,7 +171,7 @@ func TestKuhnPerfectFindsKnownMatching(t *testing.T) {
 	d.Set(1, 2, 5)
 	d.Set(2, 0, 5)
 	d.Set(0, 0, 5) // distractor: using it blocks column 0 for input 2
-	m, ok := kuhnPerfect(d, 1)
+	m, ok := newDecomposer(d.N()).perfect(d, 1)
 	if !ok {
 		t.Fatal("perfect matching exists but was not found")
 	}
@@ -184,7 +184,7 @@ func TestKuhnPerfectInfeasible(t *testing.T) {
 	d := demand.NewMatrix(2)
 	d.Set(0, 0, 1)
 	d.Set(1, 0, 1) // both inputs need column 0: infeasible
-	if _, ok := kuhnPerfect(d, 1); ok {
+	if _, ok := newDecomposer(d.N()).perfect(d, 1); ok {
 		t.Fatal("reported perfect matching where none exists")
 	}
 }
@@ -195,14 +195,14 @@ func TestKuhnThresholdRespected(t *testing.T) {
 	d.Set(0, 1, 1)
 	d.Set(1, 0, 1)
 	d.Set(1, 1, 10)
-	m, ok := kuhnPerfect(d, 5)
+	m, ok := newDecomposer(d.N()).perfect(d, 5)
 	if !ok {
 		t.Fatal("diagonal matching at threshold 5 exists")
 	}
 	if m[0] != 0 || m[1] != 1 {
 		t.Fatalf("m = %v", m)
 	}
-	if _, ok := kuhnPerfect(d, 11); ok {
+	if _, ok := newDecomposer(d.N()).perfect(d, 11); ok {
 		t.Fatal("threshold 11 should be infeasible")
 	}
 }
@@ -214,7 +214,7 @@ func TestBestThreshold(t *testing.T) {
 	d.Set(0, 1, 100)
 	d.Set(1, 0, 100)
 	// Perfect matchings: diag (min 7) or anti-diag (min 100).
-	if thr := bestThreshold(d); thr != 100 {
+	if thr := newDecomposer(d.N()).bestThreshold(d); thr != 100 {
 		t.Fatalf("bestThreshold = %d, want 100", thr)
 	}
 }

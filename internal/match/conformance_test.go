@@ -100,6 +100,42 @@ func TestAllAlgorithmsReturnValidMatchings(t *testing.T) {
 	}
 }
 
+// TestConformanceLargeSparse runs the same arbiter contract at fabric
+// port counts (64–256) on sparse matrices — the demand shape the scaling
+// refactor targets, where each input requests only a handful of outputs.
+// The frame decompositions run at 64 ports only: their dense slot
+// playback is quadratic in n and is separately covered by the
+// decomposition property tests and the dense-equivalence suite.
+func TestConformanceLargeSparse(t *testing.T) {
+	sizes := func(name string) []int {
+		if name == "bvn" || name == "maxmin" {
+			return []int{64}
+		}
+		return []int{64, 128, 256}
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, n := range sizes(name) {
+				seed := uint64(n) * 7
+				r := rng.New(seed)
+				algo, err := New(name, n, seed)
+				if err != nil {
+					t.Fatalf("instantiate: %v", err)
+				}
+				for round := 0; round < 3; round++ {
+					// ~3% fill: a few peers per port, like a real fabric.
+					d := randomDemand(r, n, 0.97, 1<<20)
+					m := algo.Schedule(d)
+					if !checkMatching(t, name, m, d) {
+						t.Fatalf("n=%d round %d failed", n, round)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestAllAlgorithmsHandleZeroDemand: an all-zero matrix must still yield
 // a valid matching (demand-aware arbiters should match nothing).
 func TestAllAlgorithmsHandleZeroDemand(t *testing.T) {

@@ -1,0 +1,765 @@
+package match
+
+import (
+	"math"
+	"sort"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/rng"
+)
+
+// This file preserves the pre-refactor dense O(n²)-scan implementations of
+// every algorithm as test-only references. The live algorithms iterate the
+// matrix's nonzero structure and reuse scratch; the equivalence suite in
+// equivalence_test.go asserts that both produce identical matchings and
+// slot sequences on the same inputs — the dense-vs-nonzero-iteration
+// contract of the scaling refactor.
+
+// denseAlgorithm is the reference counterpart of a registered algorithm.
+type denseAlgorithm interface {
+	Schedule(d *demand.Matrix) Matching
+	Reset()
+}
+
+// newDenseRef returns the dense reference for a registered algorithm
+// name, or nil if the name has no dense twin (never happens for the
+// built-in set; the equivalence test fails loudly on nil).
+func newDenseRef(name string, n int, seed uint64) denseAlgorithm {
+	switch name {
+	case "tdma":
+		return &denseTDMA{n: n, skipSelf: true}
+	case "islip":
+		return newDenseISLIP(n, log2ceil(n))
+	case "islip1":
+		return newDenseISLIP(n, 1)
+	case "islipn":
+		return newDenseISLIP(n, n)
+	case "rrm":
+		return newDenseRRM(n, log2ceil(n))
+	case "ilqf":
+		return &denseILQF{n: n, iterations: log2ceil(n)}
+	case "pim":
+		return &densePIM{n: n, iterations: log2ceil(n), r: rng.New(seed), seed: seed}
+	case "wavefront":
+		return &denseWavefront{n: n}
+	case "greedy":
+		return &denseGreedy{n: n}
+	case "hungarian":
+		return &denseHungarian{n: n}
+	case "bvn":
+		return &denseFrame{n: n}
+	case "maxmin":
+		return &denseFrame{n: n, maxmin: true}
+	}
+	return nil
+}
+
+// --- TDMA ---
+
+type denseTDMA struct {
+	n, slot  int
+	skipSelf bool
+}
+
+func (t *denseTDMA) Reset() { t.slot = 0 }
+
+func (t *denseTDMA) Schedule(_ *demand.Matrix) Matching {
+	n := t.n
+	shift := t.slot % n
+	if t.skipSelf && n > 1 {
+		shift = 1 + t.slot%(n-1)
+	}
+	m := make(Matching, n)
+	for i := 0; i < n; i++ {
+		m[i] = (i + shift) % n
+	}
+	t.slot++
+	return m
+}
+
+// --- iSLIP ---
+
+type denseISLIP struct {
+	n, iterations       int
+	grantPtr, acceptPtr []int
+}
+
+func newDenseISLIP(n, iterations int) *denseISLIP {
+	return &denseISLIP{n: n, iterations: iterations,
+		grantPtr: make([]int, n), acceptPtr: make([]int, n)}
+}
+
+func (s *denseISLIP) Reset() {
+	for i := range s.grantPtr {
+		s.grantPtr[i] = 0
+		s.acceptPtr[i] = 0
+	}
+}
+
+func (s *denseISLIP) Schedule(d *demand.Matrix) Matching {
+	n := s.n
+	inMatch := NewMatching(n)
+	outMatch := make([]int, n)
+	for i := range outMatch {
+		outMatch[i] = Unmatched
+	}
+	for iter := 0; iter < s.iterations; iter++ {
+		granted := make([]int, n)
+		for j := range granted {
+			granted[j] = Unmatched
+		}
+		for j := 0; j < n; j++ {
+			if outMatch[j] != Unmatched {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				i := (s.grantPtr[j] + k) % n
+				if inMatch[i] == Unmatched && d.At(i, j) > 0 {
+					granted[j] = i
+					break
+				}
+			}
+		}
+		anyAccept := false
+		for i := 0; i < n; i++ {
+			if inMatch[i] != Unmatched {
+				continue
+			}
+			accepted := Unmatched
+			for k := 0; k < n; k++ {
+				j := (s.acceptPtr[i] + k) % n
+				if granted[j] == i {
+					accepted = j
+					break
+				}
+			}
+			if accepted == Unmatched {
+				continue
+			}
+			inMatch[i] = accepted
+			outMatch[accepted] = i
+			anyAccept = true
+			if iter == 0 {
+				s.grantPtr[accepted] = (i + 1) % n
+				s.acceptPtr[i] = (accepted + 1) % n
+			}
+		}
+		if !anyAccept {
+			break
+		}
+	}
+	return inMatch
+}
+
+// --- RRM ---
+
+type denseRRM struct {
+	n, iterations       int
+	grantPtr, acceptPtr []int
+}
+
+func newDenseRRM(n, iterations int) *denseRRM {
+	return &denseRRM{n: n, iterations: iterations,
+		grantPtr: make([]int, n), acceptPtr: make([]int, n)}
+}
+
+func (r *denseRRM) Reset() {
+	for i := range r.grantPtr {
+		r.grantPtr[i] = 0
+		r.acceptPtr[i] = 0
+	}
+}
+
+func (r *denseRRM) Schedule(d *demand.Matrix) Matching {
+	n := r.n
+	inMatch := NewMatching(n)
+	outMatch := make([]int, n)
+	for j := range outMatch {
+		outMatch[j] = Unmatched
+	}
+	for iter := 0; iter < r.iterations; iter++ {
+		granted := make([]int, n)
+		for j := range granted {
+			granted[j] = Unmatched
+		}
+		for j := 0; j < n; j++ {
+			if outMatch[j] != Unmatched {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				i := (r.grantPtr[j] + k) % n
+				if inMatch[i] == Unmatched && d.At(i, j) > 0 {
+					granted[j] = i
+					break
+				}
+			}
+		}
+		any := false
+		for i := 0; i < n; i++ {
+			if inMatch[i] != Unmatched {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				j := (r.acceptPtr[i] + k) % n
+				if granted[j] == i {
+					inMatch[i] = j
+					outMatch[j] = i
+					any = true
+					break
+				}
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	for j := 0; j < n; j++ {
+		r.grantPtr[j] = (r.grantPtr[j] + 1) % n
+	}
+	for i := 0; i < n; i++ {
+		r.acceptPtr[i] = (r.acceptPtr[i] + 1) % n
+	}
+	return inMatch
+}
+
+// --- iLQF ---
+
+type denseILQF struct {
+	n, iterations int
+}
+
+func (l *denseILQF) Reset() {}
+
+func (l *denseILQF) Schedule(d *demand.Matrix) Matching {
+	n := l.n
+	inMatch := NewMatching(n)
+	outMatched := make([]bool, n)
+	for iter := 0; iter < l.iterations; iter++ {
+		granted := make([]int, n)
+		for j := range granted {
+			granted[j] = Unmatched
+		}
+		for j := 0; j < n; j++ {
+			if outMatched[j] {
+				continue
+			}
+			best, bestV := Unmatched, int64(0)
+			for i := 0; i < n; i++ {
+				if inMatch[i] == Unmatched {
+					if v := d.At(i, j); v > bestV {
+						best, bestV = i, v
+					}
+				}
+			}
+			granted[j] = best
+		}
+		any := false
+		for i := 0; i < n; i++ {
+			if inMatch[i] != Unmatched {
+				continue
+			}
+			best, bestV := Unmatched, int64(0)
+			for j := 0; j < n; j++ {
+				if granted[j] == i {
+					if v := d.At(i, j); v > bestV {
+						best, bestV = j, v
+					}
+				}
+			}
+			if best == Unmatched {
+				continue
+			}
+			inMatch[i] = best
+			outMatched[best] = true
+			any = true
+		}
+		if !any {
+			break
+		}
+	}
+	return inMatch
+}
+
+// --- PIM ---
+
+type densePIM struct {
+	n, iterations int
+	r             *rng.Rand
+	seed          uint64
+}
+
+func (p *densePIM) Reset() { p.r = rng.New(p.seed) }
+
+func (p *densePIM) Schedule(d *demand.Matrix) Matching {
+	n := p.n
+	inMatch := NewMatching(n)
+	outMatched := make([]bool, n)
+	cand := make([]int, 0, n)
+	for iter := 0; iter < p.iterations; iter++ {
+		granted := make([]int, n)
+		for j := range granted {
+			granted[j] = Unmatched
+		}
+		for j := 0; j < n; j++ {
+			if outMatched[j] {
+				continue
+			}
+			cand = cand[:0]
+			for i := 0; i < n; i++ {
+				if inMatch[i] == Unmatched && d.At(i, j) > 0 {
+					cand = append(cand, i)
+				}
+			}
+			if len(cand) > 0 {
+				granted[j] = cand[p.r.Intn(len(cand))]
+			}
+		}
+		anyAccept := false
+		for i := 0; i < n; i++ {
+			if inMatch[i] != Unmatched {
+				continue
+			}
+			cand = cand[:0]
+			for j := 0; j < n; j++ {
+				if granted[j] == i {
+					cand = append(cand, j)
+				}
+			}
+			if len(cand) == 0 {
+				continue
+			}
+			j := cand[p.r.Intn(len(cand))]
+			inMatch[i] = j
+			outMatched[j] = true
+			anyAccept = true
+		}
+		if !anyAccept {
+			break
+		}
+	}
+	return inMatch
+}
+
+// --- Wavefront ---
+
+type denseWavefront struct {
+	n, offset int
+}
+
+func (w *denseWavefront) Reset() { w.offset = 0 }
+
+func (w *denseWavefront) Schedule(d *demand.Matrix) Matching {
+	n := w.n
+	m := NewMatching(n)
+	colUsed := make([]bool, n)
+	for wave := 0; wave < 2*n-1; wave++ {
+		for i := 0; i < n; i++ {
+			j := (wave - i + w.offset) % n
+			if j < 0 {
+				j += n
+			}
+			if wave-i < 0 || wave-i >= n {
+				continue
+			}
+			if m[i] != Unmatched || colUsed[j] || d.At(i, j) <= 0 {
+				continue
+			}
+			m[i] = j
+			colUsed[j] = true
+		}
+	}
+	w.offset = (w.offset + 1) % n
+	return m
+}
+
+// --- Greedy ---
+
+type denseGreedy struct {
+	n     int
+	edges []greedyEdge
+}
+
+func (g *denseGreedy) Reset() {}
+
+func (g *denseGreedy) Schedule(d *demand.Matrix) Matching {
+	n := g.n
+	g.edges = g.edges[:0]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if w := d.At(i, j); w > 0 {
+				g.edges = append(g.edges, greedyEdge{w, i, j})
+			}
+		}
+	}
+	sort.Slice(g.edges, func(a, b int) bool {
+		ea, eb := g.edges[a], g.edges[b]
+		if ea.w != eb.w {
+			return ea.w > eb.w
+		}
+		if ea.i != eb.i {
+			return ea.i < eb.i
+		}
+		return ea.j < eb.j
+	})
+	m := NewMatching(n)
+	colUsed := make([]bool, n)
+	for _, e := range g.edges {
+		if m[e.i] == Unmatched && !colUsed[e.j] {
+			m[e.i] = e.j
+			colUsed[e.j] = true
+		}
+	}
+	return m
+}
+
+// --- Hungarian ---
+
+type denseHungarian struct {
+	n int
+}
+
+func (h *denseHungarian) Reset() {}
+
+func (h *denseHungarian) Schedule(d *demand.Matrix) Matching {
+	n := h.n
+	var maxW int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := d.At(i, j); v > maxW {
+				maxW = v
+			}
+		}
+	}
+	if maxW == 0 {
+		return NewMatching(n)
+	}
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+		for j := range cost[i] {
+			cost[i][j] = maxW - d.At(i, j)
+		}
+	}
+	assign := denseHungarianMin(cost)
+	m := NewMatching(n)
+	for i, j := range assign {
+		if d.At(i, j) > 0 {
+			m[i] = j
+		}
+	}
+	return m
+}
+
+func denseHungarianMin(cost [][]int64) []int {
+	n := len(cost)
+	const inf = math.MaxInt64 / 4
+	u := make([]int64, n+1)
+	v := make([]int64, n+1)
+	p := make([]int, n+1)
+	way := make([]int, n+1)
+	minv := make([]int64, n+1)
+	used := make([]bool, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			var delta int64 = inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	ans := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			ans[p[j]-1] = j - 1
+		}
+	}
+	return ans
+}
+
+// --- Frame decompositions ---
+
+// denseStuff pads a copy so every line sums to the dense MaxLineSum —
+// the reference for Stuff, computed with explicit O(n²) scans.
+func denseStuff(m *demand.Matrix) *demand.Matrix {
+	n := m.N()
+	out := demand.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, m.At(i, j))
+		}
+	}
+	rows := make([]int64, n)
+	cols := make([]int64, n)
+	var target int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rows[i] += out.At(i, j)
+			cols[j] += out.At(i, j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if rows[i] > target {
+			target = rows[i]
+		}
+		if cols[i] > target {
+			target = cols[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n && rows[i] < target; j++ {
+			slack := target - rows[i]
+			if cslack := target - cols[j]; cslack < slack {
+				slack = cslack
+			}
+			if slack <= 0 {
+				continue
+			}
+			out.Add(i, j, slack)
+			rows[i] += slack
+			cols[j] += slack
+		}
+	}
+	return out
+}
+
+// denseKuhnPerfect is the reference augmenting-path perfect matching over
+// cells with weight >= thr, scanning columns densely.
+func denseKuhnPerfect(d *demand.Matrix, thr int64) (Matching, bool) {
+	n := d.N()
+	matchCol := make([]int, n)
+	for j := range matchCol {
+		matchCol[j] = Unmatched
+	}
+	visited := make([]bool, n)
+	var try func(i int) bool
+	try = func(i int) bool {
+		for j := 0; j < n; j++ {
+			if visited[j] || d.At(i, j) < thr || d.At(i, j) <= 0 {
+				continue
+			}
+			visited[j] = true
+			if matchCol[j] == Unmatched || try(matchCol[j]) {
+				matchCol[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		for j := range visited {
+			visited[j] = false
+		}
+		if !try(i) {
+			return nil, false
+		}
+	}
+	m := NewMatching(n)
+	for j, i := range matchCol {
+		m[i] = j
+	}
+	return m, true
+}
+
+func denseBestThreshold(work *demand.Matrix) int64 {
+	n := work.N()
+	vals := make([]int64, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := work.At(i, j); v > 0 {
+				vals = append(vals, v)
+			}
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	vals = dedup(vals)
+	lo, hi := 0, len(vals)-1
+	best := int64(0)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if _, ok := denseKuhnPerfect(work, vals[mid]); ok {
+			best = vals[mid]
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best
+}
+
+func denseDecomposeBvN(d *demand.Matrix) []Slot {
+	work := denseStuff(d)
+	var slots []Slot
+	for denseTotal(work) > 0 {
+		m, ok := denseKuhnPerfect(work, 1)
+		if !ok {
+			panic("dense ref: stuffed matrix lost perfect matching")
+		}
+		w := minAlong(work, m)
+		subtract(work, m, w)
+		slots = append(slots, Slot{Match: m, Weight: w})
+	}
+	return slots
+}
+
+func denseDecomposeMaxMin(d *demand.Matrix, minWorth int64) (slots []Slot, residual *demand.Matrix) {
+	work := denseStuff(d)
+	served := demand.NewMatrix(d.N())
+	for denseTotal(work) > 0 {
+		thr := denseBestThreshold(work)
+		if thr <= 0 {
+			break
+		}
+		m, ok := denseKuhnPerfect(work, thr)
+		if !ok {
+			panic("dense ref: threshold search returned infeasible threshold")
+		}
+		w := minAlong(work, m)
+		if minWorth > 0 && w < minWorth {
+			break
+		}
+		subtract(work, m, w)
+		for i, j := range m {
+			if j != Unmatched {
+				served.Add(i, j, w)
+			}
+		}
+		slots = append(slots, Slot{Match: m, Weight: w})
+	}
+	residual = demand.NewMatrix(d.N())
+	for i := 0; i < d.N(); i++ {
+		for j := 0; j < d.N(); j++ {
+			if rem := d.At(i, j) - served.At(i, j); rem > 0 {
+				residual.Set(i, j, rem)
+			}
+		}
+	}
+	return slots, residual
+}
+
+func denseTotal(d *demand.Matrix) int64 {
+	var s int64
+	n := d.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s += d.At(i, j)
+		}
+	}
+	return s
+}
+
+// denseFrame replays dense decompositions through the FrameScheduler
+// playback rules — the reference for the bvn/maxmin registered names.
+type denseFrame struct {
+	n      int
+	maxmin bool
+	queue  []Matching
+}
+
+func (f *denseFrame) Reset() { f.queue = nil }
+
+func (f *denseFrame) Schedule(d *demand.Matrix) Matching {
+	if len(f.queue) == 0 {
+		f.refill(d)
+	}
+	if len(f.queue) == 0 {
+		return NewMatching(f.n)
+	}
+	m := f.queue[0]
+	f.queue = f.queue[1:]
+	return m
+}
+
+func (f *denseFrame) refill(d *demand.Matrix) {
+	if denseTotal(d) == 0 {
+		return
+	}
+	var slots []Slot
+	if f.maxmin {
+		slots, _ = denseDecomposeMaxMin(d, denseMaxLineSum(d)/16)
+	} else {
+		slots = denseDecomposeBvN(d)
+	}
+	if len(slots) == 0 {
+		return
+	}
+	quantum := slots[0].Weight
+	for _, s := range slots {
+		if s.Weight < quantum {
+			quantum = s.Weight
+		}
+	}
+	if quantum <= 0 {
+		quantum = 1
+	}
+	const maxPlayback = 64
+	total := 0
+	for _, s := range slots {
+		reps := int((s.Weight + quantum - 1) / quantum)
+		if reps < 1 {
+			reps = 1
+		}
+		for r := 0; r < reps && total < maxPlayback; r++ {
+			f.queue = append(f.queue, s.Match)
+			total++
+		}
+	}
+}
+
+func denseMaxLineSum(d *demand.Matrix) int64 {
+	n := d.N()
+	var best int64
+	for i := 0; i < n; i++ {
+		var r, c int64
+		for j := 0; j < n; j++ {
+			r += d.At(i, j)
+			c += d.At(j, i)
+		}
+		if r > best {
+			best = r
+		}
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,164 @@
+package match
+
+import (
+	"fmt"
+	"testing"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/rng"
+)
+
+// The dense-vs-nonzero-iteration equivalence suite: every registered
+// algorithm must produce exactly the matchings (and, for the frame
+// decompositions, exactly the slot sequences) that its preserved dense
+// O(n²)-scan reference produces, on the same inputs, across consecutive
+// stateful Schedule calls. This is the behavior-preservation contract of
+// the sparse refactor, checked algorithm by algorithm rather than only
+// end-to-end via the golden traces.
+
+// equivalenceSizes are the port counts the suite runs at; 2 and 5 cover
+// degenerate and odd sizes, 16 rack scale, 64 the first "fabric" size.
+var equivalenceSizes = []int{2, 5, 8, 16, 64}
+
+// churnedCopy rebuilds d by applying its entries in a scrambled order,
+// interleaved with transient writes that are later zeroed, so the copy's
+// nonzero index structure exercises mid-row insertion and removal rather
+// than the in-order append fast path. The resulting matrix is equal to d
+// cell for cell; algorithms must not care how it was built.
+func churnedCopy(r *rng.Rand, d *demand.Matrix) *demand.Matrix {
+	n := d.N()
+	out := demand.NewMatrix(n)
+	type cell struct {
+		i, j int
+		v    int64
+	}
+	var cells []cell
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			j, v := row.Entry(k)
+			cells = append(cells, cell{i, j, v})
+		}
+	}
+	// Transient noise: set then clear, forcing removeCol traffic.
+	for t := 0; t < n; t++ {
+		i, j := r.Intn(n), r.Intn(n)
+		out.Set(i, j, 1+r.Int63n(1000))
+	}
+	out.Reset()
+	// Fisher–Yates scramble, then apply.
+	for k := len(cells) - 1; k > 0; k-- {
+		o := r.Intn(k + 1)
+		cells[k], cells[o] = cells[o], cells[k]
+	}
+	for _, c := range cells {
+		out.Set(c.i, c.j, c.v)
+	}
+	return out
+}
+
+func TestDenseEquivalenceAllAlgorithms(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, n := range equivalenceSizes {
+				seed := uint64(n)*1000 + 17
+				r := rng.New(seed)
+				live, err := New(name, n, seed)
+				if err != nil {
+					t.Fatalf("instantiate: %v", err)
+				}
+				ref := newDenseRef(name, n, seed)
+				if ref == nil {
+					t.Fatalf("no dense reference for %q", name)
+				}
+				// Several consecutive rounds so stateful pointers, random
+				// streams and frame playback queues stay in lockstep.
+				for round := 0; round < 6; round++ {
+					sparsity := 0.2 + 0.15*float64(round%5)
+					d := randomDemand(r, n, sparsity, 1<<16)
+					dc := churnedCopy(r, d)
+					got := live.Schedule(dc).Clone() // live output may be scratch
+					want := ref.Schedule(d)
+					if !got.Equal(want) {
+						t.Fatalf("n=%d round %d: sparse %v != dense %v\ndemand:\n%v",
+							n, round, got, want, d)
+					}
+				}
+				// And across Reset.
+				live.Reset()
+				ref.Reset()
+				d := randomDemand(r, n, 0.5, 1<<16)
+				if got, want := live.Schedule(d).Clone(), ref.Schedule(d); !got.Equal(want) {
+					t.Fatalf("n=%d post-Reset: sparse %v != dense %v", n, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDenseEquivalenceDecompositions pins the full slot sequences of both
+// frame decompositions — matchings and weights, in extraction order —
+// against the dense references.
+func TestDenseEquivalenceDecompositions(t *testing.T) {
+	compare := func(t *testing.T, label string, got, want []Slot) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d slots, dense ref has %d", label, len(got), len(want))
+		}
+		for k := range got {
+			if !got[k].Match.Equal(want[k].Match) || got[k].Weight != want[k].Weight {
+				t.Fatalf("%s: slot %d = (%v, %d), dense ref (%v, %d)",
+					label, k, got[k].Match, got[k].Weight, want[k].Match, want[k].Weight)
+			}
+		}
+	}
+	for _, n := range []int{2, 5, 8, 16, 32} {
+		r := rng.New(uint64(n) * 31)
+		for round := 0; round < 4; round++ {
+			d := randomDemand(r, n, 0.5, 1<<16)
+			if d.Total() == 0 {
+				continue
+			}
+			label := fmt.Sprintf("bvn n=%d round=%d", n, round)
+			compare(t, label, DecomposeBvN(d), denseDecomposeBvN(d))
+
+			minWorth := d.MaxLineSum() / 16
+			gotSlots, gotRes := DecomposeMaxMin(d, minWorth)
+			wantSlots, wantRes := denseDecomposeMaxMin(d, minWorth)
+			label = fmt.Sprintf("maxmin n=%d round=%d", n, round)
+			compare(t, label, gotSlots, wantSlots)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if gotRes.At(i, j) != wantRes.At(i, j) {
+						t.Fatalf("%s: residual(%d,%d) = %d, dense ref %d",
+							label, i, j, gotRes.At(i, j), wantRes.At(i, j))
+					}
+				}
+			}
+			gotRes.Release()
+		}
+	}
+}
+
+// TestStuffMatchesDenseReference: the incremental line sums behind Stuff
+// must reproduce the dense reference padding exactly.
+func TestStuffMatchesDenseReference(t *testing.T) {
+	r := rng.New(99)
+	for _, n := range []int{2, 7, 16, 64} {
+		for round := 0; round < 4; round++ {
+			d := randomDemand(r, n, 0.6, 1<<20)
+			got := d.Stuff()
+			want := denseStuff(d)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if got.At(i, j) != want.At(i, j) {
+						t.Fatalf("n=%d: Stuff(%d,%d) = %d, dense ref %d",
+							n, i, j, got.At(i, j), want.At(i, j))
+					}
+				}
+			}
+			got.Release()
+		}
+	}
+}

@@ -82,7 +82,9 @@ func (f *FrameScheduler) refill(d *demand.Matrix) {
 	if f.maxmin {
 		// Demand below 1/16 of the max line sum is not worth its own
 		// reconfiguration; the fabric's residue path picks it up.
-		slots, _ = DecomposeMaxMin(d, d.MaxLineSum()/16)
+		var residual *demand.Matrix
+		slots, residual = DecomposeMaxMin(d, d.MaxLineSum()/16)
+		residual.Release()
 	} else {
 		slots = DecomposeBvN(d)
 	}

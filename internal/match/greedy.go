@@ -1,7 +1,7 @@
 package match
 
 import (
-	"sort"
+	"slices"
 
 	"hybridsched/internal/demand"
 )
@@ -14,8 +14,12 @@ import (
 // than Hungarian.
 type Greedy struct {
 	n int
-	// edge scratch reused across calls to avoid per-slot allocation.
-	edges []greedyEdge
+	// Scratch reused across Schedule calls: only the nonzero cells are
+	// collected and sorted, so a sparse fabric-scale matrix costs
+	// O(nonzeros log nonzeros), not O(n² log n).
+	edges   []greedyEdge
+	out     Matching
+	colUsed []bool
 }
 
 type greedyEdge struct {
@@ -28,7 +32,8 @@ func NewGreedy(n int) *Greedy {
 	if n <= 0 {
 		panic("match: greedy needs positive n")
 	}
-	return &Greedy{n: n, edges: make([]greedyEdge, 0, n*n)}
+	return &Greedy{n: n, edges: make([]greedyEdge, 0, 4*n),
+		out: NewMatching(n), colUsed: make([]bool, n)}
 }
 
 // Name implements Algorithm.
@@ -50,29 +55,38 @@ func (g *Greedy) Schedule(d *demand.Matrix) Matching {
 	n := g.n
 	g.edges = g.edges[:0]
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if w := d.At(i, j); w > 0 {
-				g.edges = append(g.edges, greedyEdge{w, i, j})
-			}
+		row := d.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			j, w := row.Entry(k)
+			g.edges = append(g.edges, greedyEdge{w, i, j})
 		}
 	}
-	// Deterministic: ties break by (i, j).
-	sort.Slice(g.edges, func(a, b int) bool {
-		ea, eb := g.edges[a], g.edges[b]
-		if ea.w != eb.w {
-			return ea.w > eb.w
+	// Deterministic: ties break by (i, j). The key is a total order, so
+	// the (unstable) sort has a unique result.
+	slices.SortFunc(g.edges, func(a, b greedyEdge) int {
+		switch {
+		case a.w != b.w:
+			if a.w > b.w {
+				return -1
+			}
+			return 1
+		case a.i != b.i:
+			return a.i - b.i
+		default:
+			return a.j - b.j
 		}
-		if ea.i != eb.i {
-			return ea.i < eb.i
-		}
-		return ea.j < eb.j
 	})
-	m := NewMatching(n)
-	colUsed := make([]bool, n)
+	m := g.out
+	for i := range m {
+		m[i] = Unmatched
+	}
+	for j := range g.colUsed {
+		g.colUsed[j] = false
+	}
 	for _, e := range g.edges {
-		if m[e.i] == Unmatched && !colUsed[e.j] {
+		if m[e.i] == Unmatched && !g.colUsed[e.j] {
 			m[e.i] = e.j
-			colUsed[e.j] = true
+			g.colUsed[e.j] = true
 		}
 	}
 	return m

@@ -13,6 +13,17 @@ import (
 // switching, which is the quantitative heart of the paper's argument.
 type Hungarian struct {
 	n int
+
+	// Scratch reused across Schedule calls: the flattened cost matrix
+	// and the potentials/paths of the assignment solver. The algorithm
+	// itself stays O(n^3) — it is inherently dense — but steady-state
+	// scheduling is allocation-free.
+	cost   []int64 // n*n, row-major
+	u, v   []int64 // n+1
+	minv   []int64 // n+1
+	p, way []int   // n+1
+	used   []bool  // n+1
+	out    Matching
 }
 
 // NewHungarian returns an exact max-weight arbiter.
@@ -20,7 +31,14 @@ func NewHungarian(n int) *Hungarian {
 	if n <= 0 {
 		panic("match: hungarian needs positive n")
 	}
-	return &Hungarian{n: n}
+	return &Hungarian{n: n,
+		cost: make([]int64, n*n),
+		u:    make([]int64, n+1), v: make([]int64, n+1),
+		minv: make([]int64, n+1),
+		p:    make([]int, n+1), way: make([]int, n+1),
+		used: make([]bool, n+1),
+		out:  NewMatching(n),
+	}
 }
 
 // Name implements Algorithm.
@@ -38,43 +56,49 @@ func (h *Hungarian) Complexity(n int) Complexity {
 // Schedule implements Algorithm.
 func (h *Hungarian) Schedule(d *demand.Matrix) Matching {
 	n := h.n
+	m := h.out
+	for i := range m {
+		m[i] = Unmatched
+	}
 	maxW := d.Max()
 	if maxW == 0 {
-		return NewMatching(n)
+		return m
 	}
 	// Convert max-weight to min-cost: cost = maxW - w. Zero-demand cells
 	// cost maxW (weight 0), so they never displace real demand; they are
-	// stripped from the assignment afterwards.
-	cost := make([][]int64, n)
-	for i := range cost {
-		cost[i] = make([]int64, n)
-		for j := range cost[i] {
-			cost[i][j] = maxW - d.At(i, j)
+	// stripped from the assignment afterwards. Fill the default densely,
+	// then overwrite only the nonzero cells.
+	for k := range h.cost {
+		h.cost[k] = maxW
+	}
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		base := i * n
+		for k := 0; k < row.Len(); k++ {
+			j, w := row.Entry(k)
+			h.cost[base+j] = maxW - w
 		}
 	}
-	assign := hungarianMin(cost)
-	m := NewMatching(n)
-	for i, j := range assign {
-		if d.At(i, j) > 0 {
-			m[i] = j
+	h.solve()
+	for j := 1; j <= n; j++ {
+		if i := h.p[j]; i > 0 && d.At(i-1, j-1) > 0 {
+			m[i-1] = j - 1
 		}
 	}
 	return m
 }
 
-// hungarianMin solves the n x n assignment problem, returning the
-// column assigned to each row so that total cost is minimized. Standard
-// potentials formulation (u, v potentials; p[j] = row matched to column j).
-func hungarianMin(cost [][]int64) []int {
-	n := len(cost)
+// solve runs the n x n assignment problem over h.cost, leaving the
+// matched row of each column in h.p. Standard potentials formulation
+// (u, v potentials; p[j] = row matched to column j).
+func (h *Hungarian) solve() {
+	n := h.n
 	const inf = math.MaxInt64 / 4
-	u := make([]int64, n+1)
-	v := make([]int64, n+1)
-	p := make([]int, n+1)   // column j is matched to row p[j]; 0 = free
-	way := make([]int, n+1) // predecessor column on the alternating path
-	minv := make([]int64, n+1)
-	used := make([]bool, n+1)
-
+	u, v, minv, p, way, used := h.u, h.v, h.minv, h.p, h.way, h.used
+	for j := 0; j <= n; j++ {
+		u[j], v[j] = 0, 0
+		p[j], way[j] = 0, 0
+	}
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
@@ -91,7 +115,7 @@ func hungarianMin(cost [][]int64) []int {
 				if used[j] {
 					continue
 				}
-				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				cur := h.cost[(i0-1)*n+j-1] - u[i0] - v[j]
 				if cur < minv[j] {
 					minv[j] = cur
 					way[j] = j0
@@ -120,13 +144,6 @@ func hungarianMin(cost [][]int64) []int {
 			j0 = j1
 		}
 	}
-	ans := make([]int, n)
-	for j := 1; j <= n; j++ {
-		if p[j] > 0 {
-			ans[p[j]-1] = j - 1
-		}
-	}
-	return ans
 }
 
 func init() {

@@ -12,11 +12,25 @@ import (
 // per-port round-robin pointers that advance only on accepted grants in the
 // first iteration, which is what de-synchronizes the pointers and yields
 // 100% throughput under uniform traffic.
+//
+// The implementation materializes the request phase once per Schedule as
+// per-output requester lists built from the demand matrix's nonzero rows,
+// then runs grant/accept over those lists: O(ports + nonzeros) per
+// iteration instead of the textbook O(n²) scan, with all scratch reused
+// across calls.
 type ISLIP struct {
 	n          int
 	iterations int
 	grantPtr   []int // per output
 	acceptPtr  []int // per input
+
+	// Scratch reused across Schedule calls. out is the returned matching
+	// (see Algorithm.Schedule for the ownership contract).
+	out       Matching
+	outMatch  []int32   // per output: matched input or -1
+	reqs      [][]int32 // per output: requesting inputs, ascending
+	grants    [][]int32 // per input: outputs that granted it, ascending
+	activeOut []int32   // outputs with at least one requester, ascending
 }
 
 // NewISLIP returns an iSLIP arbiter with the given iteration count
@@ -29,6 +43,11 @@ func NewISLIP(n, iterations int) *ISLIP {
 		n: n, iterations: iterations,
 		grantPtr:  make([]int, n),
 		acceptPtr: make([]int, n),
+		out:       NewMatching(n),
+		outMatch:  make([]int32, n),
+		reqs:      make([][]int32, n),
+		grants:    make([][]int32, n),
+		activeOut: make([]int32, 0, n),
 	}
 }
 
@@ -53,63 +72,97 @@ func (s *ISLIP) Complexity(n int) Complexity {
 	}
 }
 
+// buildRequests fills reqs from d's nonzero rows and returns the
+// ascending list of outputs with requesters. Shared by iSLIP, RRM, iLQF
+// and PIM — the "request" phase all VOQ arbiters start from.
+func buildRequests(d *demand.Matrix, reqs [][]int32, activeOut []int32) []int32 {
+	n := len(reqs)
+	for j := 0; j < n; j++ {
+		reqs[j] = reqs[j][:0]
+	}
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			j, _ := row.Entry(k)
+			reqs[j] = append(reqs[j], int32(i))
+		}
+	}
+	activeOut = activeOut[:0]
+	for j := 0; j < n; j++ {
+		if len(reqs[j]) > 0 {
+			activeOut = append(activeOut, int32(j))
+		}
+	}
+	return activeOut
+}
+
+// nearestClockwise picks, among the candidate ports in cands, the one
+// closest clockwise to ptr modulo n, skipping candidates already matched
+// in busy (pass nil to consider every candidate). Returns -1 when none
+// qualifies. This is the rotating-priority selection shared by the iSLIP
+// and RRM grant/accept phases; busy is a plain Matching rather than a
+// predicate so the hot loop stays closure- and allocation-free.
+func nearestClockwise(cands []int32, ptr, n int, busy Matching) int {
+	best, bestDist := -1, n
+	for _, c32 := range cands {
+		c := int(c32)
+		if busy != nil && busy[c] != Unmatched {
+			continue
+		}
+		dist := c - ptr
+		if dist < 0 {
+			dist += n
+		}
+		if dist < bestDist {
+			best, bestDist = c, dist
+		}
+	}
+	return best
+}
+
 // Schedule implements Algorithm.
 func (s *ISLIP) Schedule(d *demand.Matrix) Matching {
 	n := s.n
-	inMatch := NewMatching(n)
-	outMatch := make([]int, n)
-	for i := range outMatch {
-		outMatch[i] = Unmatched
+	inMatch := s.out
+	for i := range inMatch {
+		inMatch[i] = Unmatched
 	}
+	for j := range s.outMatch {
+		s.outMatch[j] = -1
+	}
+	s.activeOut = buildRequests(d, s.reqs, s.activeOut)
 
 	for iter := 0; iter < s.iterations; iter++ {
-		// Phase 1 — request: every unmatched input requests every output
-		// with backlog. Represented implicitly via d.
 		// Phase 2 — grant: each unmatched output grants the requesting
 		// unmatched input closest (clockwise) to its grant pointer.
-		granted := make([]int, n) // per output: granted input or -1
-		for j := range granted {
-			granted[j] = Unmatched
-		}
-		for j := 0; j < n; j++ {
-			if outMatch[j] != Unmatched {
+		for _, j32 := range s.activeOut {
+			j := int(j32)
+			if s.outMatch[j] >= 0 {
 				continue
 			}
-			for k := 0; k < n; k++ {
-				i := (s.grantPtr[j] + k) % n
-				if inMatch[i] == Unmatched && d.At(i, j) > 0 {
-					granted[j] = i
-					break
-				}
+			if best := nearestClockwise(s.reqs[j], s.grantPtr[j], n, inMatch); best >= 0 {
+				s.grants[best] = append(s.grants[best], j32)
 			}
 		}
 		// Phase 3 — accept: each input that received grants accepts the
 		// output closest to its accept pointer.
 		anyAccept := false
 		for i := 0; i < n; i++ {
-			if inMatch[i] != Unmatched {
+			g := s.grants[i]
+			if len(g) == 0 {
 				continue
 			}
-			accepted := Unmatched
-			for k := 0; k < n; k++ {
-				j := (s.acceptPtr[i] + k) % n
-				if granted[j] == i {
-					accepted = j
-					break
-				}
-			}
-			if accepted == Unmatched {
-				continue
-			}
-			inMatch[i] = accepted
-			outMatch[accepted] = i
+			s.grants[i] = g[:0]
+			best := nearestClockwise(g, s.acceptPtr[i], n, nil)
+			inMatch[i] = best
+			s.outMatch[best] = int32(i)
 			anyAccept = true
 			// Pointers advance one past the matched port, and only on
 			// grants accepted in the FIRST iteration (McKeown's rule;
 			// this is what prevents pointer synchronization).
 			if iter == 0 {
-				s.grantPtr[accepted] = (i + 1) % n
-				s.acceptPtr[i] = (accepted + 1) % n
+				s.grantPtr[best] = (i + 1) % n
+				s.acceptPtr[i] = (best + 1) % n
 			}
 		}
 		if !anyAccept {

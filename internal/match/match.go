@@ -16,6 +16,18 @@
 //
 // Each algorithm reports a Complexity used by the hardware and software
 // timing models in internal/sched to derive schedule-computation latency.
+//
+// # Scale
+//
+// All algorithms iterate the demand matrix's nonzero structure
+// (demand.Matrix.Row) instead of scanning n² cells, and reuse
+// per-instance scratch buffers — including the returned Matching — across
+// Schedule calls, so the per-slot cost at fabric scale (hundreds of
+// ports) is O(nonzeros), allocation-free in steady state. The nonzero
+// iteration visits cells in exactly the order the dense scans did, so
+// results are bit-identical to the dense implementations (pinned by the
+// dense-reference equivalence suite in dense_ref_test.go and the golden
+// HSTR trace digests).
 package match
 
 import (
@@ -154,6 +166,12 @@ type Algorithm interface {
 	// Schedule returns a matching serving d. Entries of d that are zero
 	// are non-requests; the matching only pairs ports with positive
 	// demand (TDMA, which is demand-oblivious, is the exception).
+	//
+	// Ownership: d is only on loan for the duration of the call —
+	// implementations must not retain it. The returned matching may be
+	// per-instance scratch that the next Schedule or Reset call reuses;
+	// callers that keep it across scheduling slots must Clone it (the
+	// OCS configuration path does).
 	Schedule(d *demand.Matrix) Matching
 	// Complexity reports cost for an n-port instance.
 	Complexity(n int) Complexity

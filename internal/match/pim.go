@@ -18,6 +18,14 @@ type PIM struct {
 	iterations int
 	r          *rng.Rand
 	seed       uint64
+
+	// Scratch reused across Schedule calls (see Algorithm.Schedule).
+	out        Matching
+	outMatched []bool
+	reqs       [][]int32
+	grants     [][]int32
+	activeOut  []int32
+	cand       []int32
 }
 
 // NewPIM returns a PIM arbiter with the given iteration count.
@@ -25,7 +33,13 @@ func NewPIM(n, iterations int, seed uint64) *PIM {
 	if n <= 0 || iterations <= 0 {
 		panic("match: PIM needs positive n and iterations")
 	}
-	return &PIM{n: n, iterations: iterations, r: rng.New(seed), seed: seed}
+	return &PIM{n: n, iterations: iterations, r: rng.New(seed), seed: seed,
+		out:        NewMatching(n),
+		outMatched: make([]bool, n),
+		reqs:       make([][]int32, n),
+		grants:     make([][]int32, n),
+		cand:       make([]int32, 0, n),
+	}
 }
 
 // Name implements Algorithm.
@@ -41,51 +55,50 @@ func (p *PIM) Complexity(n int) Complexity {
 	return Complexity{HardwareDepth: 3 * p.iterations, SoftwareOps: p.iterations * n * n}
 }
 
-// Schedule implements Algorithm.
+// Schedule implements Algorithm. Outputs draw among their requesters and
+// inputs among their granters in ascending index order, exactly as the
+// dense scans did, so the random stream (and thus every matching) is
+// bit-identical to the dense implementation.
 func (p *PIM) Schedule(d *demand.Matrix) Matching {
 	n := p.n
-	inMatch := NewMatching(n)
-	outMatched := make([]bool, n)
+	inMatch := p.out
+	for i := range inMatch {
+		inMatch[i] = Unmatched
+	}
+	for j := range p.outMatched {
+		p.outMatched[j] = false
+	}
+	p.activeOut = buildRequests(d, p.reqs, p.activeOut)
 
-	cand := make([]int, 0, n)
 	for iter := 0; iter < p.iterations; iter++ {
 		// Grant: each unmatched output picks a random unmatched requester.
-		granted := make([]int, n)
-		for j := range granted {
-			granted[j] = Unmatched
-		}
-		for j := 0; j < n; j++ {
-			if outMatched[j] {
+		for _, j32 := range p.activeOut {
+			j := int(j32)
+			if p.outMatched[j] {
 				continue
 			}
-			cand = cand[:0]
-			for i := 0; i < n; i++ {
-				if inMatch[i] == Unmatched && d.At(i, j) > 0 {
-					cand = append(cand, i)
+			cand := p.cand[:0]
+			for _, i32 := range p.reqs[j] {
+				if inMatch[i32] == Unmatched {
+					cand = append(cand, i32)
 				}
 			}
 			if len(cand) > 0 {
-				granted[j] = cand[p.r.Intn(len(cand))]
+				g := cand[p.r.Intn(len(cand))]
+				p.grants[g] = append(p.grants[g], j32)
 			}
 		}
 		// Accept: each input picks a random grant.
 		anyAccept := false
 		for i := 0; i < n; i++ {
-			if inMatch[i] != Unmatched {
+			g := p.grants[i]
+			if len(g) == 0 {
 				continue
 			}
-			cand = cand[:0]
-			for j := 0; j < n; j++ {
-				if granted[j] == i {
-					cand = append(cand, j)
-				}
-			}
-			if len(cand) == 0 {
-				continue
-			}
-			j := cand[p.r.Intn(len(cand))]
+			p.grants[i] = g[:0]
+			j := int(g[p.r.Intn(len(g))])
 			inMatch[i] = j
-			outMatched[j] = true
+			p.outMatched[j] = true
 			anyAccept = true
 		}
 		if !anyAccept {

@@ -17,6 +17,13 @@ type RRM struct {
 	iterations int
 	grantPtr   []int
 	acceptPtr  []int
+
+	// Scratch reused across Schedule calls (see Algorithm.Schedule).
+	out       Matching
+	outMatch  []int32
+	reqs      [][]int32
+	grants    [][]int32
+	activeOut []int32
 }
 
 // NewRRM returns a round-robin matching arbiter.
@@ -25,7 +32,12 @@ func NewRRM(n, iterations int) *RRM {
 		panic("match: RRM needs positive n and iterations")
 	}
 	return &RRM{n: n, iterations: iterations,
-		grantPtr: make([]int, n), acceptPtr: make([]int, n)}
+		grantPtr: make([]int, n), acceptPtr: make([]int, n),
+		out:      NewMatching(n),
+		outMatch: make([]int32, n),
+		reqs:     make([][]int32, n),
+		grants:   make([][]int32, n),
+	}
 }
 
 // Name implements Algorithm.
@@ -44,45 +56,40 @@ func (r *RRM) Complexity(n int) Complexity {
 	return Complexity{HardwareDepth: 3 * r.iterations, SoftwareOps: r.iterations * n * n}
 }
 
-// Schedule implements Algorithm.
+// Schedule implements Algorithm. Like iSLIP it runs grant/accept over
+// per-output requester lists built once from the nonzero rows.
 func (r *RRM) Schedule(d *demand.Matrix) Matching {
 	n := r.n
-	inMatch := NewMatching(n)
-	outMatch := make([]int, n)
-	for j := range outMatch {
-		outMatch[j] = Unmatched
+	inMatch := r.out
+	for i := range inMatch {
+		inMatch[i] = Unmatched
 	}
+	for j := range r.outMatch {
+		r.outMatch[j] = -1
+	}
+	r.activeOut = buildRequests(d, r.reqs, r.activeOut)
+
 	for iter := 0; iter < r.iterations; iter++ {
-		granted := make([]int, n)
-		for j := range granted {
-			granted[j] = Unmatched
-		}
-		for j := 0; j < n; j++ {
-			if outMatch[j] != Unmatched {
+		for _, j32 := range r.activeOut {
+			j := int(j32)
+			if r.outMatch[j] >= 0 {
 				continue
 			}
-			for k := 0; k < n; k++ {
-				i := (r.grantPtr[j] + k) % n
-				if inMatch[i] == Unmatched && d.At(i, j) > 0 {
-					granted[j] = i
-					break
-				}
+			if best := nearestClockwise(r.reqs[j], r.grantPtr[j], n, inMatch); best >= 0 {
+				r.grants[best] = append(r.grants[best], j32)
 			}
 		}
 		any := false
 		for i := 0; i < n; i++ {
-			if inMatch[i] != Unmatched {
+			g := r.grants[i]
+			if len(g) == 0 {
 				continue
 			}
-			for k := 0; k < n; k++ {
-				j := (r.acceptPtr[i] + k) % n
-				if granted[j] == i {
-					inMatch[i] = j
-					outMatch[j] = i
-					any = true
-					break
-				}
-			}
+			r.grants[i] = g[:0]
+			best := nearestClockwise(g, r.acceptPtr[i], n, nil)
+			inMatch[i] = best
+			r.outMatch[best] = int32(i)
+			any = true
 		}
 		if !any {
 			break
@@ -107,6 +114,13 @@ func (r *RRM) Schedule(d *demand.Matrix) Matching {
 type ILQF struct {
 	n          int
 	iterations int
+
+	// Scratch reused across Schedule calls (see Algorithm.Schedule).
+	out        Matching
+	outMatched []bool
+	reqs       [][]int32
+	grants     [][]int32
+	activeOut  []int32
 }
 
 // NewILQF returns an iterative longest-queue-first arbiter.
@@ -114,7 +128,12 @@ func NewILQF(n, iterations int) *ILQF {
 	if n <= 0 || iterations <= 0 {
 		panic("match: iLQF needs positive n and iterations")
 	}
-	return &ILQF{n: n, iterations: iterations}
+	return &ILQF{n: n, iterations: iterations,
+		out:        NewMatching(n),
+		outMatched: make([]bool, n),
+		reqs:       make([][]int32, n),
+		grants:     make([][]int32, n),
+	}
 }
 
 // Name implements Algorithm.
@@ -135,47 +154,54 @@ func (l *ILQF) Complexity(n int) Complexity {
 // Schedule implements Algorithm.
 func (l *ILQF) Schedule(d *demand.Matrix) Matching {
 	n := l.n
-	inMatch := NewMatching(n)
-	outMatched := make([]bool, n)
+	inMatch := l.out
+	for i := range inMatch {
+		inMatch[i] = Unmatched
+	}
+	for j := range l.outMatched {
+		l.outMatched[j] = false
+	}
+	l.activeOut = buildRequests(d, l.reqs, l.activeOut)
+
 	for iter := 0; iter < l.iterations; iter++ {
-		// Grant: each free output grants its deepest requesting input.
-		granted := make([]int, n)
-		for j := range granted {
-			granted[j] = Unmatched
-		}
-		for j := 0; j < n; j++ {
-			if outMatched[j] {
+		// Grant: each free output grants its deepest requesting input
+		// (ties break on lower input index — requester lists ascend).
+		for _, j32 := range l.activeOut {
+			j := int(j32)
+			if l.outMatched[j] {
 				continue
 			}
-			best, bestV := Unmatched, int64(0)
-			for i := 0; i < n; i++ {
-				if inMatch[i] == Unmatched {
-					if v := d.At(i, j); v > bestV {
-						best, bestV = i, v
-					}
+			best, bestV := -1, int64(0)
+			for _, i32 := range l.reqs[j] {
+				i := int(i32)
+				if inMatch[i] != Unmatched {
+					continue
+				}
+				if v := d.At(i, j); v > bestV {
+					best, bestV = i, v
 				}
 			}
-			granted[j] = best
+			if best >= 0 {
+				l.grants[best] = append(l.grants[best], j32)
+			}
 		}
 		// Accept: each input accepts its deepest granting output.
 		any := false
 		for i := 0; i < n; i++ {
-			if inMatch[i] != Unmatched {
+			g := l.grants[i]
+			if len(g) == 0 {
 				continue
 			}
-			best, bestV := Unmatched, int64(0)
-			for j := 0; j < n; j++ {
-				if granted[j] == i {
-					if v := d.At(i, j); v > bestV {
-						best, bestV = j, v
-					}
+			l.grants[i] = g[:0]
+			best, bestV := -1, int64(0)
+			for _, j32 := range g {
+				j := int(j32)
+				if v := d.At(i, j); v > bestV {
+					best, bestV = j, v
 				}
 			}
-			if best == Unmatched {
-				continue
-			}
 			inMatch[i] = best
-			outMatched[best] = true
+			l.outMatched[best] = true
 			any = true
 		}
 		if !any {

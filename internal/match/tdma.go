@@ -13,6 +13,7 @@ import (
 type TDMA struct {
 	n    int
 	slot int
+	out  Matching // reused across calls (see Algorithm.Schedule)
 	// SkipSelf avoids the identity connection i->i (a host never sends
 	// to itself), rotating over n-1 useful permutations.
 	SkipSelf bool
@@ -23,7 +24,7 @@ func NewTDMA(n int) *TDMA {
 	if n <= 0 {
 		panic("match: TDMA needs positive n")
 	}
-	return &TDMA{n: n, SkipSelf: true}
+	return &TDMA{n: n, SkipSelf: true, out: NewMatching(n)}
 }
 
 // Name implements Algorithm.
@@ -44,7 +45,7 @@ func (t *TDMA) Schedule(_ *demand.Matrix) Matching {
 	if t.SkipSelf && n > 1 {
 		shift = 1 + t.slot%(n-1)
 	}
-	m := make(Matching, n)
+	m := t.out
 	for i := 0; i < n; i++ {
 		m[i] = (i + shift) % n
 	}

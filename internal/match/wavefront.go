@@ -1,6 +1,8 @@
 package match
 
 import (
+	"slices"
+
 	"hybridsched/internal/demand"
 )
 
@@ -13,9 +15,19 @@ import (
 //
 // A rotating priority offset shifts which diagonal goes first so no port
 // pair is permanently favored.
+//
+// In software the sweep only ever acts on requesting cells, so instead of
+// visiting all n² crosspoints the implementation collects the nonzero
+// cells keyed by (wave, row) and processes them in sorted order —
+// identical decisions in O(nonzeros log nonzeros).
 type Wavefront struct {
 	n      int
 	offset int
+
+	// Scratch reused across Schedule calls (see Algorithm.Schedule).
+	out     Matching
+	colUsed []bool
+	cells   []uint64 // packed (wave << 40 | i << 20 | j)
 }
 
 // NewWavefront returns a wavefront arbiter for n ports.
@@ -23,7 +35,10 @@ func NewWavefront(n int) *Wavefront {
 	if n <= 0 {
 		panic("match: wavefront needs positive n")
 	}
-	return &Wavefront{n: n}
+	if n >= 1<<20 {
+		panic("match: wavefront supports at most 2^20 ports")
+	}
+	return &Wavefront{n: n, out: NewMatching(n), colUsed: make([]bool, n)}
 }
 
 // Name implements Algorithm.
@@ -41,26 +56,38 @@ func (w *Wavefront) Complexity(n int) Complexity {
 // Schedule implements Algorithm.
 func (w *Wavefront) Schedule(d *demand.Matrix) Matching {
 	n := w.n
-	m := NewMatching(n)
-	colUsed := make([]bool, n)
-	// Sweep anti-diagonals starting from a rotating offset.
-	for wave := 0; wave < 2*n-1; wave++ {
-		for i := 0; i < n; i++ {
-			j := (wave - i + w.offset) % n
-			if j < 0 {
-				j += n
+	m := w.out
+	for i := range m {
+		m[i] = Unmatched
+	}
+	for j := range w.colUsed {
+		w.colUsed[j] = false
+	}
+	// A requesting cell (i, j) is evaluated by the dense sweep at wave
+	// i + ((j - offset) mod n); within a wave rows ascend. Sorting the
+	// packed keys reproduces that exact visiting order.
+	w.cells = w.cells[:0]
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			j, _ := row.Entry(k)
+			shift := j - w.offset
+			if shift < 0 {
+				shift += n
 			}
-			// Only cells whose anti-diagonal index equals the wave are
-			// evaluated this step; iterating i covers them all.
-			if wave-i < 0 || wave-i >= n {
-				continue
-			}
-			if m[i] != Unmatched || colUsed[j] || d.At(i, j) <= 0 {
-				continue
-			}
-			m[i] = j
-			colUsed[j] = true
+			wave := uint64(i + shift)
+			w.cells = append(w.cells, wave<<40|uint64(i)<<20|uint64(j))
 		}
+	}
+	slices.Sort(w.cells)
+	for _, key := range w.cells {
+		i := int(key >> 20 & (1<<20 - 1))
+		j := int(key & (1<<20 - 1))
+		if m[i] != Unmatched || w.colUsed[j] {
+			continue
+		}
+		m[i] = j
+		w.colUsed[j] = true
 	}
 	w.offset = (w.offset + 1) % n
 	return m

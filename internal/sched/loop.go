@@ -12,6 +12,9 @@ import (
 // are required.
 type Hooks struct {
 	// Snapshot returns the demand estimate the schedule is computed from.
+	// The loop owns the returned matrix and releases it back to the
+	// demand pool once the schedule is computed, so implementations must
+	// hand over a caller-owned matrix (estimator Snapshots already do).
 	Snapshot func(t units.Time) *demand.Matrix
 	// Configure applies a matching to the switching logic and calls done
 	// once circuits are usable (after the OCS dead-time). The loop never
@@ -119,6 +122,9 @@ func (l *Loop) cycle() {
 	t0 := l.sim.Now()
 	snap := l.hooks.Snapshot(t0)
 	m := l.alg.Schedule(snap)
+	// The snapshot is consumed; recycling it keeps the loop from paying
+	// an n² matrix allocation every slot at fabric port counts.
+	snap.Release()
 	lat := l.ComputeLatency()
 	l.sim.Schedule(lat, func() { l.configureAndGrant(m, t0, l.nextSerial) })
 }
@@ -171,6 +177,7 @@ func (l *Loop) pipelineNext() {
 	t0 := l.sim.Now()
 	snap := l.hooks.Snapshot(t0)
 	m := l.alg.Schedule(snap)
+	snap.Release()
 	lat := l.ComputeLatency()
 	wait := l.cfg.Slot
 	if lat > wait {

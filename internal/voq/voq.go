@@ -140,7 +140,10 @@ func (q *Queue) DequeueUpTo(t units.Time, budget units.Size) []*packet.Packet {
 // generates scheduling requests".
 type Notify func(in, out packet.Port, nowEmpty bool)
 
-// Bank is the n x n VOQ array at the switch ingress.
+// Bank is the n x n VOQ array at the switch ingress. Alongside the
+// queues it tracks the set of nonempty queue indices, so occupancy
+// reporting and residue sweeps cost O(nonempty queues) instead of O(n²) —
+// the difference between rack-size and fabric-size port counts.
 type Bank struct {
 	n      int
 	queues []*Queue
@@ -148,6 +151,10 @@ type Bank struct {
 	total  units.Size
 	peak   units.Size
 	drops  stats.Counter
+
+	active []int32        // indices (in*n + out) of nonempty queues, unordered
+	apos   []int32        // position of each queue in active, -1 when empty
+	occ    *demand.Matrix // reused occupancy scratch, built on demand
 }
 
 // NewBank returns an n x n bank whose queues each hold at most maxBits
@@ -156,11 +163,36 @@ func NewBank(n int, maxBits units.Size, notify Notify) *Bank {
 	if n <= 0 {
 		panic("voq: bank size must be positive")
 	}
-	b := &Bank{n: n, queues: make([]*Queue, n*n), notify: notify}
+	b := &Bank{n: n, queues: make([]*Queue, n*n), notify: notify,
+		apos: make([]int32, n*n)}
 	for i := range b.queues {
 		b.queues[i] = NewQueue(maxBits, 0)
+		b.apos[i] = -1
 	}
 	return b
+}
+
+// activate records queue idx as nonempty.
+func (b *Bank) activate(idx int32) {
+	if b.apos[idx] >= 0 {
+		return
+	}
+	b.apos[idx] = int32(len(b.active))
+	b.active = append(b.active, idx)
+}
+
+// deactivate removes queue idx from the nonempty set (swap-remove).
+func (b *Bank) deactivate(idx int32) {
+	pos := b.apos[idx]
+	if pos < 0 {
+		return
+	}
+	last := int32(len(b.active) - 1)
+	moved := b.active[last]
+	b.active[pos] = moved
+	b.apos[moved] = pos
+	b.active = b.active[:last]
+	b.apos[idx] = -1
 }
 
 // N returns the port count.
@@ -180,7 +212,8 @@ func (b *Bank) check(in, out packet.Port) {
 // Enqueue places p into VOQ (p.Src, p.Dst). It returns false on tail-drop.
 func (b *Bank) Enqueue(t units.Time, p *packet.Packet) bool {
 	b.check(p.Src, p.Dst)
-	q := b.Queue(p.Src, p.Dst)
+	idx := int32(p.Src)*int32(b.n) + int32(p.Dst)
+	q := b.queues[idx]
 	wasEmpty := q.Len() == 0
 	if !q.Enqueue(t, p) {
 		b.drops.Inc()
@@ -190,8 +223,11 @@ func (b *Bank) Enqueue(t units.Time, p *packet.Packet) bool {
 	if b.total > b.peak {
 		b.peak = b.total
 	}
-	if wasEmpty && b.notify != nil {
-		b.notify(p.Src, p.Dst, false)
+	if wasEmpty {
+		b.activate(idx)
+		if b.notify != nil {
+			b.notify(p.Src, p.Dst, false)
+		}
 	}
 	return true
 }
@@ -199,12 +235,16 @@ func (b *Bank) Enqueue(t units.Time, p *packet.Packet) bool {
 // Dequeue removes the head packet of VOQ (in, out), or returns nil.
 func (b *Bank) Dequeue(t units.Time, in, out packet.Port) *packet.Packet {
 	b.check(in, out)
-	q := b.Queue(in, out)
+	idx := int32(in)*int32(b.n) + int32(out)
+	q := b.queues[idx]
 	p := q.Dequeue(t)
 	if p != nil {
 		b.total -= p.Size
-		if q.Len() == 0 && b.notify != nil {
-			b.notify(in, out, true)
+		if q.Len() == 0 {
+			b.deactivate(idx)
+			if b.notify != nil {
+				b.notify(in, out, true)
+			}
 		}
 	}
 	return p
@@ -213,13 +253,17 @@ func (b *Bank) Dequeue(t units.Time, in, out packet.Port) *packet.Packet {
 // DequeueUpTo drains up to budget bits of whole packets from VOQ (in, out).
 func (b *Bank) DequeueUpTo(t units.Time, in, out packet.Port, budget units.Size) []*packet.Packet {
 	b.check(in, out)
-	q := b.Queue(in, out)
+	idx := int32(in)*int32(b.n) + int32(out)
+	q := b.queues[idx]
 	pkts := q.DequeueUpTo(t, budget)
 	for _, p := range pkts {
 		b.total -= p.Size
 	}
-	if len(pkts) > 0 && q.Len() == 0 && b.notify != nil {
-		b.notify(in, out, true)
+	if len(pkts) > 0 && q.Len() == 0 {
+		b.deactivate(idx)
+		if b.notify != nil {
+			b.notify(in, out, true)
+		}
 	}
 	return pkts
 }
@@ -234,9 +278,29 @@ func (b *Bank) PeakBits() units.Size { return b.peak }
 // Drops returns the aggregate tail-drop count.
 func (b *Bank) Drops() int64 { return b.drops.Value() }
 
-// FillOccupancy writes the current per-VOQ backlog into est via
-// SetOccupancy, the feed for occupancy-based demand estimation.
+// buildOcc refreshes the bank's reusable occupancy matrix from the
+// nonempty-queue set: O(nonempty), no allocation in steady state.
+func (b *Bank) buildOcc() *demand.Matrix {
+	if b.occ == nil {
+		b.occ = demand.NewMatrix(b.n)
+	} else {
+		b.occ.Reset()
+	}
+	for _, idx := range b.active {
+		b.occ.Set(int(idx)/b.n, int(idx)%b.n, int64(b.queues[idx].bits))
+	}
+	return b.occ
+}
+
+// FillOccupancy writes the current per-VOQ backlog into est — the feed
+// for occupancy-based demand estimation. Estimators implementing
+// demand.OccupancySink receive the whole matrix at once (O(nonempty));
+// others fall back to one SetOccupancy call per pair.
 func (b *Bank) FillOccupancy(t units.Time, est demand.Estimator) {
+	if sink, ok := est.(demand.OccupancySink); ok {
+		sink.SetOccupancyMatrix(t, b.buildOcc())
+		return
+	}
 	for i := 0; i < b.n; i++ {
 		for j := 0; j < b.n; j++ {
 			est.SetOccupancy(t, i, j, int64(b.queues[i*b.n+j].bits))
@@ -245,13 +309,15 @@ func (b *Bank) FillOccupancy(t units.Time, est demand.Estimator) {
 }
 
 // OccupancyMatrix returns the instantaneous backlog as a demand matrix in
-// bits.
-func (b *Bank) OccupancyMatrix() *demand.Matrix {
-	m := demand.NewMatrix(b.n)
-	for i := 0; i < b.n; i++ {
-		for j := 0; j < b.n; j++ {
-			m.Set(i, j, int64(b.queues[i*b.n+j].bits))
-		}
-	}
-	return m
+// bits. The matrix is a read-only view owned by the bank, valid until the
+// next FillOccupancy or OccupancyMatrix call; callers that keep it must
+// Clone it.
+func (b *Bank) OccupancyMatrix() *demand.Matrix { return b.buildOcc() }
+
+// AppendNonEmpty appends the flat indices (in*N + out) of all nonempty
+// queues to dst and returns it. The order is unspecified; callers that
+// need determinism sort the result. This is the O(nonempty) feed for
+// residue sweeps over fabric-scale banks.
+func (b *Bank) AppendNonEmpty(dst []int32) []int32 {
+	return append(dst, b.active...)
 }

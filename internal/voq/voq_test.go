@@ -233,6 +233,55 @@ func TestBankOccupancyMatrix(t *testing.T) {
 	}
 }
 
+// TestBankNonEmptyTracking drives random enqueue/dequeue churn and checks
+// the nonempty-queue index set — the O(nonempty) feed behind occupancy
+// snapshots and residue sweeps at fabric port counts — against a dense
+// rescan of the bank.
+func TestBankNonEmptyTracking(t *testing.T) {
+	const n = 5
+	b := NewBank(n, 0, nil)
+	queued := map[int32]int{}
+	step := func(k int) {
+		in, out := packet.Port(k*7%n), packet.Port(k*3%n)
+		idx := int32(in)*n + int32(out)
+		if k%3 == 2 {
+			if p := b.Dequeue(units.Time(k), in, out); p != nil {
+				queued[idx]--
+			}
+		} else {
+			if b.Enqueue(units.Time(k), mkpkt(uint64(k), in, out, 100*units.Byte)) {
+				queued[idx]++
+			}
+		}
+	}
+	for k := 0; k < 300; k++ {
+		step(k)
+		if k%37 != 0 {
+			continue
+		}
+		got := map[int32]bool{}
+		for _, idx := range b.AppendNonEmpty(nil) {
+			if got[idx] {
+				t.Fatalf("step %d: queue %d listed twice", k, idx)
+			}
+			got[idx] = true
+		}
+		for idx, cnt := range queued {
+			if (cnt > 0) != got[idx] {
+				t.Fatalf("step %d: queue %d count %d but listed=%v", k, idx, cnt, got[idx])
+			}
+		}
+		occ := b.OccupancyMatrix()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if want := int64(b.Queue(packet.Port(i), packet.Port(j)).Bits()); occ.At(i, j) != want {
+					t.Fatalf("step %d: occupancy(%d,%d) = %d, want %d", k, i, j, occ.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
 func TestBankPortRangePanics(t *testing.T) {
 	b := NewBank(2, 0, nil)
 	defer func() {
