@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench-smoke bench-json race-smoke check
+.PHONY: all build test vet fmt-check bench-smoke bench-json race-smoke docs-check check
 
 all: build
 
@@ -27,11 +27,13 @@ fmt-check:
 # event-queue benchmark is the kernel's allocation regression guard, the
 # observer benchmark covers the streaming-sample path, the empirical-
 # sampler benchmark the flow-size draw, the trace-replay benchmark the
-# capture/replay injection path, and the matching benchmarks
+# capture/replay injection path, the matching benchmarks
 # (BenchmarkMatch*, at up to 512 ports) the scheduling core's
-# nonzero-iteration hot path.
+# nonzero-iteration hot path, and the serve benchmarks the online
+# service's allocation-free epoch loop.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkEventQueue|BenchmarkObserverStream|BenchmarkEmpiricalSampler|BenchmarkTraceReplay|BenchmarkMatch' -benchtime 0.1s .
+	$(GO) test -run '^$$' -bench 'BenchmarkEventQueue|BenchmarkObserverStream|BenchmarkEmpiricalSampler|BenchmarkTraceReplay|BenchmarkMatch|BenchmarkServiceEpoch' -benchtime 0.1s .
+	$(GO) test -run '^$$' -bench 'BenchmarkServeEpoch' -benchtime 0.1s ./internal/serve
 
 # bench-json records the scheduling-core performance trajectory: it runs
 # the matching and frame-decomposition benchmark set with -benchmem and
@@ -44,9 +46,22 @@ bench-json:
 # the parallel execution engine and the root fan-out/observer API,
 # including the flow-level generator fan-out
 # (TestFlowWorkloadParallelDeterminism), the golden-trace replays at
-# several worker counts, and the 256-port fabric scenario
-# (TestScale256PortScenario).
+# several worker counts, the 256-port fabric scenario
+# (TestScale256PortScenario), and the online scheduling service —
+# streaming ingest, subscriptions, the sharded step fan-out, and the
+# 10k-epoch live-workload run (TestServeLive10kEpochs) — plus the
+# JSON-lines daemon serving it.
 race-smoke:
-	$(GO) test -race ./internal/runner/... .
+	$(GO) test -race ./internal/runner/... ./internal/serve/... ./cmd/hybridschedd/... .
 
-check: fmt-check vet build test bench-smoke
+# docs-check keeps the documentation layer executable: go vet (including
+# its doc-comment/printf analyzers) over every package, all godoc
+# Example functions run with their expected output compared, and the
+# markdown link + make-target checkers (TestDoc*) over README.md and
+# docs/.
+docs-check:
+	$(GO) vet ./...
+	$(GO) test -run '^Example' -v .
+	$(GO) test -run '^TestDoc' .
+
+check: fmt-check vet build test bench-smoke docs-check

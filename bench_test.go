@@ -483,3 +483,38 @@ func demoScenarioBench(n int) (Metrics, error) {
 	}
 	return sc.Run()
 }
+
+// BenchmarkServiceEpoch prices one epoch of the online scheduling
+// service through the public API — ingest refill plus a fan-out step
+// over every shard. The per-shard epoch hot path itself is
+// allocation-free (BenchmarkServeEpoch in internal/serve pins that); the
+// public step adds only the frame-slice fan-out.
+func BenchmarkServiceEpoch(b *testing.B) {
+	const n = 128
+	svc, err := NewService(ServiceConfig{Ports: n, Algorithm: "islip", SlotBits: 1500 * 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	offer := func() {
+		for i := 0; i < n; i++ {
+			for k := 1; k <= 8; k++ {
+				if err := svc.Offer(i, (i+k*7)%n, 1500*8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	offer()
+	if _, err := svc.Step(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offer()
+		if _, err := svc.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package hybridsched
+
+// The documentation layer's rot guard: every intra-repo markdown link
+// must resolve (file, directory, and #anchor targets), and every `make
+// <target>` a document references must exist in the Makefile. Run by
+// `make docs-check` (and therefore `make check` and CI).
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns the markdown files under the doc layer's contract:
+// everything at the repo root plus docs/, except the transient task file
+// and the exemplar-code scrapbook (whose bracketed snippets are not
+// links).
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, glob := range []string{"*.md", "docs/*.md"} {
+		matches, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range matches {
+			switch filepath.Base(m) {
+			case "ISSUE.md", "SNIPPETS.md":
+				continue
+			}
+			files = append(files, m)
+		}
+	}
+	if len(files) < 5 {
+		t.Fatalf("only found %d markdown files (%v); doc walk is broken", len(files), files)
+	}
+	return files
+}
+
+// stripFences removes fenced code blocks, whose bracket/paren sequences
+// are code, not links.
+func stripFences(s string) string {
+	var out strings.Builder
+	inFence := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			out.WriteString(line)
+			out.WriteByte('\n')
+		}
+	}
+	return out.String()
+}
+
+// githubAnchor reduces a heading to its GitHub-style anchor slug.
+func githubAnchor(heading string) string {
+	s := strings.ToLower(strings.TrimSpace(heading))
+	s = regexp.MustCompile("`([^`]*)`").ReplaceAllString(s, "$1")
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ', r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+var (
+	headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+)$`)
+	linkRe    = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+)
+
+// anchorsIn returns the set of heading anchors a markdown file defines.
+func anchorsIn(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := map[string]bool{}
+	for _, m := range headingRe.FindAllStringSubmatch(stripFences(string(raw)), -1) {
+		anchors[githubAnchor(m[1])] = true
+	}
+	return anchors
+}
+
+// TestDocLinks verifies every relative markdown link: the target file or
+// directory exists, and when the link carries a #fragment, the target
+// document defines that heading anchor.
+func TestDocLinks(t *testing.T) {
+	for _, path := range docFiles(t) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := stripFences(string(raw))
+		for _, m := range linkRe.FindAllStringSubmatch(body, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not this test's contract
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			resolved := path
+			if file != "" {
+				resolved = filepath.Join(filepath.Dir(path), file)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: dangling link %q: %v", path, target, err)
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(resolved, ".md") {
+				if !anchorsIn(t, resolved)[frag] {
+					t.Errorf("%s: link %q: no heading with anchor %q in %s",
+						path, target, frag, resolved)
+				}
+			}
+		}
+	}
+}
+
+// TestDocMakeTargets verifies that every `make <target>` the docs
+// reference (inline code or fenced shell blocks) names a real Makefile
+// target.
+func TestDocMakeTargets(t *testing.T) {
+	mk, err := os.ReadFile("Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := map[string]bool{}
+	targetRe := regexp.MustCompile(`(?m)^([a-zA-Z0-9_-]+):`)
+	for _, m := range targetRe.FindAllStringSubmatch(string(mk), -1) {
+		targets[m[1]] = true
+	}
+	if !targets["check"] {
+		t.Fatal("Makefile parse failed: no check target found")
+	}
+
+	inlineRe := regexp.MustCompile("`make ([a-zA-Z0-9_-]+)`")
+	shellRe := regexp.MustCompile(`(?m)^\s*(?:\$ )?make ([a-zA-Z0-9_-]+)`)
+	for _, path := range docFiles(t) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(ref string) {
+			if !targets[ref] {
+				t.Errorf("%s: references `make %s`, which is not a Makefile target", path, ref)
+			}
+		}
+		// Inline code spans anywhere in the document.
+		for _, m := range inlineRe.FindAllStringSubmatch(string(raw), -1) {
+			check(m[1])
+		}
+		// Command lines inside fenced blocks.
+		inFence := false
+		for _, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				for _, m := range shellRe.FindAllStringSubmatch(line, -1) {
+					check(m[1])
+				}
+			}
+		}
+	}
+}
+
+// TestDocExamplesExist pins the executable-documentation contract the
+// README states: the godoc examples it names stay present and runnable.
+func TestDocExamplesExist(t *testing.T) {
+	raw, err := os.ReadFile("example_test.go")
+	if err != nil {
+		t.Fatal("README promises runnable godoc examples:", err)
+	}
+	for _, name := range []string{
+		"ExampleNewScenario",
+		"ExampleRunScenarios",
+		"ExampleRegisterAlgorithm",
+		"ExampleCaptureTrace",
+		"ExampleNewService",
+		"ExampleService_Snapshot",
+	} {
+		if !strings.Contains(string(raw), "func "+name+"(") {
+			t.Errorf("example %s missing from example_test.go", name)
+		}
+	}
+}

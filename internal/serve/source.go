@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"fmt"
+
+	"hybridsched/internal/packet"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+// WorkloadSource adapts the flow-level (and packet-level) workload
+// generators into a live load source: it owns a private discrete-event
+// simulator carrying one traffic.Generator, and each Advance plays the
+// generator forward by one epoch's span of simulated time, offering every
+// generated packet's bits as demand. The stream is endless (the
+// generator's Until is pinned to the end of time) and deterministic per
+// seed — the same source produces the same offer sequence epoch by
+// epoch, which is what makes serve-mode runs replayable.
+type WorkloadSource struct {
+	sim  *sim.Simulator
+	gen  *traffic.Generator
+	span units.Duration
+	// offer is rebound by Advance; the generator's emit closure reads it
+	// through this indirection so Start is only called once.
+	offer func(src, dst int, bits int64)
+}
+
+// NewWorkloadSource validates cfg and builds a source that advances the
+// generator span of simulated time per epoch. A zero cfg.Until means
+// "forever". Span must be positive.
+func NewWorkloadSource(cfg traffic.Config, span units.Duration) (*WorkloadSource, error) {
+	if span <= 0 {
+		return nil, fmt.Errorf("serve: workload source span must be positive, have %v", span)
+	}
+	if cfg.Until == 0 {
+		cfg.Until = units.MaxTime
+	}
+	gen, err := traffic.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ws := &WorkloadSource{sim: sim.New(), gen: gen, span: span}
+	gen.Start(ws.sim, func(p *packet.Packet) {
+		ws.offer(int(p.Src), int(p.Dst), int64(p.Size))
+	})
+	return ws, nil
+}
+
+// Advance implements Source: one epoch's span of arrivals.
+func (ws *WorkloadSource) Advance(offer func(src, dst int, bits int64)) {
+	ws.offer = offer
+	ws.sim.RunUntil(ws.sim.Now().Add(ws.span))
+	ws.offer = nil
+}
+
+// Offered returns the total bits the generator has emitted so far.
+func (ws *WorkloadSource) Offered() int64 { return int64(ws.gen.BitsEmitted()) }
