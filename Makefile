@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench-smoke bench-json race-smoke docs-check check
+.PHONY: all build test vet fmt-check lint bench-smoke bench-json race-smoke docs-check check
 
 all: build
 
@@ -15,6 +15,14 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs schedlint, the module's own analyzer suite
+# (internal/analysis): determinism, hot-path allocation, pool pairing,
+# the sealed internal/ boundary, and serve-layer channel discipline.
+# See docs/INVARIANTS.md for the contracts and the //hybridsched:*
+# directive vocabulary that records reviewed exceptions.
+lint:
+	$(GO) run ./cmd/schedlint ./...
 
 # fmt-check fails (and lists the offenders) if any file is not gofmt-clean.
 fmt-check:
@@ -51,8 +59,11 @@ bench-json:
 # streaming ingest, subscriptions, the sharded step fan-out, and the
 # 10k-epoch live-workload run (TestServeLive10kEpochs) — plus the
 # JSON-lines daemon serving it.
+# internal/analysis rides along so the analyzer suite (whose loader
+# shells out to the go tool and type-checks concurrently loaded
+# packages) is exercised under the race detector too.
 race-smoke:
-	$(GO) test -race ./internal/runner/... ./internal/serve/... ./cmd/hybridschedd/... .
+	$(GO) test -race ./internal/runner/... ./internal/serve/... ./internal/analysis/... ./cmd/hybridschedd/... .
 
 # docs-check keeps the documentation layer executable: go vet (including
 # its doc-comment/printf analyzers) over every package, all godoc
@@ -64,4 +75,4 @@ docs-check:
 	$(GO) test -run '^Example' -v .
 	$(GO) test -run '^TestDoc' .
 
-check: fmt-check vet build test bench-smoke docs-check
+check: fmt-check vet lint build test bench-smoke docs-check

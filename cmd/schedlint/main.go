@@ -1,0 +1,115 @@
+// Command schedlint runs the hybridsched invariant analyzers — the
+// determinism, hot-path-allocation, pool-discipline, API-boundary, and
+// channel-backpressure contracts — over the module and reports every
+// violation in file:line:col form. It is the multichecker for the
+// internal/analysis suite; `make lint` (and therefore `make check` and
+// CI) runs it over ./....
+//
+// Usage:
+//
+//	schedlint [-list] [-only name[,name]] [packages]
+//
+// Packages default to ./... resolved against the enclosing module. The
+// exit status is 1 when any diagnostic is reported, 2 on usage or load
+// errors. See docs/INVARIANTS.md for the contracts and the
+// //hybridsched:* directive vocabulary that records reviewed
+// exceptions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hybridsched/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: schedlint [-list] [-only name,...] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	flag.Parse()
+
+	suite := analysis.Analyzers()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-18s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				delete(keep, a.Name)
+				sel = append(sel, a)
+			}
+		}
+		if len(keep) > 0 || len(sel) == 0 {
+			fmt.Fprintf(os.Stderr, "schedlint: unknown analyzers in -only=%s\n", *only)
+			os.Exit(2)
+		}
+		suite = sel
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.LoadModule(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "schedlint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -228,6 +228,8 @@ func E3HybridVsSkew(sc Scale) (*Result, error) {
 // random demand across port counts and sets it against the hardware-depth
 // model. It stays serial on purpose: concurrent runs would contend for
 // cores and corrupt the wall-clock numbers being reported.
+//
+//hybridsched:wallclock
 func E4AlgorithmScaling(sc Scale) (*Result, error) {
 	res := &Result{ID: "E4", Title: "Matching algorithm cost scaling"}
 	portCounts := []int{8, 16, 32, 64}

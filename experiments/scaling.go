@@ -35,6 +35,8 @@ var s1Ports = []int{16, 64, 128, 256, 512}
 //
 // Points run serially on purpose (WallClock): concurrent runs would
 // contend for cores and corrupt the runtime measurements.
+//
+//hybridsched:wallclock
 func S1Scaling(sc Scale) (*Result, error) {
 	res := &Result{ID: "S1", Title: "Scaling to fabric port counts (S1)"}
 

@@ -1,0 +1,246 @@
+// Package analysis is schedlint: a suite of static analyzers that turn
+// the module's three load-bearing invariants — deterministic results,
+// allocation-free scheduling hot paths, and the sealed internal/ API
+// boundary — into compile-time contracts checked on every build instead
+// of runtime properties sampled by whichever tests happen to execute
+// them. See docs/INVARIANTS.md for the contracts and the
+// //hybridsched:* directive vocabulary.
+//
+// The package mirrors the golang.org/x/tools/go/analysis vocabulary
+// (Analyzer, Pass, Diagnostic, testdata/src fixtures with want
+// comments) so the analyzers can migrate to the upstream framework —
+// and run under go vet -vettool — verbatim once the x/tools dependency
+// is available; this tree deliberately builds from the standard library
+// alone, so the driver in cmd/schedlint and the loader in load.go stand
+// in for multichecker and go/packages.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker. The driver runs Run once
+// per loaded package; module-scoped analyzers (hotpathalloc) reach the
+// other packages of the load through Pass.Module but still report only
+// against the current package, so diagnostics are never duplicated.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command
+	// line. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph contract description shown by
+	// schedlint -help.
+	Doc string
+	// Run reports the package's violations through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer's view of one package during a run.
+type Pass struct {
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Module holds every package of the load in dependency order
+	// (Pkg included). Type-checked objects are shared across the slice,
+	// so a *types.Func resolved in one package is identical to the
+	// defining package's, which is what lets hotpathalloc chase static
+	// calls across package boundaries.
+	Module []*Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the schedlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoDeterminism,
+		HotPathAlloc,
+		PoolPair,
+		InternalBoundary,
+		ChanDiscipline,
+	}
+}
+
+// Run executes the analyzers over every package of a load and returns
+// the diagnostics sorted by file position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				Module:   pkgs,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ---------------------------------------------------------------------------
+// Directives.
+//
+// The //hybridsched:* comment vocabulary is how reviewed exceptions to
+// the contracts are recorded in the code they apply to:
+//
+//	//hybridsched:hotpath      — zero-allocation contract root (func)
+//	//hybridsched:alloc-ok …   — reviewed allocation; hotpathalloc stops here (func)
+//	//hybridsched:wallclock    — intentional wall-clock use (func or line)
+//	//hybridsched:mapiter      — order-insensitive map iteration (func or line)
+//	//hybridsched:unbounded-ok — reviewed unbounded channel (line)
+//
+// A line directive attaches to the flagged statement's own line or the
+// line immediately above it; a func directive lives in the function's
+// doc comment.
+
+// DirectivePrefix starts every schedlint comment directive.
+const DirectivePrefix = "//hybridsched:"
+
+const (
+	dirHotPath     = "hotpath"
+	dirAllocOK     = "alloc-ok"
+	dirWallClock   = "wallclock"
+	dirMapIter     = "mapiter"
+	dirUnboundedOK = "unbounded-ok"
+)
+
+// directiveName extracts the directive name from one comment, or "".
+func directiveName(c *ast.Comment) string {
+	if !strings.HasPrefix(c.Text, DirectivePrefix) {
+		return ""
+	}
+	rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i] // trailing words are the human-readable reason
+	}
+	return rest
+}
+
+// directiveIndex maps file/line positions to the directives present
+// there, for line-attached lookups.
+type directiveIndex struct {
+	fset   *token.FileSet
+	byLine map[string]map[int][]string // filename -> line -> directive names
+}
+
+// newDirectiveIndex scans every comment in the package.
+func newDirectiveIndex(pkg *Package) *directiveIndex {
+	idx := &directiveIndex{fset: pkg.Fset, byLine: map[string]map[int][]string{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name := directiveName(c)
+				if name == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+			}
+		}
+	}
+	return idx
+}
+
+// at reports whether directive name is attached to pos: present on the
+// same line or the line immediately above.
+func (idx *directiveIndex) at(pos token.Pos, name string) bool {
+	p := idx.fset.Position(pos)
+	lines := idx.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{p.Line, p.Line - 1} {
+		for _, n := range lines[l] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcHasDirective reports whether fn's doc comment carries the
+// directive.
+func funcHasDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if directiveName(c) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFunc returns the function declaration containing pos in file,
+// or nil.
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Pos() <= pos && pos <= fn.End() {
+			return fn
+		}
+	}
+	return nil
+}
+
+// pkgPathMatches reports whether pkgPath is path itself or below it.
+func pkgPathMatches(pkgPath, path string) bool {
+	return pkgPath == path || strings.HasPrefix(pkgPath, path+"/")
+}
+
+// matchesAny reports whether pkgPath matches any of the given package
+// path roots.
+func matchesAny(pkgPath string, roots []string) bool {
+	for _, r := range roots {
+		if pkgPathMatches(pkgPath, r) {
+			return true
+		}
+	}
+	return false
+}

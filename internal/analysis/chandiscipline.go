@@ -1,0 +1,120 @@
+package analysis
+
+// chandiscipline enforces the internal/serve backpressure rule: the
+// online service must never let a slow consumer stall the epoch loop or
+// let an unbounded buffer hide one. Concretely, in the configured
+// packages every data-carrying channel must be created with an explicit
+// bound, and every send must sit in a select with a default case — the
+// shape that forces the author to pick a drop policy (DropOldest /
+// DropNewest) instead of inheriting "block forever".
+//
+// Pure signal channels (element type struct{}) are exempt: they are
+// closed, not sent on, and bounding them adds nothing. A reviewed
+// exception carries //hybridsched:unbounded-ok on the line.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BackpressurePackages lists the package roots the channel discipline
+// covers.
+var BackpressurePackages = []string{
+	"hybridsched/internal/serve",
+}
+
+// ChanDiscipline is the bounded-channel / drop-policy analyzer.
+var ChanDiscipline = &Analyzer{
+	Name: "chandiscipline",
+	Doc: `require bounded channels and select-with-default sends in the serve layer
+
+A subscriber or ingest channel without a capacity, or a bare blocking
+send, couples the epoch loop to its slowest consumer. Buffer depth plus
+an explicit drop policy is the contract; //hybridsched:unbounded-ok
+records a reviewed exception.`,
+	Run: runChanDiscipline,
+}
+
+func runChanDiscipline(pass *Pass) error {
+	if !matchesAny(pass.Pkg.PkgPath, BackpressurePackages) {
+		return nil
+	}
+	idx := newDirectiveIndex(pass.Pkg)
+	info := pass.Pkg.Info
+
+	// Sends appearing as a select communication are judged with their
+	// select; collect them first.
+	selectSends := map[*ast.SendStmt]*ast.SelectStmt{}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			for _, clause := range sel.Body.List {
+				cc := clause.(*ast.CommClause)
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					selectSends[send] = sel
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !isBuiltin(info, n, "make") || len(n.Args) == 0 {
+					return true
+				}
+				ch, ok := info.TypeOf(n.Args[0]).Underlying().(*types.Chan)
+				if !ok {
+					return true
+				}
+				if len(n.Args) >= 2 {
+					return true // bounded
+				}
+				if isEmptyStruct(ch.Elem()) {
+					return true // close-only signal channel
+				}
+				if idx.at(n.Pos(), dirUnboundedOK) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"unbuffered %s channel in the serve layer: give it a bound and a drop policy, or annotate //hybridsched:unbounded-ok",
+					types.TypeString(ch.Elem(), nil))
+			case *ast.SendStmt:
+				if idx.at(n.Pos(), dirUnboundedOK) {
+					return true
+				}
+				if sel, ok := selectSends[n]; ok {
+					if selectHasDefault(sel) {
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"select send without a default case blocks on a slow consumer; add a default implementing the drop policy")
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"bare channel send blocks on a slow consumer; send inside a select with a default implementing the drop policy")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if clause.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isEmptyStruct(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Struct)
+	return ok && s.NumFields() == 0
+}

@@ -1,0 +1,32 @@
+package analysis
+
+// The tree itself must satisfy its own contracts: the full schedlint
+// suite over the whole module reports nothing. This is `make lint` as a
+// test, so a violation fails `go test ./...` even where the Makefile
+// isn't in the loop.
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestModuleCleanUnderSchedlint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root, "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags, err := Run(pkgs, Analyzers())
+	if err != nil {
+		t.Fatalf("run suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

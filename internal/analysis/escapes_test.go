@@ -1,0 +1,148 @@
+package analysis
+
+// Escape regression: the compiler's own escape analysis
+// (go build -gcflags=-m) is diffed against a committed baseline for
+// every function in the //hybridsched:hotpath closure. hotpathalloc
+// catches allocating constructs by shape; this test catches the ones
+// only the optimizer can see — a value that stops stack-allocating
+// because an inlining decision changed, a closure that starts escaping.
+// New escapes fail the build; fixed ones just make the baseline stale.
+//
+// Regenerate the baseline after a reviewed change with:
+//
+//	go test ./internal/analysis -run TestHotPathEscapes -update-escapes
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateEscapes = flag.Bool("update-escapes", false, "rewrite testdata/escapes.txt from the current compiler output")
+
+const escapesBaseline = "testdata/escapes.txt"
+
+// escapeLine matches one compiler diagnostic reporting a heap escape.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.*(?:escapes to heap|moved to heap).*)$`)
+
+func TestHotPathEscapesMatchBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the hot-path packages; skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root, "./internal/demand/...", "./internal/match/...", "./internal/serve/...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+
+	// The hot closure decides both which functions are in scope and
+	// which packages must be compiled with -m.
+	type span struct {
+		name       string
+		start, end int
+	}
+	spans := map[string][]span{} // root-relative slash path -> func spans
+	buildPkgs := map[string]bool{}
+	for _, hf := range hotClosure(pkgs) {
+		p0 := hf.pkg.Fset.Position(hf.decl.Pos())
+		p1 := hf.pkg.Fset.Position(hf.decl.End())
+		rel, err := filepath.Rel(root, p0.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := filepath.ToSlash(rel)
+		spans[key] = append(spans[key], span{funcDisplayName(hf.decl), p0.Line, p1.Line})
+		buildPkgs[hf.pkg.PkgPath] = true
+	}
+	if len(spans) == 0 {
+		t.Fatal("no //hybridsched:hotpath functions found; the closure should cover the arbiters, demand updates, and serve epoch")
+	}
+
+	var args []string
+	for p := range buildPkgs {
+		args = append(args, p)
+	}
+	sort.Strings(args)
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, args...)...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+
+	got := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		file := filepath.ToSlash(strings.TrimPrefix(m[1], "./"))
+		lineNo, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		for _, s := range spans[file] {
+			if s.start <= lineNo && lineNo <= s.end {
+				// Line numbers are deliberately dropped so unrelated
+				// edits above a hot function don't churn the baseline.
+				got[fmt.Sprintf("%s: %s: %s", file, s.name, m[3])] = true
+				break
+			}
+		}
+	}
+	keys := make([]string, 0, len(got))
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	if *updateEscapes {
+		var b strings.Builder
+		b.WriteString("# Heap escapes inside the //hybridsched:hotpath closure, per\n")
+		b.WriteString("# go build -gcflags=-m, one per line without line numbers.\n")
+		b.WriteString("# Regenerate: go test ./internal/analysis -run TestHotPathEscapes -update-escapes\n")
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteString("\n")
+		}
+		if err := os.WriteFile(escapesBaseline, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d escape(s) to %s", len(keys), escapesBaseline)
+		return
+	}
+
+	baseline := map[string]bool{}
+	data, err := os.ReadFile(escapesBaseline)
+	if err != nil {
+		t.Fatalf("read %s (regenerate with -update-escapes): %v", escapesBaseline, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		baseline[line] = true
+	}
+
+	for _, k := range keys {
+		if !baseline[k] {
+			t.Errorf("new heap escape on the hot path:\n  %s\n(review it, then regenerate %s with -update-escapes)", k, escapesBaseline)
+		}
+	}
+	for k := range baseline {
+		if !got[k] {
+			t.Logf("baseline entry no longer observed (stale, safe to regenerate): %s", k)
+		}
+	}
+}

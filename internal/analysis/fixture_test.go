@@ -1,0 +1,141 @@
+package analysis
+
+// Fixture tests: each analyzer runs over a package under
+// testdata/src/<import-path> and its diagnostics are checked against
+// the fixture's `// want` comments, analysistest-style — every
+// diagnostic must match a want regexp on its line, and every want must
+// be matched. The fixtures deliberately reuse the real module's import
+// paths (hybridsched/internal/sim, ...), so the analyzers' package
+// coverage lists apply to them unchanged.
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestNoDeterminismFixture(t *testing.T) {
+	runFixture(t, NoDeterminism, "hybridsched/internal/sim")
+}
+
+func TestHotPathAllocFixture(t *testing.T) {
+	runFixture(t, HotPathAlloc, "hybridsched/internal/match")
+}
+
+func TestPoolPairFixture(t *testing.T) {
+	runFixture(t, PoolPair, "hybridsched/internal/sched")
+}
+
+func TestInternalBoundaryFixture(t *testing.T) {
+	runFixture(t, InternalBoundary, "hybridsched/cmd/leaky")
+}
+
+func TestChanDisciplineFixture(t *testing.T) {
+	runFixture(t, ChanDiscipline, "hybridsched/internal/serve")
+}
+
+// runFixture loads one fixture package, runs one analyzer over it, and
+// diffs the diagnostics against the want comments.
+func runFixture(t *testing.T, a *Analyzer, importPath string) {
+	t.Helper()
+	pkg, err := LoadFixture(filepath.Join("testdata", "src"), importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", importPath, err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, importPath, err)
+	}
+	wants := parseWants(t, pkg)
+
+	for _, d := range diags {
+		key := posKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", key.file, key.line, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s:%d matching %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants collects the `// want "re" ...` expectations of a fixture
+// package, keyed by file and line. Patterns may be backquoted or
+// double-quoted; several patterns on one comment expect several
+// diagnostics on that line.
+func parseWants(t *testing.T, pkg *Package) map[posKey][]*want {
+	t.Helper()
+	wants := map[posKey][]*want{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey{filepath.Base(pos.Filename), pos.Line}
+				pats, err := splitWantPatterns(text)
+				if err != nil {
+					t.Fatalf("%s:%d: %v", key.file, key.line, err)
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", key.file, key.line, p, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", pkg.PkgPath)
+	}
+	return wants
+}
+
+// splitWantPatterns parses a sequence of quoted regexps.
+func splitWantPatterns(s string) ([]string, error) {
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats, nil
+		}
+		q := s[0]
+		if q != '"' && q != '`' {
+			return nil, fmt.Errorf("want pattern must be quoted, have %q", s)
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern %q", s)
+		}
+		pats = append(pats, s[1:1+end])
+		s = s[2+end:]
+	}
+}

@@ -1,0 +1,400 @@
+package analysis
+
+// hotpathalloc enforces the zero-allocation contract on the scheduling
+// hot path. Functions annotated //hybridsched:hotpath — the per-slot
+// arbiters, the demand matrix's incremental updates, the serve epoch —
+// and every function they statically call within the module are flagged
+// on constructs that allocate: make/new, heap-bound composite literals,
+// append that grows anything but the target's own scratch, interface
+// boxing, capturing closures and method values, string/byte
+// conversions, goroutine launches, and calls into known-allocating
+// standard-library entry points. A single stray allocation per slot at
+// n=2048–4096 erases the sparse-kernel wins, so the contract is checked
+// at lint time, not discovered in a benchmark three PRs later.
+//
+// Reviewed exceptions carry //hybridsched:alloc-ok with a reason: on a
+// function it stops the call traversal there (serve's publish clones
+// one matching per epoch for subscribers, by design); on a line it
+// excuses that construct alone.
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// allocatingStdlib lists standard-library calls that always allocate.
+// Calls into packages outside the module are otherwise trusted (the
+// traversal cannot see their bodies), so the usual suspects are named.
+var allocatingStdlib = map[string]map[string]bool{
+	"fmt":     nil, // every fmt entry point allocates (nil = all)
+	"errors":  {"New": true, "Join": true},
+	"strconv": {"Itoa": true, "FormatInt": true, "FormatFloat": true, "FormatUint": true, "Quote": true},
+	"strings": {"Join": true, "Repeat": true, "Replace": true, "ReplaceAll": true, "Split": true, "Fields": true, "ToUpper": true, "ToLower": true},
+	"bytes":   {"Join": true, "Repeat": true, "Split": true},
+	"sort":    {"Strings": true, "Ints": true}, // interface-based sort boxes
+}
+
+// HotPathAlloc is the zero-allocation-contract analyzer.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: `forbid allocating constructs in //hybridsched:hotpath functions and their static callees
+
+The per-slot scheduling path must run at 0 allocs/op in steady state
+(BenchmarkMatch, BenchmarkServeEpoch pin the numbers; this analyzer
+pins the code shape). Scratch growth of the form x = append(x, ...) is
+amortized-free and allowed; everything else that can touch the heap is
+reported. Stop traversal at a reviewed boundary with
+//hybridsched:alloc-ok <reason>.`,
+	Run: runHotPathAlloc,
+}
+
+// hotFunc is one function in the hot-path closure.
+type hotFunc struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+	root string // display name of the annotated root that reaches it
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	closure := hotClosure(pass.Module)
+	idx := newDirectiveIndex(pass.Pkg)
+	for _, hf := range closure {
+		if hf.pkg == pass.Pkg {
+			checkHotBody(pass, idx, hf)
+		}
+	}
+	return nil
+}
+
+// hotClosure finds every //hybridsched:hotpath function in the load and
+// expands the set through static calls to module functions, stopping at
+// //hybridsched:alloc-ok boundaries.
+func hotClosure(module []*Package) []*hotFunc {
+	type declInfo struct {
+		decl *ast.FuncDecl
+		pkg  *Package
+	}
+	index := map[*types.Func]declInfo{}
+	var roots []*hotFunc
+	for _, pkg := range module {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				index[obj] = declInfo{fn, pkg}
+				if funcHasDirective(fn, dirHotPath) {
+					roots = append(roots, &hotFunc{decl: fn, pkg: pkg, root: funcDisplayName(fn)})
+				}
+			}
+		}
+	}
+
+	visited := map[*ast.FuncDecl]bool{}
+	var closure []*hotFunc
+	queue := append([]*hotFunc(nil), roots...)
+	for len(queue) > 0 {
+		hf := queue[0]
+		queue = queue[1:]
+		if visited[hf.decl] {
+			continue
+		}
+		visited[hf.decl] = true
+		closure = append(closure, hf)
+		ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(hf.pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			di, ok := index[callee]
+			if !ok || visited[di.decl] {
+				return true // out of module, interface dispatch, or seen
+			}
+			if funcHasDirective(di.decl, dirAllocOK) {
+				return true // reviewed boundary: traversal stops
+			}
+			queue = append(queue, &hotFunc{decl: di.decl, pkg: di.pkg, root: hf.root})
+			return true
+		})
+	}
+	return closure
+}
+
+// staticCallee resolves a call to the concrete module-level function or
+// method it invokes, or nil for interface dispatch, function values,
+// builtins, and conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified call
+		}
+	}
+	return nil
+}
+
+// funcDisplayName renders "(*T).Method" or "Func" for diagnostics.
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), fn.Recv.List[0].Type)
+	return "(" + buf.String() + ")." + fn.Name.Name
+}
+
+// checkHotBody reports the allocating constructs in one hot function.
+func checkHotBody(pass *Pass, idx *directiveIndex, hf *hotFunc) {
+	info := pass.Pkg.Info
+	where := funcDisplayName(hf.decl)
+	ctx := where
+	if ctx != hf.root {
+		ctx += " (hot path rooted at " + hf.root + ")"
+	}
+
+	report := func(n ast.Node, format string, args ...any) {
+		if idx.at(n.Pos(), dirAllocOK) {
+			return
+		}
+		args = append(args, ctx)
+		pass.Reportf(n.Pos(), format+" in %s", args...)
+	}
+
+	// Appends of the form x = append(x, ...) grow the target's own
+	// scratch: amortized allocation-free in steady state, allowed.
+	selfAppend := map[*ast.CallExpr]bool{}
+	// Call positions, so a method-value selector used as call.Fun is not
+	// mistaken for a captured method value.
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Rhs {
+				call, ok := n.Rhs[i].(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				if exprString(n.Lhs[i]) == exprString(call.Args[0]) {
+					selfAppend[call] = true
+				}
+			}
+		case *ast.CallExpr:
+			callFuns[ast.Unparen(n.Fun)] = true
+		}
+		return true
+	})
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "panic") {
+				// Failure paths never run in steady state; their
+				// arguments (fmt.Sprintf and friends) are exempt.
+				return false
+			}
+			checkCall(pass, info, report, n, selfAppend)
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n, "slice literal allocates")
+			case *types.Map:
+				report(n, "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n, "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.FuncLit:
+			if capturesOuter(info, hf.decl, n) {
+				report(n, "closure captures outer variables and allocates")
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal && !callFuns[n] {
+				report(n, "method value allocates a bound closure")
+			}
+		case *ast.GoStmt:
+			report(n, "goroutine launch allocates")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && info.Types[n].Value == nil {
+				if b, ok := info.TypeOf(n).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					report(n, "string concatenation allocates")
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(hf.decl.Body, walk)
+}
+
+// checkCall reports allocating calls and boxing at call sites.
+func checkCall(pass *Pass, info *types.Info, report func(ast.Node, string, ...any), call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "make":
+				report(call, "make allocates")
+			case "new":
+				report(call, "new allocates")
+			case "append":
+				if !selfAppend[call] {
+					report(call, "append beyond the target's own scratch allocates")
+				}
+			}
+			return
+		}
+	}
+
+	// Conversions: string <-> byte/rune slices copy; conversion to an
+	// interface boxes.
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := info.TypeOf(call.Args[0])
+		if isStringByteConv(to, from) {
+			report(call, "string/byte-slice conversion copies and allocates")
+		} else if types.IsInterface(to) && boxes(from) {
+			report(call, "conversion to interface boxes and allocates")
+		}
+		return
+	}
+
+	// Known-allocating standard library entry points.
+	if callee := staticCallee(info, call); callee != nil && callee.Pkg() != nil {
+		if names, ok := allocatingStdlib[callee.Pkg().Path()]; ok && (names == nil || names[callee.Name()]) {
+			report(call, "call to %s.%s allocates", callee.Pkg().Path(), callee.Name())
+		}
+	}
+
+	// Interface boxing of arguments.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		at := info.Types[arg]
+		if at.IsNil() {
+			continue
+		}
+		if boxes(at.Type) {
+			report(arg, "argument boxed into interface parameter allocates")
+		}
+	}
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: anything but an interface or a pointer-shaped type.
+func boxes(t types.Type) bool {
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+func isStringByteConv(to, from types.Type) bool {
+	return (isString(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// capturesOuter reports whether a function literal references variables
+// declared in the enclosing function (closure capture: the captured
+// environment is heap-allocated). References to package-level state are
+// not captures.
+func capturesOuter(info *types.Info, enclosing *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= enclosing.Pos() && v.Pos() < lit.Pos() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// exprString renders an expression for syntactic comparison (the
+// self-append test).
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}

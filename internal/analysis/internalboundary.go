@@ -1,0 +1,90 @@
+package analysis
+
+// internalboundary is the public-API import contract as an analyzer:
+// nothing under cmd/ or examples/ may import hybridsched/internal/... —
+// the root package and the public subpackages are the whole surface
+// downstream programs get. The contract itself lives in boundary.json
+// (machine-readable, one source of truth), so the lint run, the
+// publicapi test wrapper, and any future tooling can never disagree
+// about what is sealed.
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+)
+
+//go:embed boundary.json
+var boundaryJSON []byte
+
+// BoundaryConfig is the import contract: packages under any
+// DeniedImporters root must not import any Sealed root, except the
+// reviewed (importer, allowed) pairs in Exceptions.
+type BoundaryConfig struct {
+	Sealed          []string            `json:"sealed"`
+	DeniedImporters []string            `json:"deniedImporters"`
+	Exceptions      []BoundaryException `json:"exceptions"`
+}
+
+// BoundaryException permits one denied importer to reach specific
+// sealed package roots, with a recorded reason.
+type BoundaryException struct {
+	Importer string   `json:"importer"`
+	Allowed  []string `json:"allowed"`
+	Reason   string   `json:"reason"`
+}
+
+// permits reports whether the contract carves out importer -> path.
+func (c BoundaryConfig) permits(importer, path string) bool {
+	for _, e := range c.Exceptions {
+		if importer == e.Importer && matchesAny(path, e.Allowed) {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultBoundary returns the embedded boundary.json contract.
+func DefaultBoundary() (BoundaryConfig, error) {
+	var cfg BoundaryConfig
+	if err := json.Unmarshal(boundaryJSON, &cfg); err != nil {
+		return cfg, fmt.Errorf("internalboundary: bad embedded boundary.json: %w", err)
+	}
+	if len(cfg.Sealed) == 0 || len(cfg.DeniedImporters) == 0 {
+		return cfg, fmt.Errorf("internalboundary: boundary.json must list sealed and deniedImporters roots")
+	}
+	return cfg, nil
+}
+
+// InternalBoundary is the API-boundary analyzer.
+var InternalBoundary = &Analyzer{
+	Name: "internalboundary",
+	Doc: `seal the internal/ packages against cmd/ and examples/
+
+The root hybridsched package re-exports the complete public surface;
+commands and examples must exercise exactly what a downstream module
+could. The sealed and denied package roots are read from the embedded
+boundary.json.`,
+	Run: runInternalBoundary,
+}
+
+func runInternalBoundary(pass *Pass) error {
+	cfg, err := DefaultBoundary()
+	if err != nil {
+		return err
+	}
+	if !matchesAny(pass.Pkg.PkgPath, cfg.DeniedImporters) {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, imp := range file.Imports {
+			path := importPath(imp)
+			if matchesAny(path, cfg.Sealed) && !cfg.permits(pass.Pkg.PkgPath, path) {
+				pass.Reportf(imp.Pos(),
+					"%s imports sealed package %s; commands and examples must use only the public surface",
+					pass.Pkg.PkgPath, path)
+			}
+		}
+	}
+	return nil
+}

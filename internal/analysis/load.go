@@ -1,0 +1,327 @@
+package analysis
+
+// The loader stands in for golang.org/x/tools/go/packages: it resolves
+// package metadata and dependency export data through `go list` (the
+// only authority on build constraints and the build cache), then
+// type-checks the packages under analysis from source so every analyzer
+// sees real syntax trees with full type information. Packages loaded
+// together share one FileSet and one importer, so type-checked objects
+// are identical across packages — the property hotpathalloc's
+// cross-package call chasing depends on.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// LoadModule loads and type-checks the module packages matching the
+// patterns (relative to root, e.g. "./..."), in dependency order.
+// Dependencies outside the module are imported from compiler export
+// data; the matched packages themselves are parsed and checked from
+// source.
+func LoadModule(root string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	byPath := map[string]*listedPackage{}
+	var inModule []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		lp := p
+		byPath[p.ImportPath] = &lp
+		if p.Module != nil && p.Module.Main {
+			inModule = append(inModule, &lp)
+		}
+	}
+	if len(inModule) == 0 {
+		return nil, fmt.Errorf("no module packages matched %v under %s", patterns, root)
+	}
+
+	// Dependency order: a package type-checks only after its in-module
+	// imports have.
+	ordered, err := topoSort(inModule, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	ld := &moduleImporter{
+		fset:    fset,
+		exports: byPath,
+		checked: map[string]*types.Package{},
+	}
+	var pkgs []*Package
+	for _, lp := range ordered {
+		pkg, err := checkFromSource(fset, lp.ImportPath, lp.Dir, lp.GoFiles, ld)
+		if err != nil {
+			return nil, err
+		}
+		ld.checked[lp.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// topoSort orders the module packages so imports precede importers.
+func topoSort(pkgs []*listedPackage, byPath map[string]*listedPackage) ([]*listedPackage, error) {
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	inSet := map[string]*listedPackage{}
+	for _, p := range pkgs {
+		inSet[p.ImportPath] = p
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := map[string]int{}
+	var ordered []*listedPackage
+	var visit func(p *listedPackage) error
+	visit = func(p *listedPackage) error {
+		switch state[p.ImportPath] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("import cycle through %s", p.ImportPath)
+		}
+		state[p.ImportPath] = gray
+		for _, imp := range p.Imports {
+			if dep, ok := inSet[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = black
+		ordered = append(ordered, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// checkFromSource parses and type-checks one package.
+func checkFromSource(fset *token.FileSet, pkgPath, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// moduleImporter resolves imports during a LoadModule run: in-module
+// packages from the source-checked results, everything else from the
+// compiler export data `go list -export` reported.
+type moduleImporter struct {
+	fset    *token.FileSet
+	exports map[string]*listedPackage
+	checked map[string]*types.Package
+
+	gcOnce sync.Once
+	gc     types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	m.gcOnce.Do(func() {
+		m.gc = importer.ForCompiler(m.fset, "gc", func(path string) (io.ReadCloser, error) {
+			lp, ok := m.exports[path]
+			if !ok || lp.Export == "" {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(lp.Export)
+		})
+	})
+	return m.gc.Import(path)
+}
+
+// ---------------------------------------------------------------------------
+// Fixture loading (the analysistest substitute).
+
+// fixtureLoader resolves imports for test fixtures under a GOPATH-style
+// srcRoot (testdata/src): packages present under srcRoot are checked
+// from source, anything else is assumed to be standard library and
+// imported from export data located via `go list -export`.
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	checked map[string]*types.Package
+
+	stdMu      sync.Mutex
+	stdExports map[string]string
+	gc         types.Importer
+}
+
+// LoadFixture loads the fixture package at srcRoot/importPath,
+// type-checking it and any fixture packages it imports from source.
+func LoadFixture(srcRoot, importPath string) (*Package, error) {
+	ld := &fixtureLoader{
+		srcRoot:    srcRoot,
+		fset:       token.NewFileSet(),
+		checked:    map[string]*types.Package{},
+		stdExports: map[string]string{},
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", ld.openStdExport)
+	return ld.load(importPath)
+}
+
+func (ld *fixtureLoader) load(importPath string) (*Package, error) {
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		goFiles = append(goFiles, name)
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no Go files in fixture %s", dir)
+	}
+	sort.Strings(goFiles)
+	pkg, err := checkFromSource(ld.fset, importPath, dir, goFiles, ld)
+	if err != nil {
+		return nil, err
+	}
+	ld.checked[importPath] = pkg.Types
+	return pkg, nil
+}
+
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := ld.checked[path]; ok {
+		return pkg, nil
+	}
+	if _, err := os.Stat(filepath.Join(ld.srcRoot, filepath.FromSlash(path))); err == nil {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.gc.Import(path)
+}
+
+// openStdExport locates a standard-library package's export data via the
+// go command (which builds it into the cache if needed).
+func (ld *fixtureLoader) openStdExport(path string) (io.ReadCloser, error) {
+	ld.stdMu.Lock()
+	file, ok := ld.stdExports[path]
+	ld.stdMu.Unlock()
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		ld.stdMu.Lock()
+		ld.stdExports[path] = file
+		ld.stdMu.Unlock()
+	}
+	return os.Open(file)
+}

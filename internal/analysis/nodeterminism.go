@@ -1,0 +1,133 @@
+package analysis
+
+// nodeterminism enforces the byte-identical-runs contract: the packages
+// that produce experiment results may not read wall-clock time, draw
+// from math/rand's unspecified streams, or iterate maps in unordered
+// fashion. The reproducibility guarantees the golden HSTR digests and
+// the any-worker-count determinism tests pin all flow from this.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterministicPackages lists the result-producing package roots the
+// nodeterminism contract covers: everything whose outputs feed metrics,
+// traces, or experiment tables. A package matches if its import path is
+// a listed root or below it.
+var DeterministicPackages = []string{
+	"hybridsched/internal/sim",
+	"hybridsched/internal/match",
+	"hybridsched/internal/demand",
+	"hybridsched/internal/fabric",
+	"hybridsched/internal/sched",
+	"hybridsched/internal/runner",
+	"hybridsched/internal/serve",
+	"hybridsched/internal/traffic",
+	"hybridsched/internal/voq",
+	"hybridsched/internal/eps",
+	"hybridsched/internal/ocs",
+	"hybridsched/internal/cluster",
+	"hybridsched/internal/host",
+	"hybridsched/internal/packet",
+	"hybridsched/internal/classify",
+	"hybridsched/internal/buffermodel",
+	"hybridsched/internal/stats",
+	"hybridsched/internal/rng",
+	"hybridsched/experiments",
+}
+
+// wallClockFuncs are the time-package entry points that observe or
+// depend on the wall clock. Pure arithmetic on time.Duration values is
+// fine; these are not.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// NoDeterminism is the determinism-contract analyzer.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc: `forbid wall-clock reads, math/rand, and unordered map iteration in result-producing packages
+
+Results must be byte-identical across runs, hosts, Go versions and
+worker counts. Wall-clock calls (time.Now, Sleep, tickers, ...) need a
+//hybridsched:wallclock directive on the use or the enclosing function;
+map iteration needs //hybridsched:mapiter after review that the fold is
+order-insensitive; math/rand is banned outright — seed
+hybridsched/internal/rng instead, whose stream is pinned.`,
+	Run: runNoDeterminism,
+}
+
+func runNoDeterminism(pass *Pass) error {
+	if !matchesAny(pass.Pkg.PkgPath, DeterministicPackages) {
+		return nil
+	}
+	idx := newDirectiveIndex(pass.Pkg)
+	info := pass.Pkg.Info
+
+	// excused reports whether the use at pos is covered by a line- or
+	// function-attached directive.
+	excused := func(file *ast.File, pos ast.Node, dir string) bool {
+		if idx.at(pos.Pos(), dir) {
+			return true
+		}
+		if fn := enclosingFunc(file, pos.Pos()); fn != nil && funcHasDirective(fn, dir) {
+			return true
+		}
+		return false
+	}
+
+	for _, file := range pass.Pkg.Files {
+		for _, imp := range file.Imports {
+			switch path := importPath(imp); path {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(),
+					"import of %s: its stream is unspecified across Go versions; use hybridsched/internal/rng",
+					path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj := info.Uses[n.Sel]
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if !wallClockFuncs[fn.Name()] {
+					return true
+				}
+				if excused(file, n, dirWallClock) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"time.%s reads the wall clock in a result-producing package; route through the simulated clock or annotate //hybridsched:wallclock",
+					fn.Name())
+			case *ast.RangeStmt:
+				if _, ok := info.TypeOf(n.X).Underlying().(*types.Map); !ok {
+					return true
+				}
+				if excused(file, n, dirMapIter) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"map iteration order is randomized; iterate a sorted key slice or annotate //hybridsched:mapiter after review")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func importPath(imp *ast.ImportSpec) string {
+	p := imp.Path.Value
+	return p[1 : len(p)-1]
+}

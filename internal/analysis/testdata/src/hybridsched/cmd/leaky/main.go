@@ -1,0 +1,8 @@
+// Command leaky is the internalboundary fixture: a cmd/ package that
+// reaches into the sealed internal tree instead of using the public
+// surface.
+package main
+
+import "hybridsched/internal/secret" // want `hybridsched/cmd/leaky imports sealed package hybridsched/internal/secret`
+
+func main() { _ = secret.Hidden() }

@@ -1,0 +1,59 @@
+// Package match is the hotpathalloc fixture: an annotated hot-path
+// root, the helpers it statically reaches, a reviewed alloc-ok
+// boundary, and the allowed shapes (self-append scratch growth, panic
+// arguments, line-level excuses).
+package match
+
+import "fmt"
+
+// Arbiter carries per-port scratch reused across slots.
+type Arbiter struct {
+	order []int
+	names []string
+}
+
+// Schedule is a hot-path root: everything it statically calls inside
+// the module inherits the zero-allocation contract.
+//
+//hybridsched:hotpath
+func (a *Arbiter) Schedule(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("match: negative port count %d", n)) // failure path: exempt
+	}
+	a.order = a.order[:0]
+	for i := 0; i < n; i++ {
+		a.order = append(a.order, i) // self-append scratch growth: allowed
+	}
+	scratch := make([]int, n) // want `make allocates`
+	_ = scratch
+	a.helper(n)
+	a.snapshot(n)
+}
+
+// helper is not annotated but is reached transitively from Schedule.
+func (a *Arbiter) helper(n int) {
+	a.names = append(a.names, fmt.Sprint(n)) // want `call to fmt.Sprint allocates` `argument boxed into interface parameter allocates`
+}
+
+// snapshot is a reviewed allocation boundary: the traversal stops here
+// and its body may allocate.
+//
+//hybridsched:alloc-ok clones one report per epoch for observers, by design
+func (a *Arbiter) snapshot(n int) {
+	buf := make([]int, n) // not reported: behind the alloc-ok boundary
+	_ = buf
+}
+
+// Reorder is a hot root demonstrating line-level excuses and closure
+// capture.
+//
+//hybridsched:hotpath
+func (a *Arbiter) Reorder(n int) {
+	//hybridsched:alloc-ok one-time warmup growth, reviewed
+	a.order = append(a.order[:1], 0)
+	f := func() { a.order[0] = n } // want `closure captures outer variables and allocates`
+	f()
+}
+
+// Cold is off the hot path entirely; it may allocate freely.
+func Cold(n int) []int { return make([]int, n) }

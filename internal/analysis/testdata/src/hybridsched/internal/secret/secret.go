@@ -1,0 +1,6 @@
+// Package secret is a sealed internal stub for the internalboundary
+// fixture.
+package secret
+
+// Hidden is an internal-only helper.
+func Hidden() int { return 42 }

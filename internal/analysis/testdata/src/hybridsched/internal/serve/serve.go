@@ -1,0 +1,32 @@
+// Package serve is the chandiscipline fixture: channel creation and
+// send discipline in the backpressure layer — unbounded data channels,
+// bare sends, and selects without a drop policy are violations; bounded
+// channels with default clauses, struct{} signal channels, and reviewed
+// unbounded-ok lines are not.
+package serve
+
+// Frame is a data-carrying payload.
+type Frame struct{ Epoch uint64 }
+
+// Bad creates an unbounded data channel and sends without a drop
+// policy.
+func Bad(f Frame) {
+	ch := make(chan Frame) // want `unbuffered hybridsched/internal/serve.Frame channel in the serve layer`
+	ch <- f                // want `bare channel send blocks on a slow consumer`
+	select {
+	case ch <- f: // want `select send without a default case blocks on a slow consumer`
+	}
+}
+
+// Good shows the compliant shapes.
+func Good(f Frame) {
+	ch := make(chan Frame, 8)
+	select {
+	case ch <- f:
+	default: // drop-newest
+	}
+	done := make(chan struct{}) // signal channel: exempt
+	close(done)
+	legacy := make(chan Frame) //hybridsched:unbounded-ok fixture exception, reviewed
+	_ = legacy
+}

@@ -1,0 +1,52 @@
+// Package sim is the nodeterminism fixture. Its import path matches a
+// real result-producing package root, so the analyzer's coverage list
+// applies to it unchanged: wall-clock reads, math/rand, and unordered
+// map iteration are violations unless a directive records a review.
+package sim
+
+import (
+	"math/rand" // want `import of math/rand: its stream is unspecified across Go versions`
+	"time"
+)
+
+// Draw leaks an unspecified random stream into results.
+func Draw() int { return rand.Int() }
+
+// Tick reads the wall clock without review.
+func Tick() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock in a result-producing package`
+}
+
+// Elapsed is reviewed: measuring wall time is its entire purpose.
+//
+//hybridsched:wallclock
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }
+
+// Stamp has one reviewed wall-clock read on the line itself.
+func Stamp() int64 {
+	t := time.Now() //hybridsched:wallclock annotation fixture
+	return t.Unix()
+}
+
+// Wait sleeps in a result-producing package.
+func Wait(d time.Duration) {
+	time.Sleep(d) // want `time.Sleep reads the wall clock in a result-producing package`
+}
+
+// Keys leaks map iteration order into its result.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is randomized`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sum folds counters; the fold is commutative, so order is irrelevant.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { //hybridsched:mapiter commutative fold
+		total += v
+	}
+	return total
+}

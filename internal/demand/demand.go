@@ -92,6 +92,8 @@ func (m *Matrix) N() int { return m.n }
 func (m *Matrix) At(i, j int) int64 { return m.v[i*m.n+j] }
 
 // Set assigns entry (i, j). Negative values are clamped to zero.
+//
+//hybridsched:hotpath
 func (m *Matrix) Set(i, j int, x int64) {
 	if x < 0 {
 		x = 0
@@ -120,6 +122,7 @@ func (m *Matrix) Set(i, j int, x int64) {
 func (m *Matrix) insertCol(i int, j int32) {
 	row := m.cols[i]
 	if k := len(row); k == 0 || row[k-1] < j {
+		//hybridsched:alloc-ok amortized growth of the row's own index storage
 		m.cols[i] = append(row, j)
 		return
 	}
@@ -155,6 +158,8 @@ func (m *Matrix) removeCol(i int, j int32) {
 }
 
 // Add increments entry (i, j), clamping at zero.
+//
+//hybridsched:hotpath
 func (m *Matrix) Add(i, j int, d int64) { m.Set(i, j, m.At(i, j)+d) }
 
 // Row is a read-only view of one row's nonzero entries in ascending

@@ -51,6 +51,8 @@ func (g *Greedy) Complexity(n int) Complexity {
 }
 
 // Schedule implements Algorithm.
+//
+//hybridsched:hotpath
 func (g *Greedy) Schedule(d *demand.Matrix) Matching {
 	n := g.n
 	g.edges = g.edges[:0]

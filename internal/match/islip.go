@@ -121,6 +121,8 @@ func nearestClockwise(cands []int32, ptr, n int, busy Matching) int {
 }
 
 // Schedule implements Algorithm.
+//
+//hybridsched:hotpath
 func (s *ISLIP) Schedule(d *demand.Matrix) Matching {
 	n := s.n
 	inMatch := s.out

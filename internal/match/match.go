@@ -226,7 +226,7 @@ func Known(name string) bool {
 func Names() []string {
 	registryMu.RLock()
 	out := make([]string, 0, len(registry))
-	for name := range registry {
+	for name := range registry { //hybridsched:mapiter sorted below
 		out = append(out, name)
 	}
 	registryMu.RUnlock()

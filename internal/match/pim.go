@@ -59,6 +59,8 @@ func (p *PIM) Complexity(n int) Complexity {
 // inputs among their granters in ascending index order, exactly as the
 // dense scans did, so the random stream (and thus every matching) is
 // bit-identical to the dense implementation.
+//
+//hybridsched:hotpath
 func (p *PIM) Schedule(d *demand.Matrix) Matching {
 	n := p.n
 	inMatch := p.out

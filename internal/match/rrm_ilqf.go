@@ -58,6 +58,8 @@ func (r *RRM) Complexity(n int) Complexity {
 
 // Schedule implements Algorithm. Like iSLIP it runs grant/accept over
 // per-output requester lists built once from the nonzero rows.
+//
+//hybridsched:hotpath
 func (r *RRM) Schedule(d *demand.Matrix) Matching {
 	n := r.n
 	inMatch := r.out
@@ -152,6 +154,8 @@ func (l *ILQF) Complexity(n int) Complexity {
 }
 
 // Schedule implements Algorithm.
+//
+//hybridsched:hotpath
 func (l *ILQF) Schedule(d *demand.Matrix) Matching {
 	n := l.n
 	inMatch := l.out

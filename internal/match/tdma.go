@@ -39,6 +39,8 @@ func (t *TDMA) Complexity(n int) Complexity {
 }
 
 // Schedule implements Algorithm. The demand matrix is ignored by design.
+//
+//hybridsched:hotpath
 func (t *TDMA) Schedule(_ *demand.Matrix) Matching {
 	n := t.n
 	shift := t.slot % n

@@ -54,6 +54,8 @@ func (w *Wavefront) Complexity(n int) Complexity {
 }
 
 // Schedule implements Algorithm.
+//
+//hybridsched:hotpath
 func (w *Wavefront) Schedule(d *demand.Matrix) Matching {
 	n := w.n
 	m := w.out

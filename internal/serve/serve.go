@@ -132,6 +132,11 @@ type Scheduler struct {
 	pending *demand.Matrix
 	closed  bool
 
+	// sourceOffer is offerFromSource bound once at construction, so the
+	// epoch loop can hand Source.Advance a callback without allocating a
+	// closure per step.
+	sourceOffer func(src, dst int, bits int64)
+
 	stepMu sync.Mutex // serializes epochs
 	snap   *demand.Matrix
 
@@ -157,13 +162,15 @@ func New(cfg Config) (*Scheduler, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		cfg:     cfg,
 		alg:     alg,
 		pending: demand.FromPool(cfg.Ports),
 		snap:    demand.FromPool(cfg.Ports),
 		done:    make(chan struct{}),
-	}, nil
+	}
+	s.sourceOffer = s.offerFromSource
+	return s, nil
 }
 
 // Ports returns the fabric port count.
@@ -237,6 +244,18 @@ func (s *Scheduler) offerLocked(src, dst int, bits int64) {
 	s.offered.Add(bits)
 }
 
+// offerFromSource ingests one Source-generated offer under the demand
+// lock. It is the target of the prebound sourceOffer field.
+//
+//hybridsched:hotpath
+func (s *Scheduler) offerFromSource(src, dst int, bits int64) {
+	s.mu.Lock()
+	if !s.closed {
+		s.offerLocked(src, dst, bits)
+	}
+	s.mu.Unlock()
+}
+
 // Step runs one epoch synchronously: advance the Source (if any),
 // snapshot pending demand, run the algorithm, drain what the matching
 // serves, and publish the frame to subscribers. The returned Frame's
@@ -244,6 +263,8 @@ func (s *Scheduler) offerLocked(src, dst int, bits int64) {
 // use StepOwned (or Clone it before another Step can run) to keep it.
 // Step is the deterministic way to drive the service (tests, replay);
 // Run wraps it in a wall-clock loop.
+//
+//hybridsched:hotpath
 func (s *Scheduler) Step() (Frame, error) {
 	s.stepMu.Lock()
 	defer s.stepMu.Unlock()
@@ -270,13 +291,7 @@ func (s *Scheduler) step() (Frame, error) {
 		// The source runs outside the demand lock: generators may do
 		// real work (simulating an epoch of arrivals), and offers are
 		// taken one at a time like any other producer.
-		s.cfg.Source.Advance(func(src, dst int, bits int64) {
-			s.mu.Lock()
-			if !s.closed {
-				s.offerLocked(src, dst, bits)
-			}
-			s.mu.Unlock()
-		})
+		s.cfg.Source.Advance(s.sourceOffer)
 	}
 
 	s.mu.Lock()
@@ -335,7 +350,10 @@ func (s *Scheduler) step() (Frame, error) {
 
 // Run steps one epoch per interval tick of wall-clock time until ctx is
 // canceled or the scheduler is closed. It returns ctx.Err() on
-// cancellation and nil when stopped by Close.
+// cancellation and nil when stopped by Close. Wall-clock pacing is Run's
+// whole contract — determinism lives in Step, which Run merely paces.
+//
+//hybridsched:wallclock
 func (s *Scheduler) Run(ctx context.Context, interval time.Duration) error {
 	if interval <= 0 {
 		return fmt.Errorf("serve: Run interval must be positive, have %v", interval)
@@ -492,6 +510,8 @@ func (sub *Subscription) Close() {
 // sends are non-blocking, so holding the lock is bounded. The matching is
 // cloned once per epoch and shared read-only between subscribers; with no
 // subscribers the epoch stays allocation-free.
+//
+//hybridsched:alloc-ok fan-out clones the matching once per epoch by design
 func (s *Scheduler) publish(f Frame) {
 	s.subMu.Lock()
 	defer s.subMu.Unlock()

@@ -3,43 +3,49 @@ package hybridsched
 import (
 	"context"
 	"errors"
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"path/filepath"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
+
+	"hybridsched/internal/analysis"
 )
 
-// TestNoInternalImportsOutsideModuleCore enforces the public-API contract:
-// nothing under examples/ or cmd/ may import hybridsched/internal/...; the
-// root package and the public subpackages are the whole surface they get.
+// TestNoInternalImportsOutsideModuleCore enforces the public-API contract
+// by running the schedlint internalboundary analyzer over the denied
+// importer trees: nothing under examples/ or cmd/ may import
+// hybridsched/internal/...; the root package and the public subpackages
+// are the whole surface they get. The contract itself — sealed roots,
+// denied importers, reviewed exceptions — is the embedded
+// internal/analysis/boundary.json, so this test, `make lint`, and CI can
+// never disagree about what is sealed.
 func TestNoInternalImportsOutsideModuleCore(t *testing.T) {
-	fset := token.NewFileSet()
-	for _, dir := range []string{"examples", "cmd"} {
-		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() || !strings.HasSuffix(path, ".go") {
-				return nil
-			}
-			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
-			if err != nil {
-				return err
-			}
-			for _, imp := range f.Imports {
-				p := strings.Trim(imp.Path.Value, `"`)
-				if p == "hybridsched/internal" || strings.HasPrefix(p, "hybridsched/internal/") {
-					t.Errorf("%s imports %s; examples and commands must use only the public surface", path, p)
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			t.Fatal(err)
+	cfg, err := analysis.DefaultBoundary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patterns []string
+	for _, denied := range cfg.DeniedImporters {
+		rel, ok := strings.CutPrefix(denied, "hybridsched/")
+		if !ok {
+			t.Fatalf("denied importer %q is outside the module", denied)
 		}
+		patterns = append(patterns, "./"+rel+"/...")
+	}
+	pkgs, err := analysis.LoadModule(root, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{analysis.InternalBoundary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }
 
