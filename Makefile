@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check lint bench-smoke bench-json race-smoke docs-check check
+.PHONY: all build test vet fmt-check lint bench-smoke bench-json bench-compare race-smoke docs-check check
 
 all: build
 
@@ -47,8 +47,26 @@ bench-smoke:
 # the matching and frame-decomposition benchmark set with -benchmem and
 # rewrites BENCH_core.json ({name, ns_op, b_op, allocs_op} per
 # benchmark). The committed file is the baseline future PRs diff against.
+# Ten repetitions per benchmark: benchjson collapses them to the
+# per-metric minimum (best observed steady state), which keeps the slow
+# n=512 entries stable enough for the 20% bench-compare gate on noisy
+# machines.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkMatch$$|BenchmarkFrameDecompose$$' -benchmem -benchtime 0.2s . | $(GO) run ./cmd/benchjson -o BENCH_core.json
+	$(GO) test -run '^$$' -bench 'BenchmarkMatch$$|BenchmarkFrameDecompose$$' -benchmem -benchtime 0.1s -count 10 . | $(GO) run ./cmd/benchjson -o BENCH_core.json
+
+# bench-compare is the perf-regression gate on that trajectory: it
+# re-runs the same benchmark set and diffs against the committed
+# BENCH_core.json. Any allocs/op increase fails outright (the 0-alloc
+# contract is exact); B/op may jitter within 64 bytes (runtime size
+# classes); ns/op is gated after benchjson normalizes out the
+# suite-median machine drift. The tolerance here is 40% rather than the
+# tool's 20% default: on shared CI runners individual entries of the
+# slow n=512 benchmarks swing up to ~35% between runs even after the
+# min-of-10 collapse and drift normalization, and a deliberate hot-path
+# pessimization lands far above either bound. Run this before
+# bench-json — bench-json rewrites the baseline the gate diffs against.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkMatch$$|BenchmarkFrameDecompose$$' -benchmem -benchtime 0.1s -count 10 . | $(GO) run ./cmd/benchjson -compare BENCH_core.json -tolerance 0.40
 
 # race-smoke runs the concurrency-bearing layers under the race detector:
 # the parallel execution engine and the root fan-out/observer API,

@@ -8,6 +8,17 @@
 // Each benchmark line becomes {name, ns_op, b_op, allocs_op}; lines
 // without allocation columns (benchmarks that did not ReportAllocs) keep
 // ns_op and record b_op/allocs_op as -1.
+//
+// With -compare baseline.json the command becomes the perf-regression
+// gate (`make bench-compare`): instead of writing records it diffs the
+// fresh run against the committed baseline and exits nonzero on any
+// allocs/op increase, on B/op growth beyond the -byte-noise allowance,
+// on ns/op regression beyond -tolerance, or on a baseline entry missing
+// from the run. When enough benchmarks are shared with the baseline the
+// ns/op ratios are first normalized by their suite-wide median, so a
+// uniformly slower or faster machine neither trips nor masks the gate:
+//
+//	go test -run '^$' -bench BenchmarkMatch -benchmem . | benchjson -compare BENCH_core.json
 package main
 
 import (
@@ -30,6 +41,9 @@ type Record struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baselinePath := flag.String("compare", "", "baseline records file to diff against instead of writing records")
+	tolerance := flag.Float64("tolerance", 0.20, "with -compare: allowed fractional ns/op regression")
+	byteNoise := flag.Int64("byte-noise", 64, "with -compare: allowed absolute B/op growth (sub-allocation jitter)")
 	flag.Parse()
 
 	records, err := parse(bufio.NewScanner(os.Stdin))
@@ -40,6 +54,27 @@ func main() {
 	if len(records) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	records = collapse(records)
+	if *baselinePath != "" {
+		baseline, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -compare: %v\n", err)
+			os.Exit(1)
+		}
+		violations, notes := compare(baseline, records, *tolerance, *byteNoise)
+		for _, n := range notes {
+			fmt.Fprintln(os.Stderr, "benchjson: note:", n)
+		}
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "benchjson: FAIL:", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within the %s baseline\n",
+			len(baseline), *baselinePath)
+		return
 	}
 	buf, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
@@ -101,6 +136,43 @@ func parse(sc *bufio.Scanner) ([]Record, error) {
 		}
 	}
 	return out, sc.Err()
+}
+
+// collapse merges repeated measurements of one benchmark (go test
+// -count N) into a single record holding the per-metric minimum — the
+// best observed steady state, which is what both the recorded baseline
+// and the regression gate compare. Scheduler noise only ever inflates a
+// measurement, so the minimum over repetitions is the stable statistic.
+// First-seen order is kept.
+func collapse(recs []Record) []Record {
+	idx := make(map[string]int, len(recs))
+	var out []Record
+	for _, r := range recs {
+		i, seen := idx[r.Name]
+		if !seen {
+			idx[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.NsOp < out[i].NsOp {
+			out[i].NsOp = r.NsOp
+		}
+		out[i].BOp = minNonNeg(out[i].BOp, r.BOp)
+		out[i].AllocsOp = minNonNeg(out[i].AllocsOp, r.AllocsOp)
+	}
+	return out
+}
+
+// minNonNeg is the minimum treating -1 (column absent) as unknown, not
+// as a value: one repetition with real columns beats any number without.
+func minNonNeg(a, b int64) int64 {
+	if a < 0 {
+		return b
+	}
+	if b >= 0 && b < a {
+		return b
+	}
+	return a
 }
 
 // trimProcSuffix drops the trailing -GOMAXPROCS of a benchmark name

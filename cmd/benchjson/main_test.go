@@ -36,6 +36,28 @@ ok  	hybridsched	8.033s
 	}
 }
 
+func TestCollapseRepetitions(t *testing.T) {
+	recs := []Record{
+		{Name: "BenchmarkA", NsOp: 120, BOp: 16, AllocsOp: 1},
+		{Name: "BenchmarkB", NsOp: 50, BOp: -1, AllocsOp: -1},
+		{Name: "BenchmarkA", NsOp: 100, BOp: 24, AllocsOp: 1},
+		{Name: "BenchmarkB", NsOp: 60, BOp: 8, AllocsOp: 0},
+		{Name: "BenchmarkA", NsOp: 110, BOp: 16, AllocsOp: 1},
+	}
+	got := collapse(recs)
+	if len(got) != 2 {
+		t.Fatalf("collapsed to %d records, want 2: %+v", len(got), got)
+	}
+	// First-seen order, per-metric minimum.
+	if got[0].Name != "BenchmarkA" || got[0].NsOp != 100 || got[0].BOp != 16 || got[0].AllocsOp != 1 {
+		t.Fatalf("record A = %+v", got[0])
+	}
+	// A repetition with real columns beats the -1 sentinel.
+	if got[1].Name != "BenchmarkB" || got[1].NsOp != 50 || got[1].BOp != 8 || got[1].AllocsOp != 0 {
+		t.Fatalf("record B = %+v", got[1])
+	}
+}
+
 func TestTrimProcSuffix(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkMatch/islip/n=128-8": "BenchmarkMatch/islip/n=128",

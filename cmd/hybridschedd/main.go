@@ -11,12 +11,14 @@
 // Usage:
 //
 //	hybridschedd -listen 127.0.0.1:9190 -ports 64 -alg islip -shards 4 \
-//	    -epoch 10ms -load 0.4 -dist websearch -span 1us
+//	    -epoch 10ms -load 0.4 -dist websearch -span 1us \
+//	    -metrics 127.0.0.1:9191
 //
 // Protocol: one JSON object per line, one reply line per request.
 //
 //	{"op":"offer","shard":0,"src":1,"dst":2,"bits":12000}
 //	{"op":"stats"}
+//	{"op":"status"}                     (config + per-shard introspection)
 //	{"op":"step"}                       (manual epochs; -epoch 0)
 //	{"op":"snapshot"}                   (base64 HSTR checkpoint)
 //	{"op":"subscribe","shard":0,"buffer":64,"policy":"oldest"}
@@ -24,6 +26,12 @@
 // subscribe switches the connection into a one-way frame stream:
 // {"epoch":..,"shard":..,"match":[..],"pairs":..,"served_bits":..,
 // "backlog_bits":..} per line until the client disconnects.
+//
+// Management plane: -metrics addr starts an HTTP listener serving
+// /metrics (the service's live instruments — per-shard epoch-latency
+// histograms, throughput counters, backlog gauges — in the Prometheus
+// text format) and /statusz (the status introspection as JSON). See
+// docs/OBSERVABILITY.md for the metric catalog.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -55,18 +64,19 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("hybridschedd", flag.ContinueOnError)
 	var (
-		listen = fs.String("listen", "127.0.0.1:9190", "listen address for the JSON-lines API")
-		ports  = fs.Int("ports", 32, "fabric port count per shard")
-		alg    = fs.String("alg", "islip", "matching algorithm ("+strings.Join(hybridsched.Algorithms(), ", ")+")")
-		shards = fs.Int("shards", 1, "independent fabric shards behind this service")
-		work   = fs.Int("workers", 0, "epoch fan-out workers (0 = GOMAXPROCS)")
-		slot   = fs.String("slot", "1500B", "demand served per matched pair per epoch (a size, e.g. 1500B)")
-		epoch  = fs.Duration("epoch", 10*time.Millisecond, "wall-clock epoch interval (0 = step only on {\"op\":\"step\"})")
-		load   = fs.Float64("load", 0, "self-driving workload load per port (0 = external demand only)")
-		dist   = fs.String("dist", "websearch", "flow-size distribution for the self-driving workload (websearch, datamining, hadoop, cachefollower)")
-		rate   = fs.String("rate", "10Gbps", "line rate for the self-driving workload")
-		span   = fs.String("span", "1us", "simulated time one epoch consumes from the workload")
-		seed   = fs.Uint64("seed", 1, "seed for algorithms and workloads")
+		listen  = fs.String("listen", "127.0.0.1:9190", "listen address for the JSON-lines API")
+		metrics = fs.String("metrics", "", "management-plane listen address serving /metrics and /statusz (empty = disabled)")
+		ports   = fs.Int("ports", 32, "fabric port count per shard")
+		alg     = fs.String("alg", "islip", "matching algorithm ("+strings.Join(hybridsched.Algorithms(), ", ")+")")
+		shards  = fs.Int("shards", 1, "independent fabric shards behind this service")
+		work    = fs.Int("workers", 0, "epoch fan-out workers (0 = GOMAXPROCS)")
+		slot    = fs.String("slot", "1500B", "demand served per matched pair per epoch (a size, e.g. 1500B)")
+		epoch   = fs.Duration("epoch", 10*time.Millisecond, "wall-clock epoch interval (0 = step only on {\"op\":\"step\"})")
+		load    = fs.Float64("load", 0, "self-driving workload load per port (0 = external demand only)")
+		dist    = fs.String("dist", "websearch", "flow-size distribution for the self-driving workload (websearch, datamining, hadoop, cachefollower)")
+		rate    = fs.String("rate", "10Gbps", "line rate for the self-driving workload")
+		span    = fs.String("span", "1us", "simulated time one epoch consumes from the workload")
+		seed    = fs.Uint64("seed", 1, "seed for algorithms and workloads")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,11 +85,11 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	svc, err := hybridsched.NewService(cfg)
+	d, err := newDaemon(cfg)
 	if err != nil {
 		return err
 	}
-	defer svc.Close()
+	defer d.Close()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -87,16 +97,83 @@ func run(args []string, out *os.File) error {
 	}
 	defer ln.Close()
 	fmt.Fprintf(out, "hybridschedd: %d-port %s, %d shard(s), serving on %s\n",
-		*ports, *alg, cfg.Shards, ln.Addr())
+		*ports, *alg, d.cfg.Shards, ln.Addr())
+
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		msrv := &http.Server{Handler: d.managementHandler()}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+		fmt.Fprintf(out, "hybridschedd: management plane on http://%s/metrics and /statusz\n", mln.Addr())
+	}
 
 	if *epoch > 0 {
 		go func() {
-			if err := svc.Run(context.Background(), *epoch); err != nil {
+			if err := d.svc.Run(context.Background(), *epoch); err != nil {
 				log.Println("epoch loop:", err)
 			}
 		}()
 	}
-	return serveListener(svc, ln)
+	return d.serveListener(ln)
+}
+
+// daemon is one running service plus its management surfaces: the
+// JSON-lines protocol, the metrics registry every shard's instruments
+// live in, and the HTTP management plane rendering that registry.
+type daemon struct {
+	cfg   hybridsched.ServiceConfig
+	svc   *hybridsched.Service
+	reg   *hybridsched.MetricsRegistry
+	start time.Time
+}
+
+func newDaemon(cfg hybridsched.ServiceConfig) (*daemon, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	reg := hybridsched.NewMetricsRegistry()
+	cfg.Metrics = reg
+	svc, err := hybridsched.NewService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &daemon{cfg: cfg, svc: svc, reg: reg, start: time.Now()}, nil
+}
+
+func (d *daemon) Close() error { return d.svc.Close() }
+
+// managementHandler serves the HTTP management plane: /metrics in the
+// Prometheus text exposition format, /statusz as JSON introspection.
+func (d *daemon) managementHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", hybridsched.MetricsTextContentType)
+		d.reg.WriteText(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(d.status())
+	})
+	return mux
+}
+
+// status collects the introspection document both /statusz and the
+// protocol's status op return.
+func (d *daemon) status() statusJSON {
+	return statusJSON{
+		Algorithm:     d.cfg.Algorithm,
+		Ports:         d.cfg.Ports,
+		Shards:        d.cfg.Shards,
+		SlotBits:      int64(d.cfg.SlotBits),
+		SelfDriving:   d.cfg.Workload != nil,
+		UptimeSeconds: time.Since(d.start).Seconds(),
+		ShardStats:    toShardStats(d.svc.Stats()),
+	}
 }
 
 // buildConfig assembles the ServiceConfig from flag values; it is the
@@ -143,7 +220,7 @@ func buildConfig(ports int, alg string, shards, workers int, slot string,
 // serveListener accepts connections until the listener closes. Only the
 // listener being closed is a clean shutdown; any other accept failure
 // (fd exhaustion, a dying interface) is surfaced, not swallowed.
-func serveListener(svc *hybridsched.Service, ln net.Listener) error {
+func (d *daemon) serveListener(ln net.Listener) error {
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -161,7 +238,7 @@ func serveListener(svc *hybridsched.Service, ln net.Listener) error {
 		go func() {
 			defer wg.Done()
 			defer conn.Close()
-			serveConn(svc, conn)
+			d.serveConn(conn)
 		}()
 	}
 }
@@ -184,6 +261,7 @@ type response struct {
 	Stats    []shardStats `json:"stats,omitempty"`
 	Frames   []frameJSON  `json:"frames,omitempty"`
 	Snapshot string       `json:"snapshot,omitempty"`
+	Status   *statusJSON  `json:"status,omitempty"`
 }
 
 type shardStats struct {
@@ -195,6 +273,47 @@ type shardStats struct {
 	BacklogBits int64  `json:"backlog_bits"`
 	Subscribers int    `json:"subscribers"`
 	Dropped     uint64 `json:"dropped"`
+
+	// Metric-backed fields, from the shard's instruments.
+	Offers       uint64 `json:"offers"`
+	MatchedPairs uint64 `json:"matched_pairs"`
+	EpochNsP50   int64  `json:"epoch_ns_p50"`
+	EpochNsP99   int64  `json:"epoch_ns_p99"`
+	EpochNsP999  int64  `json:"epoch_ns_p999"`
+}
+
+// statusJSON is the introspection document served on /statusz and by the
+// protocol's status op.
+type statusJSON struct {
+	Algorithm     string       `json:"algorithm"`
+	Ports         int          `json:"ports"`
+	Shards        int          `json:"shards"`
+	SlotBits      int64        `json:"slot_bits"`
+	SelfDriving   bool         `json:"self_driving"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	ShardStats    []shardStats `json:"shard_stats"`
+}
+
+func toShardStats(stats []hybridsched.ServiceStats) []shardStats {
+	out := make([]shardStats, len(stats))
+	for i, st := range stats {
+		out[i] = shardStats{
+			Shard:        i,
+			Epochs:       st.Epochs,
+			IdleEpochs:   st.IdleEpochs,
+			OfferedBits:  st.OfferedBits,
+			ServedBits:   st.ServedBits,
+			BacklogBits:  st.BacklogBits,
+			Subscribers:  st.Subscribers,
+			Dropped:      st.Dropped,
+			Offers:       st.Offers,
+			MatchedPairs: st.MatchedPairs,
+			EpochNsP50:   st.EpochNsP50,
+			EpochNsP99:   st.EpochNsP99,
+			EpochNsP999:  st.EpochNsP999,
+		}
+	}
+	return out
 }
 
 type frameJSON struct {
@@ -217,7 +336,8 @@ func toFrameJSON(f hybridsched.ServiceFrame) frameJSON {
 	}
 }
 
-func serveConn(svc *hybridsched.Service, conn net.Conn) {
+func (d *daemon) serveConn(conn net.Conn) {
+	svc := d.svc
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	enc := json.NewEncoder(conn)
@@ -239,21 +359,10 @@ func serveConn(svc *hybridsched.Service, conn net.Conn) {
 			}
 			enc.Encode(response{OK: true})
 		case "stats":
-			stats := svc.Stats()
-			out := make([]shardStats, len(stats))
-			for i, st := range stats {
-				out[i] = shardStats{
-					Shard:       i,
-					Epochs:      st.Epochs,
-					IdleEpochs:  st.IdleEpochs,
-					OfferedBits: st.OfferedBits,
-					ServedBits:  st.ServedBits,
-					BacklogBits: st.BacklogBits,
-					Subscribers: st.Subscribers,
-					Dropped:     st.Dropped,
-				}
-			}
-			enc.Encode(response{OK: true, Stats: out})
+			enc.Encode(response{OK: true, Stats: toShardStats(svc.Stats())})
+		case "status":
+			st := d.status()
+			enc.Encode(response{OK: true, Status: &st})
 		case "step":
 			frames, err := svc.Step()
 			if err != nil {

@@ -21,9 +21,9 @@ func startDaemon(t *testing.T, cfg hybridsched.ServiceConfig) (dial func() *clie
 	return dial
 }
 
-func startDaemonService(t *testing.T, cfg hybridsched.ServiceConfig) (dial func() *client, svc *hybridsched.Service) {
+func startDaemonService(t *testing.T, cfg hybridsched.ServiceConfig) (dial func() *client, d *daemon) {
 	t.Helper()
-	svc, err := hybridsched.NewService(cfg)
+	d, err := newDaemon(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,10 +34,10 @@ func startDaemonService(t *testing.T, cfg hybridsched.ServiceConfig) (dial func(
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		serveListener(svc, ln)
+		d.serveListener(ln)
 	}()
 	t.Cleanup(func() {
-		svc.Close()
+		d.Close()
 		ln.Close()
 		<-done
 	})
@@ -48,7 +48,7 @@ func startDaemonService(t *testing.T, cfg hybridsched.ServiceConfig) (dial func(
 		}
 		t.Cleanup(func() { conn.Close() })
 		return &client{t: t, conn: conn, r: bufio.NewReader(conn)}
-	}, svc
+	}, d
 }
 
 type client struct {
@@ -205,7 +205,7 @@ func TestDaemonSelfDriving(t *testing.T) {
 // replies carry caller-owned matchings (no shared scratch with the
 // ticking loop).
 func TestDaemonConcurrentEpochs(t *testing.T) {
-	dial, svc := startDaemonService(t, hybridsched.ServiceConfig{
+	dial, d := startDaemonService(t, hybridsched.ServiceConfig{
 		Ports: 16, Algorithm: "islip", SlotBits: 1000, Shards: 2,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
@@ -213,7 +213,7 @@ func TestDaemonConcurrentEpochs(t *testing.T) {
 	runDone := make(chan struct{})
 	go func() {
 		defer close(runDone)
-		svc.Run(ctx, 200*time.Microsecond)
+		d.svc.Run(ctx, 200*time.Microsecond)
 	}()
 	defer func() { cancel(); <-runDone }()
 

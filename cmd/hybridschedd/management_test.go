@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hybridsched"
+)
+
+// TestManagementPlane exercises the HTTP side of the daemon: /metrics
+// serves the live registry in the Prometheus text format (including the
+// epoch-latency histogram buckets the acceptance criteria name), /statusz
+// serves the introspection JSON, and both reflect the epochs the service
+// actually ran.
+func TestManagementPlane(t *testing.T) {
+	d, err := newDaemon(hybridsched.ServiceConfig{
+		Ports: 8, Algorithm: "islip", SlotBits: 1000, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	if err := d.svc.OfferShard(0, 1, 4, 1500); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d.svc.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(d.managementHandler())
+	defer srv.Close()
+
+	get := func(path string) (string, *http.Response) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s\n%s", path, resp.Status, body)
+		}
+		return string(body), resp
+	}
+
+	metricsBody, resp := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); ct != hybridsched.MetricsTextContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, hybridsched.MetricsTextContentType)
+	}
+	for _, want := range []string{
+		"# TYPE hybridsched_serve_epoch_latency_ns histogram\n",
+		`hybridsched_serve_epoch_latency_ns_bucket{shard="0",le="+Inf"} 3` + "\n",
+		`hybridsched_serve_epochs_total{shard="1"} 3` + "\n",
+		`hybridsched_serve_offered_bits_total{shard="0"} 1500` + "\n",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, metricsBody)
+		}
+	}
+
+	statusBody, resp := get("/statusz")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/statusz Content-Type = %q, want application/json", ct)
+	}
+	var st statusJSON
+	if err := json.Unmarshal([]byte(statusBody), &st); err != nil {
+		t.Fatalf("/statusz is not JSON: %v\n%s", err, statusBody)
+	}
+	if st.Algorithm != "islip" || st.Ports != 8 || st.Shards != 2 {
+		t.Errorf("statusz config = %+v", st)
+	}
+	if len(st.ShardStats) != 2 || st.ShardStats[0].Epochs != 3 || st.ShardStats[1].Shard != 1 {
+		t.Errorf("statusz shard stats = %+v", st.ShardStats)
+	}
+	if st.ShardStats[0].EpochNsP50 <= 0 {
+		t.Errorf("statusz shard 0 epoch p50 = %d, want > 0", st.ShardStats[0].EpochNsP50)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("statusz uptime = %v, want > 0", st.UptimeSeconds)
+	}
+}
+
+// TestDaemonStatusOp: the JSON-lines protocol serves the same
+// introspection document as /statusz.
+func TestDaemonStatusOp(t *testing.T) {
+	dial, d := startDaemonService(t, hybridsched.ServiceConfig{
+		Ports: 8, Algorithm: "greedy", SlotBits: 1000,
+	})
+	if _, err := d.svc.Step(); err != nil {
+		t.Fatal(err)
+	}
+	c := dial()
+	resp := c.call(request{Op: "status"})
+	if !resp.OK || resp.Status == nil {
+		t.Fatalf("status: %+v", resp)
+	}
+	st := resp.Status
+	if st.Algorithm != "greedy" || st.Shards != 1 || len(st.ShardStats) != 1 {
+		t.Fatalf("status document: %+v", st)
+	}
+	if st.ShardStats[0].Epochs != 1 || st.ShardStats[0].EpochNsP50 <= 0 {
+		t.Fatalf("status shard stats: %+v", st.ShardStats[0])
+	}
+
+	// The stats op now carries the metric-backed fields too.
+	if resp := c.call(request{Op: "offer", Src: 1, Dst: 2, Bits: 900}); !resp.OK {
+		t.Fatalf("offer: %+v", resp)
+	}
+	sr := c.call(request{Op: "stats"})
+	if !sr.OK || len(sr.Stats) != 1 || sr.Stats[0].Offers != 1 {
+		t.Fatalf("stats: %+v", sr)
+	}
+}

@@ -24,6 +24,10 @@ func TestHotPathAllocFixture(t *testing.T) {
 	runFixture(t, HotPathAlloc, "hybridsched/internal/match")
 }
 
+func TestHotPathAllocMetricsFixture(t *testing.T) {
+	runFixture(t, HotPathAlloc, "hybridsched/internal/metrics")
+}
+
 func TestPoolPairFixture(t *testing.T) {
 	runFixture(t, PoolPair, "hybridsched/internal/sched")
 }

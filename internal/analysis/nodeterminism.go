@@ -23,6 +23,7 @@ var DeterministicPackages = []string{
 	"hybridsched/internal/sched",
 	"hybridsched/internal/runner",
 	"hybridsched/internal/serve",
+	"hybridsched/internal/metrics",
 	"hybridsched/internal/traffic",
 	"hybridsched/internal/voq",
 	"hybridsched/internal/eps",

@@ -1,0 +1,69 @@
+// Package metrics is the hotpathalloc fixture for the telemetry layer:
+// the observation path (counter adds, gauge sets, histogram observes)
+// must be allocation-free because serve's epoch loop calls it per slot,
+// while registration and exposition are cold and sit behind reviewed
+// alloc-ok boundaries.
+package metrics
+
+import "sort"
+
+// Counter is an atomic cumulative count.
+type Counter struct{ v uint64 }
+
+// Add is reached from the hot root and stays allocation-free.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Histogram is a fixed-bucket distribution.
+type Histogram struct {
+	buckets [8]uint64
+	labels  []string
+}
+
+// Observe records one sample; index arithmetic only, no heap.
+func (h *Histogram) Observe(v int64) {
+	i := int(v) & 7
+	h.buckets[i]++
+}
+
+// Instruments bundles the per-epoch series.
+type Instruments struct {
+	epochs  Counter
+	latency Histogram
+}
+
+// ObserveEpoch is the hot-path root: the instrument updates it reaches
+// inherit the zero-allocation contract.
+//
+//hybridsched:hotpath
+func (in *Instruments) ObserveEpoch(ns int64) {
+	in.epochs.Add(1)
+	in.latency.Observe(ns)
+	labels := map[string]string{"shard": "0"} // want `map literal allocates`
+	_ = labels
+	in.describe(ns)
+}
+
+// describe is not annotated but is reached transitively from the root:
+// per-observation label rendering is exactly the mistake the contract
+// exists to catch.
+func (in *Instruments) describe(ns int64) {
+	rendered := append(in.latency.labels, "epoch") // want `append beyond the target's own scratch allocates`
+	_ = rendered
+	_ = ns
+}
+
+// Register is the cold registration path: a reviewed boundary, free to
+// allocate the series storage up front.
+//
+//hybridsched:alloc-ok registration is cold; series storage is built once
+func (in *Instruments) Register(names []string) {
+	in.latency.labels = make([]string, len(names)) // not reported: behind the boundary
+	copy(in.latency.labels, names)
+}
+
+// WriteText is exposition: cold, sorted, off the hot path entirely.
+func (in *Instruments) WriteText(names []string) []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,95 @@
+package fabric
+
+import "hybridsched/internal/metrics"
+
+// Instruments feeds the fabric's observer stream into a metrics.Registry:
+// each recorded Sample updates the hybridsched_fabric_* family — counters
+// for the cumulative flows (injections, deliveries, scheduler cycles) and
+// gauges for the instantaneous state (queue depths, latency percentiles,
+// circuit duty cycle). Recording is observational only; the simulation a
+// Sample came from is never perturbed.
+//
+// Metric catalog (see docs/OBSERVABILITY.md):
+//
+//	hybridsched_fabric_injected_packets_total    counter
+//	hybridsched_fabric_delivered_packets_total   counter
+//	hybridsched_fabric_sched_cycles_total        counter
+//	hybridsched_fabric_granted_pairs_total       counter
+//	hybridsched_fabric_switch_queued_bits        gauge
+//	hybridsched_fabric_host_queued_bits          gauge
+//	hybridsched_fabric_eps_queued_bits           gauge
+//	hybridsched_fabric_latency_p50_ns            gauge
+//	hybridsched_fabric_latency_p99_ns            gauge
+//	hybridsched_fabric_ocs_duty_cycle_ppm        gauge
+type Instruments struct {
+	injected     *metrics.Counter
+	delivered    *metrics.Counter
+	schedCycles  *metrics.Counter
+	grantedPairs *metrics.Counter
+	switchQueued *metrics.Gauge
+	hostQueued   *metrics.Gauge
+	epsQueued    *metrics.Gauge
+	latP50       *metrics.Gauge
+	latP99       *metrics.Gauge
+	dutyPPM      *metrics.Gauge
+
+	// last is the previous recorded sample: Sample carries cumulative
+	// totals, so counter updates are deltas against it.
+	last Sample
+}
+
+// NewInstruments registers the fabric metric family in r, tagged with the
+// given constant labels (for example a fabric or scenario name when one
+// registry carries several runs).
+func NewInstruments(r *metrics.Registry, labels ...metrics.Label) *Instruments {
+	return &Instruments{
+		injected: r.Counter("hybridsched_fabric_injected_packets_total",
+			"Packets injected into the fabric.", labels...),
+		delivered: r.Counter("hybridsched_fabric_delivered_packets_total",
+			"Packets delivered to their destination host.", labels...),
+		schedCycles: r.Counter("hybridsched_fabric_sched_cycles_total",
+			"Completed scheduling-loop cycles.", labels...),
+		grantedPairs: r.Counter("hybridsched_fabric_granted_pairs_total",
+			"Granted (input, output) pairs across all scheduling cycles.", labels...),
+		switchQueued: r.Gauge("hybridsched_fabric_switch_queued_bits",
+			"Bits queued in switch VOQs at the last observation.", labels...),
+		hostQueued: r.Gauge("hybridsched_fabric_host_queued_bits",
+			"Bits queued in host buffers at the last observation.", labels...),
+		epsQueued: r.Gauge("hybridsched_fabric_eps_queued_bits",
+			"Bits queued in the electrical packet switch at the last observation.", labels...),
+		latP50: r.Gauge("hybridsched_fabric_latency_p50_ns",
+			"Median delivery latency over the run so far, in nanoseconds.", labels...),
+		latP99: r.Gauge("hybridsched_fabric_latency_p99_ns",
+			"99th-percentile delivery latency over the run so far, in nanoseconds.", labels...),
+		dutyPPM: r.Gauge("hybridsched_fabric_ocs_duty_cycle_ppm",
+			"Circuit utilization over simulated time, in parts per million.", labels...),
+	}
+}
+
+// Record updates every instrument from one observer Sample. Samples must
+// arrive in observation order (as the fabric's observer path delivers
+// them); a sample whose cumulative totals went backwards — a restarted
+// run reusing the instruments — re-bases the deltas without moving the
+// counters.
+func (in *Instruments) Record(s Sample) {
+	in.injected.Add(counterDelta(s.Injected, in.last.Injected))
+	in.delivered.Add(counterDelta(s.Delivered, in.last.Delivered))
+	in.schedCycles.Add(counterDelta(s.SchedCycles, in.last.SchedCycles))
+	in.grantedPairs.Add(counterDelta(s.GrantedPairs, in.last.GrantedPairs))
+	in.switchQueued.Set(int64(s.SwitchQueuedBits))
+	in.hostQueued.Set(int64(s.HostQueuedBits))
+	in.epsQueued.Set(int64(s.EPSQueuedBits))
+	in.latP50.Set(int64(s.LatencyP50))
+	in.latP99.Set(int64(s.LatencyP99))
+	in.dutyPPM.Set(int64(s.OCSDutyCycle * 1e6))
+	in.last = s
+}
+
+// counterDelta is the non-negative increment between two cumulative
+// readings.
+func counterDelta(now, prev int64) uint64 {
+	if now <= prev {
+		return 0
+	}
+	return uint64(now - prev)
+}

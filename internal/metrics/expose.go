@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4): one HELP/TYPE
+// header per metric name followed by that name's samples, names in
+// sorted order, label values escaped, histogram buckets cumulative with
+// a closing +Inf. The output is deterministic: the same registry state
+// writes the same bytes.
+
+// TextContentType is the Content-Type an HTTP handler should set when
+// serving WriteText output.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteText writes the registry's current state to w in the Prometheus
+// text exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	var b strings.Builder
+	lastName := ""
+	for _, p := range r.Snapshot() {
+		if p.Desc.Name != lastName {
+			lastName = p.Desc.Name
+			if p.Desc.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", p.Desc.Name, escapeHelp(p.Desc.Help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", p.Desc.Name, p.Kind)
+		}
+		switch p.Kind {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(&b, "%s%s %d\n", p.Desc.Name, renderLabels(p.Desc.Labels), p.Value)
+		case KindHistogram:
+			writeHistogram(&b, p)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits one histogram's cumulative bucket series plus its
+// sum and count, merging the le label after the constant labels.
+func writeHistogram(b *strings.Builder, p Point) {
+	name, ls := p.Desc.Name, p.Desc.Labels
+	var cum uint64
+	for _, bk := range p.Hist.Buckets {
+		cum += bk.Count
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabelsWithLE(ls, fmt.Sprintf("%d", bk.Upper)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabelsWithLE(ls, "+Inf"), p.Hist.Count)
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, renderLabels(ls), p.Hist.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, renderLabels(ls), p.Hist.Count)
+}
+
+// renderLabelsWithLE renders the constant labels plus the bucket's le
+// label in final position.
+func renderLabelsWithLE(ls []Label, le string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteString(`",`)
+	}
+	b.WriteString(`le="`)
+	b.WriteString(le)
+	b.WriteString(`"}`)
+	return b.String()
+}

@@ -1,0 +1,195 @@
+// Package metrics is the module's allocation-free instrumentation
+// subsystem: atomic counters, gauges, and fixed-bucket log-linear
+// latency histograms, registered in a process-wide Registry and exposed
+// through a consistent point-in-time Snapshot and a Prometheus
+// text-format writer (WriteText).
+//
+// The package exists to make the scheduling hot path observable without
+// perturbing it: incrementing a Counter, setting a Gauge, or observing a
+// Histogram sample is a handful of atomic operations on pre-registered
+// state — zero heap allocations per operation, enforced by schedlint's
+// hotpathalloc analyzer (the update methods are //hybridsched:hotpath
+// roots) and pinned by TestMetricsUpdateAllocFree. All registration,
+// snapshotting, and exposition is cold-path and may allocate freely.
+//
+// Instruments are identified by a name plus a sorted set of constant
+// labels, fixed at registration. Registration is get-or-create: asking
+// for the same (name, labels) again returns the same instrument, so a
+// restored scheduler shares its predecessor's process-wide totals.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// A Counter is a monotonically increasing uint64. The zero value is
+// ready to use; registry-created counters start at zero.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+//
+//hybridsched:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by delta.
+//
+//hybridsched:hotpath
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// A Gauge is an instantaneous int64 value that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+//
+//hybridsched:hotpath
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (which may be negative).
+//
+//hybridsched:hotpath
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram bucket layout: log-linear, base 2, with 2^histSubBits linear
+// sub-buckets per octave. Values 0..histSubBuckets-1 get exact buckets;
+// above that, each octave [2^e, 2^(e+1)) splits into histSubBuckets
+// equal-width buckets, so the relative quantization error is bounded by
+// 1/histSubBuckets = 12.5% — tight enough for latency SLOs — while the
+// whole int64 range fits in a fixed array updated with one atomic add.
+const (
+	histSubBits    = 3
+	histSubBuckets = 1 << histSubBits
+	// histBuckets covers nonneg int64: the exact range 0..histSubBuckets-1
+	// plus one histSubBuckets-wide group per octave e = histSubBits..62
+	// (a non-negative int64 has at most 63 significant bits, so octave 62
+	// — whose last bucket ends at MaxInt64 — is the top).
+	histBuckets = histSubBuckets + (62-histSubBits+1)*histSubBuckets
+)
+
+// A Histogram records a distribution of int64 samples (latencies in
+// nanoseconds, sizes in bits, ...) in fixed log-linear buckets. Observe
+// is allocation-free; Snapshot and quantile estimation are cold-path.
+// Negative samples clamp to zero.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+}
+
+// Observe records one sample.
+//
+//hybridsched:hotpath
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// bucketIndex maps a non-negative sample to its log-linear bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < histSubBuckets {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // v in [2^e, 2^(e+1)), e >= histSubBits
+	sub := (u >> uint(e-histSubBits)) & (histSubBuckets - 1)
+	return (e-histSubBits+1)*histSubBuckets + int(sub)
+}
+
+// bucketUpper returns the largest sample value bucket i holds.
+func bucketUpper(i int) int64 {
+	if i < histSubBuckets {
+		return int64(i)
+	}
+	e := uint(i/histSubBuckets + histSubBits - 1)
+	sub := uint64(i % histSubBuckets)
+	upper := uint64(1)<<e + (sub+1)<<(e-histSubBits) - 1
+	if upper > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(upper)
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	// Upper is the largest sample value the bucket holds (inclusive).
+	Upper int64
+	// Count is the number of samples in this bucket alone (not
+	// cumulative; the exposition writer accumulates).
+	Count uint64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Count is the total number of samples, computed from the buckets so
+	// Count and Buckets are mutually consistent.
+	Count uint64
+	// Sum is the running sample sum (read once; it may trail Count by
+	// in-flight observations).
+	Sum int64
+	// Buckets holds the non-empty buckets in ascending Upper order.
+	Buckets []Bucket
+}
+
+// Snapshot copies the current bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Sum: h.sum.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, Bucket{Upper: bucketUpper(i), Count: n})
+		s.Count += n
+	}
+	return s
+}
+
+// Quantile returns an upper bound on the q-quantile sample (0 <= q <= 1):
+// the upper edge of the bucket holding that rank, so an SLO assertion on
+// the result is conservative. An empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.Upper
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Upper
+}
+
+// Mean returns the average sample, or 0 for an empty snapshot.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,266 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-10)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+}
+
+// TestBucketIndexContract checks the log-linear mapping over the whole
+// representable range: indices are monotone in the sample, every sample
+// lands at or below its bucket's upper bound, bucket upper bounds are
+// strictly increasing, and nothing falls outside the fixed array.
+func TestBucketIndexContract(t *testing.T) {
+	samples := []int64{0, 1, 2, 7, 8, 9, 15, 16, 17, 31, 32, 63, 64, 100,
+		1000, 1e6, 1e9, 1e12, 1e15, math.MaxInt64 - 1, math.MaxInt64}
+	lastIdx := -1
+	for _, v := range samples {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d outside [0,%d)", v, idx, histBuckets)
+		}
+		if idx < lastIdx {
+			t.Fatalf("bucketIndex not monotone: %d -> bucket %d after bucket %d", v, idx, lastIdx)
+		}
+		lastIdx = idx
+		if up := bucketUpper(idx); v > up {
+			t.Fatalf("sample %d above its bucket %d upper bound %d", v, idx, up)
+		}
+	}
+	// Exact low range: the first histSubBuckets buckets hold one value each.
+	for v := int64(0); v < histSubBuckets; v++ {
+		if bucketIndex(v) != int(v) || bucketUpper(int(v)) != v {
+			t.Fatalf("low bucket %d not exact", v)
+		}
+	}
+	// Upper bounds strictly increase and tile the range with no gaps.
+	for i := 1; i < histBuckets; i++ {
+		lo, hi := bucketUpper(i-1), bucketUpper(i)
+		if hi <= lo {
+			t.Fatalf("bucket %d upper %d <= bucket %d upper %d", i, hi, i-1, lo)
+		}
+		if hi != math.MaxInt64 && bucketIndex(lo+1) != i {
+			t.Fatalf("gap: value %d after bucket %d maps to bucket %d, want %d",
+				lo+1, i-1, bucketIndex(lo+1), i)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 1000 samples 1..1000: quantiles are known, bucket error <= 12.5%.
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Sum != 500500 {
+		t.Fatalf("sum = %d, want 500500", s.Sum)
+	}
+	for _, tc := range []struct {
+		q     float64
+		exact int64
+	}{{0.5, 500}, {0.99, 990}, {0.999, 999}, {1.0, 1000}} {
+		got := s.Quantile(tc.q)
+		if got < tc.exact {
+			t.Errorf("Quantile(%v) = %d below the exact value %d (must be an upper bound)",
+				tc.q, got, tc.exact)
+		}
+		if got > tc.exact+tc.exact/4 {
+			t.Errorf("Quantile(%v) = %d too far above the exact value %d", tc.q, got, tc.exact)
+		}
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot quantile = %d, want 0", got)
+	}
+	if got := s.Mean(); got != 500.5 {
+		t.Errorf("mean = %v, want 500.5", got)
+	}
+	var neg Histogram
+	neg.Observe(-5)
+	if ns := neg.Snapshot(); ns.Count != 1 || ns.Buckets[0].Upper != 0 {
+		t.Errorf("negative sample not clamped to 0: %+v", ns)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "a counter", Label{Key: "shard", Value: "0"})
+	b := r.Counter("x_total", "a counter", Label{Key: "shard", Value: "0"})
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("x_total", "a counter", Label{Key: "shard", Value: "1"})
+	if a == c {
+		t.Fatal("distinct label sets share an instrument")
+	}
+	a.Inc()
+	if b.Value() != 1 || c.Value() != 0 {
+		t.Fatal("instrument identity broken")
+	}
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("kind conflict on full key", func() { r.Gauge("x_total", "now a gauge", Label{Key: "shard", Value: "0"}) })
+	mustPanic("kind conflict on name", func() { r.Histogram("x_total", "now a histogram") })
+	mustPanic("bad metric name", func() { r.Counter("no spaces", "") })
+	mustPanic("bad label key", func() { r.Counter("ok_total", "", Label{Key: "0bad", Value: "v"}) })
+	mustPanic("duplicate label key", func() {
+		r.Counter("ok_total", "", Label{Key: "k", Value: "a"}, Label{Key: "k", Value: "b"})
+	})
+}
+
+// TestWriteTextConformance parses the exposition output and checks the
+// format contract: stable sorted metric ordering, one HELP/TYPE header
+// per name, escaped label values, and monotone cumulative histogram
+// buckets closed by +Inf and consistent with _count and _sum.
+func TestWriteTextConformance(t *testing.T) {
+	r := NewRegistry()
+	// Register out of name order to prove the writer sorts.
+	r.Gauge("zz_depth_bits", "queue depth").Set(1234)
+	h := r.Histogram("aa_latency_ns", "epoch latency", Label{Key: "shard", Value: "0"})
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v * 100)
+	}
+	r.Counter("mm_drops_total", "drops by policy",
+		Label{Key: "policy", Value: "oldest"},
+		Label{Key: "path", Value: `quo"te\slash` + "\nnewline"}).Add(9)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// Deterministic: a second write of the same state is byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WriteText(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if out != buf2.String() {
+		t.Fatal("two writes of the same registry state differ")
+	}
+
+	// Escaping: the raw label value is escaped exactly once.
+	wantLine := `mm_drops_total{path="quo\"te\\slash\nnewline",policy="oldest"} 9`
+	if !strings.Contains(out, wantLine+"\n") {
+		t.Errorf("escaped sample line missing:\nwant %s\nin:\n%s", wantLine, out)
+	}
+
+	var (
+		lines      = strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+		lastName   string
+		nameOrder  []string
+		bucketCum  = map[string]uint64{} // histogram series -> last cumulative
+		histCounts = map[string]uint64{}
+		histInf    = map[string]uint64{}
+	)
+	typed := map[string]string{}
+	for _, line := range lines {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			if _, dup := typed[f[2]]; dup {
+				t.Errorf("duplicate TYPE header for %s", f[2])
+			}
+			typed[f[2]] = f[3]
+			if lastName != "" && f[2] <= lastName {
+				t.Errorf("metric names out of order: %s after %s", f[2], lastName)
+			}
+			lastName = f[2]
+			nameOrder = append(nameOrder, f[2])
+			continue
+		}
+		// A sample line: name{labels} value.
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("bad sample line %q", line)
+		}
+		val, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		base, labels, _ := strings.Cut(name, "{")
+		switch {
+		case strings.HasSuffix(base, "_bucket"):
+			series, _, _ := strings.Cut(labels, `le="`)
+			key := strings.TrimSuffix(base, "_bucket") + "{" + strings.TrimSuffix(series, ",") + "}"
+			if val < bucketCum[key] {
+				t.Errorf("histogram buckets not cumulative at %q: %d < %d", line, val, bucketCum[key])
+			}
+			bucketCum[key] = val
+			if strings.Contains(labels, `le="+Inf"`) {
+				histInf[key] = val
+			}
+		case strings.HasSuffix(base, "_count"):
+			series := strings.TrimSuffix(base, "_count") + "{" + labels
+			histCounts[series] = val
+		}
+	}
+	if typed["aa_latency_ns"] != "histogram" || typed["mm_drops_total"] != "counter" || typed["zz_depth_bits"] != "gauge" {
+		t.Errorf("TYPE lines wrong: %v", typed)
+	}
+	if len(histInf) != 1 {
+		t.Fatalf("want exactly one histogram +Inf series, got %v", histInf)
+	}
+	for key, inf := range histInf {
+		if inf != 100 {
+			t.Errorf("+Inf cumulative = %d, want 100", inf)
+		}
+		if histCounts[key] != inf {
+			t.Errorf("_count %d != +Inf bucket %d for %s", histCounts[key], inf, key)
+		}
+	}
+	if !strings.Contains(out, "aa_latency_ns_sum{shard=\"0\"} 505000\n") {
+		t.Errorf("histogram sum missing or wrong in:\n%s", out)
+	}
+}
+
+func TestSnapshotOrderStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "")
+	r.Counter("a_total", "", Label{Key: "shard", Value: "1"})
+	r.Counter("a_total", "", Label{Key: "shard", Value: "0"})
+	pts := r.Snapshot()
+	got := make([]string, len(pts))
+	for i, p := range pts {
+		got[i] = p.Desc.Name + renderLabels(p.Desc.Labels)
+	}
+	want := []string{`a_total{shard="0"}`, `a_total{shard="1"}`, `b_total`}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot order = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Label is one constant name/value pair attached to an instrument at
+// registration time. Values may contain any bytes; the exposition writer
+// escapes them.
+type Label struct {
+	Key, Value string
+}
+
+// Kind says what an instrument is.
+type Kind uint8
+
+// Instrument kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Desc identifies one registered instrument: a metric name plus its
+// constant labels, sorted by key.
+type Desc struct {
+	Name   string
+	Help   string
+	Labels []Label
+}
+
+// validName is the Prometheus metric/label-name grammar.
+var validName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// entry is one registered instrument.
+type entry struct {
+	desc Desc
+	kind Kind
+	// sortKey orders and identifies the instrument: name plus the
+	// rendered label set.
+	sortKey string
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// A Registry holds named instruments and exposes them as one consistent
+// snapshot. Registration is get-or-create and safe for concurrent use;
+// instrument updates never take the registry lock.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	index   map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: map[string]*entry{}}
+}
+
+// Default is the process-wide registry: the one cmd binaries expose on
+// their management listener unless they build their own.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name+labels, creating it
+// if needed. It panics if the name is already registered as a different
+// kind, or if name or a label key is not a valid metric name.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	e := r.getOrCreate(name, help, KindCounter, labels)
+	return e.counter
+}
+
+// Gauge returns the gauge registered under name+labels, creating it if
+// needed. Panic rules as for Counter.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	e := r.getOrCreate(name, help, KindGauge, labels)
+	return e.gauge
+}
+
+// Histogram returns the histogram registered under name+labels, creating
+// it if needed. Panic rules as for Counter.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	e := r.getOrCreate(name, help, KindHistogram, labels)
+	return e.hist
+}
+
+func (r *Registry) getOrCreate(name, help string, kind Kind, labels []Label) *entry {
+	if !validName.MatchString(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	for i, l := range ls {
+		if !validName.MatchString(l.Key) {
+			panic(fmt.Sprintf("metrics: invalid label key %q on %s", l.Key, name))
+		}
+		if i > 0 && ls[i-1].Key == l.Key {
+			panic(fmt.Sprintf("metrics: duplicate label key %q on %s", l.Key, name))
+		}
+	}
+	key := name + renderLabels(ls)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.index[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %s already registered as a %s, asked for a %s",
+				key, e.kind, kind))
+		}
+		return e
+	}
+	// One name, one kind and one help string across all label sets: the
+	// exposition format emits a single HELP/TYPE header per name.
+	for _, prev := range r.entries {
+		if prev.desc.Name == name && prev.kind != kind {
+			panic(fmt.Sprintf("metrics: %s already registered as a %s, asked for a %s",
+				name, prev.kind, kind))
+		}
+	}
+	e := &entry{
+		desc:    Desc{Name: name, Help: help, Labels: ls},
+		kind:    kind,
+		sortKey: key,
+	}
+	switch kind {
+	case KindCounter:
+		e.counter = &Counter{}
+	case KindGauge:
+		e.gauge = &Gauge{}
+	case KindHistogram:
+		e.hist = &Histogram{}
+	}
+	r.entries = append(r.entries, e)
+	r.index[key] = e
+	return e
+}
+
+// renderLabels renders a sorted label set as {k="v",...} with values
+// escaped, or "" for no labels.
+func renderLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Point is one instrument's value in a registry snapshot.
+type Point struct {
+	Desc Desc
+	Kind Kind
+	// Value carries counter and gauge readings (counters as their
+	// integral value).
+	Value int64
+	// Hist is set for histograms only.
+	Hist *HistogramSnapshot
+}
+
+// Snapshot reads every instrument once and returns the points sorted by
+// name, then label set — a stable order independent of registration
+// order. Counter and gauge reads are single atomic loads; histogram
+// buckets are internally consistent per histogram.
+func (r *Registry) Snapshot() []Point {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].desc.Name != entries[j].desc.Name {
+			return entries[i].desc.Name < entries[j].desc.Name
+		}
+		return entries[i].sortKey < entries[j].sortKey
+	})
+	pts := make([]Point, 0, len(entries))
+	for _, e := range entries {
+		p := Point{Desc: e.desc, Kind: e.kind}
+		switch e.kind {
+		case KindCounter:
+			p.Value = int64(e.counter.Value())
+		case KindGauge:
+			p.Value = e.gauge.Value()
+		case KindHistogram:
+			h := e.hist.Snapshot()
+			p.Hist = &h
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}

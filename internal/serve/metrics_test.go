@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hybridsched/internal/metrics"
+)
+
+// TestServeMetricsExposition drives an instrumented scheduler and checks
+// that every catalogued serve metric reaches the registry with the right
+// shard label and values consistent with Stats, and that the registry's
+// Prometheus exposition carries the epoch-latency histogram.
+func TestServeMetricsExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newTestScheduler(t, Config{
+		Ports:     8,
+		Algorithm: "islip",
+		SlotBits:  1500 * 8,
+		Shard:     3,
+		Metrics:   reg,
+	})
+
+	// A 1-deep subscriber that never drains: from the second published
+	// frame on, every epoch drops one frame under DropOldest.
+	sub, err := s.Subscribe(1, DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	const epochs = 10
+	for e := 0; e < epochs; e++ {
+		if err := s.Offer(0, 1, 1500*8); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Offer(2, 5, 3000*8); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := s.Stats()
+	if st.Offers != 2*epochs {
+		t.Errorf("Stats.Offers = %d, want %d", st.Offers, 2*epochs)
+	}
+	if st.MatchedPairs == 0 {
+		t.Error("Stats.MatchedPairs = 0 after non-empty epochs")
+	}
+	if st.EpochNsP50 <= 0 || st.EpochNsP99 < st.EpochNsP50 {
+		t.Errorf("epoch percentiles unset or out of order: p50 %d, p99 %d",
+			st.EpochNsP50, st.EpochNsP99)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`hybridsched_serve_epoch_latency_ns_bucket{shard="3",le="+Inf"} 10`,
+		`hybridsched_serve_epochs_total{shard="3"} 10`,
+		`hybridsched_serve_offers_total{shard="3"} 20`,
+		`hybridsched_serve_offered_bits_total{shard="3"} ` + itoa(epochs*(1500+3000)*8),
+		`hybridsched_serve_subscribers{shard="3"} 1`,
+		`hybridsched_serve_dropped_frames_total{policy="drop-oldest",shard="3"} ` + itoa(epochs-1),
+		`hybridsched_serve_dropped_frames_total{policy="drop-newest",shard="3"} 0`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Served + backlog gauges agree with Stats.
+	if !strings.Contains(out, `hybridsched_serve_served_bits_total{shard="3"} `+itoa64(st.ServedBits)+"\n") {
+		t.Errorf("served bits counter disagrees with Stats.ServedBits %d:\n%s", st.ServedBits, out)
+	}
+	if !strings.Contains(out, `hybridsched_serve_backlog_bits{shard="3"} `+itoa64(st.BacklogBits)+"\n") {
+		t.Errorf("backlog gauge disagrees with Stats.BacklogBits %d:\n%s", st.BacklogBits, out)
+	}
+
+	sub.Close()
+	if got := s.Stats().Subscribers; got != 0 {
+		t.Errorf("subscribers after close = %d, want 0", got)
+	}
+	buf.Reset()
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `hybridsched_serve_subscribers{shard="3"} 0`+"\n") {
+		t.Error("subscriber gauge not reset after Subscription.Close")
+	}
+}
+
+// TestShardedMetricsShared: shards of one service share a registry but
+// keep distinct instruments via the shard label.
+func TestShardedMetricsShared(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sh, err := NewSharded(2, 1, Config{
+		Ports:     8,
+		Algorithm: "islip",
+		SlotBits:  1500 * 8,
+		Metrics:   reg,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if err := sh.Offer(1, 0, 1, 1500*8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Step(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`hybridsched_serve_epochs_total{shard="0"} 1`,
+		`hybridsched_serve_epochs_total{shard="1"} 1`,
+		`hybridsched_serve_offers_total{shard="0"} 0`,
+		`hybridsched_serve_offers_total{shard="1"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func itoa64(v int64) string { return strconv.FormatInt(v, 10) }

@@ -30,6 +30,7 @@ import (
 
 	"hybridsched/internal/demand"
 	"hybridsched/internal/match"
+	"hybridsched/internal/metrics"
 	"hybridsched/internal/trace"
 )
 
@@ -64,6 +65,15 @@ type Config struct {
 	// computation — the push-free way to drive the service from a
 	// workload generator.
 	Source Source
+	// Shard labels the scheduler's frames and metrics in multi-instance
+	// services. NewSharded sets it per shard; standalone schedulers leave
+	// it zero.
+	Shard int
+	// Metrics, when non-nil, is the registry this scheduler's instruments
+	// register in: epoch latency, throughput, backlog, and drop metrics,
+	// labeled by shard. Recording is allocation-free, so instrumentation
+	// does not perturb the epoch hot path. Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +93,9 @@ func (c Config) Validate() error {
 	}
 	if c.SlotBits < 0 {
 		return fmt.Errorf("serve: SlotBits must be non-negative")
+	}
+	if c.Shard < 0 {
+		return fmt.Errorf("serve: Shard must be non-negative, have %d", c.Shard)
 	}
 	return nil
 }
@@ -108,7 +121,10 @@ type Frame struct {
 	BacklogBits int64
 }
 
-// Stats is a point-in-time summary of a scheduler's activity.
+// Stats is a point-in-time summary of a scheduler's activity. The
+// metric-backed fields (Offers, MatchedPairs, and the epoch-latency
+// percentiles) are populated only when the scheduler was built with
+// Config.Metrics; without a registry they stay zero.
 type Stats struct {
 	Epochs      uint64
 	IdleEpochs  uint64 // epochs with an empty matching
@@ -117,6 +133,18 @@ type Stats struct {
 	BacklogBits int64
 	Subscribers int
 	Dropped     uint64 // frames dropped across all subscriptions, ever
+
+	// Offers counts ingested demand offers (streaming calls, batch
+	// records, and source-driven offers each count once).
+	Offers uint64
+	// MatchedPairs counts matched (input, output) pairs across all epochs.
+	MatchedPairs uint64
+	// EpochNsP50/P99/P999 are upper bounds on the epoch wall-clock latency
+	// percentiles in nanoseconds, from the fixed-bucket histogram
+	// (quantization error <= 12.5%).
+	EpochNsP50  int64
+	EpochNsP99  int64
+	EpochNsP999 int64
 }
 
 // Scheduler is the online scheduling service for one fabric. Create with
@@ -127,6 +155,7 @@ type Scheduler struct {
 	cfg   Config
 	shard int
 	alg   match.Algorithm
+	ins   *instruments // nil when Config.Metrics is nil
 
 	mu      sync.Mutex // guards pending and closed
 	pending *demand.Matrix
@@ -164,10 +193,14 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 	s := &Scheduler{
 		cfg:     cfg,
+		shard:   cfg.Shard,
 		alg:     alg,
 		pending: demand.FromPool(cfg.Ports),
 		snap:    demand.FromPool(cfg.Ports),
 		done:    make(chan struct{}),
+	}
+	if cfg.Metrics != nil {
+		s.ins = newInstruments(cfg.Metrics, cfg.Shard)
 	}
 	s.sourceOffer = s.offerFromSource
 	return s, nil
@@ -178,9 +211,6 @@ func (s *Scheduler) Ports() int { return s.cfg.Ports }
 
 // Epoch returns the number of completed epochs.
 func (s *Scheduler) Epoch() uint64 { return s.epochs.Load() }
-
-// setShard labels frames from multi-instance services.
-func (s *Scheduler) setShard(i int) { s.shard = i }
 
 // Offer adds bits of pending demand from src to dst — the streaming
 // ingest path. It is cheap (one sparse matrix update under a mutex) and
@@ -202,6 +232,9 @@ func (s *Scheduler) Offer(src, dst int, bits int64) error {
 	}
 	s.pending.Add(src, dst, bits)
 	s.offered.Add(bits)
+	if s.ins != nil {
+		s.ins.observeOffer(bits)
+	}
 	return nil
 }
 
@@ -222,14 +255,20 @@ func (s *Scheduler) OfferRecords(recs []trace.Record) error {
 		return ErrClosed
 	}
 	var total int64
+	var n uint64
 	for _, r := range recs {
 		if r.Src == r.Dst {
 			continue
 		}
 		s.pending.Add(int(r.Src), int(r.Dst), int64(r.Size))
 		total += int64(r.Size)
+		n++
 	}
 	s.offered.Add(total)
+	if s.ins != nil {
+		s.ins.offers.Add(n)
+		s.ins.offeredBits.Add(uint64(total))
+	}
 	return nil
 }
 
@@ -242,6 +281,9 @@ func (s *Scheduler) offerLocked(src, dst int, bits int64) {
 	}
 	s.pending.Add(src, dst, bits)
 	s.offered.Add(bits)
+	if s.ins != nil {
+		s.ins.observeOffer(bits)
+	}
 }
 
 // offerFromSource ingests one Source-generated offer under the demand
@@ -287,6 +329,10 @@ func (s *Scheduler) StepOwned() (Frame, error) {
 
 // step runs one epoch; the caller holds stepMu.
 func (s *Scheduler) step() (Frame, error) {
+	var t0 time.Time
+	if s.ins != nil {
+		t0 = stepStart()
+	}
 	if s.cfg.Source != nil {
 		// The source runs outside the demand lock: generators may do
 		// real work (simulating an epoch of arrivals), and offers are
@@ -345,6 +391,9 @@ func (s *Scheduler) step() (Frame, error) {
 		BacklogBits: backlog,
 	}
 	s.publish(f)
+	if s.ins != nil {
+		s.ins.observeEpoch(stepElapsed(t0), pairs, servedBits, backlog)
+	}
 	return f, nil
 }
 
@@ -388,7 +437,7 @@ func (s *Scheduler) Stats() Stats {
 	s.subMu.Lock()
 	subs := len(s.subs)
 	s.subMu.Unlock()
-	return Stats{
+	st := Stats{
 		Epochs:      s.epochs.Load(),
 		IdleEpochs:  s.idle.Load(),
 		OfferedBits: s.offered.Load(),
@@ -397,6 +446,15 @@ func (s *Scheduler) Stats() Stats {
 		Subscribers: subs,
 		Dropped:     s.dropped.Load(),
 	}
+	if s.ins != nil {
+		st.Offers = s.ins.offers.Value()
+		st.MatchedPairs = s.ins.matchedPairs.Value()
+		lat := s.ins.epochLatency.Snapshot()
+		st.EpochNsP50 = lat.Quantile(0.5)
+		st.EpochNsP99 = lat.Quantile(0.99)
+		st.EpochNsP999 = lat.Quantile(0.999)
+	}
+	return st
 }
 
 // Close stops the scheduler: pending demand returns to the matrix pool,
@@ -427,6 +485,9 @@ func (s *Scheduler) Close() error {
 	for _, sub := range subs {
 		sub.closed = true
 		close(sub.ch)
+	}
+	if s.ins != nil {
+		s.ins.subscribers.Set(0)
 	}
 	s.subMu.Unlock()
 	return nil
@@ -478,6 +539,9 @@ func (s *Scheduler) Subscribe(buffer int, policy DropPolicy) (*Subscription, err
 	default:
 	}
 	s.subs = append(s.subs, sub)
+	if s.ins != nil {
+		s.ins.subscribers.Set(int64(len(s.subs)))
+	}
 	return sub, nil
 }
 
@@ -501,6 +565,9 @@ func (sub *Subscription) Close() {
 			sub.s.subs = append(sub.s.subs[:i], sub.s.subs[i+1:]...)
 			break
 		}
+	}
+	if sub.s.ins != nil {
+		sub.s.ins.subscribers.Set(int64(len(sub.s.subs)))
 	}
 	close(sub.ch)
 }
@@ -530,6 +597,9 @@ func (s *Scheduler) publish(f Frame) {
 			case <-sub.ch:
 				sub.dropped.Add(1)
 				s.dropped.Add(1)
+				if s.ins != nil {
+					s.ins.observeDrop(sub.policy)
+				}
 			default:
 			}
 			select {
@@ -540,5 +610,8 @@ func (s *Scheduler) publish(f Frame) {
 		}
 		sub.dropped.Add(1)
 		s.dropped.Add(1)
+		if s.ins != nil {
+			s.ins.observeDrop(sub.policy)
+		}
 	}
 }

@@ -31,7 +31,9 @@ type Sharded struct {
 // runner.DeriveSeed(cfg.Seed, shard) so their randomized algorithms and
 // workload sources are decorrelated. cfg.Source must be nil — per-shard
 // sources come from newSource (which may be nil for push-only services).
-// workers sizes the Step fan-out pool (0 = GOMAXPROCS).
+// cfg.Shard is overridden with each shard's index, so a shared
+// cfg.Metrics registry keeps the shards' instruments distinct. workers
+// sizes the Step fan-out pool (0 = GOMAXPROCS).
 func NewSharded(shards, workers int, cfg Config, newSource SourceFactory) (*Sharded, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("serve: need at least 1 shard, have %d", shards)
@@ -51,12 +53,12 @@ func NewSharded(shards, workers int, cfg Config, newSource SourceFactory) (*Shar
 			}
 			c.Source = src
 		}
+		c.Shard = i
 		s, err := New(c)
 		if err != nil {
 			sh.Close()
 			return nil, err
 		}
-		s.setShard(i)
 		sh.shards = append(sh.shards, s)
 	}
 	return sh, nil

@@ -1,0 +1,36 @@
+package hybridsched
+
+import "hybridsched/internal/metrics"
+
+// The instrumentation subsystem, re-exported so downstream code (and the
+// cmd/ binaries, which may not import internal packages) works with the
+// registry directly: allocation-free counters, gauges and fixed-bucket
+// latency histograms, a consistent point-in-time Snapshot, and a
+// Prometheus text-format writer. See docs/OBSERVABILITY.md for the
+// metric catalog and the management-plane endpoints that serve it.
+type (
+	// MetricsRegistry holds named instruments and renders them: pass one
+	// to ServiceConfig.Metrics (or MetricsObserver) and expose it with
+	// WriteText or Snapshot.
+	MetricsRegistry = metrics.Registry
+	// MetricLabel is one constant key=value label on an instrument.
+	MetricLabel = metrics.Label
+	// MetricPoint is one instrument's state in a registry snapshot.
+	MetricPoint = metrics.Point
+	// MetricCounter is a monotonically increasing counter.
+	MetricCounter = metrics.Counter
+	// MetricGauge is an instantaneous value.
+	MetricGauge = metrics.Gauge
+	// MetricHistogram records a sample distribution in fixed log-linear
+	// buckets.
+	MetricHistogram = metrics.Histogram
+)
+
+// MetricsTextContentType is the Content-Type for WriteText output — the
+// Prometheus text exposition format, version 0.0.4.
+const MetricsTextContentType = metrics.TextContentType
+
+// NewMetricsRegistry returns an empty registry. Instruments register
+// get-or-create by (name, labels), so independent components can share
+// one registry safely.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }

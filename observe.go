@@ -14,3 +14,14 @@ type Sample = fabric.Sample
 // read-only: a run with an observer attached is bit-identical to the same
 // run without one.
 type Observer func(Sample)
+
+// MetricsObserver returns an Observer that feeds every Sample into r as
+// the hybridsched_fabric_* metric family — queue-depth and latency
+// gauges, plus counters derived from the samples' cumulative totals —
+// tagged with the given constant labels. Attach it with WithObserver to
+// watch a simulation through the same registry (and the same /metrics
+// endpoint) as the online scheduling service.
+func MetricsObserver(r *MetricsRegistry, labels ...MetricLabel) Observer {
+	ins := fabric.NewInstruments(r, labels...)
+	return ins.Record
+}

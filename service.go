@@ -84,6 +84,12 @@ type ServiceConfig struct {
 	// EpochSpan is the simulated time one epoch consumes from Workload.
 	// Required when Workload is set.
 	EpochSpan Duration
+	// Metrics, when non-nil, is the registry the service's instruments
+	// register in: per-shard epoch-latency histograms, throughput
+	// counters, backlog gauges and drop counts, all labeled by shard.
+	// Recording is allocation-free, so instrumentation does not perturb
+	// the epoch hot path. Nil disables instrumentation.
+	Metrics *MetricsRegistry
 }
 
 // Service is a running online scheduling service. Create with NewService
@@ -134,6 +140,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		Algorithm: cfg.Algorithm,
 		Seed:      cfg.Seed,
 		SlotBits:  int64(cfg.SlotBits),
+		Metrics:   cfg.Metrics,
 	}, newSource)
 	if err != nil {
 		return nil, fmt.Errorf("hybridsched: %w", err)
