@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Compare mode: diff a fresh benchmark run against the committed
@@ -16,7 +17,11 @@ import (
 //     from the runtime's size classes), more fails;
 //   - ns/op may regress at most -tolerance (fractional), more fails;
 //   - a baseline entry missing from the current run fails (a renamed
-//     or deleted benchmark must update the baseline deliberately).
+//     or deleted benchmark must update the baseline deliberately) —
+//     unless it matches a -retired pattern, the explicit allowance for
+//     exactly that deliberate step: the gate stays green while the PR
+//     that renames or removes a benchmark is in flight, and the next
+//     bench-json baseline rewrite drops the entry for good.
 //
 // New benchmarks absent from the baseline are reported but pass — they
 // enter the contract when bench-json next rewrites the baseline.
@@ -48,9 +53,30 @@ func loadBaseline(path string) ([]Record, error) {
 	return recs, nil
 }
 
+// retiredMatch reports whether name matches one of the -retired
+// patterns: an exact benchmark name, or a prefix when the pattern ends
+// in '*' (BenchmarkMatch/rrm/* retires every sub-benchmark at once).
+func retiredMatch(retired []string, name string) bool {
+	for _, pat := range retired {
+		if pat == "" {
+			continue
+		}
+		if strings.HasSuffix(pat, "*") {
+			if strings.HasPrefix(name, pat[:len(pat)-1]) {
+				return true
+			}
+		} else if name == pat {
+			return true
+		}
+	}
+	return false
+}
+
 // compare diffs current against baseline and returns the violations
-// (empty = gate passes) and informational notes.
-func compare(baseline, current []Record, tolerance float64, byteNoise int64) (violations, notes []string) {
+// (empty = gate passes) and informational notes. retired holds the
+// -retired patterns: baseline entries matching one may be absent from
+// the run without failing the gate.
+func compare(baseline, current []Record, tolerance float64, byteNoise int64, retired []string) (violations, notes []string) {
 	cur := make(map[string]Record, len(current))
 	for _, r := range current {
 		cur[r.Name] = r
@@ -64,8 +90,14 @@ func compare(baseline, current []Record, tolerance float64, byteNoise int64) (vi
 	for _, base := range baseline {
 		got, ok := cur[base.Name]
 		if !ok {
+			if retiredMatch(retired, base.Name) {
+				notes = append(notes,
+					fmt.Sprintf("%s: retired (in the baseline, absent from this run; rewrite with bench-json to drop it)",
+						base.Name))
+				continue
+			}
 			violations = append(violations,
-				fmt.Sprintf("%s: in the baseline but missing from this run", base.Name))
+				fmt.Sprintf("%s: in the baseline but missing from this run (retire deliberately with -retired)", base.Name))
 			continue
 		}
 		if base.AllocsOp >= 0 {

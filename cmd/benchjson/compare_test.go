@@ -93,7 +93,7 @@ func TestCompareGate(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			violations, _ := compare(baseline, tc.current, 0.20, 64)
+			violations, _ := compare(baseline, tc.current, 0.20, 64, nil)
 			if len(violations) != len(tc.want) {
 				t.Fatalf("violations = %v, want %d matching %v", violations, len(tc.want), tc.want)
 			}
@@ -122,14 +122,14 @@ func TestCompareMedianNormalization(t *testing.T) {
 		}
 		outlier = append(outlier, rec(name, ns*f, 0, 0))
 	}
-	violations, notes := compare(baseline, uniform, 0.20, 64)
+	violations, notes := compare(baseline, uniform, 0.20, 64, nil)
 	if len(violations) != 0 {
 		t.Fatalf("uniform machine drift gated as a regression: %v", violations)
 	}
 	if len(notes) != 1 || !strings.Contains(notes[0], "normalized") {
 		t.Fatalf("notes = %v, want one announcing normalization", notes)
 	}
-	violations, _ = compare(baseline, outlier, 0.20, 64)
+	violations, _ = compare(baseline, outlier, 0.20, 64, nil)
 	if len(violations) != 1 || !strings.Contains(violations[0], "BenchmarkN/d") {
 		t.Fatalf("violations = %v, want exactly the BenchmarkN/d outlier", violations)
 	}
@@ -144,9 +144,95 @@ func TestCompareMedianNormalization(t *testing.T) {
 		}
 		masked = append(masked, rec(b.Name, ns, 0, 0))
 	}
-	violations, _ = compare(baseline, masked, 0.20, 64)
+	violations, _ = compare(baseline, masked, 0.20, 64, nil)
 	if len(violations) != 1 || !strings.Contains(violations[0], "BenchmarkN/h") {
 		t.Fatalf("violations = %v, want exactly the masked BenchmarkN/h regression", violations)
+	}
+}
+
+// TestCompareRetired covers the deliberate-retirement path: baseline
+// entries matching a -retired pattern may be absent from the run without
+// failing the gate (they downgrade to notes), unmatched absences still
+// fail, patterns ending in '*' retire whole benchmark families, and a
+// retired benchmark that is still present stays under the normal
+// contract.
+func TestCompareRetired(t *testing.T) {
+	baseline := []Record{
+		rec("BenchmarkMatch/rrm/n=16", 1_000, 0, 0),
+		rec("BenchmarkMatch/rrm/n=128", 9_000, 0, 0),
+		rec("BenchmarkMatch/islip/n=512", 100_000, 0, 0),
+		rec("BenchmarkOld", 50, 0, 0),
+	}
+	current := []Record{
+		rec("BenchmarkMatch/islip/n=512", 100_000, 0, 0),
+	}
+
+	// Without allowances: three absences, three violations.
+	violations, _ := compare(baseline, current, 0.20, 64, nil)
+	if len(violations) != 3 {
+		t.Fatalf("violations = %v, want 3 missing-entry failures", violations)
+	}
+
+	// Exact name + family prefix retire all three; the gate passes and
+	// each retirement is reported as a note.
+	retired := []string{"BenchmarkMatch/rrm/*", "BenchmarkOld"}
+	violations, notes := compare(baseline, current, 0.20, 64, retired)
+	if len(violations) != 0 {
+		t.Fatalf("violations = %v, want none with retirements in place", violations)
+	}
+	var retiredNotes int
+	for _, n := range notes {
+		if strings.Contains(n, "retired") {
+			retiredNotes++
+		}
+	}
+	if retiredNotes != 3 {
+		t.Fatalf("notes = %v, want 3 retirement notes", notes)
+	}
+
+	// A partial allowance leaves the unmatched absence failing.
+	violations, _ = compare(baseline, current, 0.20, 64, []string{"BenchmarkOld"})
+	if len(violations) != 2 {
+		t.Fatalf("violations = %v, want the two rrm absences to still fail", violations)
+	}
+
+	// Retirement is not an exemption: a retired-but-present benchmark
+	// stays under the normal regression contract.
+	present := []Record{
+		rec("BenchmarkMatch/rrm/n=16", 1_000, 0, 5),
+		rec("BenchmarkMatch/rrm/n=128", 9_000, 0, 0),
+		rec("BenchmarkMatch/islip/n=512", 100_000, 0, 0),
+		rec("BenchmarkOld", 50, 0, 0),
+	}
+	violations, _ = compare(baseline, present, 0.20, 64, []string{"BenchmarkMatch/rrm/*"})
+	if len(violations) != 1 || !strings.Contains(violations[0], "allocs/op 0 -> 5") {
+		t.Fatalf("violations = %v, want the alloc regression on the present rrm benchmark", violations)
+	}
+}
+
+func TestRetiredMatch(t *testing.T) {
+	retired := []string{"BenchmarkA", "BenchmarkMatch/rrm/*", ""}
+	for name, want := range map[string]bool{
+		"BenchmarkA":              true,
+		"BenchmarkA/sub":          false,
+		"BenchmarkMatch/rrm/n=16": true,
+		"BenchmarkMatch/rrm":      false,
+		"BenchmarkMatch/islip":    false,
+		"":                        false,
+	} {
+		if got := retiredMatch(retired, name); got != want {
+			t.Errorf("retiredMatch(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSplitRetired(t *testing.T) {
+	if got := splitRetired(""); got != nil {
+		t.Fatalf("splitRetired(\"\") = %v, want nil", got)
+	}
+	got := splitRetired(" BenchmarkA , ,BenchmarkB/* ")
+	if len(got) != 2 || got[0] != "BenchmarkA" || got[1] != "BenchmarkB/*" {
+		t.Fatalf("splitRetired = %v", got)
 	}
 }
 
@@ -156,7 +242,7 @@ func TestCompareNewBenchmarkIsANote(t *testing.T) {
 		rec("BenchmarkOld", 100, 0, 0),
 		rec("BenchmarkNew", 5, 0, 0),
 	}
-	violations, notes := compare(baseline, current, 0.20, 64)
+	violations, notes := compare(baseline, current, 0.20, 64, nil)
 	if len(violations) != 0 {
 		t.Fatalf("new benchmark counted as a violation: %v", violations)
 	}

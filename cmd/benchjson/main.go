@@ -44,6 +44,7 @@ func main() {
 	baselinePath := flag.String("compare", "", "baseline records file to diff against instead of writing records")
 	tolerance := flag.Float64("tolerance", 0.20, "with -compare: allowed fractional ns/op regression")
 	byteNoise := flag.Int64("byte-noise", 64, "with -compare: allowed absolute B/op growth (sub-allocation jitter)")
+	retired := flag.String("retired", "", "with -compare: comma-separated baseline entries allowed to be absent from the run (exact names, or prefixes ending in '*') — the deliberate retirement path for renamed or removed benchmarks until bench-json rewrites the baseline")
 	flag.Parse()
 
 	records, err := parse(bufio.NewScanner(os.Stdin))
@@ -62,7 +63,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: -compare: %v\n", err)
 			os.Exit(1)
 		}
-		violations, notes := compare(baseline, records, *tolerance, *byteNoise)
+		violations, notes := compare(baseline, records, *tolerance, *byteNoise, splitRetired(*retired))
 		for _, n := range notes {
 			fmt.Fprintln(os.Stderr, "benchjson: note:", n)
 		}
@@ -90,6 +91,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// splitRetired parses the -retired flag: comma-separated patterns,
+// empty segments and surrounding whitespace dropped.
+func splitRetired(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, pat := range strings.Split(s, ",") {
+		if pat = strings.TrimSpace(pat); pat != "" {
+			out = append(out, pat)
+		}
+	}
+	return out
 }
 
 // parse extracts benchmark result lines. The format is fixed by the

@@ -28,6 +28,10 @@ func TestHotPathAllocMetricsFixture(t *testing.T) {
 	runFixture(t, HotPathAlloc, "hybridsched/internal/metrics")
 }
 
+func TestHotPathAllocBitsetFixture(t *testing.T) {
+	runFixture(t, HotPathAlloc, "hybridsched/internal/demand")
+}
+
 func TestPoolPairFixture(t *testing.T) {
 	runFixture(t, PoolPair, "hybridsched/internal/sched")
 }

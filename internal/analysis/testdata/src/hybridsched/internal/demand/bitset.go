@@ -1,0 +1,73 @@
+// Bitset fixture for hotpathalloc: the word-parallel kernels the
+// matching algorithms run per slot. The shapes under test are the ones
+// the real internal/demand/bitset.go relies on — word loops,
+// math/bits scans and fixed backing arrays stay silent; anything that
+// could put a word slice (or its words, boxed) on the heap is flagged.
+package demand
+
+import "math/bits"
+
+// Bitset is one row of eligibility bits, 64 ports per word.
+type Bitset struct {
+	n int
+	w []uint64
+}
+
+// Wordset carries per-arbiter word scratch reused across slots.
+type Wordset struct {
+	scratch []uint64
+}
+
+// FirstAndNot scans ws &^ excl word-parallel. Pure word arithmetic:
+// nothing here allocates and nothing is reported.
+//
+//hybridsched:hotpath
+func FirstAndNot(ws, excl []uint64) int {
+	for i, w := range ws {
+		if i < len(excl) {
+			w &^= excl[i]
+		}
+		if w != 0 {
+			return i<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Accumulate is a hot root exercising the allocation shapes a bitset
+// kernel could slip into.
+//
+//hybridsched:hotpath
+func (s *Wordset) Accumulate(b *Bitset, n int) int {
+	s.scratch = s.scratch[:0]
+	for _, w := range b.w {
+		s.scratch = append(s.scratch, w) // self-append scratch growth: allowed
+	}
+	masked := make([]uint64, len(b.w)) // want `make allocates`
+	_ = masked
+	return s.tail(n)
+}
+
+// tail is unannotated but reached from Accumulate, so it inherits the
+// contract transitively.
+func (s *Wordset) tail(n int) int {
+	rows := [][]uint64{s.scratch} // want `slice literal allocates`
+	count := s.wordCount          // want `method value allocates a bound closure`
+	return len(rows) + count() + n
+}
+
+// wordCount reports the scratch length; binding it as a method value
+// above is what allocates, not calling it.
+func (s *Wordset) wordCount() int { return len(s.scratch) }
+
+// PopcountRows is off the hot path; its allocations are its own
+// business.
+func PopcountRows(rows [][]uint64) []int {
+	out := make([]int, len(rows))
+	for i, ws := range rows {
+		for _, w := range ws {
+			out[i] += bits.OnesCount64(w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package demand
+
+import "math/bits"
+
+// This file is the word-parallel view of demand: fixed-capacity bitsets
+// and the uint64-word scan primitives the matching kernels are built on.
+// A Matrix maintains its row/column nonzero structure as bit vectors
+// (RowBits/ColBits) incrementally alongside the nonzero lists; the
+// helpers here combine those views with per-algorithm Bitset scratch
+// (busy inputs, granted sets, used columns) 64 ports at a time, with
+// bits.TrailingZeros64 extracting winners. Everything is allocation-free
+// after construction — the kernels run under the hotpathalloc contract.
+
+// Bitset is a fixed-capacity set over [0, n) stored one bit per element
+// in uint64 words. The zero value is unusable; use NewBitset. Methods do
+// not bounds-check beyond the underlying slice — callers own staying
+// within the capacity they asked for.
+type Bitset struct {
+	n int
+	w []uint64
+}
+
+// NewBitset returns an empty bitset with capacity n. It panics if n <= 0.
+func NewBitset(n int) *Bitset {
+	if n <= 0 {
+		panic("demand: bitset capacity must be positive")
+	}
+	return &Bitset{n: n, w: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the capacity n.
+func (b *Bitset) Len() int { return b.n }
+
+// Words exposes the backing words for combining with Matrix views and
+// the package scan helpers. Mutating the returned slice mutates the set.
+func (b *Bitset) Words() []uint64 { return b.w }
+
+// Set adds i to the set.
+//
+//hybridsched:hotpath
+func (b *Bitset) Set(i int) { b.w[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes i from the set.
+//
+//hybridsched:hotpath
+func (b *Bitset) Clear(i int) { b.w[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether i is in the set.
+//
+//hybridsched:hotpath
+func (b *Bitset) Test(i int) bool { return b.w[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Zero empties the set in O(n/64) word stores.
+//
+//hybridsched:hotpath
+func (b *Bitset) Zero() {
+	for i := range b.w {
+		b.w[i] = 0
+	}
+}
+
+// Fill sets every element of [0, n).
+//
+//hybridsched:hotpath
+func (b *Bitset) Fill() {
+	for i := range b.w {
+		b.w[i] = ^uint64(0)
+	}
+	if r := uint(b.n) & 63; r != 0 {
+		b.w[len(b.w)-1] = (1 << r) - 1
+	}
+}
+
+// Count returns the number of elements in the set.
+//
+//hybridsched:hotpath
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.w {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// NextBit returns the smallest set index >= from in ws, or -1 if none.
+// ws is a word vector as produced by Bitset.Words, Matrix.RowBits or
+// Matrix.ColBits; from must be non-negative.
+//
+//hybridsched:hotpath
+func NextBit(ws []uint64, from int) int {
+	wi := from >> 6
+	if wi >= len(ws) {
+		return -1
+	}
+	w := ws[wi] >> (uint(from) & 63) << (uint(from) & 63)
+	for {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi >= len(ws) {
+			return -1
+		}
+		w = ws[wi]
+	}
+}
+
+// ClockwiseBit returns the element of (ws AND NOT excl) nearest clockwise
+// from ptr over [0, n): the smallest set index >= ptr, wrapping past n-1
+// back to 0. excl may be nil. Returns -1 when the intersection is empty.
+// This is the rotating-priority selection of the iSLIP/RRM grant and
+// accept arbiters, evaluated 64 candidates per word instead of walking
+// candidate lists.
+//
+// ws must have no set bits at indices >= n (Matrix views, Bitset words
+// and the kernels' grant rows all guarantee this), which lets both scan
+// segments run without per-candidate range checks. The function body is a
+// single flattened scan — this is the innermost call of the iSLIP-family
+// grant phase, hot enough that the call and per-word branch overhead of
+// composing it from nextAndNot showed up at whole-percent scale.
+//
+//hybridsched:hotpath
+func ClockwiseBit(ws, excl []uint64, ptr, n int) int {
+	wp := ptr >> 6
+	r := uint(ptr) & 63
+	if excl == nil {
+		w := ws[wp] >> r << r
+		for wi := wp; ; {
+			if w != 0 {
+				return wi<<6 + bits.TrailingZeros64(w)
+			}
+			wi++
+			if wi == len(ws) {
+				break
+			}
+			w = ws[wi]
+		}
+		for wi := 0; wi < wp; wi++ {
+			if w := ws[wi]; w != 0 {
+				return wi<<6 + bits.TrailingZeros64(w)
+			}
+		}
+		if r != 0 {
+			if w := ws[wp] & (1<<r - 1); w != 0 {
+				return wp<<6 + bits.TrailingZeros64(w)
+			}
+		}
+		return -1
+	}
+	excl = excl[:len(ws)]
+	w := (ws[wp] &^ excl[wp]) >> r << r
+	for wi := wp; ; {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi == len(ws) {
+			break
+		}
+		w = ws[wi] &^ excl[wi]
+	}
+	for wi := 0; wi < wp; wi++ {
+		if w := ws[wi] &^ excl[wi]; w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	if r != 0 {
+		if w := ws[wp] &^ excl[wp] & (1<<r - 1); w != 0 {
+			return wp<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// CountAndNot returns |ws AND NOT excl| over the whole word vector. excl
+// may be nil. Bits beyond the set's capacity must be clear in ws, which
+// Matrix views and Bitset words guarantee.
+//
+//hybridsched:hotpath
+func CountAndNot(ws, excl []uint64) int {
+	c := 0
+	if excl == nil {
+		for _, w := range ws {
+			c += bits.OnesCount64(w)
+		}
+		return c
+	}
+	for i, w := range ws {
+		c += bits.OnesCount64(w &^ excl[i])
+	}
+	return c
+}
+
+// SelectAndNot returns the index of the k-th (0-based, ascending) element
+// of (ws AND NOT excl); excl may be nil. The caller must ensure k <
+// CountAndNot(ws, excl); it panics otherwise. Together with CountAndNot
+// this reproduces "pick the k-th entry of the ascending candidate list"
+// — the PIM random arbiter — without materializing the list.
+//
+//hybridsched:hotpath
+func SelectAndNot(ws, excl []uint64, k int) int {
+	for i, w := range ws {
+		if excl != nil {
+			w &^= excl[i]
+		}
+		c := bits.OnesCount64(w)
+		if k >= c {
+			k -= c
+			continue
+		}
+		for ; k > 0; k-- {
+			w &= w - 1 // drop lowest set bit
+		}
+		return i<<6 + bits.TrailingZeros64(w)
+	}
+	panic("demand: SelectAndNot rank out of range")
+}

@@ -1,0 +1,231 @@
+package demand
+
+import (
+	"testing"
+
+	"hybridsched/internal/rng"
+)
+
+// checkBits verifies the matrix's row/column bitset views agree exactly
+// with the dense storage.
+func checkBits(t *testing.T, m *Matrix) {
+	t.Helper()
+	n := m.N()
+	for i := 0; i < n; i++ {
+		rb := m.RowBits(i)
+		for j := 0; j < n; j++ {
+			want := m.At(i, j) > 0
+			if got := rb[j>>6]&(1<<(uint(j)&63)) != 0; got != want {
+				t.Fatalf("RowBits(%d) bit %d = %v, At = %d", i, j, got, m.At(i, j))
+			}
+			cb := m.ColBits(j)
+			if got := cb[i>>6]&(1<<(uint(i)&63)) != 0; got != want {
+				t.Fatalf("ColBits(%d) bit %d = %v, At = %d", j, i, got, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMatrixBitViews(t *testing.T) {
+	for _, n := range []int{1, 3, 64, 65, 130} {
+		m := NewMatrix(n)
+		if got, want := m.Words(), (n+63)/64; got != want {
+			t.Fatalf("n=%d Words = %d, want %d", n, got, want)
+		}
+		r := rng.New(uint64(n) + 7)
+		for step := 0; step < 200; step++ {
+			i, j := r.Intn(n), r.Intn(n)
+			switch r.Intn(4) {
+			case 0:
+				m.Set(i, j, int64(r.Intn(5))) // includes zeroing
+			case 1:
+				m.Add(i, j, int64(r.Intn(7))-3)
+			case 2:
+				m.Set(i, j, 0)
+			case 3:
+				m.Set(i, j, 1)
+			}
+		}
+		checkBits(t, m)
+
+		// CopyFrom rebuilds the views from scratch on a dirty target.
+		dst := NewMatrix(n)
+		dst.Set(0, n-1, 9)
+		dst.CopyFrom(m)
+		checkBits(t, dst)
+
+		// Reset clears them.
+		m.Reset()
+		checkBits(t, m)
+		for i := 0; i < n; i++ {
+			for _, w := range m.RowBits(i) {
+				if w != 0 {
+					t.Fatalf("n=%d RowBits(%d) nonzero after Reset", n, i)
+				}
+			}
+			for _, w := range m.ColBits(i) {
+				if w != 0 {
+					t.Fatalf("n=%d ColBits(%d) nonzero after Reset", n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBitsetBasics(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 200} {
+		b := NewBitset(n)
+		if b.Len() != n {
+			t.Fatalf("Len = %d, want %d", b.Len(), n)
+		}
+		b.Fill()
+		if got := b.Count(); got != n {
+			t.Fatalf("n=%d Count after Fill = %d", n, got)
+		}
+		// No stray bits past n in the last word.
+		for _, w := range b.Words()[((n+63)/64)-1:] {
+			if n%64 != 0 && w>>(uint(n)&63) != 0 {
+				t.Fatalf("n=%d stray bits above capacity: %064b", n, w)
+			}
+		}
+		b.Zero()
+		if got := b.Count(); got != 0 {
+			t.Fatalf("n=%d Count after Zero = %d", n, got)
+		}
+		b.Set(0)
+		b.Set(n - 1)
+		if !b.Test(0) || !b.Test(n-1) {
+			t.Fatalf("n=%d Set/Test endpoints failed", n)
+		}
+		b.Clear(0)
+		if b.Test(0) || (n > 1 && !b.Test(n-1)) {
+			t.Fatalf("n=%d Clear(0) wrong", n)
+		}
+	}
+}
+
+// naiveClockwise mirrors the sparse kernels' nearestClockwise selection
+// over an explicit membership predicate.
+func naiveClockwise(member func(int) bool, ptr, n int) int {
+	best, bestDist := -1, n
+	for c := 0; c < n; c++ {
+		if !member(c) {
+			continue
+		}
+		dist := c - ptr
+		if dist < 0 {
+			dist += n
+		}
+		if dist < bestDist {
+			best, bestDist = c, dist
+		}
+	}
+	return best
+}
+
+func TestScanHelpers(t *testing.T) {
+	r := rng.New(42)
+	for _, n := range []int{1, 5, 64, 67, 150} {
+		set := NewBitset(n)
+		excl := NewBitset(n)
+		for trial := 0; trial < 50; trial++ {
+			set.Zero()
+			excl.Zero()
+			in := make(map[int]bool)
+			ex := make(map[int]bool)
+			for k := 0; k < n/2+1; k++ {
+				i := r.Intn(n)
+				set.Set(i)
+				in[i] = true
+				if r.Bool(0.3) {
+					excl.Set(i)
+					ex[i] = true
+				}
+			}
+			member := func(c int) bool { return in[c] && !ex[c] }
+
+			for ptr := 0; ptr < n; ptr++ {
+				want := naiveClockwise(member, ptr, n)
+				if got := ClockwiseBit(set.Words(), excl.Words(), ptr, n); got != want {
+					t.Fatalf("n=%d ptr=%d ClockwiseBit = %d, want %d", n, ptr, got, want)
+				}
+				wantNext := -1
+				for c := ptr; c < n; c++ {
+					if in[c] {
+						wantNext = c
+						break
+					}
+				}
+				if got := NextBit(set.Words(), ptr); got != wantNext {
+					t.Fatalf("n=%d from=%d NextBit = %d, want %d", n, ptr, got, wantNext)
+				}
+			}
+
+			// Count/Select agree with the ascending candidate list.
+			var cands []int
+			for c := 0; c < n; c++ {
+				if member(c) {
+					cands = append(cands, c)
+				}
+			}
+			if got := CountAndNot(set.Words(), excl.Words()); got != len(cands) {
+				t.Fatalf("n=%d CountAndNot = %d, want %d", n, got, len(cands))
+			}
+			for k, want := range cands {
+				if got := SelectAndNot(set.Words(), excl.Words(), k); got != want {
+					t.Fatalf("n=%d SelectAndNot(%d) = %d, want %d", n, k, got, want)
+				}
+			}
+			if got := CountAndNot(set.Words(), nil); got != len(in) {
+				t.Fatalf("n=%d CountAndNot(nil) = %d, want %d", n, got, len(in))
+			}
+		}
+	}
+}
+
+// FuzzBitsetRowOps drives a Matrix row and a plain map through the same
+// set/clear sequence and checks that the bitset view, the nonzero list
+// and iteration agree with the reference at every step.
+func FuzzBitsetRowOps(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x80, 0x03}, uint8(4))
+	f.Add([]byte{0xff, 0x00, 0x7f, 0x81, 0x10}, uint8(70))
+	f.Fuzz(func(t *testing.T, ops []byte, size uint8) {
+		n := int(size)%130 + 1
+		m := NewMatrix(n)
+		ref := make(map[int]int64)
+		for _, op := range ops {
+			j := int(op&0x7f) % n
+			if op&0x80 != 0 {
+				m.Set(0, j, 0)
+				delete(ref, j)
+			} else {
+				m.Set(0, j, int64(j)+1)
+				ref[j] = int64(j) + 1
+			}
+		}
+		// Iterate the bitset row; every visited bit must be in the
+		// reference with a positive value, and counts must agree.
+		rb := m.RowBits(0)
+		visited := 0
+		for j := NextBit(rb, 0); j >= 0; j = NextBit(rb, j+1) {
+			v, ok := ref[j]
+			if !ok || m.At(0, j) != v {
+				t.Fatalf("bit %d set; ref[%d]=%d,%v At=%d", j, j, v, ok, m.At(0, j))
+			}
+			visited++
+		}
+		if visited != len(ref) {
+			t.Fatalf("iterated %d bits, reference has %d", visited, len(ref))
+		}
+		if m.RowNonZeros(0) != len(ref) {
+			t.Fatalf("RowNonZeros = %d, reference has %d", m.RowNonZeros(0), len(ref))
+		}
+		// Column views mirror the row: bit 0 of ColBits(j) iff ref[j].
+		for j := 0; j < n; j++ {
+			_, ok := ref[j]
+			if got := m.ColBits(j)[0]&1 != 0; got != ok {
+				t.Fatalf("ColBits(%d) bit 0 = %v, want %v", j, got, ok)
+			}
+		}
+	})
+}

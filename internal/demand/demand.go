@@ -34,13 +34,16 @@ import (
 
 // Matrix is an n x n demand matrix. Entries are non-negative.
 type Matrix struct {
-	n    int
-	v    []int64
-	cols [][]int32 // per-row ascending nonzero column indices
-	rsum []int64   // per-row sums
-	csum []int64   // per-column sums
-	nz   int       // total nonzero entries
-	tot  int64     // total sum
+	n     int
+	words int // uint64 words per bitset row/column: ceil(n/64)
+	v     []int64
+	cols  [][]int32 // per-row ascending nonzero column indices
+	rbits []uint64  // row bitsets: bit j of row i set iff At(i,j) > 0
+	cbits []uint64  // column bitsets: bit i of column j set iff At(i,j) > 0
+	rsum  []int64   // per-row sums
+	csum  []int64   // per-column sums
+	nz    int       // total nonzero entries
+	tot   int64     // total sum
 }
 
 // NewMatrix returns a zero n x n matrix. It panics if n <= 0.
@@ -48,12 +51,16 @@ func NewMatrix(n int) *Matrix {
 	if n <= 0 {
 		panic("demand: matrix size must be positive")
 	}
+	words := (n + 63) / 64
 	return &Matrix{
-		n:    n,
-		v:    make([]int64, n*n),
-		cols: make([][]int32, n),
-		rsum: make([]int64, n),
-		csum: make([]int64, n),
+		n:     n,
+		words: words,
+		v:     make([]int64, n*n),
+		cols:  make([][]int32, n),
+		rbits: make([]uint64, n*words),
+		cbits: make([]uint64, n*words),
+		rsum:  make([]int64, n),
+		csum:  make([]int64, n),
 	}
 }
 
@@ -109,9 +116,13 @@ func (m *Matrix) Set(i, j int, x int64) {
 	m.tot += x - old
 	if old == 0 {
 		m.insertCol(i, int32(j))
+		m.rbits[i*m.words+j>>6] |= 1 << (uint(j) & 63)
+		m.cbits[j*m.words+i>>6] |= 1 << (uint(i) & 63)
 		m.nz++
 	} else if x == 0 {
 		m.removeCol(i, int32(j))
+		m.rbits[i*m.words+j>>6] &^= 1 << (uint(j) & 63)
+		m.cbits[j*m.words+i>>6] &^= 1 << (uint(i) & 63)
 		m.nz--
 	}
 }
@@ -184,6 +195,23 @@ func (r Row) Entry(k int) (j int, v int64) {
 	return int(c), r.vals[c]
 }
 
+// Words returns the number of uint64 words in each RowBits/ColBits view:
+// ceil(N()/64). All Bitsets combined with the matrix's views must be
+// sized for the same dimension.
+func (m *Matrix) Words() int { return m.words }
+
+// RowBits returns row i's nonzero-column bitset: bit j (word j/64, bit
+// j%64) is set iff At(i, j) > 0. The view is read-only and valid until
+// the matrix is next mutated. It is maintained incrementally alongside
+// the nonzero column lists, so the word-parallel matching kernels can
+// AND whole 64-port spans per instruction.
+func (m *Matrix) RowBits(i int) []uint64 { return m.rbits[i*m.words : (i+1)*m.words] }
+
+// ColBits returns column j's nonzero-row bitset: bit i is set iff
+// At(i, j) > 0. Read-only, valid until the next mutation. This is the
+// request vector output-side arbiters (grant phases) scan.
+func (m *Matrix) ColBits(j int) []uint64 { return m.cbits[j*m.words : (j+1)*m.words] }
+
 // NonZeros returns the total number of nonzero entries.
 func (m *Matrix) NonZeros() int { return m.nz }
 
@@ -212,8 +240,11 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 		sc := src.cols[i]
 		dst := m.cols[i][:0]
 		base := i * m.n
+		rb := m.rbits[i*m.words : (i+1)*m.words]
 		for _, j := range sc {
 			m.v[base+int(j)] = src.v[base+int(j)]
+			rb[j>>6] |= 1 << (uint(j) & 63)
+			m.cbits[int(j)*m.words+i>>6] |= 1 << (uint(i) & 63)
 			dst = append(dst, j)
 		}
 		m.cols[i] = dst
@@ -228,8 +259,11 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 func (m *Matrix) Reset() {
 	for i, row := range m.cols {
 		base := i * m.n
+		rb := m.rbits[i*m.words : (i+1)*m.words]
 		for _, j := range row {
 			m.v[base+int(j)] = 0
+			rb[j>>6] &^= 1 << (uint(j) & 63)
+			m.cbits[int(j)*m.words+i>>6] &^= 1 << (uint(i) & 63)
 		}
 		m.cols[i] = row[:0]
 		m.rsum[i] = 0

@@ -20,6 +20,12 @@ import (
 // degenerate and odd sizes, 16 rack scale, 64 the first "fabric" size.
 var equivalenceSizes = []int{2, 5, 8, 16, 64}
 
+// threeWaySizes additionally straddle the uint64 word boundary the
+// bitset kernels pack ports into (65, 128); the dense references are too
+// slow at 128 for the full dense suite, but the three-way suite skips
+// the algorithms without a sparse twin, so it stays cheap.
+var threeWaySizes = []int{2, 5, 8, 16, 64, 65, 128}
+
 // churnedCopy rebuilds d by applying its entries in a scrambled order,
 // interleaved with transient writes that are later zeroed, so the copy's
 // nonzero index structure exercises mid-row insertion and removal rather
@@ -91,6 +97,70 @@ func TestDenseEquivalenceAllAlgorithms(t *testing.T) {
 				d := randomDemand(r, n, 0.5, 1<<16)
 				if got, want := live.Schedule(d).Clone(), ref.Schedule(d); !got.Equal(want) {
 					t.Fatalf("n=%d post-Reset: sparse %v != dense %v", n, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestThreeWayEquivalence locks the whole implementation lineage
+// together: for every registered algorithm that went through both
+// refactors, the live word-parallel bitset kernel, the preserved
+// sparse-list kernel and the preserved dense O(n²) scan must produce
+// identical matchings on identical inputs across stateful rounds — and
+// identical slot sequences again after Reset, which is what pins the
+// pointer/random-stream state all three carry between Schedule calls.
+func TestThreeWayEquivalence(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, n := range threeWaySizes {
+				seed := uint64(n)*2000 + 29
+				r := rng.New(seed)
+				live, err := New(name, n, seed)
+				if err != nil {
+					t.Fatalf("instantiate: %v", err)
+				}
+				sparse := newSparseRef(name, n, seed)
+				if sparse == nil {
+					// TDMA, Hungarian and the frame decompositions never
+					// had a bitset rewrite; the live code is still the
+					// sparse implementation and the dense suite covers it.
+					t.Skipf("%s has no separate sparse reference", name)
+				}
+				dense := newDenseRef(name, n, seed)
+				if dense == nil {
+					t.Fatalf("no dense reference for %q", name)
+				}
+				check := func(round string, d *demand.Matrix) {
+					t.Helper()
+					dc := churnedCopy(r, d)
+					got := live.Schedule(dc).Clone() // live output may be scratch
+					sp := sparse.Schedule(d).Clone() // sparse scratch too
+					de := dense.Schedule(d)
+					if !got.Equal(sp) {
+						t.Fatalf("n=%d %s: bitset %v != sparse %v\ndemand:\n%v",
+							n, round, got, sp, d)
+					}
+					if !got.Equal(de) {
+						t.Fatalf("n=%d %s: bitset %v != dense %v\ndemand:\n%v",
+							n, round, got, de, d)
+					}
+				}
+				for round := 0; round < 6; round++ {
+					sparsity := 0.15 + 0.15*float64(round%5)
+					check(fmt.Sprintf("round %d", round),
+						randomDemand(r, n, sparsity, 1<<16))
+				}
+				// Reset all three, then several more rounds: if any
+				// implementation's pointers, offsets or random streams
+				// came out of Reset differently, the trajectories diverge.
+				live.Reset()
+				sparse.Reset()
+				dense.Reset()
+				for round := 0; round < 3; round++ {
+					check(fmt.Sprintf("post-Reset round %d", round),
+						randomDemand(r, n, 0.4, 1<<16))
 				}
 			}
 		})

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"math/bits"
 	"slices"
 
 	"hybridsched/internal/demand"
@@ -14,12 +15,13 @@ import (
 // than Hungarian.
 type Greedy struct {
 	n int
-	// Scratch reused across Schedule calls: only the nonzero cells are
-	// collected and sorted, so a sparse fabric-scale matrix costs
-	// O(nonzeros log nonzeros), not O(n² log n).
+	// Scratch reused across Schedule calls: the nonzero cells are
+	// collected by scanning the matrix's row bitsets (64 empty columns
+	// skipped per word) and sorted, so a sparse fabric-scale matrix
+	// costs O(nonzeros log nonzeros), not O(n² log n).
 	edges   []greedyEdge
 	out     Matching
-	colUsed []bool
+	colUsed *demand.Bitset
 }
 
 type greedyEdge struct {
@@ -33,7 +35,7 @@ func NewGreedy(n int) *Greedy {
 		panic("match: greedy needs positive n")
 	}
 	return &Greedy{n: n, edges: make([]greedyEdge, 0, 4*n),
-		out: NewMatching(n), colUsed: make([]bool, n)}
+		out: NewMatching(n), colUsed: demand.NewBitset(n)}
 }
 
 // Name implements Algorithm.
@@ -44,10 +46,16 @@ func (g *Greedy) Reset() {}
 
 // Complexity implements Algorithm: a hardware implementation streams cells
 // through a systolic sorter (depth ~ n log n is generous; selection of n
-// winners dominates); software pays the full n^2 log n sort.
+// winners dominates). Software pays the bitset-row edge collection plus
+// the sort and selection of the nonzero cells, modeled at the reference
+// fill (see modelFill).
 func (g *Greedy) Complexity(n int) Complexity {
-	l := log2ceil(n * n)
-	return Complexity{HardwareDepth: n * log2ceil(n), SoftwareOps: n * n * l}
+	w := bitsetWords(n)
+	nz := modelFill * n
+	return Complexity{
+		HardwareDepth: n * log2ceil(n),
+		SoftwareOps:   n*w + nz*log2ceil(nz) + 2*nz,
+	}
 }
 
 // Schedule implements Algorithm.
@@ -57,10 +65,12 @@ func (g *Greedy) Schedule(d *demand.Matrix) Matching {
 	n := g.n
 	g.edges = g.edges[:0]
 	for i := 0; i < n; i++ {
-		row := d.Row(i)
-		for k := 0; k < row.Len(); k++ {
-			j, w := row.Entry(k)
-			g.edges = append(g.edges, greedyEdge{w, i, j})
+		for wi, word := range d.RowBits(i) {
+			for word != 0 {
+				j := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				g.edges = append(g.edges, greedyEdge{d.At(i, j), i, j})
+			}
 		}
 	}
 	// Deterministic: ties break by (i, j). The key is a total order, so
@@ -82,13 +92,11 @@ func (g *Greedy) Schedule(d *demand.Matrix) Matching {
 	for i := range m {
 		m[i] = Unmatched
 	}
-	for j := range g.colUsed {
-		g.colUsed[j] = false
-	}
+	g.colUsed.Zero()
 	for _, e := range g.edges {
-		if m[e.i] == Unmatched && !g.colUsed[e.j] {
+		if m[e.i] == Unmatched && !g.colUsed.Test(e.j) {
 			m[e.i] = e.j
-			g.colUsed[e.j] = true
+			g.colUsed.Set(e.j)
 		}
 	}
 	return m

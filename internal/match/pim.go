@@ -15,17 +15,18 @@ import (
 // asymmetric load — which is why iSLIP displaced it.
 type PIM struct {
 	n          int
+	words      int
 	iterations int
 	r          *rng.Rand
 	seed       uint64
 
 	// Scratch reused across Schedule calls (see Algorithm.Schedule).
-	out        Matching
-	outMatched []bool
-	reqs       [][]int32
-	grants     [][]int32
-	activeOut  []int32
-	cand       []int32
+	out       Matching
+	busyIn    *demand.Bitset
+	busyOut   *demand.Bitset
+	granted   *demand.Bitset
+	grantBits []uint64
+	activeOut []int32
 }
 
 // NewPIM returns a PIM arbiter with the given iteration count.
@@ -33,12 +34,14 @@ func NewPIM(n, iterations int, seed uint64) *PIM {
 	if n <= 0 || iterations <= 0 {
 		panic("match: PIM needs positive n and iterations")
 	}
-	return &PIM{n: n, iterations: iterations, r: rng.New(seed), seed: seed,
-		out:        NewMatching(n),
-		outMatched: make([]bool, n),
-		reqs:       make([][]int32, n),
-		grants:     make([][]int32, n),
-		cand:       make([]int32, 0, n),
+	words := (n + 63) / 64
+	return &PIM{n: n, words: words, iterations: iterations, r: rng.New(seed), seed: seed,
+		out:       NewMatching(n),
+		busyIn:    demand.NewBitset(n),
+		busyOut:   demand.NewBitset(n),
+		granted:   demand.NewBitset(n),
+		grantBits: make([]uint64, n*words),
+		activeOut: make([]int32, 0, n),
 	}
 }
 
@@ -50,59 +53,75 @@ func (p *PIM) Name() string { return fmt.Sprintf("pim-%d", p.iterations) }
 func (p *PIM) Reset() { p.r = rng.New(p.seed) }
 
 // Complexity implements Algorithm: like iSLIP, 3 parallel phases per
-// iteration in hardware, n^2 work per iteration in software.
+// iteration in hardware. In software each iteration popcounts and
+// rank-selects over the request and grant bitset rows — at most 4·words
+// words per port per phase plus O(n) bookkeeping.
 func (p *PIM) Complexity(n int) Complexity {
-	return Complexity{HardwareDepth: 3 * p.iterations, SoftwareOps: p.iterations * n * n}
+	w := bitsetWords(n)
+	return Complexity{
+		HardwareDepth: 3 * p.iterations,
+		SoftwareOps:   p.iterations*(4*n*w+2*n) + 3*n,
+	}
 }
 
 // Schedule implements Algorithm. Outputs draw among their requesters and
-// inputs among their granters in ascending index order, exactly as the
-// dense scans did, so the random stream (and thus every matching) is
-// bit-identical to the dense implementation.
+// inputs among their granters by popcount + k-th-set-bit selection over
+// the bitset rows — the k-th set bit of the masked request word vector
+// IS the k-th entry of the ascending candidate list the sparse kernel
+// materialized, so the random stream (and thus every matching) is
+// bit-identical to both prior implementations.
 //
 //hybridsched:hotpath
 func (p *PIM) Schedule(d *demand.Matrix) Matching {
-	n := p.n
+	words := p.words
 	inMatch := p.out
 	for i := range inMatch {
 		inMatch[i] = Unmatched
 	}
-	for j := range p.outMatched {
-		p.outMatched[j] = false
-	}
-	p.activeOut = buildRequests(d, p.reqs, p.activeOut)
+	p.busyIn.Zero()
+	p.busyOut.Zero()
+	p.activeOut = activeOutputs(d, p.activeOut)
+	busyIn := p.busyIn.Words()
 
 	for iter := 0; iter < p.iterations; iter++ {
 		// Grant: each unmatched output picks a random unmatched requester.
+		// Matched and requester-exhausted outputs are compacted out of the
+		// active list (as in iSLIP); neither draws from the random stream
+		// in any of the three implementations, so dropping them keeps the
+		// stream bit-identical.
+		live := p.activeOut[:0]
 		for _, j32 := range p.activeOut {
 			j := int(j32)
-			if p.outMatched[j] {
+			if p.busyOut.Test(j) {
 				continue
 			}
-			cand := p.cand[:0]
-			for _, i32 := range p.reqs[j] {
-				if inMatch[i32] == Unmatched {
-					cand = append(cand, i32)
-				}
+			cb := d.ColBits(j)
+			c := demand.CountAndNot(cb, busyIn)
+			if c == 0 {
+				continue
 			}
-			if len(cand) > 0 {
-				g := cand[p.r.Intn(len(cand))]
-				p.grants[g] = append(p.grants[g], j32)
-			}
+			live = append(live, j32)
+			g := demand.SelectAndNot(cb, busyIn, p.r.Intn(c))
+			p.grantBits[g*words+j>>6] |= 1 << (uint(j) & 63)
+			p.granted.Set(g)
 		}
+		p.activeOut = live
 		// Accept: each input picks a random grant.
 		anyAccept := false
-		for i := 0; i < n; i++ {
-			g := p.grants[i]
-			if len(g) == 0 {
-				continue
+		gw := p.granted.Words()
+		for i := demand.NextBit(gw, 0); i >= 0; i = demand.NextBit(gw, i+1) {
+			row := p.grantBits[i*words : (i+1)*words]
+			c := demand.CountAndNot(row, nil)
+			j := demand.SelectAndNot(row, nil, p.r.Intn(c))
+			for k := range row {
+				row[k] = 0
 			}
-			p.grants[i] = g[:0]
-			j := int(g[p.r.Intn(len(g))])
 			inMatch[i] = j
-			p.outMatched[j] = true
+			p.busyIn.Set(i)
+			p.busyOut.Set(j)
 			anyAccept = true
 		}
+		p.granted.Zero()
 		if !anyAccept {
 			break
 		}

@@ -2,6 +2,7 @@ package match
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hybridsched/internal/demand"
 )
@@ -14,15 +15,17 @@ import (
 // the ablation measurable.
 type RRM struct {
 	n          int
+	words      int
 	iterations int
 	grantPtr   []int
 	acceptPtr  []int
 
 	// Scratch reused across Schedule calls (see Algorithm.Schedule).
 	out       Matching
-	outMatch  []int32
-	reqs      [][]int32
-	grants    [][]int32
+	busyIn    *demand.Bitset
+	busyOut   *demand.Bitset
+	granted   *demand.Bitset
+	grantBits []uint64
 	activeOut []int32
 }
 
@@ -31,12 +34,15 @@ func NewRRM(n, iterations int) *RRM {
 	if n <= 0 || iterations <= 0 {
 		panic("match: RRM needs positive n and iterations")
 	}
-	return &RRM{n: n, iterations: iterations,
+	words := (n + 63) / 64
+	return &RRM{n: n, words: words, iterations: iterations,
 		grantPtr: make([]int, n), acceptPtr: make([]int, n),
-		out:      NewMatching(n),
-		outMatch: make([]int32, n),
-		reqs:     make([][]int32, n),
-		grants:   make([][]int32, n),
+		out:       NewMatching(n),
+		busyIn:    demand.NewBitset(n),
+		busyOut:   demand.NewBitset(n),
+		granted:   demand.NewBitset(n),
+		grantBits: make([]uint64, n*words),
+		activeOut: make([]int32, 0, n),
 	}
 }
 
@@ -51,48 +57,65 @@ func (r *RRM) Reset() {
 	}
 }
 
-// Complexity implements Algorithm (same structure as iSLIP).
+// Complexity implements Algorithm (same word-parallel structure as
+// iSLIP, plus the unconditional O(n) pointer rotation).
 func (r *RRM) Complexity(n int) Complexity {
-	return Complexity{HardwareDepth: 3 * r.iterations, SoftwareOps: r.iterations * n * n}
+	w := bitsetWords(n)
+	return Complexity{
+		HardwareDepth: 3 * r.iterations,
+		SoftwareOps:   r.iterations*(5*n*w+2*n) + 5*n,
+	}
 }
 
-// Schedule implements Algorithm. Like iSLIP it runs grant/accept over
-// per-output requester lists built once from the nonzero rows.
+// Schedule implements Algorithm. Like iSLIP it runs masked word scans
+// over the matrix's column bitsets for grants and per-input grant bitset
+// rows for accepts.
 //
 //hybridsched:hotpath
 func (r *RRM) Schedule(d *demand.Matrix) Matching {
-	n := r.n
+	n, words := r.n, r.words
 	inMatch := r.out
 	for i := range inMatch {
 		inMatch[i] = Unmatched
 	}
-	for j := range r.outMatch {
-		r.outMatch[j] = -1
-	}
-	r.activeOut = buildRequests(d, r.reqs, r.activeOut)
+	r.busyIn.Zero()
+	r.busyOut.Zero()
+	r.activeOut = activeOutputs(d, r.activeOut)
+	busyIn := r.busyIn.Words()
 
 	for iter := 0; iter < r.iterations; iter++ {
+		// As in iSLIP, outputs that are matched or whose requesters are all
+		// matched are compacted out of the active list: neither can grant
+		// again this Schedule, since busyIn and busyOut only grow.
+		live := r.activeOut[:0]
 		for _, j32 := range r.activeOut {
 			j := int(j32)
-			if r.outMatch[j] >= 0 {
+			if r.busyOut.Test(j) {
 				continue
 			}
-			if best := nearestClockwise(r.reqs[j], r.grantPtr[j], n, inMatch); best >= 0 {
-				r.grants[best] = append(r.grants[best], j32)
+			best := demand.ClockwiseBit(d.ColBits(j), busyIn, r.grantPtr[j], n)
+			if best < 0 {
+				continue
 			}
+			live = append(live, j32)
+			r.grantBits[best*words+j>>6] |= 1 << (uint(j) & 63)
+			r.granted.Set(best)
 		}
+		r.activeOut = live
 		any := false
-		for i := 0; i < n; i++ {
-			g := r.grants[i]
-			if len(g) == 0 {
-				continue
+		gw := r.granted.Words()
+		for i := demand.NextBit(gw, 0); i >= 0; i = demand.NextBit(gw, i+1) {
+			row := r.grantBits[i*words : (i+1)*words]
+			best := demand.ClockwiseBit(row, nil, r.acceptPtr[i], n)
+			for k := range row {
+				row[k] = 0
 			}
-			r.grants[i] = g[:0]
-			best := nearestClockwise(g, r.acceptPtr[i], n, nil)
 			inMatch[i] = best
-			r.outMatch[best] = int32(i)
+			r.busyIn.Set(i)
+			r.busyOut.Set(best)
 			any = true
 		}
+		r.granted.Zero()
 		if !any {
 			break
 		}
@@ -112,17 +135,33 @@ func (r *RRM) Schedule(d *demand.Matrix) Matching {
 // skeleton with arbiters that prefer the *deepest* VOQ instead of a
 // round-robin pointer (ties break on lower index). Weight-aware like
 // greedy but iterative and parallelizable like iSLIP; it lacks iSLIP's
-// starvation freedom, which the fairness test demonstrates.
+// starvation freedom, which the fairness test demonstrates. The
+// candidate sets are walked as bitset rows (64 ports skipped per empty
+// word), but each surviving candidate still costs a queue-depth lookup —
+// the value comparison is what cannot be word-parallelized.
 type ILQF struct {
 	n          int
+	words      int
 	iterations int
 
 	// Scratch reused across Schedule calls (see Algorithm.Schedule).
-	out        Matching
-	outMatched []bool
-	reqs       [][]int32
-	grants     [][]int32
-	activeOut  []int32
+	out       Matching
+	busyIn    *demand.Bitset
+	grantReg  []ilqfGrantReg
+	grantBits []uint64
+	activeOut []int32
+	loserOut  []int32
+	grantees  []int32
+}
+
+// ilqfGrantReg is an input's per-iteration grant register: the first two
+// granting outputs together with the granted queue depths (the grant
+// phase already looked those cells up, so the two-candidate accept needs
+// no further matrix reads). g1/v1 duplicate g0/v0 while cnt is 1.
+type ilqfGrantReg struct {
+	v0, v1 int64
+	cnt    int32
+	g0, g1 int32
 }
 
 // NewILQF returns an iterative longest-queue-first arbiter.
@@ -130,11 +169,15 @@ func NewILQF(n, iterations int) *ILQF {
 	if n <= 0 || iterations <= 0 {
 		panic("match: iLQF needs positive n and iterations")
 	}
-	return &ILQF{n: n, iterations: iterations,
-		out:        NewMatching(n),
-		outMatched: make([]bool, n),
-		reqs:       make([][]int32, n),
-		grants:     make([][]int32, n),
+	words := (n + 63) / 64
+	return &ILQF{n: n, words: words, iterations: iterations,
+		out:       NewMatching(n),
+		busyIn:    demand.NewBitset(n),
+		grantReg:  make([]ilqfGrantReg, n),
+		grantBits: make([]uint64, n*words),
+		activeOut: make([]int32, 0, n),
+		loserOut:  make([]int32, 0, n),
+		grantees:  make([]int32, 0, n),
 	}
 }
 
@@ -145,73 +188,144 @@ func (l *ILQF) Name() string { return fmt.Sprintf("ilqf-%d", l.iterations) }
 func (l *ILQF) Reset() {}
 
 // Complexity implements Algorithm: each phase needs a max-tree
-// (depth log n) rather than a priority encoder, hence the 2x factor.
+// (depth log n) rather than a priority encoder, hence the 2x factor in
+// hardware. In software each iteration scans the request and grant
+// bitset rows (2·n·words words) and pays one depth lookup per surviving
+// candidate — modeled at the reference fill (see modelFill), since the
+// comparison work is per-nonzero rather than per-word.
 func (l *ILQF) Complexity(n int) Complexity {
+	w := bitsetWords(n)
 	return Complexity{
 		HardwareDepth: 2 * l.iterations * log2ceil(n),
-		SoftwareOps:   l.iterations * n * n,
+		SoftwareOps:   l.iterations*(3*n*w+2*n+2*modelFill*n) + 3*n,
 	}
 }
 
-// Schedule implements Algorithm.
+// Schedule implements Algorithm. The loop structure mirrors iSLIP's (see
+// (*ISLIP).Schedule): grant and accept decisions are order-independent
+// within a phase — ILQF's tie rule, lowest index among the deepest, is
+// enforced explicitly in the comparisons rather than by iteration order —
+// so both phases run over compact work lists and the accept phase
+// rebuilds the next iteration's scan list from the losing granters.
 //
 //hybridsched:hotpath
 func (l *ILQF) Schedule(d *demand.Matrix) Matching {
-	n := l.n
+	n, words := l.n, l.words
 	inMatch := l.out
-	for i := range inMatch {
-		inMatch[i] = Unmatched
-	}
-	for j := range l.outMatched {
-		l.outMatched[j] = false
-	}
-	l.activeOut = buildRequests(d, l.reqs, l.activeOut)
+	l.busyIn.Zero()
+	cur := activeOutputs(d, l.activeOut[:0])
+	next := l.loserOut[:0]
+	grantees := l.grantees[:0]
+	busyIn := l.busyIn.Words()
 
 	for iter := 0; iter < l.iterations; iter++ {
-		// Grant: each free output grants its deepest requesting input
-		// (ties break on lower input index — requester lists ascend).
-		for _, j32 := range l.activeOut {
+		// Grant: each contested output grants its deepest unmatched
+		// requesting input (ties break on lower input index).
+		for _, j32 := range cur {
 			j := int(j32)
-			if l.outMatched[j] {
-				continue
-			}
+			cb := d.ColBits(j)
 			best, bestV := -1, int64(0)
-			for _, i32 := range l.reqs[j] {
-				i := int(i32)
-				if inMatch[i] != Unmatched {
-					continue
-				}
-				if v := d.At(i, j); v > bestV {
-					best, bestV = i, v
+			for wi, w := range cb {
+				w &^= busyIn[wi]
+				for w != 0 {
+					i := wi<<6 + bits.TrailingZeros64(w)
+					w &= w - 1
+					if v := d.At(i, j); v > bestV {
+						best, bestV = i, v
+					}
 				}
 			}
-			if best >= 0 {
-				l.grants[best] = append(l.grants[best], j32)
+			if best < 0 {
+				continue // requesters exhausted; stays unmatched
+			}
+			reg := &l.grantReg[best]
+			cnt := reg.cnt
+			reg.cnt = cnt + 1
+			switch cnt {
+			case 0:
+				reg.g0, reg.v0 = j32, bestV
+				reg.g1, reg.v1 = j32, bestV
+				grantees = append(grantees, int32(best))
+			case 1:
+				reg.g1, reg.v1 = j32, bestV
+			default:
+				row := l.grantBits[best*words : (best+1)*words]
+				if cnt == 2 {
+					g0, g1 := reg.g0, reg.g1
+					row[uint(g0)>>6] |= 1 << (uint(g0) & 63)
+					row[uint(g1)>>6] |= 1 << (uint(g1) & 63)
+				}
+				row[j>>6] |= 1 << (uint(j) & 63)
 			}
 		}
-		// Accept: each input accepts its deepest granting output.
-		any := false
-		for i := 0; i < n; i++ {
-			g := l.grants[i]
-			if len(g) == 0 {
-				continue
-			}
-			l.grants[i] = g[:0]
-			best, bestV := -1, int64(0)
-			for _, j32 := range g {
-				j := int(j32)
-				if v := d.At(i, j); v > bestV {
-					best, bestV = j, v
+		if len(grantees) == 0 {
+			break
+		}
+		// Accept: each granted input accepts its deepest granting output
+		// (ties break on lower output index); losers become the next
+		// iteration's scan list. The grant registers carry the queue
+		// depths, so only spilled rows re-read the matrix.
+		next = next[:0]
+		for _, i32 := range grantees {
+			i := int(i32)
+			reg := &l.grantReg[i]
+			cnt := reg.cnt
+			reg.cnt = 0
+			var best int
+			if cnt <= 2 {
+				best = int(reg.g0)
+				if reg.v1 > reg.v0 || (reg.v1 == reg.v0 && reg.g1 < reg.g0) {
+					best = int(reg.g1)
+				}
+				if cnt == 2 {
+					next = append(next, reg.g0+reg.g1-int32(best))
+				}
+			} else {
+				row := l.grantBits[i*words : (i+1)*words]
+				best = -1
+				bestV := int64(0)
+				for wi, w := range row {
+					for w != 0 {
+						j := wi<<6 + bits.TrailingZeros64(w)
+						w &= w - 1
+						if v := d.At(i, j); v > bestV {
+							best, bestV = j, v
+						}
+					}
+				}
+				for wi := range row {
+					w := row[wi]
+					row[wi] = 0
+					for w != 0 {
+						jj := wi<<6 + bits.TrailingZeros64(w)
+						w &= w - 1
+						if jj != best {
+							next = append(next, int32(jj))
+						}
+					}
 				}
 			}
 			inMatch[i] = best
-			l.outMatched[best] = true
-			any = true
+			busyIn[uint(i)>>6] |= 1 << (uint(i) & 63)
 		}
-		if !any {
-			break
+		grantees = grantees[:0]
+		cur, next = next, cur
+	}
+	// Fix up the inputs that never accepted (see iSLIP).
+	for wi := 0; wi < words; wi++ {
+		w := ^busyIn[wi]
+		if wi == words-1 {
+			if r := uint(n) & 63; r != 0 {
+				w &= 1<<r - 1
+			}
+		}
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			inMatch[i] = Unmatched
 		}
 	}
+	l.activeOut, l.loserOut, l.grantees = cur[:0], next[:0], grantees
 	return inMatch
 }
 

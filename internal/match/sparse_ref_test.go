@@ -1,0 +1,515 @@
+package match
+
+import (
+	"slices"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/rng"
+)
+
+// This file preserves the pre-bitset sparse implementations — the
+// nonzero-list kernels of the scaling refactor — as test-only
+// references, exactly as dense_ref_test.go preserves the original dense
+// scans. The live kernels now run word-parallel over uint64 bitset rows;
+// the three-way suite in equivalence_test.go asserts dense, sparse-list
+// and bitset implementations all produce identical matchings, slot
+// sequences and pointer state.
+
+// sparseAlgorithm is the preserved nonzero-list counterpart of a
+// registered algorithm.
+type sparseAlgorithm interface {
+	Schedule(d *demand.Matrix) Matching
+	Reset()
+}
+
+// newSparseRef returns the sparse-list reference for a registered
+// algorithm name, or nil for algorithms whose live implementation never
+// had a bitset rewrite (TDMA, Hungarian, the frame decompositions) — for
+// those the live code is still the sparse implementation and the
+// two-way dense suite already covers it.
+func newSparseRef(name string, n int, seed uint64) sparseAlgorithm {
+	switch name {
+	case "islip":
+		return newSparseISLIP(n, log2ceil(n))
+	case "islip1":
+		return newSparseISLIP(n, 1)
+	case "islipn":
+		return newSparseISLIP(n, n)
+	case "rrm":
+		return newSparseRRM(n, log2ceil(n))
+	case "ilqf":
+		return newSparseILQF(n, log2ceil(n))
+	case "pim":
+		return newSparsePIM(n, log2ceil(n), seed)
+	case "wavefront":
+		return newSparseWavefront(n)
+	case "greedy":
+		return newSparseGreedy(n)
+	}
+	return nil
+}
+
+// sparseBuildRequests fills reqs from d's nonzero rows and returns the
+// ascending list of outputs with requesters (the preserved request phase
+// shared by the sparse iSLIP/RRM/iLQF/PIM references).
+func sparseBuildRequests(d *demand.Matrix, reqs [][]int32, activeOut []int32) []int32 {
+	n := len(reqs)
+	for j := 0; j < n; j++ {
+		reqs[j] = reqs[j][:0]
+	}
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			j, _ := row.Entry(k)
+			reqs[j] = append(reqs[j], int32(i))
+		}
+	}
+	activeOut = activeOut[:0]
+	for j := 0; j < n; j++ {
+		if len(reqs[j]) > 0 {
+			activeOut = append(activeOut, int32(j))
+		}
+	}
+	return activeOut
+}
+
+// sparseNearestClockwise is the preserved list-walking rotating-priority
+// selection: among cands, the port closest clockwise to ptr modulo n,
+// skipping candidates already matched in busy (nil considers all).
+func sparseNearestClockwise(cands []int32, ptr, n int, busy Matching) int {
+	best, bestDist := -1, n
+	for _, c32 := range cands {
+		c := int(c32)
+		if busy != nil && busy[c] != Unmatched {
+			continue
+		}
+		dist := c - ptr
+		if dist < 0 {
+			dist += n
+		}
+		if dist < bestDist {
+			best, bestDist = c, dist
+		}
+	}
+	return best
+}
+
+// --- iSLIP (sparse lists) ---
+
+type sparseISLIP struct {
+	n          int
+	iterations int
+	grantPtr   []int
+	acceptPtr  []int
+
+	out       Matching
+	outMatch  []int32
+	reqs      [][]int32
+	grants    [][]int32
+	activeOut []int32
+}
+
+func newSparseISLIP(n, iterations int) *sparseISLIP {
+	return &sparseISLIP{
+		n: n, iterations: iterations,
+		grantPtr:  make([]int, n),
+		acceptPtr: make([]int, n),
+		out:       NewMatching(n),
+		outMatch:  make([]int32, n),
+		reqs:      make([][]int32, n),
+		grants:    make([][]int32, n),
+		activeOut: make([]int32, 0, n),
+	}
+}
+
+func (s *sparseISLIP) Reset() {
+	for i := range s.grantPtr {
+		s.grantPtr[i] = 0
+		s.acceptPtr[i] = 0
+	}
+}
+
+func (s *sparseISLIP) Schedule(d *demand.Matrix) Matching {
+	n := s.n
+	inMatch := s.out
+	for i := range inMatch {
+		inMatch[i] = Unmatched
+	}
+	for j := range s.outMatch {
+		s.outMatch[j] = -1
+	}
+	s.activeOut = sparseBuildRequests(d, s.reqs, s.activeOut)
+
+	for iter := 0; iter < s.iterations; iter++ {
+		for _, j32 := range s.activeOut {
+			j := int(j32)
+			if s.outMatch[j] >= 0 {
+				continue
+			}
+			if best := sparseNearestClockwise(s.reqs[j], s.grantPtr[j], n, inMatch); best >= 0 {
+				s.grants[best] = append(s.grants[best], j32)
+			}
+		}
+		anyAccept := false
+		for i := 0; i < n; i++ {
+			g := s.grants[i]
+			if len(g) == 0 {
+				continue
+			}
+			s.grants[i] = g[:0]
+			best := sparseNearestClockwise(g, s.acceptPtr[i], n, nil)
+			inMatch[i] = best
+			s.outMatch[best] = int32(i)
+			anyAccept = true
+			if iter == 0 {
+				s.grantPtr[best] = (i + 1) % n
+				s.acceptPtr[i] = (best + 1) % n
+			}
+		}
+		if !anyAccept {
+			break
+		}
+	}
+	return inMatch
+}
+
+// --- RRM (sparse lists) ---
+
+type sparseRRM struct {
+	n          int
+	iterations int
+	grantPtr   []int
+	acceptPtr  []int
+
+	out       Matching
+	outMatch  []int32
+	reqs      [][]int32
+	grants    [][]int32
+	activeOut []int32
+}
+
+func newSparseRRM(n, iterations int) *sparseRRM {
+	return &sparseRRM{n: n, iterations: iterations,
+		grantPtr: make([]int, n), acceptPtr: make([]int, n),
+		out:      NewMatching(n),
+		outMatch: make([]int32, n),
+		reqs:     make([][]int32, n),
+		grants:   make([][]int32, n),
+	}
+}
+
+func (r *sparseRRM) Reset() {
+	for i := range r.grantPtr {
+		r.grantPtr[i] = 0
+		r.acceptPtr[i] = 0
+	}
+}
+
+func (r *sparseRRM) Schedule(d *demand.Matrix) Matching {
+	n := r.n
+	inMatch := r.out
+	for i := range inMatch {
+		inMatch[i] = Unmatched
+	}
+	for j := range r.outMatch {
+		r.outMatch[j] = -1
+	}
+	r.activeOut = sparseBuildRequests(d, r.reqs, r.activeOut)
+
+	for iter := 0; iter < r.iterations; iter++ {
+		for _, j32 := range r.activeOut {
+			j := int(j32)
+			if r.outMatch[j] >= 0 {
+				continue
+			}
+			if best := sparseNearestClockwise(r.reqs[j], r.grantPtr[j], n, inMatch); best >= 0 {
+				r.grants[best] = append(r.grants[best], j32)
+			}
+		}
+		any := false
+		for i := 0; i < n; i++ {
+			g := r.grants[i]
+			if len(g) == 0 {
+				continue
+			}
+			r.grants[i] = g[:0]
+			best := sparseNearestClockwise(g, r.acceptPtr[i], n, nil)
+			inMatch[i] = best
+			r.outMatch[best] = int32(i)
+			any = true
+		}
+		if !any {
+			break
+		}
+	}
+	for j := 0; j < n; j++ {
+		r.grantPtr[j] = (r.grantPtr[j] + 1) % n
+	}
+	for i := 0; i < n; i++ {
+		r.acceptPtr[i] = (r.acceptPtr[i] + 1) % n
+	}
+	return inMatch
+}
+
+// --- iLQF (sparse lists) ---
+
+type sparseILQF struct {
+	n          int
+	iterations int
+
+	out        Matching
+	outMatched []bool
+	reqs       [][]int32
+	grants     [][]int32
+	activeOut  []int32
+}
+
+func newSparseILQF(n, iterations int) *sparseILQF {
+	return &sparseILQF{n: n, iterations: iterations,
+		out:        NewMatching(n),
+		outMatched: make([]bool, n),
+		reqs:       make([][]int32, n),
+		grants:     make([][]int32, n),
+	}
+}
+
+func (l *sparseILQF) Reset() {}
+
+func (l *sparseILQF) Schedule(d *demand.Matrix) Matching {
+	n := l.n
+	inMatch := l.out
+	for i := range inMatch {
+		inMatch[i] = Unmatched
+	}
+	for j := range l.outMatched {
+		l.outMatched[j] = false
+	}
+	l.activeOut = sparseBuildRequests(d, l.reqs, l.activeOut)
+
+	for iter := 0; iter < l.iterations; iter++ {
+		for _, j32 := range l.activeOut {
+			j := int(j32)
+			if l.outMatched[j] {
+				continue
+			}
+			best, bestV := -1, int64(0)
+			for _, i32 := range l.reqs[j] {
+				i := int(i32)
+				if inMatch[i] != Unmatched {
+					continue
+				}
+				if v := d.At(i, j); v > bestV {
+					best, bestV = i, v
+				}
+			}
+			if best >= 0 {
+				l.grants[best] = append(l.grants[best], j32)
+			}
+		}
+		any := false
+		for i := 0; i < n; i++ {
+			g := l.grants[i]
+			if len(g) == 0 {
+				continue
+			}
+			l.grants[i] = g[:0]
+			best, bestV := -1, int64(0)
+			for _, j32 := range g {
+				j := int(j32)
+				if v := d.At(i, j); v > bestV {
+					best, bestV = j, v
+				}
+			}
+			inMatch[i] = best
+			l.outMatched[best] = true
+			any = true
+		}
+		if !any {
+			break
+		}
+	}
+	return inMatch
+}
+
+// --- PIM (sparse lists) ---
+
+type sparsePIM struct {
+	n          int
+	iterations int
+	r          *rng.Rand
+	seed       uint64
+
+	out        Matching
+	outMatched []bool
+	reqs       [][]int32
+	grants     [][]int32
+	activeOut  []int32
+	cand       []int32
+}
+
+func newSparsePIM(n, iterations int, seed uint64) *sparsePIM {
+	return &sparsePIM{n: n, iterations: iterations, r: rng.New(seed), seed: seed,
+		out:        NewMatching(n),
+		outMatched: make([]bool, n),
+		reqs:       make([][]int32, n),
+		grants:     make([][]int32, n),
+		cand:       make([]int32, 0, n),
+	}
+}
+
+func (p *sparsePIM) Reset() { p.r = rng.New(p.seed) }
+
+func (p *sparsePIM) Schedule(d *demand.Matrix) Matching {
+	n := p.n
+	inMatch := p.out
+	for i := range inMatch {
+		inMatch[i] = Unmatched
+	}
+	for j := range p.outMatched {
+		p.outMatched[j] = false
+	}
+	p.activeOut = sparseBuildRequests(d, p.reqs, p.activeOut)
+
+	for iter := 0; iter < p.iterations; iter++ {
+		for _, j32 := range p.activeOut {
+			j := int(j32)
+			if p.outMatched[j] {
+				continue
+			}
+			cand := p.cand[:0]
+			for _, i32 := range p.reqs[j] {
+				if inMatch[i32] == Unmatched {
+					cand = append(cand, i32)
+				}
+			}
+			if len(cand) > 0 {
+				g := cand[p.r.Intn(len(cand))]
+				p.grants[g] = append(p.grants[g], j32)
+			}
+		}
+		anyAccept := false
+		for i := 0; i < n; i++ {
+			g := p.grants[i]
+			if len(g) == 0 {
+				continue
+			}
+			p.grants[i] = g[:0]
+			j := int(g[p.r.Intn(len(g))])
+			inMatch[i] = j
+			p.outMatched[j] = true
+			anyAccept = true
+		}
+		if !anyAccept {
+			break
+		}
+	}
+	return inMatch
+}
+
+// --- Wavefront (sorted sparse cells) ---
+
+type sparseWavefront struct {
+	n      int
+	offset int
+
+	out     Matching
+	colUsed []bool
+	cells   []uint64
+}
+
+func newSparseWavefront(n int) *sparseWavefront {
+	return &sparseWavefront{n: n, out: NewMatching(n), colUsed: make([]bool, n)}
+}
+
+func (w *sparseWavefront) Reset() { w.offset = 0 }
+
+func (w *sparseWavefront) Schedule(d *demand.Matrix) Matching {
+	n := w.n
+	m := w.out
+	for i := range m {
+		m[i] = Unmatched
+	}
+	for j := range w.colUsed {
+		w.colUsed[j] = false
+	}
+	w.cells = w.cells[:0]
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			j, _ := row.Entry(k)
+			shift := j - w.offset
+			if shift < 0 {
+				shift += n
+			}
+			wave := uint64(i + shift)
+			w.cells = append(w.cells, wave<<40|uint64(i)<<20|uint64(j))
+		}
+	}
+	slices.Sort(w.cells)
+	for _, key := range w.cells {
+		i := int(key >> 20 & (1<<20 - 1))
+		j := int(key & (1<<20 - 1))
+		if m[i] != Unmatched || w.colUsed[j] {
+			continue
+		}
+		m[i] = j
+		w.colUsed[j] = true
+	}
+	w.offset = (w.offset + 1) % n
+	return m
+}
+
+// --- Greedy (sorted sparse edges) ---
+
+type sparseGreedy struct {
+	n       int
+	edges   []greedyEdge
+	out     Matching
+	colUsed []bool
+}
+
+func newSparseGreedy(n int) *sparseGreedy {
+	return &sparseGreedy{n: n, edges: make([]greedyEdge, 0, 4*n),
+		out: NewMatching(n), colUsed: make([]bool, n)}
+}
+
+func (g *sparseGreedy) Reset() {}
+
+func (g *sparseGreedy) Schedule(d *demand.Matrix) Matching {
+	n := g.n
+	g.edges = g.edges[:0]
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			j, w := row.Entry(k)
+			g.edges = append(g.edges, greedyEdge{w, i, j})
+		}
+	}
+	slices.SortFunc(g.edges, func(a, b greedyEdge) int {
+		switch {
+		case a.w != b.w:
+			if a.w > b.w {
+				return -1
+			}
+			return 1
+		case a.i != b.i:
+			return a.i - b.i
+		default:
+			return a.j - b.j
+		}
+	})
+	m := g.out
+	for i := range m {
+		m[i] = Unmatched
+	}
+	for j := range g.colUsed {
+		g.colUsed[j] = false
+	}
+	for _, e := range g.edges {
+		if m[e.i] == Unmatched && !g.colUsed[e.j] {
+			m[e.i] = e.j
+			g.colUsed[e.j] = true
+		}
+	}
+	return m
+}

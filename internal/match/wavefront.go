@@ -1,7 +1,7 @@
 package match
 
 import (
-	"slices"
+	"math/bits"
 
 	"hybridsched/internal/demand"
 )
@@ -16,18 +16,23 @@ import (
 // A rotating priority offset shifts which diagonal goes first so no port
 // pair is permanently favored.
 //
-// In software the sweep only ever acts on requesting cells, so instead of
-// visiting all n² crosspoints the implementation collects the nonzero
-// cells keyed by (wave, row) and processes them in sorted order —
-// identical decisions in O(nonzeros log nonzeros).
+// In software the sweep is word-parallel: the requesting cells are
+// scattered once into per-diagonal row bitsets, and each wave is then
+// one AND of its diagonal's words against the free-row words — 64
+// crosspoints per instruction — with bits.TrailingZeros64 extracting the
+// winners. Cells on one wave occupy distinct rows and distinct columns,
+// so intra-wave order cannot change the outcome and the decisions are
+// identical to both the dense sweep and the sorted sparse kernel.
 type Wavefront struct {
 	n      int
+	words  int
 	offset int
 
 	// Scratch reused across Schedule calls (see Algorithm.Schedule).
 	out     Matching
-	colUsed []bool
-	cells   []uint64 // packed (wave << 40 | i << 20 | j)
+	colUsed *demand.Bitset
+	free    *demand.Bitset // rows not yet matched
+	diag    []uint64       // n diagonals × words: row bitset per diagonal
 }
 
 // NewWavefront returns a wavefront arbiter for n ports.
@@ -35,10 +40,13 @@ func NewWavefront(n int) *Wavefront {
 	if n <= 0 {
 		panic("match: wavefront needs positive n")
 	}
-	if n >= 1<<20 {
-		panic("match: wavefront supports at most 2^20 ports")
+	words := (n + 63) / 64
+	return &Wavefront{n: n, words: words,
+		out:     NewMatching(n),
+		colUsed: demand.NewBitset(n),
+		free:    demand.NewBitset(n),
+		diag:    make([]uint64, n*words),
 	}
-	return &Wavefront{n: n, out: NewMatching(n), colUsed: make([]bool, n)}
 }
 
 // Name implements Algorithm.
@@ -47,49 +55,89 @@ func (w *Wavefront) Name() string { return "wavefront" }
 // Reset implements Algorithm.
 func (w *Wavefront) Reset() { w.offset = 0 }
 
-// Complexity implements Algorithm: 2n-1 diagonal waves in hardware, n^2
-// cell visits in software.
+// Complexity implements Algorithm: 2n-1 diagonal waves in hardware. In
+// software the diagonal scatter costs a few ops per nonzero (modeled at
+// the reference fill, see modelFill) and the sweep visits each diagonal
+// word at most twice with the window masking and free-row AND around it.
 func (w *Wavefront) Complexity(n int) Complexity {
-	return Complexity{HardwareDepth: 2*n - 1, SoftwareOps: n * n}
+	ws := bitsetWords(n)
+	return Complexity{
+		HardwareDepth: 2*n - 1,
+		SoftwareOps:   4*n*ws + 3*modelFill*n + 4*n,
+	}
 }
 
 // Schedule implements Algorithm.
 //
 //hybridsched:hotpath
 func (w *Wavefront) Schedule(d *demand.Matrix) Matching {
-	n := w.n
+	n, words := w.n, w.words
 	m := w.out
 	for i := range m {
 		m[i] = Unmatched
 	}
-	for j := range w.colUsed {
-		w.colUsed[j] = false
+	w.colUsed.Zero()
+	w.free.Fill()
+	for k := range w.diag {
+		w.diag[k] = 0
 	}
-	// A requesting cell (i, j) is evaluated by the dense sweep at wave
-	// i + ((j - offset) mod n); within a wave rows ascend. Sorting the
-	// packed keys reproduces that exact visiting order.
-	w.cells = w.cells[:0]
+	// Scatter: a requesting cell (i, j) is evaluated by the dense sweep
+	// at wave i + ((j - offset) mod n); its diagonal is that wave mod n.
+	off := w.offset
 	for i := 0; i < n; i++ {
-		row := d.Row(i)
-		for k := 0; k < row.Len(); k++ {
-			j, _ := row.Entry(k)
-			shift := j - w.offset
-			if shift < 0 {
-				shift += n
+		for wi, word := range d.RowBits(i) {
+			for word != 0 {
+				j := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				shift := j - off
+				if shift < 0 {
+					shift += n
+				}
+				dg := i + shift
+				if dg >= n {
+					dg -= n
+				}
+				w.diag[dg*words+i>>6] |= 1 << (uint(i) & 63)
 			}
-			wave := uint64(i + shift)
-			w.cells = append(w.cells, wave<<40|uint64(i)<<20|uint64(j))
 		}
 	}
-	slices.Sort(w.cells)
-	for _, key := range w.cells {
-		i := int(key >> 20 & (1<<20 - 1))
-		j := int(key & (1<<20 - 1))
-		if m[i] != Unmatched || w.colUsed[j] {
-			continue
+	// Sweep: waves ascend; wave wv touches rows [0, wv] (first lap) or
+	// [wv-n+1, n-1] (second lap) of diagonal wv mod n. Candidates are the
+	// diagonal's rows AND the still-free rows AND the window.
+	free := w.free.Words()
+	for wv := 0; wv < 2*n-1; wv++ {
+		dg, lo, hi := wv, 0, wv
+		if wv >= n {
+			dg, lo, hi = wv-n, wv-n+1, n-1
 		}
-		m[i] = j
-		w.colUsed[j] = true
+		drow := w.diag[dg*words : (dg+1)*words]
+		loW, hiW := lo>>6, hi>>6
+		for wi := loW; wi <= hiW; wi++ {
+			word := drow[wi] & free[wi]
+			if wi == loW {
+				word &= ^uint64(0) << (uint(lo) & 63)
+			}
+			if wi == hiW {
+				if r := uint(hi) & 63; r != 63 {
+					word &= 1<<(r+1) - 1
+				}
+			}
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				i := wi<<6 + b
+				j := wv - i + off
+				if j >= n {
+					j -= n
+				}
+				if w.colUsed.Test(j) {
+					continue
+				}
+				m[i] = j
+				w.colUsed.Set(j)
+				free[wi] &^= 1 << uint(b)
+			}
+		}
 	}
 	w.offset = (w.offset + 1) % n
 	return m

@@ -159,20 +159,44 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// quantileScale is the fixed-point denominator Quantile resolves q
+// against: any q given to at most 9 decimal places (0.5, 0.99, 0.999,
+// ...) converts to an exact rational, so the rank computation below has
+// no float rounding at all.
+const quantileScale = 1_000_000_000
+
 // Quantile returns an upper bound on the q-quantile sample (0 <= q <= 1):
-// the upper edge of the bucket holding that rank, so an SLO assertion on
-// the result is conservative. An empty snapshot returns 0.
+// the upper edge of the bucket holding rank ceil(q·Count), so an SLO
+// assertion on the result is conservative. q = 0 selects the smallest
+// sample's bucket and q = 1 the largest's; out-of-range q clamps (NaN
+// clamps to 0). An empty snapshot returns 0.
+//
+// The rank is computed in integer arithmetic: q is rounded to a multiple
+// of 1/quantileScale and ceil(q·Count) evaluated with a 128-bit product.
+// The obvious uint64(math.Ceil(q*float64(Count))) misranks on both float
+// boundaries — binary q just above a decimal (0.7*10 ceils to 8, not 7)
+// and counts beyond 2^53 (where q*float64(Count) can exceed Count and
+// the uint64 conversion is unspecified).
 func (s HistogramSnapshot) Quantile(q float64) int64 {
 	if s.Count == 0 || len(s.Buckets) == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
+	var qn uint64
+	switch {
+	case math.IsNaN(q) || q <= 0:
+		qn = 0
+	case q >= 1:
+		qn = quantileScale
+	default:
+		qn = uint64(math.Round(q * quantileScale))
 	}
-	if q > 1 {
-		q = 1
+	hi, lo := bits.Mul64(qn, s.Count)
+	// hi < quantileScale because qn <= quantileScale, so Div64 cannot
+	// panic; the remainder implements the ceiling.
+	rank, rem := bits.Div64(hi, lo, quantileScale)
+	if rem != 0 {
+		rank++
 	}
-	rank := uint64(math.Ceil(q * float64(s.Count)))
 	if rank == 0 {
 		rank = 1
 	}

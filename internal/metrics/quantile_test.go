@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"hybridsched/internal/rng"
+)
+
+// Property tests for HistogramSnapshot.Quantile. The pre-fix
+// implementation computed the rank as uint64(math.Ceil(q*float64(Count))),
+// which misranks on two float boundaries: a decimal q whose binary
+// representation lands just above the exact product (0.7*10 = 7.0000...01
+// ceils to rank 8 instead of 7), and counts beyond 2^53, where
+// q*float64(Count) can exceed Count and the float-to-uint64 conversion is
+// unspecified. The properties pinned here — exact-rank agreement with a
+// sorted reference, monotonicity in q, and the q=0/q=1 endpoint semantics
+// — fail on that implementation.
+
+// refQuantile is the independent oracle: the bucket upper bound of the
+// rank-th smallest sample, with rank = ceil(qNum*len/qDen) in pure
+// integer arithmetic (no floats anywhere).
+func refQuantile(sorted []int64, qNum, qDen int) int64 {
+	rank := (qNum*len(sorted) + qDen - 1) / qDen
+	if rank < 1 {
+		rank = 1
+	}
+	return bucketUpper(bucketIndex(sorted[rank-1]))
+}
+
+// TestQuantileMatchesSortedReference drives random sample sets and every
+// q = k/1000 against the oracle. Decimal q values are exactly
+// representable in Quantile's fixed-point rank, so agreement must be
+// exact — in particular at bucket-population boundaries like q=0.7 over
+// 10 samples.
+func TestQuantileMatchesSortedReference(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(400)
+		samples := make([]int64, n)
+		var h Histogram
+		for i := range samples {
+			// Mix magnitudes so samples spread over exact and log-linear
+			// buckets alike.
+			v := r.Int63n(int64(1) << uint(2+r.Intn(40)))
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		snap := h.Snapshot()
+		for k := 0; k <= 1000; k++ {
+			got := snap.Quantile(float64(k) / 1000)
+			want := refQuantile(samples, k, 1000)
+			if got != want {
+				t.Fatalf("trial %d (n=%d): Quantile(%d/1000) = %d, want %d",
+					trial, n, k, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantileMonotoneInQ checks the defining order property: a higher
+// quantile can never report a lower bound, including for arbitrary
+// (non-decimal) q drawn uniformly.
+func TestQuantileMonotoneInQ(t *testing.T) {
+	r := rng.New(97)
+	var h Histogram
+	for i := 0; i < 500; i++ {
+		h.Observe(r.Int63n(1_000_000_000))
+	}
+	snap := h.Snapshot()
+
+	qs := make([]float64, 0, 2048)
+	for k := 0; k <= 1000; k++ {
+		qs = append(qs, float64(k)/1000)
+	}
+	for i := 0; i < 1000; i++ {
+		qs = append(qs, r.Float64())
+	}
+	sort.Float64s(qs)
+	last := int64(-1)
+	lastQ := math.Inf(-1)
+	for _, q := range qs {
+		v := snap.Quantile(q)
+		if v < last {
+			t.Fatalf("Quantile not monotone: q=%v -> %d after q=%v -> %d", q, v, lastQ, last)
+		}
+		last, lastQ = v, q
+	}
+}
+
+// TestQuantileEndpoints pins the edge semantics: q<=0 (and NaN) report
+// the smallest sample's bucket, q>=1 the largest's, out-of-range q
+// clamps, and the empty snapshot returns 0.
+func TestQuantileEndpoints(t *testing.T) {
+	var empty HistogramSnapshot
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty.Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+
+	var h Histogram
+	for _, v := range []int64{3, 900, 41, 7, 123456} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	lo := bucketUpper(bucketIndex(3))
+	hi := bucketUpper(bucketIndex(123456))
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{math.Inf(-1), lo}, {-0.5, lo}, {math.NaN(), lo}, {0, lo},
+		{1, hi}, {1.5, hi}, {math.Inf(1), hi},
+	} {
+		if got := snap.Quantile(tc.q); got != tc.want {
+			t.Fatalf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileUpperBoundProperty checks the documented contract on real
+// observations: the reported value is always >= the true rank-th sample
+// (it is the upper edge of that sample's bucket), within the histogram's
+// 12.5% relative quantization.
+func TestQuantileUpperBoundProperty(t *testing.T) {
+	r := rng.New(13)
+	samples := make([]int64, 300)
+	var h Histogram
+	for i := range samples {
+		samples[i] = 1 + r.Int63n(1_000_000)
+		h.Observe(samples[i])
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	snap := h.Snapshot()
+	for k := 0; k <= 100; k++ {
+		q := float64(k) / 100
+		rank := (k*len(samples) + 99) / 100
+		if rank < 1 {
+			rank = 1
+		}
+		exact := samples[rank-1]
+		got := snap.Quantile(q)
+		if got < exact {
+			t.Fatalf("Quantile(%v) = %d below exact rank-%d sample %d", q, got, rank, exact)
+		}
+		if float64(got) > float64(exact)*1.125+1 {
+			t.Fatalf("Quantile(%v) = %d exceeds quantization bound for sample %d", q, got, exact)
+		}
+	}
+}
+
+// TestQuantileHugeCounts exercises the 128-bit rank path directly: with
+// counts beyond 2^53 the old float rank either saturated or wrapped. The
+// snapshot is constructed by hand — no histogram can observe 2^62
+// samples in a test.
+func TestQuantileHugeCounts(t *testing.T) {
+	c := uint64(1) << 61
+	snap := HistogramSnapshot{
+		Count: 4 * c,
+		Buckets: []Bucket{
+			{Upper: 10, Count: c},
+			{Upper: 20, Count: c},
+			{Upper: 30, Count: c},
+			{Upper: 40, Count: c},
+		},
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{0, 10}, {0.25, 10}, {0.250000001, 20}, {0.5, 20},
+		{0.75, 30}, {0.999999999, 40}, {1, 40},
+	} {
+		if got := snap.Quantile(tc.q); got != tc.want {
+			t.Fatalf("Quantile(%v) over 2^63 samples = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}

@@ -3,6 +3,7 @@
 package serve
 
 import (
+	"context"
 	"testing"
 
 	"hybridsched/internal/metrics"
@@ -54,6 +55,53 @@ func TestServeEpochAllocFree(t *testing.T) {
 					t.Errorf("%s: %v allocs per epoch, want 0", alg, allocs)
 				}
 				s.Close()
+			}
+		})
+	}
+}
+
+// TestPipelineEpochAllocFree extends the zero-allocation bar to the
+// staged pipeline: all slot storage is preallocated by NewPipeline and
+// recycled through the free ring, so a steady-state pipelined epoch
+// allocates nothing. A RunEpochs call does pay a fixed setup cost (stage
+// channels, four goroutines), so the pin measures one warm call driving
+// many epochs and bounds the total by that per-call overhead — one
+// allocating epoch among epochs would blow the budget many times over.
+// (Excluded under -race: the detector instruments allocations.)
+func TestPipelineEpochAllocFree(t *testing.T) {
+	const n, epochs = 128, 200
+	for _, tc := range []struct {
+		name     string
+		registry *metrics.Registry
+	}{
+		{"bare", nil},
+		{"instrumented", metrics.NewRegistry()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := New(Config{Ports: n, Algorithm: "islip", SlotBits: 1500 * 8,
+				Source: &benchSource{n: n}, Metrics: tc.registry})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			p, err := NewPipeline(s, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			// Warm the pooled matrices, offer buffers and arbiter scratch.
+			if err := p.RunEpochs(context.Background(), 5, nil); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(1, func() {
+				if err := p.RunEpochs(context.Background(), epochs, nil); err != nil {
+					t.Fatal(err)
+				}
+			})
+			const perCallBudget = 64
+			if allocs > perCallBudget {
+				t.Errorf("%v allocs across %d pipelined epochs, want <= %d (per-call setup only)",
+					allocs, epochs, perCallBudget)
 			}
 		})
 	}

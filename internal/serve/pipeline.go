@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"hybridsched/internal/demand"
+	"hybridsched/internal/match"
+)
+
+// This file splits the epoch loop into a staged pipeline:
+//
+//	ingest -> estimate -> match -> commit
+//
+// Each stage runs on its own goroutine and the stages are connected by
+// bounded rings of recycled epoch slots, so stage k of epoch e overlaps
+// stage k-1 of epoch e+1: the workload generator produces epoch e+1's
+// arrivals while the matcher is still arbitrating epoch e, and frame
+// fan-out for epoch e overlaps the snapshot and matching of e+1.
+//
+// The pipeline produces byte-identical frames to the sequential Step
+// loop. Three orderings make that hold:
+//
+//   - Ingest never touches the pending matrix. Source offers are
+//     buffered into the epoch's slot and applied by the estimate stage,
+//     so a source running several epochs ahead cannot leak demand into
+//     an earlier snapshot.
+//   - The estimate stage takes a token from drainDone (capacity 1,
+//     seeded) before applying its buffer and snapshotting, and the
+//     commit stage returns the token after draining — so the snapshot
+//     of epoch e sees exactly the drains of epochs < e, as in the
+//     sequential loop.
+//   - A frame's backlog is computed as snap.Total() - servedBits, which
+//     equals the sequential loop's post-drain pending.Total(): pending
+//     at snapshot time IS the snapshot, and the drain is its only
+//     subtractor.
+//
+// The matching algorithm itself is stateful and stays serialized inside
+// the single match-stage goroutine, in epoch order. Its output shares
+// the algorithm's scratch, so the match stage copies it into slot-owned
+// storage before handing the slot downstream; commit of epoch e may then
+// overlap the Schedule call of epoch e+1.
+//
+// All slot storage (snapshot matrices, matchings, offer buffers) is
+// allocated once in NewPipeline and recycled through the free ring, so a
+// steady-state pipelined epoch is allocation-free like Step
+// (BenchmarkPipelineEpoch pins this).
+
+// DefaultPipelineDepth is the slot-ring capacity used when
+// NewPipeline is given a depth of zero: enough for every stage to hold
+// one epoch in flight plus one slot of slack between ingest and
+// estimate.
+const DefaultPipelineDepth = 3
+
+// pipeOffer is one buffered source offer.
+type pipeOffer struct {
+	src, dst int
+	bits     int64
+}
+
+// epochSlot carries one epoch through the pipeline. Slots are
+// preallocated and recycled through the free ring.
+type epochSlot struct {
+	offers []pipeOffer    // ingest: one epoch of source arrivals
+	snap   *demand.Matrix // estimate: pending demand at epoch start
+	match  match.Matching // match: slot-owned copy of the decision
+	t0     time.Time      // ingest dequeue time, when metrics are on
+}
+
+// Pipeline is the staged epoch loop of one Scheduler. Create with
+// NewPipeline, drive with RunEpochs, release with Close. A Pipeline
+// holds the scheduler's step lock for the duration of each RunEpochs
+// call, so pipelined and sequential stepping cannot interleave.
+type Pipeline struct {
+	s     *Scheduler
+	depth int
+
+	free      chan *epochSlot
+	slots     []*epochSlot // for Close
+	drainDone chan struct{}
+
+	// ingestSlot is the slot the ingest stage is currently filling; the
+	// prebound offer func writes into it without a per-epoch closure.
+	ingestSlot  *epochSlot
+	ingestOffer func(src, dst int, bits int64)
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPipeline builds a staged pipeline over s with the given slot-ring
+// depth (zero selects DefaultPipelineDepth). All per-epoch storage is
+// allocated here.
+func NewPipeline(s *Scheduler, depth int) (*Pipeline, error) {
+	if depth < 0 {
+		return nil, fmt.Errorf("serve: pipeline depth must be non-negative, have %d", depth)
+	}
+	if depth == 0 {
+		depth = DefaultPipelineDepth
+	}
+	p := &Pipeline{
+		s:         s,
+		depth:     depth,
+		free:      make(chan *epochSlot, depth),
+		drainDone: make(chan struct{}, 1),
+	}
+	for i := 0; i < depth; i++ {
+		slot := &epochSlot{
+			snap:  demand.FromPool(s.cfg.Ports),
+			match: match.NewMatching(s.cfg.Ports),
+		}
+		p.slots = append(p.slots, slot)
+		p.free <- slot //hybridsched:unbounded-ok filling the ring to its own capacity; cannot block
+	}
+	p.ingestOffer = p.bufferOffer
+	return p, nil
+}
+
+// bufferOffer validates and buffers one source offer into the slot the
+// ingest stage is filling. It runs on the ingest goroutine only.
+//
+//hybridsched:hotpath
+func (p *Pipeline) bufferOffer(src, dst int, bits int64) {
+	ports := p.s.cfg.Ports
+	if bits <= 0 || src == dst || src < 0 || src >= ports || dst < 0 || dst >= ports {
+		return
+	}
+	p.ingestSlot.offers = append(p.ingestSlot.offers, pipeOffer{src: src, dst: dst, bits: bits})
+}
+
+// RunEpochs drives n epochs through the pipeline, delivering every frame
+// in epoch order: to subscribers via the scheduler's usual publish path,
+// and to onFrame (when non-nil) before the slot is recycled — the
+// frame's Match is slot-owned and valid only during the callback; Clone
+// it to keep it. RunEpochs returns early with ctx.Err() on cancellation
+// and ErrClosed if the scheduler or pipeline closes mid-run.
+func (p *Pipeline) RunEpochs(ctx context.Context, n int, onFrame func(Frame)) error {
+	if n <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.mu.Unlock()
+
+	s := p.s
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+
+	// Stage rings. Buffered to the slot-ring depth, so a stalled stage
+	// backpressures its upstream instead of growing a queue.
+	ingested := make(chan *epochSlot, p.depth)
+	estimated := make(chan *epochSlot, p.depth)
+	matched := make(chan *epochSlot, p.depth)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Seed the drain token: epoch 1 has no predecessor to wait for.
+	select {
+	case <-p.drainDone:
+	default:
+	}
+	p.drainDone <- struct{}{} //hybridsched:unbounded-ok capacity-1 token just drained above; cannot block
+
+	// recycle returns a slot a stage still holds when it exits early, so
+	// an aborted run never shrinks the free ring. The ring's capacity is
+	// the total slot count, so the send cannot block; the select keeps the
+	// guarantee local.
+	recycle := func(slot *epochSlot) {
+		select {
+		case p.free <- slot:
+		default:
+		}
+	}
+
+	// Stage 1 — ingest: run the source one epoch ahead, buffering its
+	// offers into the slot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(ingested)
+		for e := 0; e < n; e++ {
+			var slot *epochSlot
+			select {
+			case slot = <-p.free:
+			case <-stop:
+				return
+			}
+			if s.ins != nil {
+				slot.t0 = stepStart()
+			}
+			slot.offers = slot.offers[:0]
+			if s.cfg.Source != nil {
+				p.ingestSlot = slot
+				s.cfg.Source.Advance(p.ingestOffer)
+				p.ingestSlot = nil
+			}
+			select {
+			//hybridsched:unbounded-ok stage ring backpressure by design: the consumer is the in-process estimate stage, not a subscriber, and stop aborts the wait
+			case ingested <- slot:
+			case <-stop:
+				recycle(slot)
+				return
+			}
+		}
+	}()
+
+	// Stage 2 — estimate: wait for the previous epoch's drain, apply
+	// the buffered arrivals, and snapshot pending demand.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(estimated)
+		for slot := range ingested {
+			select {
+			case <-p.drainDone:
+			case <-stop:
+				recycle(slot)
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				recycle(slot)
+				return
+			}
+			for _, o := range slot.offers {
+				s.pending.Add(o.src, o.dst, o.bits)
+				s.offered.Add(o.bits)
+				if s.ins != nil {
+					s.ins.observeOffer(o.bits)
+				}
+			}
+			slot.snap.CopyFrom(s.pending)
+			s.mu.Unlock()
+			select {
+			//hybridsched:unbounded-ok stage ring backpressure by design: the consumer is the in-process match stage, and stop aborts the wait
+			case estimated <- slot:
+			case <-stop:
+				recycle(slot)
+				return
+			}
+		}
+	}()
+
+	// Stage 3 — match: the stateful algorithm runs here, in epoch
+	// order, and its scratch output is copied into the slot so commit
+	// can overlap the next Schedule call.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(matched)
+		for slot := range estimated {
+			m := s.alg.Schedule(slot.snap)
+			copy(slot.match, m)
+			select {
+			//hybridsched:unbounded-ok stage ring backpressure by design: the consumer is the commit loop on the caller's goroutine, and stop aborts the wait
+			case matched <- slot:
+			case <-stop:
+				recycle(slot)
+				return
+			}
+		}
+	}()
+
+	// Stage 4 — commit, on the caller's goroutine: drain served demand,
+	// return the drain token, then build and fan out the frame while the
+	// upstream stages work on later epochs.
+	var err error
+	delivered := 0
+commit:
+	for delivered < n {
+		var slot *epochSlot
+		var ok bool
+		select {
+		case slot, ok = <-matched:
+			if !ok {
+				err = ErrClosed
+				break commit
+			}
+		case <-ctx.Done():
+			err = ctx.Err()
+			break commit
+		}
+		var servedBits int64
+		var pairs int
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			recycle(slot)
+			err = ErrClosed
+			break commit
+		}
+		for in, out := range slot.match {
+			if out == match.Unmatched {
+				continue
+			}
+			pairs++
+			take := slot.snap.At(in, out)
+			if take > s.cfg.SlotBits {
+				take = s.cfg.SlotBits
+			}
+			if take > 0 {
+				s.pending.Add(in, out, -take)
+				servedBits += take
+			}
+		}
+		s.mu.Unlock()
+		p.drainDone <- struct{}{} //hybridsched:unbounded-ok capacity-1 token; estimate consumed it before this epoch reached commit, so the send cannot block
+
+		backlog := slot.snap.Total() - servedBits
+		s.served.Add(servedBits)
+		epoch := s.epochs.Add(1)
+		if pairs == 0 {
+			s.idle.Add(1)
+		}
+		f := Frame{
+			Epoch:       epoch,
+			Shard:       s.shard,
+			Match:       slot.match,
+			Pairs:       pairs,
+			ServedBits:  servedBits,
+			BacklogBits: backlog,
+		}
+		s.publish(f)
+		if s.ins != nil {
+			s.ins.observeEpoch(stepElapsed(slot.t0), pairs, servedBits, backlog)
+		}
+		if onFrame != nil {
+			onFrame(f)
+		}
+		delivered++
+		recycle(slot)
+	}
+
+	close(stop)
+	wg.Wait()
+	// Drain any in-flight slots back to the free ring so the next
+	// RunEpochs starts clean (stages recycled whatever they held when
+	// they exited; these are the slots parked in the rings).
+	for _, ch := range []chan *epochSlot{ingested, estimated, matched} {
+		for slot := range ch {
+			recycle(slot)
+		}
+	}
+	return err
+}
+
+// Close releases the pipeline's pooled matrices. The pipeline must not
+// be running. Close is idempotent.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, slot := range p.slots {
+		slot.snap.Release()
+		slot.snap = nil
+	}
+}

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"hybridsched/internal/metrics"
+	"hybridsched/internal/rng"
+)
+
+// scriptSource is a deterministic Source: the same seed replays the same
+// offer stream epoch by epoch, including the occasional self-pair the
+// ingest filters must drop. It allocates nothing per Advance.
+type scriptSource struct {
+	n, perEpoch int
+	r           *rng.Rand
+}
+
+func newScriptSource(n, perEpoch int, seed uint64) *scriptSource {
+	return &scriptSource{n: n, perEpoch: perEpoch, r: rng.New(seed)}
+}
+
+func (s *scriptSource) Advance(offer func(src, dst int, bits int64)) {
+	for k := 0; k < s.perEpoch; k++ {
+		offer(s.r.Intn(s.n), s.r.Intn(s.n), 1+s.r.Int63n(64000))
+	}
+}
+
+// frameRecord is a caller-owned copy of a Frame for later comparison.
+type frameRecord struct {
+	epoch       uint64
+	shard       int
+	match       []int
+	pairs       int
+	servedBits  int64
+	backlogBits int64
+}
+
+func recordFrame(f Frame) frameRecord {
+	m := make([]int, len(f.Match))
+	copy(m, f.Match)
+	return frameRecord{
+		epoch: f.Epoch, shard: f.Shard, match: m,
+		pairs: f.Pairs, servedBits: f.ServedBits, backlogBits: f.BacklogBits,
+	}
+}
+
+func compareFrames(t *testing.T, want, got []frameRecord) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("frame count: sequential %d, pipelined %d", len(want), len(got))
+	}
+	for k := range want {
+		w, g := want[k], got[k]
+		if w.epoch != g.epoch || w.shard != g.shard || w.pairs != g.pairs ||
+			w.servedBits != g.servedBits || w.backlogBits != g.backlogBits {
+			t.Fatalf("frame %d differs: sequential %+v, pipelined %+v", k, w, g)
+		}
+		for i := range w.match {
+			if w.match[i] != g.match[i] {
+				t.Fatalf("frame %d (epoch %d): match[%d] = %d sequentially, %d pipelined",
+					k, w.epoch, i, w.match[i], g.match[i])
+			}
+		}
+	}
+}
+
+// TestPipelineFramesByteIdentical is the pipeline's core contract: for
+// the same configuration and the same deterministic source, the staged
+// pipeline emits exactly the frame sequence the sequential Step loop
+// emits — every field of every frame, for stateful round-robin,
+// randomized, and greedy arbiters alike.
+func TestPipelineFramesByteIdentical(t *testing.T) {
+	const n, epochs = 64, 40
+	for _, alg := range []string{"islip", "pim", "greedy"} {
+		for _, depth := range []int{1, 2, 0 /* default */} {
+			t.Run(fmt.Sprintf("%s/depth=%d", alg, depth), func(t *testing.T) {
+				cfg := func(seed uint64) Config {
+					return Config{
+						Ports:     n,
+						Algorithm: alg,
+						Seed:      7,
+						SlotBits:  1500 * 8,
+						Source:    newScriptSource(n, 3*n, seed),
+						Metrics:   metrics.NewRegistry(),
+					}
+				}
+
+				seq, err := New(cfg(11))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer seq.Close()
+				var want []frameRecord
+				for e := 0; e < epochs; e++ {
+					f, err := seq.Step()
+					if err != nil {
+						t.Fatal(err)
+					}
+					want = append(want, recordFrame(f))
+				}
+
+				pip, err := New(cfg(11))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer pip.Close()
+				p, err := NewPipeline(pip, depth)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer p.Close()
+				var got []frameRecord
+				err = p.RunEpochs(context.Background(), epochs, func(f Frame) {
+					got = append(got, recordFrame(f))
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				compareFrames(t, want, got)
+
+				ss, ps := seq.Stats(), pip.Stats()
+				if ss.OfferedBits != ps.OfferedBits || ss.ServedBits != ps.ServedBits ||
+					ss.BacklogBits != ps.BacklogBits || ss.Epochs != ps.Epochs ||
+					ss.IdleEpochs != ps.IdleEpochs || ss.Offers != ps.Offers {
+					t.Errorf("stats diverge: sequential %+v, pipelined %+v", ss, ps)
+				}
+			})
+		}
+	}
+}
+
+// TestPipelineInterleavesWithStep verifies that pipelined and sequential
+// stepping compose: pipeline runs, manual Steps, and another pipeline run
+// continue one epoch stream, identical to stepping sequentially
+// throughout.
+func TestPipelineInterleavesWithStep(t *testing.T) {
+	const n = 32
+	cfg := func() Config {
+		return Config{Ports: n, Algorithm: "islip", SlotBits: 1500 * 8,
+			Source: newScriptSource(n, 2*n, 23)}
+	}
+
+	seq, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	var want []frameRecord
+	for e := 0; e < 14; e++ {
+		f, err := seq.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, recordFrame(f))
+	}
+
+	pip, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pip.Close()
+	p, err := NewPipeline(pip, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var got []frameRecord
+	collect := func(f Frame) { got = append(got, recordFrame(f)) }
+	if err := p.RunEpochs(context.Background(), 5, collect); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 4; e++ {
+		f, err := pip.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, recordFrame(f))
+	}
+	if err := p.RunEpochs(context.Background(), 5, collect); err != nil {
+		t.Fatal(err)
+	}
+
+	compareFrames(t, want, got)
+}
+
+// TestPipelinePublishesToSubscribers verifies frames flow through the
+// usual subscription fan-out, in epoch order.
+func TestPipelinePublishesToSubscribers(t *testing.T) {
+	const n, epochs = 16, 12
+	s, err := New(Config{Ports: n, Algorithm: "greedy", SlotBits: 1500 * 8,
+		Source: newScriptSource(n, n, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sub, err := s.Subscribe(epochs, DropNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	p, err := NewPipeline(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.RunEpochs(context.Background(), epochs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := sub.Dropped(); d != 0 {
+		t.Fatalf("dropped %d frames with an %d-deep buffer", d, epochs)
+	}
+	for e := uint64(1); e <= epochs; e++ {
+		select {
+		case f := <-sub.Frames():
+			if f.Epoch != e {
+				t.Fatalf("subscriber saw epoch %d, want %d", f.Epoch, e)
+			}
+		default:
+			t.Fatalf("subscriber missing epoch %d", e)
+		}
+	}
+}
+
+// TestPipelineContextCancel verifies a canceled run returns ctx.Err() and
+// leaves the scheduler and pipeline usable.
+func TestPipelineContextCancel(t *testing.T) {
+	const n = 16
+	s, err := New(Config{Ports: n, Algorithm: "islip", SlotBits: 1500 * 8,
+		Source: newScriptSource(n, n, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p, err := NewPipeline(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAt := uint64(4)
+	err = p.RunEpochs(ctx, 1<<20, func(f Frame) {
+		if f.Epoch == stopAt {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunEpochs after cancel = %v, want context.Canceled", err)
+	}
+	// Canceled between commits: the epoch counter is wherever the commit
+	// stage stopped, and both stepping modes still work.
+	if _, err := s.Step(); err != nil {
+		t.Fatalf("Step after canceled run: %v", err)
+	}
+	if err := p.RunEpochs(context.Background(), 3, nil); err != nil {
+		t.Fatalf("RunEpochs after canceled run: %v", err)
+	}
+}
+
+// TestPipelineSchedulerClosed verifies closing the scheduler mid-run
+// unblocks the stages and surfaces ErrClosed, and that a closed pipeline
+// refuses to run.
+func TestPipelineSchedulerClosed(t *testing.T) {
+	const n = 16
+	s, err := New(Config{Ports: n, Algorithm: "islip", SlotBits: 1500 * 8,
+		Source: newScriptSource(n, n, 9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.RunEpochs(context.Background(), 1<<20, nil)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("RunEpochs after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunEpochs did not return after scheduler Close")
+	}
+
+	p.Close()
+	if err := p.RunEpochs(context.Background(), 1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("RunEpochs on closed pipeline = %v, want ErrClosed", err)
+	}
+}
+
+// TestPipelineDepthValidation pins the constructor contract.
+func TestPipelineDepthValidation(t *testing.T) {
+	s, err := New(Config{Ports: 8, Algorithm: "tdma"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := NewPipeline(s, -1); err == nil {
+		t.Fatal("NewPipeline(-1) did not error")
+	}
+	p, err := NewPipeline(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.depth != DefaultPipelineDepth {
+		t.Fatalf("default depth = %d, want %d", p.depth, DefaultPipelineDepth)
+	}
+	if err := p.RunEpochs(context.Background(), 0, nil); err != nil {
+		t.Fatalf("RunEpochs(0) = %v, want nil", err)
+	}
+}
+
+// BenchmarkPipelineEpoch prices one epoch through the staged pipeline,
+// source-driven with the ~8 peers/port refill BenchmarkServeEpoch uses —
+// the direct comparison for what stage overlap buys over sequential
+// stepping. Steady-state epochs allocate nothing; the fixed per-run setup
+// (channels, four goroutines) amortizes over b.N.
+func BenchmarkPipelineEpoch(b *testing.B) {
+	for _, alg := range []string{"islip", "greedy", "tdma"} {
+		for _, n := range []int{32, 128, 512} {
+			b.Run(fmt.Sprintf("%s/n=%d", alg, n), func(b *testing.B) {
+				s, err := New(Config{Ports: n, Algorithm: alg, SlotBits: 1500 * 8,
+					Source: &benchSource{n: n}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				p, err := NewPipeline(s, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer p.Close()
+				if err := p.RunEpochs(context.Background(), 3, nil); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				if err := p.RunEpochs(context.Background(), b.N, nil); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// benchSource replays benchOffer's fixed ~8 peers/port pattern as a
+// Source, allocation-free.
+type benchSource struct{ n int }
+
+func (bs *benchSource) Advance(offer func(src, dst int, bits int64)) {
+	for i := 0; i < bs.n; i++ {
+		for k := 1; k <= 8; k++ {
+			offer(i, (i+k*7)%bs.n, 1500*8)
+		}
+	}
+}
