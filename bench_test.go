@@ -176,10 +176,11 @@ func BenchmarkMatch(b *testing.B) {
 }
 
 // BenchmarkFrameDecompose measures a whole-frame circuit decomposition
-// (BvN and the Solstice-style max-min) over sparse demand at rack and pod
-// scale — the per-frame cost a slow-switching OCS scheduler amortizes.
+// (BvN and the Solstice-style max-min) over sparse demand at rack, pod
+// and fabric scale — the per-frame cost a slow-switching OCS scheduler
+// amortizes.
 func BenchmarkFrameDecompose(b *testing.B) {
-	for _, n := range []int{16, 128} {
+	for _, n := range []int{16, 128, 512} {
 		d := sparseDemand(n, 8, 7)
 		b.Run("n="+itoa(n), func(b *testing.B) {
 			b.ReportAllocs()

@@ -55,5 +55,47 @@ func (a *Arbiter) Reorder(n int) {
 	f()
 }
 
+// Decomposer models the frame-decomposition inner loop: recycled
+// extraction scratch, an amortized arena with a line-level excuse, a
+// lazily sized memo behind the same shape — and the bug the analyzer
+// exists to catch, a per-extraction allocation inside the loop.
+type Decomposer struct {
+	matchCol []int32
+	memo     []int32
+	arena    []int32
+	slots    [][]int32
+}
+
+// Decompose is the hot decomposition root: extraction scratch must be
+// recycled, arena growth must be excused at the growth site, and a
+// fresh per-step allocation is a defect.
+//
+//hybridsched:hotpath
+func (d *Decomposer) Decompose(n int) {
+	if d.memo == nil {
+		//hybridsched:alloc-ok one-time lazy scratch sized at construction dimension
+		d.memo = make([]int32, n*n)
+	}
+	d.arena = d.arena[:0]
+	for step := 0; step < n; step++ {
+		for j := range d.matchCol {
+			d.matchCol[j] = -1
+		}
+		d.extract(n)
+		//hybridsched:alloc-ok amortized growth of the recycled matching arena
+		d.arena = append(d.arena, d.matchCol...)
+		m := make([]int32, n)        // want `make allocates`
+		d.slots = append(d.slots, m) // self-append scratch growth: allowed
+	}
+}
+
+// extract is reached transitively from the decomposition root and
+// inherits its contract.
+func (d *Decomposer) extract(n int) {
+	for i := 0; i < n && i < len(d.matchCol); i++ {
+		d.matchCol[i] = int32(i)
+	}
+}
+
 // Cold is off the hot path entirely; it may allocate freely.
 func Cold(n int) []int { return make([]int, n) }

@@ -255,6 +255,35 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 	m.tot = src.tot
 }
 
+// Equal reports whether m and o hold exactly the same entries. The
+// comparison walks only the nonzero structure, so two sparse matrices
+// compare in O(nonzeros), with O(1) early outs on the incremental
+// dimension, count and sum metadata. The warm-start frame decomposer
+// uses it to detect an unchanged demand snapshot across epochs.
+//
+//hybridsched:hotpath
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m == o {
+		return true
+	}
+	if m.n != o.n || m.nz != o.nz || m.tot != o.tot {
+		return false
+	}
+	for i := 0; i < m.n; i++ {
+		mc, oc := m.cols[i], o.cols[i]
+		if len(mc) != len(oc) {
+			return false
+		}
+		base := i * m.n
+		for k, j := range mc {
+			if j != oc[k] || m.v[base+int(j)] != o.v[base+int(j)] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Reset zeroes all entries. Cost is O(nonzeros + n), not O(n²).
 func (m *Matrix) Reset() {
 	for i, row := range m.cols {

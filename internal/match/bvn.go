@@ -1,8 +1,6 @@
 package match
 
 import (
-	"slices"
-
 	"hybridsched/internal/demand"
 )
 
@@ -25,167 +23,29 @@ func ScheduleCost(slots []Slot, overhead int64) int64 {
 	return total
 }
 
-// decomposer carries the scratch one frame decomposition reuses across
-// its many perfect-matching extractions: Kuhn's augmenting-path state and
-// the threshold-search value buffer.
-type decomposer struct {
-	matchCol []int32
-	visited  []bool
-	vals     []int64
-}
-
-func newDecomposer(n int) *decomposer {
-	return &decomposer{
-		matchCol: make([]int32, n),
-		visited:  make([]bool, n),
-	}
-}
-
-// perfect finds a perfect matching using only edges with weight >= thr
-// via Kuhn's augmenting-path algorithm, iterating each row's nonzero
-// entries. It reports ok=false if no perfect matching exists. The search
-// visits candidate columns in ascending order, exactly like the dense
-// column scan, so extracted matchings are identical to the dense
-// reference.
-func (dc *decomposer) perfect(d *demand.Matrix, thr int64) (Matching, bool) {
-	n := d.N()
-	for j := 0; j < n; j++ {
-		dc.matchCol[j] = -1
-	}
-	var try func(i int) bool
-	try = func(i int) bool {
-		row := d.Row(i)
-		for k := 0; k < row.Len(); k++ {
-			j, v := row.Entry(k)
-			if dc.visited[j] || v < thr {
-				continue
-			}
-			dc.visited[j] = true
-			if dc.matchCol[j] < 0 || try(int(dc.matchCol[j])) {
-				dc.matchCol[j] = int32(i)
-				return true
-			}
-		}
-		return false
-	}
-	for i := 0; i < n; i++ {
-		for j := range dc.visited {
-			dc.visited[j] = false
-		}
-		if !try(i) {
-			return nil, false
-		}
-	}
-	m := NewMatching(n)
-	for j, i := range dc.matchCol {
-		m[i] = j
-	}
-	return m, true
-}
-
-// bestThreshold returns the largest t such that the edges {(i,j) :
-// work(i,j) >= t} admit a perfect matching, or 0 if none does.
-func (dc *decomposer) bestThreshold(work *demand.Matrix) int64 {
-	n := work.N()
-	vals := dc.vals[:0]
-	for i := 0; i < n; i++ {
-		row := work.Row(i)
-		for k := 0; k < row.Len(); k++ {
-			_, v := row.Entry(k)
-			vals = append(vals, v)
-		}
-	}
-	dc.vals = vals
-	if len(vals) == 0 {
-		return 0
-	}
-	slices.Sort(vals)
-	vals = dedup(vals)
-	lo, hi := 0, len(vals)-1
-	best := int64(0)
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		if _, ok := dc.perfect(work, vals[mid]); ok {
-			best = vals[mid]
-			lo = mid + 1
-		} else {
-			hi = mid - 1
-		}
-	}
-	return best
-}
-
-// DecomposeBvN performs a Birkhoff–von Neumann decomposition: the matrix is
-// stuffed so every line sums to MaxLineSum, then repeatedly a perfect
-// matching on the positive support is extracted with weight equal to its
-// minimum entry. The resulting schedule serves the entire matrix in
-// exactly MaxLineSum demand units — optimal when reconfiguration is free,
-// but it may use up to n^2-2n+2 slots, each paying the OCS dead-time.
+// DecomposeBvN performs a Birkhoff–von Neumann decomposition of d; see
+// Decomposer.BvN for the algorithm. This package-level form is the
+// cold-start entry point: it borrows a pooled engine (recycling Kuhn
+// scratch and the stuffed working matrix across calls, but never warm
+// state) and returns caller-owned slots. Epoch-over-epoch callers should
+// hold a Decomposer instead and get warm starts plus allocation-free
+// steady state.
 func DecomposeBvN(d *demand.Matrix) []Slot {
-	work := d.Stuff()
-	dc := newDecomposer(d.N())
-	var slots []Slot
-	for work.Total() > 0 {
-		m, ok := dc.perfect(work, 1)
-		if !ok {
-			// Cannot happen for a stuffed matrix (Birkhoff's theorem);
-			// guard against a bug rather than spinning forever.
-			panic("match: stuffed matrix lost perfect matching")
-		}
-		w := minAlong(work, m)
-		subtract(work, m, w)
-		slots = append(slots, Slot{Match: m, Weight: w})
-	}
-	work.Release()
+	dc := decomposerFor(d.N())
+	slots := cloneSlots(dc.BvN(d), d.N())
+	dc.release()
 	return slots
 }
 
-// DecomposeMaxMin is the reconfiguration-aware decomposition in the spirit
-// of Solstice: each step extracts the perfect matching whose minimum entry
-// is as large as possible (found by binary search over thresholds), so few
-// fat slots carry most of the demand. Extraction stops when the best
-// matching serves less than minWorth per pair — demand not worth an OCS
-// reconfiguration — and the residual is returned for the EPS to carry,
-// exactly the paper's "residual traffic can be sent through the EPS".
-// The returned residual is pool-backed; callers that consume it promptly
-// may Release it.
+// DecomposeMaxMin is the reconfiguration-aware max-min decomposition of
+// d; see Decomposer.MaxMin for the algorithm. Like DecomposeBvN it is
+// the cold-start entry point over a pooled engine. The returned residual
+// is pool-backed; callers that consume it promptly may Release it.
 func DecomposeMaxMin(d *demand.Matrix, minWorth int64) (slots []Slot, residual *demand.Matrix) {
-	work := d.Stuff()
-	served := demand.FromPool(d.N())
-	dc := newDecomposer(d.N())
-	for work.Total() > 0 {
-		thr := dc.bestThreshold(work)
-		if thr <= 0 {
-			break
-		}
-		m, ok := dc.perfect(work, thr)
-		if !ok {
-			panic("match: threshold search returned infeasible threshold")
-		}
-		w := minAlong(work, m)
-		if minWorth > 0 && w < minWorth {
-			break
-		}
-		subtract(work, m, w)
-		for i, j := range m {
-			if j != Unmatched {
-				served.Add(i, j, w)
-			}
-		}
-		slots = append(slots, Slot{Match: m, Weight: w})
-	}
-	residual = demand.FromPool(d.N())
-	for i := 0; i < d.N(); i++ {
-		row := d.Row(i)
-		for k := 0; k < row.Len(); k++ {
-			j, v := row.Entry(k)
-			if rem := v - served.At(i, j); rem > 0 {
-				residual.Set(i, j, rem)
-			}
-		}
-	}
-	work.Release()
-	served.Release()
+	dc := decomposerFor(d.N())
+	s, residual := dc.MaxMin(d, minWorth)
+	slots = cloneSlots(s, d.N())
+	dc.release()
 	return slots, residual
 }
 
@@ -199,6 +59,7 @@ func dedup(v []int64) []int64 {
 	return out
 }
 
+//hybridsched:hotpath
 func minAlong(d *demand.Matrix, m Matching) int64 {
 	var w int64 = -1
 	for i, j := range m {

@@ -1,7 +1,9 @@
 package match
 
 import (
+	"fmt"
 	"math/bits"
+	"slices"
 	"testing"
 
 	"hybridsched/internal/demand"
@@ -312,6 +314,291 @@ func TestComplexityMatchesInstrumentedOps(t *testing.T) {
 			if 8*wfReported > wfOld {
 				t.Errorf("n=512: wavefront SoftwareOps %d less than 8x below old model %d",
 					wfReported, wfOld)
+			}
+		}
+	}
+}
+
+// --- instrumented frame-decomposition mirror ---
+
+// countingFrameDecomposer mirrors the cold word-parallel decomposition
+// engine (decompose.go) without its intra-frame extraction memo, so the
+// count it reports upper-bounds what the live engine executes while the
+// decisions — candidate order, thresholds, extracted matchings — are
+// identical. Granularity matches the other mirrors: one op per word
+// visited in a scan and one op per item (cell, stack position, sorted
+// value) processed.
+type countingFrameDecomposer struct {
+	n, words int
+	matchCol []int32
+	visited  []uint64
+	elig     []uint64
+	frames   []kframe
+	vals     []int64
+	ops      int
+}
+
+func newCountingFrame(n int) *countingFrameDecomposer {
+	words := (n + 63) / 64
+	return &countingFrameDecomposer{n: n, words: words,
+		matchCol: make([]int32, n), visited: make([]uint64, words),
+		elig: make([]uint64, n*words), frames: make([]kframe, n+1)}
+}
+
+func (c *countingFrameDecomposer) buildElig(d *demand.Matrix, thr int64) {
+	n, words := c.n, c.words
+	if thr <= 1 {
+		for i := 0; i < n; i++ {
+			copy(c.elig[i*words:(i+1)*words], d.RowBits(i))
+			c.ops += words
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		off := i * words
+		for w := 0; w < words; w++ {
+			c.elig[off+w] = 0
+			c.ops++
+		}
+		row := d.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			j, v := row.Entry(k)
+			c.ops++
+			if v >= thr {
+				c.elig[off+j>>6] |= 1 << (uint(j) & 63)
+			}
+		}
+	}
+}
+
+func (c *countingFrameDecomposer) augment(root int) bool {
+	words := c.words
+	sp := 0
+	cur := int32(root)
+	base := root * words
+	next := 0
+	for {
+		c.ops++ // one stack position processed
+		var w uint64
+		wi := next >> 6
+		if wi < words {
+			c.ops++
+			w = (c.elig[base+wi] &^ c.visited[wi]) >> (uint(next) & 63) << (uint(next) & 63)
+			for w == 0 {
+				wi++
+				if wi >= words {
+					break
+				}
+				c.ops++
+				w = c.elig[base+wi] &^ c.visited[wi]
+			}
+		}
+		if w == 0 {
+			if sp == 0 {
+				return false
+			}
+			sp--
+			cur = c.frames[sp].row
+			next = int(c.frames[sp].next)
+			base = int(c.frames[sp].base)
+			continue
+		}
+		j := wi<<6 + bits.TrailingZeros64(w)
+		c.visited[wi] |= w & -w
+		owner := c.matchCol[j]
+		if owner < 0 {
+			c.matchCol[j] = cur
+			for k := sp - 1; k >= 0; k-- {
+				c.matchCol[c.frames[k].j] = c.frames[k].row
+				c.ops++
+			}
+			return true
+		}
+		c.frames[sp] = kframe{row: cur, j: int32(j), next: int32(j + 1), base: int32(base)}
+		sp++
+		cur = owner
+		base = int(owner) * words
+		next = 0
+	}
+}
+
+func (c *countingFrameDecomposer) perfect(d *demand.Matrix, thr int64) (Matching, bool) {
+	n := c.n
+	for j := range c.matchCol {
+		c.matchCol[j] = -1
+	}
+	c.ops += n
+	c.buildElig(d, thr)
+	for i := 0; i < n; i++ {
+		for w := range c.visited {
+			c.visited[w] = 0
+		}
+		c.ops += c.words
+		if !c.augment(i) {
+			return nil, false
+		}
+	}
+	m := NewMatching(n)
+	for j, i := range c.matchCol {
+		m[i] = j
+	}
+	c.ops += n
+	return m, true
+}
+
+func (c *countingFrameDecomposer) bestThreshold(work *demand.Matrix) int64 {
+	n := work.N()
+	vals := c.vals[:0]
+	for i := 0; i < n; i++ {
+		row := work.Row(i)
+		for k := 0; k < row.Len(); k++ {
+			_, v := row.Entry(k)
+			vals = append(vals, v)
+			c.ops++
+		}
+	}
+	c.vals = vals
+	if len(vals) == 0 {
+		return 0
+	}
+	slices.Sort(vals)
+	c.ops += len(vals) * log2ceil(len(vals))
+	vals = dedup(vals)
+	lo, hi := 0, len(vals)-1
+	best := int64(0)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if _, ok := c.perfect(work, vals[mid]); ok {
+			best = vals[mid]
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best
+}
+
+func (c *countingFrameDecomposer) stuff(d *demand.Matrix) *demand.Matrix {
+	c.ops += c.n * c.n // greedy padding scans the full matrix
+	return d.Stuff()
+}
+
+func (c *countingFrameDecomposer) decomposeBvN(d *demand.Matrix) []Slot {
+	work := c.stuff(d)
+	var slots []Slot
+	for work.Total() > 0 {
+		m, ok := c.perfect(work, 1)
+		if !ok {
+			panic("match: stuffed matrix lost perfect matching (counting mirror)")
+		}
+		w := minAlong(work, m)
+		subtract(work, m, w)
+		c.ops += 2 * c.n
+		slots = append(slots, Slot{Match: m, Weight: w})
+	}
+	work.Release()
+	return slots
+}
+
+func (c *countingFrameDecomposer) decomposeMaxMin(d *demand.Matrix, minWorth int64) []Slot {
+	work := c.stuff(d)
+	var slots []Slot
+	for work.Total() > 0 {
+		thr := c.bestThreshold(work)
+		if thr <= 0 {
+			break
+		}
+		m, ok := c.perfect(work, thr)
+		if !ok {
+			panic("match: infeasible threshold (counting mirror)")
+		}
+		w := minAlong(work, m)
+		if minWorth > 0 && w < minWorth {
+			break
+		}
+		subtract(work, m, w)
+		c.ops += 2 * c.n
+		slots = append(slots, Slot{Match: m, Weight: w})
+	}
+	work.Release()
+	return slots
+}
+
+// emittedSlots replays FrameScheduler.refill's playback expansion: the
+// number of schedule slots one frame actually feeds, which is what the
+// per-slot SoftwareOps figure amortizes the frame cost over.
+func emittedSlots(slots []Slot) int {
+	if len(slots) == 0 {
+		return 0
+	}
+	quantum := slots[0].Weight
+	for _, s := range slots {
+		if s.Weight < quantum {
+			quantum = s.Weight
+		}
+	}
+	if quantum <= 0 {
+		quantum = 1
+	}
+	total := 0
+	for _, s := range slots {
+		reps := int((s.Weight + quantum - 1) / quantum)
+		if reps < 1 {
+			reps = 1
+		}
+		total += reps
+		if total >= maxPlayback {
+			return maxPlayback
+		}
+	}
+	return total
+}
+
+// TestFrameComplexityReflectsOps pins the FrameScheduler's recomputed
+// Complexity model: (a) the counting mirror reproduces the live engine's
+// decompositions exactly, (b) the whole frame's counted ops stay below
+// SoftwareOps times the playback slots the frame emits — the model is a
+// per-emitted-slot amortization — and (c) the model sits far below the
+// dense-era n³-per-slot figure the metadata used to carry.
+func TestFrameComplexityReflectsOps(t *testing.T) {
+	for _, n := range []int{16, 64, 128, 256, 512} {
+		reported := NewBvNFrame(n).Complexity(n).SoftwareOps
+		old := n * n * n
+		if n >= 64 && 2*reported > old {
+			t.Errorf("n=%d: frame SoftwareOps %d not well below old dense model %d",
+				n, reported, old)
+		}
+		if n == 512 && 4*reported > old {
+			t.Errorf("n=512: frame SoftwareOps %d less than 4x below old model %d",
+				reported, old)
+		}
+		if n > 128 {
+			continue // mirror decompositions get slow; the model checks above still ran
+		}
+
+		r := rng.New(uint64(n)*31 + 3)
+		for round := 0; round < 2; round++ {
+			d := referenceFillDemand(r, n)
+
+			mirror := newCountingFrame(n)
+			slots := mirror.decomposeBvN(d)
+			slotsEqual(t, fmt.Sprintf("bvn mirror n=%d round=%d", n, round),
+				slots, DecomposeBvN(d))
+			if budget := reported * emittedSlots(slots); mirror.ops > budget {
+				t.Errorf("n=%d round %d: bvn frame executed %d ops, budget %d (%d per emitted slot x %d slots)",
+					n, round, mirror.ops, budget, reported, emittedSlots(slots))
+			}
+
+			mirror = newCountingFrame(n)
+			minWorth := d.MaxLineSum() / 16
+			mmSlots := mirror.decomposeMaxMin(d, minWorth)
+			liveSlots, liveRes := DecomposeMaxMin(d, minWorth)
+			liveRes.Release()
+			slotsEqual(t, fmt.Sprintf("maxmin mirror n=%d round=%d", n, round),
+				mmSlots, liveSlots)
+			if budget := reported * emittedSlots(mmSlots); mirror.ops > budget {
+				t.Errorf("n=%d round %d: maxmin frame executed %d ops, budget %d (%d per emitted slot x %d slots)",
+					n, round, mirror.ops, budget, reported, emittedSlots(mmSlots))
 			}
 		}
 	}

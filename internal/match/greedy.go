@@ -19,9 +19,10 @@ type Greedy struct {
 	// collected by scanning the matrix's row bitsets (64 empty columns
 	// skipped per word) and sorted, so a sparse fabric-scale matrix
 	// costs O(nonzeros log nonzeros), not O(n² log n).
-	edges   []greedyEdge
-	out     Matching
-	colUsed *demand.Bitset
+	edges    []greedyEdge
+	edgesAlt []greedyEdge // radix ping-pong buffer
+	out      Matching
+	colUsed  *demand.Bitset
 }
 
 type greedyEdge struct {
@@ -73,21 +74,7 @@ func (g *Greedy) Schedule(d *demand.Matrix) Matching {
 			}
 		}
 	}
-	// Deterministic: ties break by (i, j). The key is a total order, so
-	// the (unstable) sort has a unique result.
-	slices.SortFunc(g.edges, func(a, b greedyEdge) int {
-		switch {
-		case a.w != b.w:
-			if a.w > b.w {
-				return -1
-			}
-			return 1
-		case a.i != b.i:
-			return a.i - b.i
-		default:
-			return a.j - b.j
-		}
-	})
+	g.sortEdges()
 	m := g.out
 	for i := range m {
 		m[i] = Unmatched
@@ -100,6 +87,86 @@ func (g *Greedy) Schedule(d *demand.Matrix) Matching {
 		}
 	}
 	return m
+}
+
+// greedyRadixMin is the edge count below which the comparison sort wins:
+// a radix pass pays a fixed 256-bucket histogram regardless of input
+// size, so tiny fabrics stay on the comparator.
+const greedyRadixMin = 96
+
+// compareGreedyEdges is the deterministic total order the arbiter sorts
+// by: weight descending, ties by (i, j) ascending. It doubles as the
+// reference the radix path is pinned against.
+func compareGreedyEdges(a, b greedyEdge) int {
+	switch {
+	case a.w != b.w:
+		if a.w > b.w {
+			return -1
+		}
+		return 1
+	case a.i != b.i:
+		return a.i - b.i
+	default:
+		return a.j - b.j
+	}
+}
+
+// sortEdges orders g.edges by compareGreedyEdges. Fabric-scale edge
+// lists use a stable LSD radix sort over the weights' significant bytes,
+// descending within every pass: collection already emitted the cells in
+// ascending (i, j) order, so stability IS the comparator's tie order and
+// the two paths produce byte-identical permutations
+// (TestGreedyRadixMatchesComparator). O(nonzeros) passes replace the
+// O(nonzeros log nonzeros) comparison sort that dominated Schedule at
+// n >= 1024.
+//
+//hybridsched:hotpath
+func (g *Greedy) sortEdges() {
+	edges := g.edges
+	if len(edges) < greedyRadixMin {
+		slices.SortFunc(edges, compareGreedyEdges)
+		return
+	}
+	var maxW int64
+	for k := range edges {
+		if edges[k].w > maxW {
+			maxW = edges[k].w
+		}
+	}
+	nbytes := (bits.Len64(uint64(maxW)) + 7) / 8
+	if cap(g.edgesAlt) < len(edges) {
+		//hybridsched:alloc-ok amortized growth of the recycled radix buffer
+		g.edgesAlt = make([]greedyEdge, 0, cap(g.edges))
+	}
+	src, dst := edges, g.edgesAlt[:len(edges)]
+	var counts [256]int
+	for b := 0; b < nbytes; b++ {
+		shift := uint(8 * b)
+		for v := range counts {
+			counts[v] = 0
+		}
+		for k := range src {
+			counts[(src[k].w>>shift)&0xff]++
+		}
+		// Higher byte values place first: each stable descending pass
+		// over successively more significant bytes yields weight-descending
+		// order overall.
+		off := 0
+		for v := 255; v >= 0; v-- {
+			c := counts[v]
+			counts[v] = off
+			off += c
+		}
+		for k := range src {
+			v := (src[k].w >> shift) & 0xff
+			dst[counts[v]] = src[k]
+			counts[v]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &edges[0] {
+		copy(edges, src)
+	}
 }
 
 func init() {

@@ -23,10 +23,11 @@ type sparseAlgorithm interface {
 }
 
 // newSparseRef returns the sparse-list reference for a registered
-// algorithm name, or nil for algorithms whose live implementation never
-// had a bitset rewrite (TDMA, Hungarian, the frame decompositions) — for
-// those the live code is still the sparse implementation and the
-// two-way dense suite already covers it.
+// algorithm name, or nil for algorithms outside this suite's scope:
+// TDMA and Hungarian never had a bitset rewrite (the live code is still
+// the sparse implementation, covered by the dense suite), and the frame
+// decompositions are pinned as whole frames against their own preserved
+// references (sparse_decompose_ref_test.go).
 func newSparseRef(name string, n int, seed uint64) sparseAlgorithm {
 	switch name {
 	case "islip":

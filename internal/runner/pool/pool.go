@@ -1,0 +1,128 @@
+// Package pool is the leaf worker-pool core of the deterministic
+// parallel execution engine. It exists below internal/runner so that
+// packages runner itself depends on (the matching kernels, most
+// notably the frame decomposer's parallel threshold search) can fan
+// work out over the same deterministic, submission-ordered Map without
+// creating an import cycle. internal/runner re-exports the type, so
+// scenario-level callers never see this package.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size worker pool. It holds no state between calls; the
+// same Pool may be used concurrently and reused freely.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count. A count of zero or less
+// selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs fn(i) for every i in [0, n) on p's workers and returns the
+// results in index order. All jobs run to completion even when some fail;
+// the returned error is the failure with the lowest index, so error
+// reporting is as deterministic as the results themselves.
+func Map[T any](p *Pool, n int, fn func(int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return results, nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial fast path: no goroutines, same submission order.
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// MapInto is Map for pre-sized result storage: results[i] = fn(i) with no
+// per-call slice allocation, for hot callers that recycle the results
+// buffer. results must have length >= n. It returns the failure with the
+// lowest index, like Map.
+func MapInto[T any](p *Pool, n int, results []T, fn func(int) (T, error)) error {
+	if n == 0 {
+		return nil
+	}
+	var firstErr error
+	firstIdx := n
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			var err error
+			results[i], err = fn(i)
+			if err != nil && i < firstIdx {
+				firstErr, firstIdx = err, i
+			}
+		}
+		return firstErr
+	}
+	var mu sync.Mutex
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				var err error
+				results[i], err = fn(i)
+				if err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstErr, firstIdx = err, i
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}

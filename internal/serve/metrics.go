@@ -26,6 +26,8 @@ import (
 //	hybridsched_serve_backlog_bits           gauge     {shard}
 //	hybridsched_serve_subscribers            gauge     {shard}
 //	hybridsched_serve_dropped_frames_total   counter   {shard, policy}
+//	hybridsched_serve_frame_decompose_latency_ns  histogram {shard}
+//	hybridsched_serve_frames_computed_total       counter   {shard}
 
 // instruments is one scheduler's bound slice of the registry.
 type instruments struct {
@@ -40,6 +42,11 @@ type instruments struct {
 	subscribers  *metrics.Gauge
 	dropsOldest  *metrics.Counter
 	dropsNewest  *metrics.Counter
+
+	// Frame-decomposition attribution, recorded only for frame
+	// scheduling algorithms and only on epochs that computed a frame.
+	frameLatency   *metrics.Histogram
+	framesComputed *metrics.Counter
 }
 
 // newInstruments registers (or re-binds, after a restore) the shard's
@@ -72,6 +79,10 @@ func newInstruments(r *metrics.Registry, shard int) *instruments {
 		dropsNewest: r.Counter("hybridsched_serve_dropped_frames_total",
 			"Frames dropped on full subscriber buffers, by drop policy.",
 			sh, metrics.Label{Key: "policy", Value: DropNewest.String()}),
+		frameLatency: r.Histogram("hybridsched_serve_frame_decompose_latency_ns",
+			"Latency the epoch paid for circuit-frame decomposition (refill epochs only), in nanoseconds.", sh),
+		framesComputed: r.Counter("hybridsched_serve_frames_computed_total",
+			"Circuit frames decomposed by the scheduling algorithm.", sh),
 	}
 }
 
@@ -93,6 +104,16 @@ func (in *instruments) observeEpoch(elapsed time.Duration, pairs int, servedBits
 	in.matchedPairs.Add(uint64(pairs))
 	in.servedBits.Add(uint64(servedBits))
 	in.backlogBits.Set(backlogBits)
+}
+
+// observeFrames records one epoch's frame-decomposition work: the
+// latency the Schedule call spent producing its frames (with
+// compute-ahead this is the adoption cost, not the hidden background
+// decomposition) and how many frames it computed. Hot path: atomic
+// updates only.
+func (in *instruments) observeFrames(elapsed time.Duration, computed int64) {
+	in.frameLatency.Observe(int64(elapsed))
+	in.framesComputed.Add(uint64(computed))
 }
 
 // observeDrop records one dropped frame under the subscription's policy.

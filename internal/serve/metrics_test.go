@@ -135,3 +135,67 @@ func TestShardedMetricsShared(t *testing.T) {
 
 func itoa(v int) string     { return strconv.Itoa(v) }
 func itoa64(v int64) string { return strconv.FormatInt(v, 10) }
+
+// TestServeFrameDecomposeMetrics: a frame decomposition algorithm behind
+// the service attributes its refills — the frames-computed counter
+// advances only on refill epochs, the decompose-latency histogram
+// records one observation per refill, and per-slot arbiters expose both
+// instruments at zero.
+func TestServeFrameDecomposeMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newTestScheduler(t, Config{
+		Ports:     8,
+		Algorithm: "bvn",
+		SlotBits:  1500 * 8,
+		Shard:     1,
+		Metrics:   reg,
+	})
+	for e := 0; e < 5; e++ {
+		if err := s.Offer(0, 1, 1500*8); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Offer(2, 5, 3000*8); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr, ok := s.alg.(interface{ Frames() int64 })
+	if !ok {
+		t.Fatal("bvn frame scheduler does not expose Frames()")
+	}
+	if fr.Frames() == 0 {
+		t.Fatal("no frames computed after non-empty epochs")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `hybridsched_serve_frames_computed_total{shard="1"} ` + itoa64(fr.Frames())
+	if !strings.Contains(out, want+"\n") {
+		t.Errorf("exposition missing %q in:\n%s", want, out)
+	}
+	histCount := `hybridsched_serve_frame_decompose_latency_ns_bucket{shard="1",le="+Inf"} ` + itoa64(fr.Frames())
+	if !strings.Contains(out, histCount+"\n") {
+		t.Errorf("exposition missing %q in:\n%s", histCount, out)
+	}
+
+	// Per-slot arbiters register the instruments but never record them.
+	reg2 := metrics.NewRegistry()
+	s2 := newTestScheduler(t, Config{Ports: 8, Algorithm: "islip", SlotBits: 1500 * 8, Metrics: reg2})
+	if err := s2.Offer(0, 1, 1500*8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Step(); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := reg2.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `hybridsched_serve_frames_computed_total{shard="0"} 0`+"\n") {
+		t.Errorf("frames-computed not exposed at zero for per-slot arbiter:\n%s", buf.String())
+	}
+}

@@ -255,7 +255,7 @@ func (p *Pipeline) RunEpochs(ctx context.Context, n int, onFrame func(Frame)) er
 		defer wg.Done()
 		defer close(matched)
 		for slot := range estimated {
-			m := s.alg.Schedule(slot.snap)
+			m := s.schedule(slot.snap)
 			copy(slot.match, m)
 			select {
 			//hybridsched:unbounded-ok stage ring backpressure by design: the consumer is the commit loop on the caller's goroutine, and stop aborts the wait

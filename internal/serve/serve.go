@@ -157,6 +157,12 @@ type Scheduler struct {
 	alg   match.Algorithm
 	ins   *instruments // nil when Config.Metrics is nil
 
+	// framer is alg when it exposes a frame counter (the frame
+	// decomposition schedulers), asserted once at construction so the
+	// epoch hot path can attribute decomposition work without a per-step
+	// type switch. Nil for per-slot arbiters.
+	framer interface{ Frames() int64 }
+
 	mu      sync.Mutex // guards pending and closed
 	pending *demand.Matrix
 	closed  bool
@@ -203,6 +209,14 @@ func New(cfg Config) (*Scheduler, error) {
 		s.ins = newInstruments(cfg.Metrics, cfg.Shard)
 	}
 	s.sourceOffer = s.offerFromSource
+	s.framer, _ = alg.(interface{ Frames() int64 })
+	// Frame decomposition schedulers pipeline the next frame's
+	// decomposition behind the current frame's playback; output is
+	// bit-for-bit identical either way, so a long-lived service always
+	// opts in. Close tears the worker down with the scheduler.
+	if ca, ok := alg.(interface{ EnableComputeAhead() }); ok {
+		ca.EnableComputeAhead()
+	}
 	return s, nil
 }
 
@@ -348,7 +362,7 @@ func (s *Scheduler) step() (Frame, error) {
 	s.snap.CopyFrom(s.pending)
 	s.mu.Unlock()
 
-	m := s.alg.Schedule(s.snap)
+	m := s.schedule(s.snap)
 
 	// Drain served demand from the live matrix. Offers since the snapshot
 	// only add, and this is the only subtractor, so pending >= snap holds
@@ -395,6 +409,29 @@ func (s *Scheduler) step() (Frame, error) {
 		s.ins.observeEpoch(stepElapsed(t0), pairs, servedBits, backlog)
 	}
 	return f, nil
+}
+
+// schedule runs the matching algorithm on one snapshot — the single
+// entry point both the sequential step and the pipeline's match stage
+// use. For frame decomposition algorithms with instrumentation enabled
+// it attributes decomposition work: when the Schedule call computed one
+// or more frames (a refill, speculative or synchronous), the call's
+// latency lands in the frame-decompose histogram and the frame counter
+// advances. Pure playback epochs record nothing. Recording is atomic
+// updates on pre-registered instruments — allocation-free.
+//
+//hybridsched:hotpath
+func (s *Scheduler) schedule(snap *demand.Matrix) match.Matching {
+	if s.ins == nil || s.framer == nil {
+		return s.alg.Schedule(snap)
+	}
+	before := s.framer.Frames()
+	t0 := stepStart()
+	m := s.alg.Schedule(snap)
+	if computed := s.framer.Frames() - before; computed > 0 {
+		s.ins.observeFrames(stepElapsed(t0), computed)
+	}
+	return m
 }
 
 // Run steps one epoch per interval tick of wall-clock time until ctx is
@@ -473,10 +510,15 @@ func (s *Scheduler) Close() error {
 	s.mu.Unlock()
 
 	// The snapshot scratch is only touched under stepMu; taking it here
-	// fences out any in-flight Step before recycling.
+	// fences out any in-flight Step before recycling. The algorithm's
+	// own teardown (the frame schedulers' compute-ahead worker) happens
+	// under the same fence, after the last epoch that could touch it.
 	s.stepMu.Lock()
 	s.snap.Release()
 	s.snap = nil
+	if c, ok := s.alg.(interface{ Close() }); ok {
+		c.Close()
+	}
 	s.stepMu.Unlock()
 
 	s.subMu.Lock()
