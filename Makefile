@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check lint bench-smoke bench-json bench-compare race-smoke docs-check check
+.PHONY: all build test vet fmt-check lint bench-smoke bench-json bench-compare race-smoke sweep-smoke docs-check check
 
 all: build
 
@@ -83,6 +83,14 @@ bench-compare:
 race-smoke:
 	$(GO) test -race ./internal/runner/... ./internal/serve/... ./internal/analysis/... ./cmd/hybridschedd/... .
 
+# sweep-smoke proves the declarative scenario path end to end: the sweep
+# tool loads the committed scenario pack (the same documents the loader
+# tests, the fuzzer seed corpus and the golden traces are built from) and
+# runs every scenario on the worker pool. Any pack-format or dynamics
+# regression that survives the unit layer fails here.
+sweep-smoke:
+	$(GO) run ./cmd/sweep -scenario-dir testdata/scenarios -parallel 4 >/dev/null
+
 # docs-check keeps the documentation layer executable: go vet (including
 # its doc-comment/printf analyzers) over every package, all godoc
 # Example functions run with their expected output compared, and the
@@ -93,4 +101,4 @@ docs-check:
 	$(GO) test -run '^Example' -v .
 	$(GO) test -run '^TestDoc' .
 
-check: fmt-check vet lint build test bench-smoke docs-check
+check: fmt-check vet lint build test bench-smoke sweep-smoke docs-check

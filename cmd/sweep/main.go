@@ -20,6 +20,12 @@
 // Example — the published flow-size distributions against one scheduler:
 //
 //	sweep -var dist -values trimodal,websearch,hadoop,cachefollower -alg islip
+//
+// Scenario-pack mode: -scenario-dir runs every declarative *.json
+// scenario config under a directory instead of a parameter sweep — one
+// CSV row per scenario, labeled by name, in filename order:
+//
+//	sweep -scenario-dir testdata/scenarios -parallel 4
 package main
 
 import (
@@ -67,8 +73,16 @@ func main() {
 		durS     = flag.String("duration", "5ms", "traffic duration")
 		seed     = flag.Uint64("seed", 1, "seed")
 		parallel = flag.Int("parallel", 0, "worker count for sweep points (0 = GOMAXPROCS)")
+		packDir  = flag.String("scenario-dir", "", "run every *.json scenario config under this directory instead of a sweep")
 	)
 	flag.Parse()
+	if *packDir != "" {
+		if err := runPack(os.Stdout, *packDir, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *values == "" {
 		fmt.Fprintln(os.Stderr, "sweep: -values is required")
 		os.Exit(2)
@@ -104,6 +118,32 @@ func workload(name string, base hybridsched.TrafficConfig) (hybridsched.TrafficC
 		base.FlowSizes = dist
 	}
 	return base, nil
+}
+
+// runPack executes every scenario config under dir — the declarative
+// counterpart of a sweep. Each scenario carries its own complete fabric
+// and workload, so the CSV reports per-scenario line rate and ports.
+func runPack(w io.Writer, dir string, parallel int) error {
+	scs, err := hybridsched.LoadScenarioPack(dir)
+	if err != nil {
+		return err
+	}
+	ms, err := hybridsched.RunScenarios(scs, parallel)
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("", "scenario",
+		"delivered_frac", "throughput", "lat_p50_us", "lat_p99_us",
+		"peak_switch_buf_B", "peak_host_buf_B", "duty_cycle")
+	for i, m := range ms {
+		sc := scs[i]
+		tab.AddRow(sc.Name, m.DeliveredFraction(), m.Throughput(sc.Fabric.Ports, sc.Fabric.LineRate),
+			hybridsched.Duration(m.Latency.P50).Microseconds(),
+			hybridsched.Duration(m.Latency.P99).Microseconds(),
+			m.PeakSwitchBuffer.Bytes(), m.PeakHostBuffer.Bytes(), m.DutyCycle)
+	}
+	tab.CSV(w)
+	return nil
 }
 
 func run(w io.Writer, cfg sweepConfig) error {

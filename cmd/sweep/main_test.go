@@ -101,6 +101,61 @@ func TestSweepRejectsBadInputs(t *testing.T) {
 	}
 }
 
+const scenarioPackDir = "../../testdata/scenarios"
+
+// TestSweepScenarioPack runs the committed declarative pack end to end:
+// one CSV row per scenario, labeled by name, in filename order.
+func TestSweepScenarioPack(t *testing.T) {
+	var b bytes.Buffer
+	if err := runPack(&b, scenarioPackDir, 0); err != nil {
+		t.Fatalf("scenario-pack sweep failed: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	want := []string{"dimdim", "diurnal", "hotspot_churn", "incast", "scalefree"}
+	if len(lines) != 1+len(want) {
+		t.Fatalf("want header + %d rows, got %d lines:\n%s", len(want), len(lines), b.String())
+	}
+	for i, name := range want {
+		if !strings.HasPrefix(lines[1+i], name+",") {
+			t.Fatalf("row %d = %q, want scenario %q", i, lines[1+i], name)
+		}
+	}
+}
+
+// TestSweepScenarioPackRejectsBadDirs pins the failure modes: a missing
+// or empty directory is an error, not an empty CSV.
+func TestSweepScenarioPackRejectsBadDirs(t *testing.T) {
+	if err := runPack(io.Discard, t.TempDir(), 0); err == nil {
+		t.Error("empty pack directory: expected error")
+	}
+	if err := runPack(io.Discard, "testdata/definitely-absent", 0); err == nil {
+		t.Error("missing pack directory: expected error")
+	}
+}
+
+// TestSweepScenarioPackByteIdentical extends the determinism contract to
+// pack mode: the CSV must not depend on the worker count, including for
+// every time-varying dynamic the committed pack covers.
+func TestSweepScenarioPackByteIdentical(t *testing.T) {
+	pack := func(parallel int) string {
+		var b bytes.Buffer
+		if err := runPack(&b, scenarioPackDir, parallel); err != nil {
+			t.Fatalf("scenario-pack sweep failed: %v", err)
+		}
+		return b.String()
+	}
+	serial := pack(1)
+	if serial == "" {
+		t.Fatal("empty CSV")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := pack(workers); got != serial {
+			t.Fatalf("CSV differs between 1 and %d workers:\n--- 1 ---\n%s\n--- %d ---\n%s",
+				workers, serial, workers, got)
+		}
+	}
+}
+
 // TestSweepParallelOutputIsByteIdentical is the determinism contract: the
 // CSV must not depend on the worker count — including for the flow-level
 // empirical workloads.

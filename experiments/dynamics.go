@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridsched/internal/fabric"
+	"hybridsched/internal/runner"
+	"hybridsched/internal/sched"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+	"hybridsched/report"
+)
+
+func init() {
+	Registry = append(Registry, Experiment{
+		ID: "W2", Run: W2AdversarialDynamics,
+		Short: "Adversarial dynamics: schedulers under time-varying traffic (churn, incast, diurnal, conferencing, scale-free)",
+	})
+}
+
+// W2AdversarialDynamics evaluates the crossbar schedulers under the
+// time-varying scenario-pack dynamics: hotspot churn (a permutation
+// matrix that rotates before a scheduler can exploit it), periodic
+// incast waves, a diurnal load swing, DimDim-style web conferencing, and
+// a scale-free hub-skewed demand. These are the workloads that separate
+// schedulers which merely converge on a static matrix from ones that
+// track a moving one — the regime the paper's fast reconfiguration
+// argument is about.
+func W2AdversarialDynamics(sc Scale) (*Result, error) {
+	res := &Result{ID: "W2", Title: "Adversarial time-varying dynamics"}
+
+	algs := []string{"islip", "greedy", "tdma"}
+	ports := 8
+	dur := 5 * units.Millisecond
+	if sc == Full {
+		ports = 16
+		dur = 50 * units.Millisecond
+	}
+	churn := 500 * units.Microsecond
+
+	// Each dynamic names a fresh traffic config per job: time-varying
+	// patterns carry cached per-epoch state and must never be shared
+	// between concurrently running scenarios.
+	dynamics := []struct {
+		name string
+		tc   func() traffic.Config
+	}{
+		{"hotspot-churn", func() traffic.Config {
+			return traffic.Config{
+				Load:    0.6,
+				Pattern: traffic.NewRotatingPermutation(ports, churn, 9),
+				Sizes:   traffic.TrimodalInternet{},
+			}
+		}},
+		{"incast", func() traffic.Config {
+			return traffic.Config{
+				Load:    0.4,
+				Pattern: traffic.IncastWave{Period: churn, Duty: 0.25},
+				Sizes:   traffic.TrimodalInternet{},
+			}
+		}},
+		{"diurnal", func() traffic.Config {
+			return traffic.Config{
+				Load:    0.7,
+				Pattern: traffic.Uniform{},
+				Sizes:   traffic.TrimodalInternet{},
+				Profile: traffic.Diurnal{Period: dur / 2, Floor: 0.2},
+			}
+		}},
+		{"dimdim", func() traffic.Config {
+			return traffic.Config{
+				Load:                 0.5,
+				Pattern:              traffic.Conference{Size: 4},
+				Sizes:                traffic.WebConference(),
+				LatencySensitiveFrac: 0.8,
+			}
+		}},
+		{"scalefree", func() traffic.Config {
+			return traffic.Config{
+				Load:    0.5,
+				Pattern: traffic.NewScaleFree(ports, 1.4, 9),
+				Sizes:   traffic.TrimodalInternet{},
+			}
+		}},
+	}
+
+	type point struct {
+		dyn string
+		alg string
+	}
+	var points []point
+	var jobs []runner.Job
+	for _, d := range dynamics {
+		for _, alg := range algs {
+			tc := d.tc()
+			tc.Ports = ports
+			tc.LineRate = 10 * units.Gbps
+			tc.Seed = 9
+			points = append(points, point{d.name, alg})
+			jobs = append(jobs, runner.Job{
+				Fabric: fabric.Config{
+					Ports:        ports,
+					LineRate:     10 * units.Gbps,
+					LinkDelay:    500 * units.Nanosecond,
+					Slot:         10 * units.Microsecond,
+					ReconfigTime: units.Microsecond,
+					Algorithm:    alg,
+					Timing:       sched.DefaultHardware(),
+					Pipelined:    true,
+				},
+				Traffic:  tc,
+				Duration: dur,
+			})
+		}
+	}
+	ms, err := runScenarios(jobs)
+	if err != nil {
+		return nil, err
+	}
+	tab := report.NewTable(
+		fmt.Sprintf("%d ports x 10 Gbps, %v offered, %v churn period", ports, dur, churn),
+		"dynamic", "algorithm", "delivered_frac", "lat_p50_us", "lat_p99_us", "peak_switch_buf")
+	for i, m := range ms {
+		p := points[i]
+		tab.AddRow(p.dyn, p.alg, m.DeliveredFraction(),
+			units.Duration(m.Latency.P50).Microseconds(),
+			units.Duration(m.Latency.P99).Microseconds(),
+			m.PeakSwitchBuffer)
+	}
+	res.Tables = append(res.Tables, tab)
+	res.note("a scheduler that converges on a static matrix looks perfect under W1 and falls apart here: churn resets its learning every period, incast serializes it onto one output, and the diurnal swing tests both regimes in one run")
+	return res, nil
+}

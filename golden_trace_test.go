@@ -27,13 +27,14 @@ var updateGolden = flag.Bool("update-golden", false,
 var goldenAlgorithms = []string{"islip", "greedy", "tdma", "bvn"}
 
 // goldenWorkloads defines the committed traces. Each is captured from a
-// small deterministic scenario covering a distinct arrival process.
+// small deterministic scenario covering a distinct arrival process or
+// time-varying dynamic; the sc function carries the complete capture
+// configuration, and replays reuse it with only the algorithm swapped.
 var goldenWorkloads = []struct {
-	name     string
-	duration Duration
-	sc       func() Scenario
+	name string
+	sc   func() Scenario
 }{
-	{"poisson_trimodal", 500 * Microsecond, func() Scenario {
+	{"poisson_trimodal", func() Scenario {
 		sc := goldenFabricScenario(500 * Microsecond)
 		sc.Traffic = TrafficConfig{
 			Ports:    4,
@@ -47,7 +48,7 @@ var goldenWorkloads = []struct {
 	}},
 	// Cache-follower flows average ~230 KB, so this one runs longer to
 	// catch a meaningful flow population.
-	{"flows_cachefollower", 2 * Millisecond, func() Scenario {
+	{"flows_cachefollower", func() Scenario {
 		sc := goldenFabricScenario(2 * Millisecond)
 		sc.Traffic = TrafficConfig{
 			Ports:     4,
@@ -60,6 +61,30 @@ var goldenWorkloads = []struct {
 		}
 		return sc
 	}},
+	// The time-varying dynamics, captured from the committed scenario
+	// pack itself — the same documents the loader tests, the fuzzer seed
+	// corpus and the sweep smoke run — so the declarative path is pinned
+	// end to end.
+	{"hotspot_churn", func() Scenario { return mustPackScenario("hotspot_churn") }},
+	{"incast", func() Scenario { return mustPackScenario("incast") }},
+	{"diurnal", func() Scenario { return mustPackScenario("diurnal") }},
+	{"dimdim", func() Scenario { return mustPackScenario("dimdim") }},
+	{"scalefree", func() Scenario { return mustPackScenario("scalefree") }},
+}
+
+// mustPackScenario loads one committed scenario-pack config and lowers
+// it onto a Scenario. Load failures panic: the loader's own tests cover
+// them with real diagnostics.
+func mustPackScenario(name string) Scenario {
+	sc, err := LoadScenarioFile(filepath.Join("testdata", "scenarios", name+".json"))
+	if err != nil {
+		panic(err)
+	}
+	built, err := ScenarioFromConfig(sc)
+	if err != nil {
+		panic(err)
+	}
+	return built
 }
 
 // goldenFabricScenario is the capture-side configuration; replays swap
@@ -150,9 +175,13 @@ func replayScenarios(t *testing.T) (keys []string, scs []Scenario) {
 			t.Fatalf("golden trace %s is empty", w.name)
 		}
 		for _, alg := range goldenAlgorithms {
-			sc := goldenFabricScenario(w.duration)
+			sc := w.sc()
 			sc.Fabric.Algorithm = alg
+			// Replay replaces the generator: the workload configuration is
+			// unused, so zero it to keep replays pure fabric tests.
+			sc.Traffic = TrafficConfig{}
 			sc.Replay = recs
+			sc.CaptureTo = nil
 			keys = append(keys, w.name+"/"+alg)
 			scs = append(scs, sc)
 		}

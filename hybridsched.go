@@ -88,6 +88,11 @@ const DefaultDrain = runner.DefaultDrain
 // and how long to run it. Build it as a literal or with NewScenario; both
 // run identically.
 type Scenario struct {
+	// Name labels the scenario in sweep rows and experiment tables. It is
+	// optional and does not affect execution; pack-loaded scenarios carry
+	// their config's name (defaulted from the file name).
+	Name string
+
 	Fabric  FabricConfig
 	Traffic TrafficConfig
 	// Duration is how long traffic is offered. The run continues for

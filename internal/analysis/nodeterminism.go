@@ -25,6 +25,7 @@ var DeterministicPackages = []string{
 	"hybridsched/internal/serve",
 	"hybridsched/internal/metrics",
 	"hybridsched/internal/traffic",
+	"hybridsched/internal/scenario",
 	"hybridsched/internal/voq",
 	"hybridsched/internal/eps",
 	"hybridsched/internal/ocs",

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzLoadScenarioConfig pins the loader contract: any byte sequence
+// either loads into a Validate-clean Config or fails with an error
+// wrapping ErrBadScenarioConfig — never a panic — and every accepted
+// config survives an Encode/Load round trip unchanged. The committed
+// scenario pack is the seed corpus, so the fuzzer starts from every
+// shape the repo actually ships.
+func FuzzLoadScenarioConfig(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "scenarios", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no committed scenario pack to seed from")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(minimalConfig))
+	f.Add([]byte(""))
+	f.Add([]byte("{"))
+	f.Add([]byte("[]"))
+	f.Add([]byte(`{"ports": 4}`))
+	f.Add([]byte(`{"ports": 4, "unknown": true}`))
+	f.Add([]byte(minimalConfig + minimalConfig))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadScenarioConfig) {
+				t.Fatalf("Load error %v does not wrap ErrBadScenarioConfig", err)
+			}
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Load accepted a config that fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := c.Encode(&buf); err != nil {
+			t.Fatalf("Encode of accepted config: %v", err)
+		}
+		got, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Load of encoded config: %v\nencoded:\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(got, c) {
+			t.Fatalf("round trip drifted:\n got %+v\nwant %+v", got, c)
+		}
+	})
+}

@@ -1,0 +1,552 @@
+// Package scenario is the declarative scenario-pack subsystem: a
+// JSON-encoded Config describes one complete experiment — fabric
+// geometry, scheduling algorithm, workload shape, and the time-varying
+// dynamics layered on top — so a scenario is data that can be added,
+// audited and swept without a code change.
+//
+// The contract mirrors the trace reader's: Load either returns a
+// Validate-clean Config or an error wrapped in ErrBadScenarioConfig
+// (with distinct wrapped failure modes for syntax, field validation and
+// pack-directory problems), never a panic; and an accepted Config
+// round-trips through Encode to an equivalent Config. Build constructs
+// fresh pattern/profile instances on every call, so concurrently
+// executing scenarios never share mutable pattern state.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hybridsched/internal/fabric"
+	"hybridsched/internal/sched"
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+// ErrBadScenarioConfig reports a malformed or invalid scenario config.
+// The specific failure modes below all wrap it, so
+// errors.Is(err, ErrBadScenarioConfig) catches every load failure.
+var ErrBadScenarioConfig = errors.New("scenario: bad config")
+
+// maxPorts bounds the fabric size a scenario config may request. Seeded
+// patterns build O(ports) tables during validation, so the bound keeps
+// Load/Validate allocation-light regardless of input.
+const maxPorts = 1 << 14
+
+// Distinct failure modes. Each wraps ErrBadScenarioConfig.
+var (
+	// ErrSyntax: the bytes are not one well-formed JSON config document
+	// (malformed JSON, unknown fields, trailing data, wrong types).
+	ErrSyntax = fmt.Errorf("%w: syntax", ErrBadScenarioConfig)
+	// ErrField: the document parsed but a field fails validation — a
+	// bad duration string, an unknown kind, an out-of-range value.
+	ErrField = fmt.Errorf("%w: field", ErrBadScenarioConfig)
+	// ErrPack: a pack-directory problem — no configs found, or a file
+	// that cannot be read.
+	ErrPack = fmt.Errorf("%w: pack", ErrBadScenarioConfig)
+)
+
+// Config is one declarative scenario: the JSON form of a complete
+// fabric + workload experiment. String-typed dimensions carry the same
+// unit syntax the command-line flags use ("10Gbps", "500ns", "2ms").
+type Config struct {
+	// Name labels the scenario in sweep CSV rows and reports. LoadFile
+	// and LoadPack default it to the file's base name when empty.
+	Name string `json:"name,omitempty"`
+
+	// Fabric geometry.
+	Ports     int    `json:"ports"`
+	LineRate  string `json:"lineRate"`
+	LinkDelay string `json:"linkDelay,omitempty"` // default 500ns
+	Slot      string `json:"slot"`
+	Reconfig  string `json:"reconfig"`
+
+	// Scheduling.
+	Algorithm string `json:"algorithm,omitempty"` // default islip
+	Timing    string `json:"timing,omitempty"`    // hardware (default) or software
+	Pipelined *bool  `json:"pipelined,omitempty"` // default: true iff hardware timing
+	Buffer    string `json:"buffer,omitempty"`    // switch (default) or host
+
+	// Run geometry.
+	Seed     uint64  `json:"seed"`
+	Duration string  `json:"duration"`
+	Drain    float64 `json:"drain,omitempty"` // 0 = engine default
+
+	// Workload shape and dynamics.
+	Workload Workload `json:"workload"`
+}
+
+// Workload is the traffic side of a Config.
+type Workload struct {
+	// Load is the peak offered load per port, in (0, 1].
+	Load    float64     `json:"load"`
+	Pattern PatternSpec `json:"pattern"`
+	// Sizes is the per-packet size distribution (poisson and onoff
+	// processes). Defaults to trimodal.
+	Sizes *SizeSpec `json:"sizes,omitempty"`
+	// Process is poisson (default), onoff, or flows.
+	Process string `json:"process,omitempty"`
+	// FlowSizes is the per-flow total-size distribution; required for
+	// the flows process.
+	FlowSizes *SizeSpec `json:"flowSizes,omitempty"`
+	// MTU is the flow segment size (flows process; "" = 1500B).
+	MTU string `json:"mtu,omitempty"`
+	// BurstMeanPkts / BurstPareto shape the onoff process.
+	BurstMeanPkts float64 `json:"burstMeanPkts,omitempty"`
+	BurstPareto   float64 `json:"burstPareto,omitempty"`
+	// LatencySensitiveFrac marks this fraction of flows
+	// latency-sensitive.
+	LatencySensitiveFrac float64 `json:"latencySensitiveFrac,omitempty"`
+	// LoadProfile, when set, modulates the offered load over time.
+	LoadProfile *LoadProfileSpec `json:"loadProfile,omitempty"`
+}
+
+// PatternSpec names a destination pattern and its knobs.
+type PatternSpec struct {
+	// Kind is one of: uniform, permutation, hotspot, zipf,
+	// hotspot-churn, incast, conference, scalefree.
+	Kind string `json:"kind"`
+	// Frac/Spots shape hotspot.
+	Frac  float64 `json:"frac,omitempty"`
+	Spots int     `json:"spots,omitempty"`
+	// S is the zipf / scalefree exponent.
+	S float64 `json:"s,omitempty"`
+	// Period drives the time-varying kinds (hotspot-churn rotation,
+	// incast wave repetition).
+	Period string `json:"period,omitempty"`
+	// Duty is the in-wave fraction of an incast period (default 0.25).
+	Duty float64 `json:"duty,omitempty"`
+	// Size is the conference meeting size (default 4).
+	Size int `json:"size,omitempty"`
+}
+
+// SizeSpec names a size distribution: fixed (with Bytes), trimodal,
+// webconference, or one of the published empirical flow-size
+// distributions (websearch, datamining, hadoop, cachefollower).
+type SizeSpec struct {
+	Kind  string `json:"kind"`
+	Bytes int64  `json:"bytes,omitempty"` // fixed only
+}
+
+// LoadProfileSpec names a load profile. Kinds: diurnal.
+type LoadProfileSpec struct {
+	Kind string `json:"kind"`
+	// Period is the full swing period (diurnal). Required.
+	Period string `json:"period"`
+	// Floor is the minimum load factor, in (0, 1] (diurnal).
+	Floor float64 `json:"floor"`
+}
+
+// Built is a Config lowered onto the execution vocabulary: everything
+// the public Scenario needs, with pattern/profile instances freshly
+// constructed (never shared between Build calls).
+type Built struct {
+	Name     string
+	Fabric   fabric.Config
+	Traffic  traffic.Config
+	Duration units.Duration
+	Drain    float64
+}
+
+// Load decodes exactly one JSON config from r and validates it eagerly.
+// Unknown fields, trailing data and malformed JSON are ErrSyntax; a
+// well-formed document with a bad field is ErrField; both wrap
+// ErrBadScenarioConfig.
+func Load(r io.Reader) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	// Exactly one document: anything but EOF after it is trailing data.
+	if dec.More() {
+		return Config{}, fmt.Errorf("%w: trailing data after config document", ErrSyntax)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Config{}, fmt.Errorf("%w: trailing data after config document", ErrSyntax)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// LoadFile loads one config file, defaulting Name to the file's base
+// name (without extension) when the document leaves it empty.
+func LoadFile(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("%w: %v", ErrPack, err)
+	}
+	defer f.Close()
+	c, err := Load(f)
+	if err != nil {
+		return Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if c.Name == "" {
+		c.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return c, nil
+}
+
+// LoadPack loads every *.json config under dir, sorted by filename —
+// the deterministic order sweeps and tests rely on. An empty pack is
+// ErrPack: a sweep over nothing is a configuration mistake, not a
+// no-op.
+func LoadPack(dir string) ([]Config, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPack, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%w: no *.json scenario configs under %s", ErrPack, dir)
+	}
+	out := make([]Config, 0, len(paths))
+	for _, p := range paths { // Glob returns sorted paths
+		c, err := LoadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Encode writes c as indented canonical JSON — the round-trip partner
+// of Load: Load(Encode(c)) yields a Config equal to c.
+func (c Config) Encode(w io.Writer) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("scenario: encode: %w", err)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// fieldErr wraps a field-validation failure.
+func fieldErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrField, fmt.Sprintf(format, args...))
+}
+
+// parseDuration parses a required positive duration field.
+func parseDuration(field, s string) (units.Duration, error) {
+	if s == "" {
+		return 0, fieldErr("%s is required", field)
+	}
+	d, err := units.ParseDuration(s)
+	if err != nil {
+		return 0, fieldErr("%s: %v", field, err)
+	}
+	if d <= 0 {
+		return 0, fieldErr("%s must be positive, have %v", field, d)
+	}
+	return d, nil
+}
+
+// Validate checks the whole config eagerly without running anything: it
+// builds the scenario (parsing every dimension, constructing patterns,
+// resolving the algorithm) and then revalidates the lowered fabric and
+// traffic configurations. Every failure wraps ErrBadScenarioConfig.
+func (c Config) Validate() error {
+	_, err := c.Build()
+	return err
+}
+
+// Build lowers the config onto fabric/traffic vocabulary, constructing
+// fresh pattern and profile instances. Every failure wraps
+// ErrBadScenarioConfig.
+func (c Config) Build() (Built, error) {
+	var b Built
+	b.Name = c.Name
+
+	if c.Ports < 2 {
+		return b, fieldErr("ports must be >= 2, have %d", c.Ports)
+	}
+	// Seeded patterns allocate O(ports) state at load time; bound it so
+	// eager validation stays cheap and a corrupt config cannot OOM us.
+	if c.Ports > maxPorts {
+		return b, fieldErr("ports must be <= %d, have %d", maxPorts, c.Ports)
+	}
+	if c.LineRate == "" {
+		return b, fieldErr("lineRate is required")
+	}
+	rate, err := units.ParseBitRate(c.LineRate)
+	if err != nil {
+		return b, fieldErr("lineRate: %v", err)
+	}
+	if rate <= 0 {
+		return b, fieldErr("lineRate must be positive, have %v", rate)
+	}
+	linkDelay := 500 * units.Nanosecond
+	if c.LinkDelay != "" {
+		if linkDelay, err = parseDuration("linkDelay", c.LinkDelay); err != nil {
+			return b, err
+		}
+	}
+	slot, err := parseDuration("slot", c.Slot)
+	if err != nil {
+		return b, err
+	}
+	reconfig, err := parseDuration("reconfig", c.Reconfig)
+	if err != nil {
+		return b, err
+	}
+	if b.Duration, err = parseDuration("duration", c.Duration); err != nil {
+		return b, err
+	}
+	if c.Drain < 0 {
+		return b, fieldErr("drain must be non-negative, have %v", c.Drain)
+	}
+	b.Drain = c.Drain
+
+	var timing sched.TimingModel
+	pipelined := false
+	switch c.Timing {
+	case "", "hardware":
+		timing = sched.DefaultHardware()
+		pipelined = true
+	case "software":
+		timing = sched.DefaultSoftware()
+	default:
+		return b, fieldErr("timing %q unknown (have hardware, software)", c.Timing)
+	}
+	if c.Pipelined != nil {
+		pipelined = *c.Pipelined
+	}
+	buffer := fabric.BufferAtSwitch
+	switch c.Buffer {
+	case "", "switch":
+	case "host":
+		buffer = fabric.BufferAtHost
+	default:
+		return b, fieldErr("buffer %q unknown (have switch, host)", c.Buffer)
+	}
+
+	alg := c.Algorithm
+	if alg == "" {
+		alg = "islip"
+	}
+	b.Fabric = fabric.Config{
+		Ports:        c.Ports,
+		LineRate:     rate,
+		LinkDelay:    linkDelay,
+		Slot:         slot,
+		ReconfigTime: reconfig,
+		Algorithm:    alg,
+		Seed:         c.Seed,
+		Timing:       timing,
+		Pipelined:    pipelined,
+		Buffer:       buffer,
+	}
+	// Validate resolves the algorithm name against the registry, so an
+	// unknown algorithm fails at load time, not run time.
+	if err := b.Fabric.Validate(); err != nil {
+		return b, fieldErr("%v", err)
+	}
+
+	if b.Traffic, err = c.Workload.build(c.Ports, rate, c.Seed); err != nil {
+		return b, err
+	}
+	// Built.Traffic leaves Until unset so the runner keeps owning the
+	// default; validate a copy the way the runner will effectively see it.
+	tv := b.Traffic
+	tv.Until = units.Time(b.Duration)
+	if err := tv.Validate(); err != nil {
+		return b, fieldErr("%v", err)
+	}
+	return b, nil
+}
+
+// build lowers the workload side. Seed is the scenario seed: seeded
+// patterns (permutation, hotspot-churn, scalefree) derive from it, so a
+// config is reproducible from its JSON alone.
+func (w Workload) build(ports int, rate units.BitRate, seed uint64) (traffic.Config, error) {
+	tc := traffic.Config{
+		Ports:                ports,
+		LineRate:             rate,
+		Load:                 w.Load,
+		Seed:                 seed,
+		BurstMeanPkts:        w.BurstMeanPkts,
+		BurstPareto:          w.BurstPareto,
+		LatencySensitiveFrac: w.LatencySensitiveFrac,
+	}
+	if !(w.Load > 0 && w.Load <= 1) {
+		return tc, fieldErr("workload.load %v out of (0,1]", w.Load)
+	}
+	if !(w.LatencySensitiveFrac >= 0 && w.LatencySensitiveFrac <= 1) {
+		return tc, fieldErr("workload.latencySensitiveFrac %v out of [0,1]", w.LatencySensitiveFrac)
+	}
+	if w.BurstMeanPkts < 0 {
+		return tc, fieldErr("workload.burstMeanPkts must be non-negative, have %v", w.BurstMeanPkts)
+	}
+
+	var err error
+	if tc.Pattern, err = w.Pattern.build(ports, seed); err != nil {
+		return tc, err
+	}
+
+	switch w.Process {
+	case "", "poisson":
+		tc.Process = traffic.Poisson
+	case "onoff":
+		tc.Process = traffic.OnOff
+	case "flows":
+		tc.Process = traffic.FlowArrivals
+	default:
+		return tc, fieldErr("workload.process %q unknown (have poisson, onoff, flows)", w.Process)
+	}
+
+	if tc.Process == traffic.FlowArrivals {
+		if w.Sizes != nil {
+			return tc, fieldErr("workload.sizes is unused by the flows process; set flowSizes")
+		}
+		if w.FlowSizes == nil {
+			return tc, fieldErr("workload.flowSizes is required for the flows process")
+		}
+		if tc.FlowSizes, err = w.FlowSizes.build("workload.flowSizes"); err != nil {
+			return tc, err
+		}
+		if w.MTU != "" {
+			mtu, err := units.ParseSize(w.MTU)
+			if err != nil {
+				return tc, fieldErr("workload.mtu: %v", err)
+			}
+			tc.MTU = mtu
+		}
+	} else {
+		if w.FlowSizes != nil {
+			return tc, fieldErr("workload.flowSizes is only used by the flows process")
+		}
+		if w.MTU != "" {
+			return tc, fieldErr("workload.mtu is only used by the flows process")
+		}
+		sizes := w.Sizes
+		if sizes == nil {
+			sizes = &SizeSpec{Kind: "trimodal"}
+		}
+		if tc.Sizes, err = sizes.build("workload.sizes"); err != nil {
+			return tc, err
+		}
+	}
+
+	if w.LoadProfile != nil {
+		if tc.Profile, err = w.LoadProfile.build(); err != nil {
+			return tc, err
+		}
+	}
+	return tc, nil
+}
+
+// build constructs the pattern instance. Time-varying patterns come back
+// freshly allocated, so no two Build calls share mutable state.
+func (p PatternSpec) build(ports int, seed uint64) (traffic.Pattern, error) {
+	period := func() (units.Duration, error) {
+		return parseDuration("workload.pattern.period", p.Period)
+	}
+	switch p.Kind {
+	case "uniform":
+		return traffic.Uniform{}, nil
+	case "permutation":
+		return traffic.NewPermutation(ports, seed), nil
+	case "hotspot":
+		if !(p.Frac > 0 && p.Frac <= 1) {
+			return nil, fieldErr("workload.pattern.frac %v out of (0,1] for hotspot", p.Frac)
+		}
+		if p.Spots < 1 || p.Spots > ports {
+			return nil, fieldErr("workload.pattern.spots %d out of [1,%d] for hotspot", p.Spots, ports)
+		}
+		return traffic.Hotspot{Frac: p.Frac, Spots: p.Spots}, nil
+	case "zipf":
+		if p.S <= 0 {
+			return nil, fieldErr("workload.pattern.s must be positive for zipf, have %v", p.S)
+		}
+		return traffic.NewZipf(ports, p.S), nil
+	case "hotspot-churn":
+		d, err := period()
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewRotatingPermutation(ports, d, seed), nil
+	case "incast":
+		d, err := period()
+		if err != nil {
+			return nil, err
+		}
+		duty := p.Duty
+		if duty == 0 {
+			duty = 0.25
+		}
+		if !(duty > 0 && duty <= 1) {
+			return nil, fieldErr("workload.pattern.duty %v out of (0,1] for incast", p.Duty)
+		}
+		return traffic.IncastWave{Period: d, Duty: duty}, nil
+	case "conference":
+		size := p.Size
+		if size == 0 {
+			size = 4
+		}
+		if size < 2 {
+			return nil, fieldErr("workload.pattern.size %d below the 2-port conference minimum", p.Size)
+		}
+		return traffic.Conference{Size: size}, nil
+	case "scalefree":
+		if p.S <= 0 {
+			return nil, fieldErr("workload.pattern.s must be positive for scalefree, have %v", p.S)
+		}
+		return traffic.NewScaleFree(ports, p.S, seed), nil
+	case "":
+		return nil, fieldErr("workload.pattern.kind is required")
+	}
+	return nil, fieldErr("workload.pattern.kind %q unknown (have uniform, permutation, hotspot, zipf, hotspot-churn, incast, conference, scalefree)", p.Kind)
+}
+
+// build constructs the size distribution named by the spec.
+func (s SizeSpec) build(field string) (traffic.SizeDist, error) {
+	if s.Kind != "fixed" && s.Bytes != 0 {
+		return nil, fieldErr("%s.bytes is only used by the fixed kind", field)
+	}
+	switch s.Kind {
+	case "fixed":
+		if s.Bytes <= 0 {
+			return nil, fieldErr("%s.bytes must be positive for fixed, have %d", field, s.Bytes)
+		}
+		return traffic.Fixed{Size: units.Size(s.Bytes) * units.Byte}, nil
+	case "trimodal":
+		return traffic.TrimodalInternet{}, nil
+	case "webconference":
+		return traffic.WebConference(), nil
+	case "":
+		return nil, fieldErr("%s.kind is required", field)
+	}
+	if d, ok := traffic.EmpiricalByName(s.Kind); ok {
+		return d, nil
+	}
+	return nil, fieldErr("%s.kind %q unknown (have fixed, trimodal, webconference, websearch, datamining, hadoop, cachefollower)", field, s.Kind)
+}
+
+// build constructs the load profile named by the spec.
+func (lp LoadProfileSpec) build() (traffic.LoadProfile, error) {
+	switch lp.Kind {
+	case "diurnal":
+		d, err := parseDuration("workload.loadProfile.period", lp.Period)
+		if err != nil {
+			return nil, err
+		}
+		if !(lp.Floor > 0 && lp.Floor <= 1) {
+			return nil, fieldErr("workload.loadProfile.floor %v out of (0,1] for diurnal", lp.Floor)
+		}
+		return traffic.Diurnal{Period: d, Floor: lp.Floor}, nil
+	case "":
+		return nil, fieldErr("workload.loadProfile.kind is required")
+	}
+	return nil, fieldErr("workload.loadProfile.kind %q unknown (have diurnal)", lp.Kind)
+}

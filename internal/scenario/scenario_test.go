@@ -1,0 +1,279 @@
+package scenario
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hybridsched/internal/traffic"
+	"hybridsched/internal/units"
+)
+
+const packDir = "../../testdata/scenarios"
+
+// minimalConfig is the smallest well-formed document; tests mutate one
+// dimension at a time.
+const minimalConfig = `{
+  "ports": 4,
+  "lineRate": "10Gbps",
+  "slot": "10us",
+  "reconfig": "1us",
+  "seed": 7,
+  "duration": "100us",
+  "workload": {
+    "load": 0.5,
+    "pattern": { "kind": "uniform" }
+  }
+}`
+
+func TestLoadMinimalDefaults(t *testing.T) {
+	c, err := Load(strings.NewReader(minimalConfig))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	b, err := c.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if b.Fabric.LinkDelay != 500*units.Nanosecond {
+		t.Errorf("LinkDelay = %v, want 500ns default", b.Fabric.LinkDelay)
+	}
+	if b.Fabric.Algorithm != "islip" {
+		t.Errorf("Algorithm = %q, want islip default", b.Fabric.Algorithm)
+	}
+	if !b.Fabric.Pipelined {
+		t.Error("Pipelined = false, want true default under hardware timing")
+	}
+	if b.Traffic.Process != traffic.Poisson {
+		t.Errorf("Process = %v, want Poisson default", b.Traffic.Process)
+	}
+	if _, ok := b.Traffic.Sizes.(traffic.TrimodalInternet); !ok {
+		t.Errorf("Sizes = %T, want TrimodalInternet default", b.Traffic.Sizes)
+	}
+	// The runner owns the Until default; Build must leave it unset.
+	if b.Traffic.Until != 0 {
+		t.Errorf("Traffic.Until = %v, want 0 (runner defaults it)", b.Traffic.Until)
+	}
+	if b.Duration != 100*units.Microsecond {
+		t.Errorf("Duration = %v, want 100us", b.Duration)
+	}
+}
+
+func TestLoadPackTestdata(t *testing.T) {
+	pack, err := LoadPack(packDir)
+	if err != nil {
+		t.Fatalf("LoadPack(%s): %v", packDir, err)
+	}
+	want := []string{"dimdim", "diurnal", "hotspot_churn", "incast", "scalefree"}
+	if len(pack) != len(want) {
+		t.Fatalf("LoadPack returned %d configs, want %d", len(pack), len(want))
+	}
+	for i, c := range pack {
+		if c.Name != want[i] {
+			t.Errorf("pack[%d].Name = %q, want %q (sorted by filename)", i, c.Name, want[i])
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("pack[%d] (%s) Validate: %v", i, c.Name, err)
+		}
+	}
+}
+
+func TestLoadFileDefaultsName(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "unnamed.json")
+	if err := os.WriteFile(path, []byte(minimalConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if c.Name != "unnamed" {
+		t.Errorf("Name = %q, want %q (file base name)", c.Name, "unnamed")
+	}
+}
+
+// mutate returns minimalConfig with one literal replaced.
+func mutate(t *testing.T, old, new string) string {
+	t.Helper()
+	if !strings.Contains(minimalConfig, old) {
+		t.Fatalf("minimalConfig does not contain %q", old)
+	}
+	return strings.Replace(minimalConfig, old, new, 1)
+}
+
+func TestLoadErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+		want  error
+	}{
+		{"malformed json", `{"ports": `, ErrSyntax},
+		{"not an object", `[1, 2]`, ErrSyntax},
+		{"unknown field", `{"prots": 4}`, ErrSyntax},
+		{"wrong type", `{"ports": "four"}`, ErrSyntax},
+		{"trailing data", minimalConfig + `{"ports": 4}`, ErrSyntax},
+		{"too few ports", `{"ports": 1}`, ErrField},
+		{"missing lineRate", `{"ports": 4}`, ErrField},
+		{"bad duration", "", ErrField},      // filled below
+		{"negative duration", "", ErrField}, // filled below
+		{"unknown algorithm", "", ErrField}, // filled below
+		{"unknown timing", "", ErrField},    // filled below
+		{"unknown buffer", "", ErrField},    // filled below
+		{"load out of range", "", ErrField}, // filled below
+		{"unknown pattern", "", ErrField},   // filled below
+		{"missing pattern kind", "", ErrField},
+	}
+	fill := map[string]string{
+		"bad duration":         mutate(t, `"slot": "10us"`, `"slot": "10 parsecs"`),
+		"negative duration":    mutate(t, `"duration": "100us"`, `"duration": "-1us"`),
+		"unknown algorithm":    mutate(t, `"seed": 7`, `"seed": 7, "algorithm": "oracle"`),
+		"unknown timing":       mutate(t, `"seed": 7`, `"seed": 7, "timing": "quantum"`),
+		"unknown buffer":       mutate(t, `"seed": 7`, `"seed": 7, "buffer": "cloud"`),
+		"load out of range":    mutate(t, `"load": 0.5`, `"load": 1.5`),
+		"unknown pattern":      mutate(t, `"kind": "uniform"`, `"kind": "tornado"`),
+		"missing pattern kind": mutate(t, `"kind": "uniform"`, `"kind": ""`),
+	}
+	for i := range tests {
+		if s, ok := fill[tests[i].name]; ok {
+			tests[i].input = s
+		}
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tt.input))
+			if err == nil {
+				t.Fatal("Load succeeded, want error")
+			}
+			if !errors.Is(err, ErrBadScenarioConfig) {
+				t.Errorf("error %v does not wrap ErrBadScenarioConfig", err)
+			}
+			if !errors.Is(err, tt.want) {
+				t.Errorf("error %v does not wrap %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestFieldValidation(t *testing.T) {
+	// Deeper field checks that need structured edits rather than string
+	// replacement of the minimal document.
+	tests := []struct {
+		name string
+		edit func(c *Config)
+	}{
+		{"ports above cap", func(c *Config) { c.Ports = maxPorts + 1 }},
+		{"negative drain", func(c *Config) { c.Drain = -0.5 }},
+		{"hotspot without frac", func(c *Config) { c.Workload.Pattern = PatternSpec{Kind: "hotspot", Spots: 1} }},
+		{"hotspot spots above ports", func(c *Config) { c.Workload.Pattern = PatternSpec{Kind: "hotspot", Frac: 0.9, Spots: 99} }},
+		{"zipf without s", func(c *Config) { c.Workload.Pattern = PatternSpec{Kind: "zipf"} }},
+		{"churn without period", func(c *Config) { c.Workload.Pattern = PatternSpec{Kind: "hotspot-churn"} }},
+		{"incast without period", func(c *Config) { c.Workload.Pattern = PatternSpec{Kind: "incast"} }},
+		{"incast duty above 1", func(c *Config) { c.Workload.Pattern = PatternSpec{Kind: "incast", Period: "100us", Duty: 1.5} }},
+		{"conference size 1", func(c *Config) { c.Workload.Pattern = PatternSpec{Kind: "conference", Size: 1} }},
+		{"scalefree without s", func(c *Config) { c.Workload.Pattern = PatternSpec{Kind: "scalefree"} }},
+		{"unknown size kind", func(c *Config) { c.Workload.Sizes = &SizeSpec{Kind: "bimodal"} }},
+		{"fixed size without bytes", func(c *Config) { c.Workload.Sizes = &SizeSpec{Kind: "fixed"} }},
+		{"bytes on trimodal", func(c *Config) { c.Workload.Sizes = &SizeSpec{Kind: "trimodal", Bytes: 64} }},
+		{"unknown process", func(c *Config) { c.Workload.Process = "burst" }},
+		{"flows without flowSizes", func(c *Config) { c.Workload.Process = "flows" }},
+		{"flowSizes on poisson", func(c *Config) { c.Workload.FlowSizes = &SizeSpec{Kind: "websearch"} }},
+		{"mtu on poisson", func(c *Config) { c.Workload.MTU = "1500B" }},
+		{"bad mtu", func(c *Config) {
+			c.Workload.Process = "flows"
+			c.Workload.Sizes = nil
+			c.Workload.FlowSizes = &SizeSpec{Kind: "websearch"}
+			c.Workload.MTU = "sixteen"
+		}},
+		{"latency frac above 1", func(c *Config) { c.Workload.LatencySensitiveFrac = 1.5 }},
+		{"negative burst mean", func(c *Config) { c.Workload.BurstMeanPkts = -1 }},
+		{"profile without kind", func(c *Config) { c.Workload.LoadProfile = &LoadProfileSpec{Period: "1ms", Floor: 0.5} }},
+		{"unknown profile kind", func(c *Config) { c.Workload.LoadProfile = &LoadProfileSpec{Kind: "tidal", Period: "1ms", Floor: 0.5} }},
+		{"diurnal without period", func(c *Config) { c.Workload.LoadProfile = &LoadProfileSpec{Kind: "diurnal", Floor: 0.5} }},
+		{"diurnal floor 0", func(c *Config) { c.Workload.LoadProfile = &LoadProfileSpec{Kind: "diurnal", Period: "1ms"} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, err := Load(strings.NewReader(minimalConfig))
+			if err != nil {
+				t.Fatalf("Load minimal: %v", err)
+			}
+			tt.edit(&c)
+			err = c.Validate()
+			if err == nil {
+				t.Fatal("Validate succeeded, want error")
+			}
+			if !errors.Is(err, ErrField) {
+				t.Errorf("error %v does not wrap ErrField", err)
+			}
+		})
+	}
+}
+
+func TestLoadPackErrors(t *testing.T) {
+	if _, err := LoadPack(filepath.Join(t.TempDir(), "nope")); !errors.Is(err, ErrPack) {
+		t.Errorf("missing dir: err = %v, want ErrPack", err)
+	}
+	if _, err := LoadPack(t.TempDir()); !errors.Is(err, ErrPack) {
+		t.Errorf("empty dir: err = %v, want ErrPack", err)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"ports":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadPack(dir)
+	if !errors.Is(err, ErrBadScenarioConfig) {
+		t.Errorf("bad file: err = %v, want ErrBadScenarioConfig", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), bad) {
+		t.Errorf("bad file: err = %v, want the failing path %s named", err, bad)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "absent.json")); !errors.Is(err, ErrPack) {
+		t.Errorf("missing file: err = %v, want ErrPack", err)
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	pack, err := LoadPack(packDir)
+	if err != nil {
+		t.Fatalf("LoadPack: %v", err)
+	}
+	for _, c := range pack {
+		var buf strings.Builder
+		if err := c.Encode(&buf); err != nil {
+			t.Fatalf("%s: Encode: %v", c.Name, err)
+		}
+		got, err := Load(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("%s: reload: %v", c.Name, err)
+		}
+		if !reflect.DeepEqual(got, c) {
+			t.Errorf("%s: round trip drifted:\n got %+v\nwant %+v", c.Name, got, c)
+		}
+	}
+}
+
+func TestBuildConstructsFreshPatternInstances(t *testing.T) {
+	c, err := LoadFile(filepath.Join(packDir, "hotspot_churn.json"))
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	b1, err := c.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	b2, err := c.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// RotatingPermutation caches per-epoch state, so sharing one instance
+	// between concurrently running scenarios would race: every Build must
+	// hand back its own.
+	if b1.Traffic.Pattern == b2.Traffic.Pattern {
+		t.Error("two Build calls share one pattern instance")
+	}
+}

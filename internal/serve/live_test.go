@@ -158,6 +158,84 @@ func TestWorkloadSourceDeterminism(t *testing.T) {
 	}
 }
 
+// timeVaryingTraffic is a pack-style dynamic workload: a permutation
+// matrix that rotates every 20 µs under a diurnal load swing — the kind
+// of config a declarative scenario pack lowers onto ServiceConfig.Workload.
+func timeVaryingTraffic(ports int, seed uint64) traffic.Config {
+	return traffic.Config{
+		Ports:    ports,
+		LineRate: 10 * units.Gbps,
+		Load:     0.5,
+		Pattern:  traffic.NewRotatingPermutation(ports, 20*units.Microsecond, seed),
+		Sizes:    traffic.TrimodalInternet{},
+		Profile:  traffic.Diurnal{Period: 200 * units.Microsecond, Floor: 0.2},
+		Seed:     seed,
+	}
+}
+
+// TestWorkloadSourceTimeVarying drives the live source from a
+// time-varying workload: the offer stream must stay deterministic, and
+// the hotspot churn must be visible through it — the src->dst pairs
+// offered early (first rotation epoch) differ from the pairs offered
+// after the matrix has rotated.
+func TestWorkloadSourceTimeVarying(t *testing.T) {
+	type offer struct {
+		src, dst int
+		bits     int64
+	}
+	const span = 2 * units.Microsecond
+	run := func() (all []offer, early, late map[[2]int]bool) {
+		// A fresh config per run: time-varying patterns carry cached
+		// state and must not be shared between sources.
+		src, err := NewWorkloadSource(timeVaryingTraffic(16, 11), span)
+		if err != nil {
+			t.Fatal(err)
+		}
+		early, late = map[[2]int]bool{}, map[[2]int]bool{}
+		for e := 0; e < 200; e++ {
+			window := early
+			if e >= 100 {
+				window = late
+			}
+			src.Advance(func(s, d int, b int64) {
+				all = append(all, offer{s, d, b})
+				if e < 10 || e >= 100 && e < 110 {
+					window[[2]int{s, d}] = true
+				}
+			})
+		}
+		return all, early, late
+	}
+	a, earlyA, lateA := run()
+	b, _, _ := run()
+	if len(a) == 0 {
+		t.Fatal("time-varying source produced no offers")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("offer counts differ between identical runs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offer %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(earlyA) == 0 || len(lateA) == 0 {
+		t.Fatalf("observation windows empty: early %d, late %d", len(earlyA), len(lateA))
+	}
+	same := len(earlyA) == len(lateA)
+	if same {
+		for p := range earlyA {
+			if !lateA[p] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("src->dst pairs identical before and after the churn period — the rotation is not reaching the live source")
+	}
+}
+
 func TestWorkloadSourceValidation(t *testing.T) {
 	if _, err := NewWorkloadSource(liveTraffic(16, 0.5, 1), 0); err == nil {
 		t.Fatal("zero span accepted")

@@ -1,0 +1,270 @@
+package traffic
+
+// Time-varying workload dynamics: the scenario-diversity layer over the
+// static patterns and processes. Two extension points make a workload
+// dynamic without touching the generator's arrival machinery:
+//
+//   - DynamicPattern: a Pattern whose destination choice depends on the
+//     simulated time (hotspot churn, incast waves).
+//   - LoadProfile: a multiplicative modulation of the offered load over
+//     simulated time (diurnal swings).
+//
+// Plus two stationary patterns grounded in the related-work stressors:
+// Conference (DimDim-style web-conferencing groups: many small,
+// latency-sensitive bidirectional flows) and ScaleFree (globally skewed
+// destination popularity: load concentrating on a few hot ports).
+//
+// Everything here follows the package's determinism contract: the same
+// configuration and seed produce the same packet sequence. Dynamic
+// patterns that carry per-run caching state (RotatingPermutation) must
+// not be shared between concurrently executing scenarios — build a fresh
+// instance per scenario, which is what the scenario-pack loader does.
+
+import (
+	"fmt"
+	"math"
+
+	"hybridsched/internal/rng"
+	"hybridsched/internal/units"
+)
+
+// DynamicPattern is the optional time-varying extension of Pattern: when
+// a Config's Pattern implements it, the generator calls DstAt with the
+// simulated arrival time instead of Dst. Implementations must stay
+// deterministic in (seed, time).
+type DynamicPattern interface {
+	Pattern
+	// DstAt returns a destination port != src in [0, n) for an arrival
+	// at simulated time now.
+	DstAt(r *rng.Rand, src, n int, now units.Time) int
+}
+
+// LoadProfile modulates the offered load over simulated time: the
+// instantaneous load is Config.Load * Factor(t). Factor must return a
+// value in (0, 1] — a profile attenuates from the configured peak load,
+// it never raises it above Load (which Validate has already bounded).
+type LoadProfile interface {
+	Factor(t units.Time) float64
+	// Name identifies the profile in reports.
+	Name() string
+}
+
+// minLoadFactor floors the profile modulation so a mis-shaped profile
+// can never stall the arrival process entirely.
+const minLoadFactor = 1e-3
+
+// epochSeed derives the deterministic sub-seed for rotation epoch i of a
+// pattern seeded with seed — a SplitMix64 step over the mixed state, so
+// consecutive epochs are decorrelated.
+func epochSeed(seed uint64, epoch int64) uint64 {
+	state := seed ^ (uint64(epoch) * 0x9e3779b97f4a7c15)
+	return rng.SplitMix64(&state)
+}
+
+// RotatingPermutation is hotspot churn: permutation demand whose
+// derangement is redrawn every Period of simulated time, so the set of
+// hot (input, output) pairs rotates mid-run. Each epoch's derangement is
+// derived deterministically from (seed, epoch), so runs are reproducible
+// and an instant can be evaluated out of order.
+//
+// The pattern caches the current epoch's derangement; a single instance
+// must not be shared between concurrently executing scenarios.
+type RotatingPermutation struct {
+	period units.Duration
+	seed   uint64
+	n      int
+
+	epoch int64 // epoch the cached derangement belongs to
+	perm  []int
+}
+
+// NewRotatingPermutation builds the churn pattern for n ports rotating
+// every period. It panics on a non-positive period or n < 2, since
+// patterns are static program data; the scenario loader validates first.
+func NewRotatingPermutation(n int, period units.Duration, seed uint64) *RotatingPermutation {
+	if n < 2 {
+		panic("traffic: RotatingPermutation needs n >= 2")
+	}
+	if period <= 0 {
+		panic("traffic: RotatingPermutation needs a positive period")
+	}
+	p := &RotatingPermutation{period: period, seed: seed, n: n, epoch: -1}
+	p.rotate(0)
+	return p
+}
+
+// rotate replaces the cached derangement with the one for epoch.
+func (p *RotatingPermutation) rotate(epoch int64) {
+	p.perm = rng.New(epochSeed(p.seed, epoch)).Derangement(p.n)
+	p.epoch = epoch
+}
+
+// DstAt implements DynamicPattern.
+func (p *RotatingPermutation) DstAt(_ *rng.Rand, src, n int, now units.Time) int {
+	if epoch := int64(now) / int64(p.period); epoch != p.epoch {
+		p.rotate(epoch)
+	}
+	return p.perm[src]
+}
+
+// Dst implements Pattern (the epoch-0 derangement, for callers without a
+// clock).
+func (p *RotatingPermutation) Dst(r *rng.Rand, src, n int) int {
+	return p.DstAt(r, src, n, 0)
+}
+
+// Name implements Pattern.
+func (p *RotatingPermutation) Name() string {
+	return fmt.Sprintf("hotspot-churn-%v", p.period)
+}
+
+// IncastWave drives periodic many-to-one convergence: during the first
+// Duty fraction of every Period, all sources target a single victim port
+// (rotating per wave so no port is the permanent victim); outside the
+// wave, traffic is uniform. This is the synchronized-fan-in burst that
+// fills one output's VOQ column — the worst case for per-output fairness
+// and the EPS drain path. IncastWave is immutable and safe to share.
+type IncastWave struct {
+	// Period is the wave repetition period. Required.
+	Period units.Duration
+	// Duty is the in-wave fraction of each period, in (0, 1].
+	Duty float64
+}
+
+// victim returns wave w's target port for an n-port fabric.
+func (iw IncastWave) victim(wave int64, n int) int {
+	return int(wave % int64(n))
+}
+
+// DstAt implements DynamicPattern.
+func (iw IncastWave) DstAt(r *rng.Rand, src, n int, now units.Time) int {
+	wave := int64(now) / int64(iw.Period)
+	phase := int64(now) % int64(iw.Period)
+	if float64(phase) < iw.Duty*float64(iw.Period) {
+		v := iw.victim(wave, n)
+		if v != src {
+			return v
+		}
+		// The victim itself falls back to uniform background traffic.
+	}
+	return Uniform{}.Dst(r, src, n)
+}
+
+// Dst implements Pattern.
+func (iw IncastWave) Dst(r *rng.Rand, src, n int) int { return iw.DstAt(r, src, n, 0) }
+
+// Name implements Pattern.
+func (iw IncastWave) Name() string {
+	return fmt.Sprintf("incast-%v-%.0f%%", iw.Period, iw.Duty*100)
+}
+
+// Conference is the DimDim-style web-conferencing pattern: ports are
+// grouped into fixed meetings of Size consecutive ports, and every flow
+// targets a uniformly chosen other member of the sender's own meeting —
+// so all traffic is small-group bidirectional, the many-small-flows
+// regime that stresses the EPS side. Pair it with WebConference sizes
+// and a high LatencySensitiveFrac. Conference is immutable and safe to
+// share.
+type Conference struct {
+	// Size is the meeting size in ports (>= 2). The trailing meeting is
+	// whatever remains; a trailing singleton falls back to uniform.
+	Size int
+}
+
+// Dst implements Pattern.
+func (c Conference) Dst(r *rng.Rand, src, n int) int {
+	base := (src / c.Size) * c.Size
+	m := c.Size
+	if base+m > n {
+		m = n - base
+	}
+	if m < 2 {
+		return Uniform{}.Dst(r, src, n)
+	}
+	d := base + r.Intn(m-1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Name implements Pattern.
+func (c Conference) Name() string { return fmt.Sprintf("conference-%d", c.Size) }
+
+// ScaleFree draws destinations by a power law over a globally fixed
+// popularity ranking: unlike Zipf, whose per-source rank rotation
+// spreads the skew, every source agrees on which ports are hot, so
+// demand concentrates on a few hub columns — the communication
+// bottleneck of scale-free topologies. ScaleFree is immutable after
+// construction and safe to share.
+type ScaleFree struct {
+	s       float64
+	sampler *rng.ZipfSampler
+	rank    []int // rank -> port, a seeded shuffle so hubs are not always port 0
+}
+
+// NewScaleFree builds the pattern for n ports with power-law exponent s
+// (> 0; larger is more skewed). The rank-to-port assignment is drawn
+// from seed. It panics on n < 2 or s <= 0; the scenario loader validates
+// first.
+func NewScaleFree(n int, s float64, seed uint64) *ScaleFree {
+	if n < 2 {
+		panic("traffic: ScaleFree needs n >= 2")
+	}
+	if s <= 0 {
+		panic("traffic: ScaleFree needs exponent s > 0")
+	}
+	return &ScaleFree{
+		s:       s,
+		sampler: rng.NewZipfSampler(n, s),
+		rank:    rng.New(seed).Perm(n),
+	}
+}
+
+// Dst implements Pattern.
+func (z *ScaleFree) Dst(r *rng.Rand, src, n int) int {
+	k := z.sampler.Sample(r)
+	d := z.rank[k]
+	if d == src {
+		d = z.rank[(k+1)%len(z.rank)]
+	}
+	return d
+}
+
+// Name implements Pattern.
+func (z *ScaleFree) Name() string { return fmt.Sprintf("scalefree-%.1f", z.s) }
+
+// Diurnal is the load-swing profile: a raised cosine starting at the
+// configured peak load (factor 1.0 at t=0), dipping to Floor half a
+// Period later, and back — the day/night cycle compressed to simulation
+// scale. Diurnal is immutable and safe to share.
+type Diurnal struct {
+	// Period is the full swing period. Required.
+	Period units.Duration
+	// Floor is the minimum load factor, in (0, 1].
+	Floor float64
+}
+
+// Factor implements LoadProfile.
+func (d Diurnal) Factor(t units.Time) float64 {
+	phase := 2 * math.Pi * float64(int64(t)%int64(d.Period)) / float64(d.Period)
+	return d.Floor + (1-d.Floor)*(0.5+0.5*math.Cos(phase))
+}
+
+// Name implements LoadProfile.
+func (d Diurnal) Name() string { return fmt.Sprintf("diurnal-%v-%.0f%%", d.Period, d.Floor*100) }
+
+// WebConference returns the packet-size mix of interactive
+// web-conferencing traffic (DimDim-style): dominated by small audio and
+// control packets, a band of video frames, and a thin tail of larger
+// screen-share segments. Use with Conference and a high
+// LatencySensitiveFrac.
+func WebConference() *Empirical {
+	return NewEmpirical("webconference", []CDFPoint{
+		{Value: 64, Cum: 0},
+		{Value: 160, Cum: 0.45},
+		{Value: 320, Cum: 0.75},
+		{Value: 800, Cum: 0.92},
+		{Value: 1200, Cum: 1.0},
+	})
+}

@@ -1,0 +1,328 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"hybridsched/internal/packet"
+	"hybridsched/internal/rng"
+	"hybridsched/internal/sim"
+	"hybridsched/internal/units"
+)
+
+// collect runs a generator to completion and returns the emitted packets.
+func collect(t *testing.T, cfg Config) []*packet.Packet {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	var out []*packet.Packet
+	g.Start(s, func(p *packet.Packet) { out = append(out, p) })
+	s.RunUntil(cfg.Until)
+	if len(out) == 0 {
+		t.Fatal("generator emitted nothing")
+	}
+	return out
+}
+
+func dynBase(pattern Pattern) Config {
+	return Config{
+		Ports:    8,
+		LineRate: 10 * units.Gbps,
+		Load:     0.5,
+		Pattern:  pattern,
+		Sizes:    Fixed{Size: 1500 * units.Byte},
+		Until:    units.Time(2 * units.Millisecond),
+		Seed:     11,
+	}
+}
+
+// TestRotatingPermutationChurns pins the hotspot-churn contract: inside
+// one rotation epoch every source has exactly one destination; across
+// epochs the mapping changes; and every epoch's mapping is a derangement.
+func TestRotatingPermutationChurns(t *testing.T) {
+	period := 500 * units.Microsecond
+	cfg := dynBase(NewRotatingPermutation(8, period, 11))
+	pkts := collect(t, cfg)
+
+	perEpoch := map[int64]map[int]int{}
+	for _, p := range pkts {
+		epoch := int64(p.CreatedAt) / int64(period)
+		m := perEpoch[epoch]
+		if m == nil {
+			m = map[int]int{}
+			perEpoch[epoch] = m
+		}
+		src, dst := int(p.Src), int(p.Dst)
+		if src == dst {
+			t.Fatalf("self-traffic %d->%d", src, dst)
+		}
+		if prev, ok := m[src]; ok && prev != dst {
+			t.Fatalf("epoch %d: source %d sent to both %d and %d", epoch, src, prev, dst)
+		}
+		m[src] = dst
+	}
+	if len(perEpoch) < 3 {
+		t.Fatalf("run spanned only %d rotation epochs; want >= 3", len(perEpoch))
+	}
+	// At least one adjacent epoch pair must differ in some source's
+	// destination (4 epochs of 8-port derangements colliding is ~0).
+	changed := false
+	for e := int64(0); e+1 < int64(len(perEpoch)); e++ {
+		a, b := perEpoch[e], perEpoch[e+1]
+		for src, dst := range a {
+			if d2, ok := b[src]; ok && d2 != dst {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("permutation never rotated across epochs")
+	}
+}
+
+// TestIncastWaveConverges: during wave windows all foreign traffic hits
+// the wave's victim; outside, destinations spread out.
+func TestIncastWaveConverges(t *testing.T) {
+	period := 400 * units.Microsecond
+	duty := 0.5
+	cfg := dynBase(IncastWave{Period: period, Duty: duty})
+	pkts := collect(t, cfg)
+
+	inWave, offWave := map[int]int{}, map[int]int{}
+	for _, p := range pkts {
+		wave := int64(p.CreatedAt) / int64(period)
+		phase := int64(p.CreatedAt) % int64(period)
+		victim := int(wave % int64(cfg.Ports))
+		if float64(phase) < duty*float64(period) {
+			if int(p.Src) != victim && int(p.Dst) != victim {
+				t.Fatalf("in-wave packet %d->%d at %v missed victim %d",
+					p.Src, p.Dst, p.CreatedAt, victim)
+			}
+			inWave[int(p.Dst)]++
+		} else {
+			offWave[int(p.Dst)]++
+		}
+	}
+	if len(inWave) == 0 || len(offWave) == 0 {
+		t.Fatalf("wave phases not both exercised: in=%d off=%d", len(inWave), len(offWave))
+	}
+	if len(offWave) < cfg.Ports/2 {
+		t.Fatalf("off-wave traffic hit only %d destinations; want spread", len(offWave))
+	}
+}
+
+// TestConferenceStaysInMeeting: every flow targets another member of the
+// sender's own meeting.
+func TestConferenceStaysInMeeting(t *testing.T) {
+	const size = 4
+	cfg := dynBase(Conference{Size: size})
+	for _, p := range collect(t, cfg) {
+		if p.Src == p.Dst {
+			t.Fatalf("self-traffic on port %d", p.Src)
+		}
+		if int(p.Src)/size != int(p.Dst)/size {
+			t.Fatalf("packet %d->%d crossed meeting boundary (size %d)", p.Src, p.Dst, size)
+		}
+	}
+}
+
+// TestConferenceTrailingSingletonFallsBack: a port whose trailing meeting
+// has one member must still find a destination.
+func TestConferenceTrailingSingletonFallsBack(t *testing.T) {
+	cfg := dynBase(Conference{Size: 7}) // meetings {0..6}, {7}
+	cfg.Ports = 8
+	saw7 := false
+	for _, p := range collect(t, cfg) {
+		if p.Src == p.Dst {
+			t.Fatalf("self-traffic on port %d", p.Src)
+		}
+		if p.Src == 7 {
+			saw7 = true
+		}
+	}
+	if !saw7 {
+		t.Fatal("singleton meeting's port emitted nothing")
+	}
+}
+
+// TestScaleFreeConcentrates: a strong power law must concentrate most
+// traffic on a few globally hot ports, far beyond the uniform share.
+func TestScaleFreeConcentrates(t *testing.T) {
+	cfg := dynBase(NewScaleFree(8, 1.6, 11))
+	counts := make([]int, cfg.Ports)
+	total := 0
+	for _, p := range collect(t, cfg) {
+		counts[p.Dst]++
+		total++
+	}
+	best, second := 0, 0
+	for _, c := range counts {
+		if c > best {
+			best, second = c, best
+		} else if c > second {
+			second = c
+		}
+	}
+	if frac := float64(best+second) / float64(total); frac < 0.5 {
+		t.Fatalf("top-2 ports carry only %.0f%% of traffic; want >= 50%% under s=1.6", frac*100)
+	}
+}
+
+// TestScaleFreeIsGlobal: every source agrees on the hottest port (modulo
+// the self-traffic deflection), unlike the per-source-rotated Zipf.
+func TestScaleFreeIsGlobal(t *testing.T) {
+	p := NewScaleFree(8, 1.6, 11)
+	r := rng.New(3)
+	perSrc := map[int]map[int]int{}
+	for i := 0; i < 4000; i++ {
+		src := i % 8
+		d := p.Dst(r, src, 8)
+		if d == src {
+			t.Fatalf("self-traffic from %d", src)
+		}
+		if perSrc[src] == nil {
+			perSrc[src] = map[int]int{}
+		}
+		perSrc[src][d]++
+	}
+	hot := map[int]int{}
+	for src, m := range perSrc {
+		best, bestC := -1, 0
+		for d, c := range m {
+			if c > bestC {
+				best, bestC = d, c
+			}
+		}
+		if best != src { // the hub itself deflects to rank+1
+			hot[best]++
+		}
+	}
+	if len(hot) > 2 {
+		t.Fatalf("sources disagree on the hot port: %v", hot)
+	}
+}
+
+// TestDiurnalModulatesLoad: a diurnal profile must emit measurably fewer
+// packets than the flat run, and the trough half-period must be quieter
+// than the peak half-period.
+func TestDiurnalModulatesLoad(t *testing.T) {
+	period := 2 * units.Millisecond
+	flat := dynBase(Uniform{})
+	swung := flat
+	swung.Profile = Diurnal{Period: period, Floor: 0.1}
+
+	nFlat := len(collect(t, flat))
+	pkts := collect(t, swung)
+	if len(pkts) >= nFlat {
+		t.Fatalf("diurnal run emitted %d >= flat run's %d", len(pkts), nFlat)
+	}
+	// t=0 is the peak; the middle half of the period is the trough.
+	peak, trough := 0, 0
+	for _, p := range pkts {
+		phase := float64(int64(p.CreatedAt)%int64(period)) / float64(period)
+		if phase < 0.25 || phase >= 0.75 {
+			peak++
+		} else {
+			trough++
+		}
+	}
+	if trough >= peak {
+		t.Fatalf("trough half (%d pkts) not quieter than peak half (%d pkts)", trough, peak)
+	}
+}
+
+// TestDiurnalFactorShape pins the raised-cosine endpoints.
+func TestDiurnalFactorShape(t *testing.T) {
+	d := Diurnal{Period: units.Duration(units.Millisecond), Floor: 0.2}
+	if f := d.Factor(0); math.Abs(f-1.0) > 1e-12 {
+		t.Fatalf("Factor(0) = %v, want 1.0", f)
+	}
+	if f := d.Factor(units.Time(units.Millisecond / 2)); math.Abs(f-0.2) > 1e-12 {
+		t.Fatalf("Factor(T/2) = %v, want Floor 0.2", f)
+	}
+	for _, tt := range []units.Time{0, 1, units.Time(units.Microsecond), units.Time(3 * units.Millisecond / 4)} {
+		if f := d.Factor(tt); f < 0.2-1e-12 || f > 1+1e-12 {
+			t.Fatalf("Factor(%v) = %v out of [Floor, 1]", tt, f)
+		}
+	}
+}
+
+// TestProfileValidation: out-of-range profiles are rejected eagerly.
+func TestProfileValidation(t *testing.T) {
+	cfg := dynBase(Uniform{})
+	cfg.Profile = badProfile{factor: 1.5}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("factor > 1 accepted")
+	}
+	cfg.Profile = badProfile{factor: 0}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+	cfg.Profile = badProfile{factor: math.NaN()}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("NaN factor accepted")
+	}
+}
+
+type badProfile struct{ factor float64 }
+
+func (b badProfile) Factor(units.Time) float64 { return b.factor }
+func (b badProfile) Name() string              { return "bad" }
+
+// TestDynamicDeterminism: every dynamic runs twice to the same packet
+// sequence — the package-wide contract extended to the new vocabulary.
+func TestDynamicDeterminism(t *testing.T) {
+	mk := func() []Config {
+		base := dynBase(nil)
+		churn := base
+		churn.Pattern = NewRotatingPermutation(8, 300*units.Microsecond, base.Seed)
+		incast := base
+		incast.Pattern = IncastWave{Period: 250 * units.Microsecond, Duty: 0.3}
+		conf := base
+		conf.Pattern = Conference{Size: 4}
+		conf.Sizes = WebConference()
+		conf.LatencySensitiveFrac = 0.8
+		free := base
+		free.Pattern = NewScaleFree(8, 1.4, base.Seed)
+		diurnal := base
+		diurnal.Pattern = Uniform{}
+		diurnal.Profile = Diurnal{Period: units.Duration(units.Millisecond), Floor: 0.25}
+		return []Config{churn, incast, conf, free, diurnal}
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		pa, pb := collect(t, a[i]), collect(t, b[i])
+		if len(pa) != len(pb) {
+			t.Fatalf("config %d: %d vs %d packets", i, len(pa), len(pb))
+		}
+		for j := range pa {
+			if *pa[j] != *pb[j] {
+				t.Fatalf("config %d packet %d differs: %+v vs %+v", i, j, pa[j], pb[j])
+			}
+		}
+	}
+}
+
+// TestWebConferenceSizesAreSmall: the conferencing mix is mice-dominated
+// and legal as a per-packet distribution.
+func TestWebConferenceSizesAreSmall(t *testing.T) {
+	d := WebConference()
+	r := rng.New(5)
+	small := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		s := d.Sample(r)
+		if s > 1200*units.Byte {
+			t.Fatalf("sample %v above the 1200 B knot", s)
+		}
+		if s <= 320*units.Byte {
+			small++
+		}
+	}
+	if frac := float64(small) / n; frac < 0.6 {
+		t.Fatalf("only %.0f%% of samples <= 320 B; want mice-dominated (>= 60%%)", frac*100)
+	}
+}

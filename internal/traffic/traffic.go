@@ -206,6 +206,10 @@ type Config struct {
 	// ClassLatencySensitive (they will be pinned to the EPS by the
 	// default classifier).
 	LatencySensitiveFrac float64
+	// Profile, when non-nil, modulates the offered load over simulated
+	// time: the instantaneous load is Load * Profile.Factor(t), with
+	// Factor in (0, 1] — Load is the peak. See Diurnal.
+	Profile LoadProfile
 	// Until stops generation at this simulated time.
 	Until units.Time
 	Seed  uint64
@@ -240,6 +244,16 @@ func (c *Config) validate() error {
 	if c.Until <= 0 {
 		return fmt.Errorf("traffic: Until must be positive")
 	}
+	if c.Profile != nil {
+		// Probe the profile at the window's edges: factors must stay in
+		// (0, 1] (NaN fails both comparisons).
+		for _, t := range []units.Time{0, units.Time(c.Until / 2)} {
+			if f := c.Profile.Factor(t); !(f > 0 && f <= 1) {
+				return fmt.Errorf("traffic: load profile %s factor %v at t=%v out of (0,1]",
+					c.Profile.Name(), f, t)
+			}
+		}
+	}
 	return nil
 }
 
@@ -252,6 +266,7 @@ func (c Config) Validate() error { return c.validate() }
 // Start.
 type Generator struct {
 	cfg      Config
+	dyn      DynamicPattern // non-nil when Pattern is time-varying
 	emitted  int64
 	bits     int64
 	nextID   uint64
@@ -269,7 +284,11 @@ func New(cfg Config) (*Generator, error) {
 	if cfg.Process == FlowArrivals && cfg.MTU == 0 {
 		cfg.MTU = 1500 * units.Byte
 	}
-	return &Generator{cfg: cfg}, nil
+	g := &Generator{cfg: cfg}
+	if d, ok := cfg.Pattern.(DynamicPattern); ok {
+		g.dyn = d
+	}
+	return g, nil
 }
 
 // Emitted returns the number of packets generated so far.
@@ -300,11 +319,40 @@ func (g *Generator) Start(s *sim.Simulator, emit func(*packet.Packet)) {
 	}
 }
 
-// meanInterarrival is the packet interarrival time that realizes the
-// offered load for the mean packet size.
-func (g *Generator) meanInterarrival() units.Duration {
+// loadAt is the instantaneous offered load: the configured (peak) load
+// attenuated by the profile, floored so a mis-shaped profile can never
+// stall the arrival process.
+func (g *Generator) loadAt(t units.Time) float64 {
+	if g.cfg.Profile == nil {
+		return g.cfg.Load
+	}
+	f := g.cfg.Profile.Factor(t)
+	if f > 1 {
+		f = 1
+	}
+	if f < minLoadFactor {
+		f = minLoadFactor
+	}
+	return g.cfg.Load * f
+}
+
+// dst picks the destination for an arrival at simulated time now,
+// routing through the time-varying hook when the pattern has one.
+func (g *Generator) dst(r *rng.Rand, src int, now units.Time) int {
+	if g.dyn != nil {
+		return g.dyn.DstAt(r, src, g.cfg.Ports, now)
+	}
+	return g.cfg.Pattern.Dst(r, src, g.cfg.Ports)
+}
+
+// meanInterarrivalAt is the packet interarrival time that realizes the
+// instantaneous offered load for the mean packet size. The truncation to
+// Duration before the float return is deliberate: it is the historical
+// computation, kept bit-identical so profile-free runs reproduce their
+// golden digests.
+func (g *Generator) meanInterarrivalAt(t units.Time) float64 {
 	meanTx := units.TransmitTime(g.cfg.Sizes.Mean(), g.cfg.LineRate)
-	return units.Duration(float64(meanTx) / g.cfg.Load)
+	return float64(units.Duration(float64(meanTx) / g.loadAt(t)))
 }
 
 func (g *Generator) makePacket(t units.Time, src, dst int, r *rng.Rand, flow uint64) *packet.Packet {
@@ -341,19 +389,18 @@ func (g *Generator) makePacketSized(t units.Time, src, dst int, size units.Size,
 }
 
 func (g *Generator) startPoisson(s *sim.Simulator, port int, r *rng.Rand, emit func(*packet.Packet)) {
-	mean := float64(g.meanInterarrival())
 	var arrive func()
 	arrive = func() {
 		now := s.Now()
 		if now.After(g.cfg.Until) {
 			return
 		}
-		dst := g.cfg.Pattern.Dst(r, port, g.cfg.Ports)
+		dst := g.dst(r, port, now)
 		g.nextFlow++
 		emit(g.makePacket(now, port, dst, r, g.nextFlow))
-		s.Schedule(units.Duration(r.Exp(mean)), arrive)
+		s.Schedule(units.Duration(r.Exp(g.meanInterarrivalAt(now))), arrive)
 	}
-	s.Schedule(units.Duration(r.Exp(mean)), arrive)
+	s.Schedule(units.Duration(r.Exp(g.meanInterarrivalAt(0))), arrive)
 }
 
 // startFlows drives the flow-level mode: flow arrivals are memoryless at
@@ -364,14 +411,16 @@ func (g *Generator) startPoisson(s *sim.Simulator, port int, r *rng.Rand, emit f
 // (elephants to the OCS, mice to the EPS).
 func (g *Generator) startFlows(s *sim.Simulator, port int, r *rng.Rand, emit func(*packet.Packet)) {
 	meanTx := units.TransmitTime(g.cfg.FlowSizes.Mean(), g.cfg.LineRate)
-	mean := float64(meanTx) / g.cfg.Load
+	// flowMean realizes the instantaneous load at the flow level; no
+	// Duration truncation here (historical computation, kept exact).
+	flowMean := func(t units.Time) float64 { return float64(meanTx) / g.loadAt(t) }
 	var arrive func()
 	arrive = func() {
 		now := s.Now()
 		if now.After(g.cfg.Until) {
 			return
 		}
-		dst := g.cfg.Pattern.Dst(r, port, g.cfg.Ports)
+		dst := g.dst(r, port, now)
 		g.nextFlow++
 		flow := g.nextFlow
 		remaining := g.cfg.FlowSizes.Sample(r)
@@ -409,9 +458,9 @@ func (g *Generator) startFlows(s *sim.Simulator, port int, r *rng.Rand, emit fun
 		sendNext()
 		// Flow arrivals are open-loop: the next flow does not wait for
 		// this one to finish transmitting.
-		s.Schedule(units.Duration(r.Exp(mean)), arrive)
+		s.Schedule(units.Duration(r.Exp(flowMean(now))), arrive)
 	}
-	s.Schedule(units.Duration(r.Exp(mean)), arrive)
+	s.Schedule(units.Duration(r.Exp(flowMean(0))), arrive)
 }
 
 func (g *Generator) startOnOff(s *sim.Simulator, port int, r *rng.Rand, emit func(*packet.Packet)) {
@@ -432,7 +481,7 @@ func (g *Generator) startOnOff(s *sim.Simulator, port int, r *rng.Rand, emit fun
 		if burstPkts < 1 {
 			burstPkts = 1
 		}
-		dst := g.cfg.Pattern.Dst(r, port, g.cfg.Ports)
+		dst := g.dst(r, port, s.Now())
 		g.nextFlow++
 		flow := g.nextFlow
 		var onTime units.Duration
@@ -452,12 +501,13 @@ func (g *Generator) startOnOff(s *sim.Simulator, port int, r *rng.Rand, emit fun
 				s.Schedule(tx, sendNext)
 				return
 			}
-			// Burst over: idle long enough to realize the load.
-			offMean := float64(onTime) * (1 - g.cfg.Load) / g.cfg.Load
+			// Burst over: idle long enough to realize the instantaneous
+			// load.
+			l := g.loadAt(now)
+			offMean := float64(onTime) * (1 - l) / l
 			s.Schedule(tx+units.Duration(r.Exp(offMean)), startBurst)
 		}
 		sendNext()
 	}
-	mean := float64(g.meanInterarrival())
-	s.Schedule(units.Duration(r.Exp(mean)), startBurst)
+	s.Schedule(units.Duration(r.Exp(g.meanInterarrivalAt(0))), startBurst)
 }

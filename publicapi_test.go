@@ -1,9 +1,11 @@
 package hybridsched
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -147,6 +149,115 @@ func TestBuilderMatchesLiteralBitForBit(t *testing.T) {
 	}
 	if !reflect.DeepEqual(mb, ml) {
 		t.Fatalf("builder and literal runs differ:\n%+v\nvs\n%+v", mb, ml)
+	}
+}
+
+// TestScenarioPackMatchesHandBuiltBitForBit is the declarative-path
+// round-trip contract: a scenario lowered from a pack config runs
+// bit-for-bit identically to the hand-built equivalent, whether loaded
+// via ScenarioFromConfig or applied as the WithScenarioConfig base.
+func TestScenarioPackMatchesHandBuiltBitForBit(t *testing.T) {
+	cfg, err := LoadScenarioFile(filepath.Join("testdata", "scenarios", "hotspot_churn.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromConfig, err := ScenarioFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromOption, err := NewScenario(WithScenarioConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, err := NewScenario(
+		WithPorts(4),
+		WithLineRate(10*Gbps),
+		WithLinkDelay(500*Nanosecond),
+		WithSlot(10*Microsecond),
+		WithReconfigTime(Microsecond),
+		WithAlgorithm("islip"),
+		WithTiming(DefaultHardware()),
+		WithPipelined(true),
+		WithSeed(7),
+		WithLoad(0.5),
+		WithPattern(NewRotatingPermutation(4, 100*Microsecond, 7)),
+		WithSizes(TrimodalInternet{}),
+		WithDuration(500*Microsecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mConfig, err := fromConfig.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOption, err := fromOption.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHand, err := hand.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mConfig, mHand) {
+		t.Fatalf("pack-loaded and hand-built runs differ:\n%+v\nvs\n%+v", mConfig, mHand)
+	}
+	if !reflect.DeepEqual(mOption, mHand) {
+		t.Fatalf("WithScenarioConfig and hand-built runs differ:\n%+v\nvs\n%+v", mOption, mHand)
+	}
+}
+
+// TestWithScenarioConfigSurfacesBuildErrors pins the deferred-error
+// contract: an invalid config applied as an option fails from
+// NewScenario with the scenario-config error chain intact.
+func TestWithScenarioConfigSurfacesBuildErrors(t *testing.T) {
+	var bad ScenarioConfig // zero: no ports, no rates, no workload
+	if _, err := NewScenario(WithScenarioConfig(bad)); !errors.Is(err, ErrBadScenarioConfig) {
+		t.Fatalf("err = %v, want ErrBadScenarioConfig", err)
+	}
+}
+
+// TestScenarioPackDeterministicAcrossWorkers runs the committed pack at
+// several worker counts and requires both the metrics and the captured
+// workload traces to be byte-identical — the determinism contract for
+// every time-varying dynamic the pack ships.
+func TestScenarioPackDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]Metrics, [][]byte) {
+		// Reload per worker count: pattern instances carry cached state
+		// and must never be shared between runs under test.
+		scs, err := LoadScenarioPack(filepath.Join("testdata", "scenarios"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs := make([]*bytes.Buffer, len(scs))
+		for i := range scs {
+			bufs[i] = &bytes.Buffer{}
+			scs[i].CaptureTo = bufs[i]
+		}
+		ms, err := RunScenarios(scs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces := make([][]byte, len(bufs))
+		for i, b := range bufs {
+			if b.Len() == 0 {
+				t.Fatalf("workers=%d scenario %d captured an empty trace", workers, i)
+			}
+			traces[i] = b.Bytes()
+		}
+		return ms, traces
+	}
+	baseMetrics, baseTraces := run(1)
+	for _, workers := range []int{2, 8} {
+		gotMetrics, gotTraces := run(workers)
+		if !reflect.DeepEqual(gotMetrics, baseMetrics) {
+			t.Fatalf("pack metrics differ between 1 and %d workers", workers)
+		}
+		for i := range baseTraces {
+			if !bytes.Equal(gotTraces[i], baseTraces[i]) {
+				t.Fatalf("scenario %d trace differs between 1 and %d workers", i, workers)
+			}
+		}
 	}
 }
 

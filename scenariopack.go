@@ -1,0 +1,104 @@
+package hybridsched
+
+import (
+	"fmt"
+	"io"
+
+	"hybridsched/internal/scenario"
+)
+
+// The declarative scenario-pack surface: a ScenarioConfig is the JSON
+// form of a complete experiment — fabric geometry, algorithm, workload
+// shape and the time-varying dynamics layered on top — so scenarios are
+// data that can be added, audited and swept without a code change. Load
+// one with LoadScenarioConfig/LoadScenarioFile, a directory of them with
+// LoadScenarioPack, and lower onto a runnable Scenario with
+// ScenarioFromConfig or the WithScenarioConfig option.
+type (
+	// ScenarioConfig is one declarative scenario document.
+	ScenarioConfig = scenario.Config
+	// ScenarioWorkload is the traffic side of a ScenarioConfig.
+	ScenarioWorkload = scenario.Workload
+	// PatternSpec names a destination pattern and its knobs (uniform,
+	// permutation, hotspot, zipf, hotspot-churn, incast, conference,
+	// scalefree).
+	PatternSpec = scenario.PatternSpec
+	// SizeSpec names a size distribution (fixed, trimodal, webconference,
+	// websearch, datamining, hadoop, cachefollower).
+	SizeSpec = scenario.SizeSpec
+	// LoadProfileSpec names a time-varying load profile (diurnal).
+	LoadProfileSpec = scenario.LoadProfileSpec
+)
+
+// Scenario-config failure modes. Every load or validation failure wraps
+// ErrBadScenarioConfig; the three children distinguish malformed JSON,
+// field validation, and pack-directory problems.
+var (
+	ErrBadScenarioConfig = scenario.ErrBadScenarioConfig
+	ErrScenarioSyntax    = scenario.ErrSyntax
+	ErrScenarioField     = scenario.ErrField
+	ErrScenarioPack      = scenario.ErrPack
+)
+
+// LoadScenarioConfig decodes exactly one JSON scenario config from r and
+// validates it eagerly. On success the config is Validate-clean; on
+// failure the error wraps ErrBadScenarioConfig.
+func LoadScenarioConfig(r io.Reader) (ScenarioConfig, error) { return scenario.Load(r) }
+
+// LoadScenarioFile loads one scenario config file, defaulting its Name
+// to the file's base name.
+func LoadScenarioFile(path string) (ScenarioConfig, error) { return scenario.LoadFile(path) }
+
+// LoadScenarioPack loads every *.json scenario config under dir (sorted
+// by filename) and lowers each onto a runnable Scenario — ready for
+// RunScenarios. An empty directory is an error wrapping ErrScenarioPack.
+func LoadScenarioPack(dir string) ([]Scenario, error) {
+	cfgs, err := scenario.LoadPack(dir)
+	if err != nil {
+		return nil, fmt.Errorf("hybridsched: %w", err)
+	}
+	out := make([]Scenario, len(cfgs))
+	for i, c := range cfgs {
+		sc, err := ScenarioFromConfig(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sc
+	}
+	return out, nil
+}
+
+// ScenarioFromConfig lowers a declarative config onto a runnable
+// Scenario. Pattern and profile instances are freshly constructed on
+// every call, so scenarios from the same config never share mutable
+// state and can run concurrently. The result is bit-for-bit equivalent
+// to the hand-built Scenario with the same dimensions.
+func ScenarioFromConfig(c ScenarioConfig) (Scenario, error) {
+	b, err := c.Build()
+	if err != nil {
+		return Scenario{}, fmt.Errorf("hybridsched: %w", err)
+	}
+	return Scenario{
+		Name:     b.Name,
+		Fabric:   b.Fabric,
+		Traffic:  b.Traffic,
+		Duration: b.Duration,
+		Drain:    b.Drain,
+	}, nil
+}
+
+// WithScenarioConfig applies a declarative config as the scenario base;
+// later options override individual dimensions the usual way. A config
+// that fails validation surfaces its error from NewScenario, like
+// WithWorkloadTrace does for trace failures.
+func WithScenarioConfig(c ScenarioConfig) Option {
+	return func(sc *Scenario) {
+		built, err := ScenarioFromConfig(c)
+		if err != nil {
+			sc.traceErr = fmt.Errorf("scenario config: %w", err)
+			return
+		}
+		built.traceErr = sc.traceErr // keep an earlier option's deferred failure
+		*sc = built
+	}
+}

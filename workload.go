@@ -41,6 +41,35 @@ type (
 	// injector — the way to feed a Device or other custom sink that
 	// Scenario.Run does not cover.
 	TrafficGenerator = traffic.Generator
+
+	// DynamicPattern is a Pattern whose destination choice also depends
+	// on simulated time — the interface the time-varying patterns below
+	// implement. Any Pattern assigned to TrafficConfig.Pattern that also
+	// implements DynamicPattern is driven through DstAt automatically.
+	DynamicPattern = traffic.DynamicPattern
+	// LoadProfile modulates the offered load over simulated time; assign
+	// to TrafficConfig.Profile (Diurnal is the built-in).
+	LoadProfile = traffic.LoadProfile
+
+	// RotatingPermutation is hotspot churn: a permutation workload whose
+	// matrix is rediscovered every Period — the adversarial dynamics for
+	// schedulers that exploit a stable matrix. Build with
+	// NewRotatingPermutation.
+	RotatingPermutation = traffic.RotatingPermutation
+	// IncastWave synchronizes every source onto one rotating victim port
+	// for the leading Duty fraction of each Period — periodic incast.
+	IncastWave = traffic.IncastWave
+	// Conference partitions ports into meetings of Size and keeps
+	// traffic inside each meeting — the DimDim web-conferencing shape.
+	Conference = traffic.Conference
+	// ScaleFree draws destinations by a global power law over a seeded
+	// rank order — a few ports are hubs for every source. Build with
+	// NewScaleFree.
+	ScaleFree = traffic.ScaleFree
+	// Diurnal is a smooth cosine load swing between the configured peak
+	// and Floor*peak with the given Period; assign to
+	// TrafficConfig.Profile.
+	Diurnal = traffic.Diurnal
 )
 
 // Arrival processes.
@@ -57,6 +86,26 @@ const (
 
 // NewPermutation draws a random derangement of n ports.
 func NewPermutation(n int, seed uint64) *Permutation { return traffic.NewPermutation(n, seed) }
+
+// NewRotatingPermutation builds the hotspot-churn pattern for n ports: a
+// fresh derangement every period, derived deterministically from seed.
+// Instances cache per-epoch state, so do not share one between
+// concurrently running scenarios — build one per scenario.
+func NewRotatingPermutation(n int, period Duration, seed uint64) *RotatingPermutation {
+	return traffic.NewRotatingPermutation(n, period, seed)
+}
+
+// NewScaleFree builds the scale-free pattern for n ports with power-law
+// exponent s (> 0; larger is more skewed); the rank-to-port assignment
+// is drawn from seed.
+func NewScaleFree(n int, s float64, seed uint64) *ScaleFree {
+	return traffic.NewScaleFree(n, s, seed)
+}
+
+// WebConference returns the DimDim-style interactive packet-size mix:
+// mostly small audio/control packets with a video tail. Use as Sizes
+// (per-packet), not FlowSizes.
+func WebConference() *Empirical { return traffic.WebConference() }
 
 // NewZipf returns a Zipf pattern over n-1 destinations with exponent s.
 func NewZipf(n int, s float64) *Zipf { return traffic.NewZipf(n, s) }
